@@ -1,0 +1,93 @@
+// Ablation: Monte-Carlo vs analytic variation propagation in VAET-STT.
+//
+// The estimator implements both strategies (DESIGN.md Section 5): full
+// Monte Carlo over sampled devices, and the Gauss-Hermite average over an
+// effective overdrive distribution used by the margin solvers. This bench
+// compares (a) the per-bit WER they predict at several pulse widths and
+// (b) their runtime, quantifying the accuracy/cost trade-off.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "core/compact_model.hpp"
+#include "physics/thermal.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "vaet/estimator.hpp"
+
+namespace {
+
+/// Brute-force MC estimate of the per-bit WER at pulse width t.
+double mc_per_bit_wer(const mss::core::Pdk& pdk, double i_write, double t,
+                      std::size_t n, mss::util::Rng& rng) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto dev = pdk.sample_device(rng);
+    const mss::core::MtjCompactModel model(dev);
+    const double drive = pdk.sample_drive_factor(rng);
+    const double x =
+        drive * i_write /
+        model.critical_current(mss::core::WriteDirection::ToAntiparallel);
+    const auto sp =
+        model.switching_params(mss::core::WriteDirection::ToAntiparallel);
+    if (x <= 1.001) {
+      acc += 1.0;
+    } else {
+      acc += mss::physics::write_error_rate(sp, x, t);
+    }
+  }
+  return acc / double(n);
+}
+
+} // namespace
+
+int main() {
+  using namespace mss;
+  using util::TextTable;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("=== Ablation: Monte-Carlo vs analytic (Gauss-Hermite) "
+              "variation propagation ===\n\n");
+
+  const auto pdk = core::Pdk::mss45();
+  nvsim::ArrayOrg org{1024, 1024, 256};
+  const vaet::VaetStt vaet(pdk, org);
+  const double i_write = vaet.array().cell().i_write;
+  util::Rng rng(0xAB1A7E);
+
+  TextTable table({"pulse (ns)", "log10 WER (analytic)", "log10 WER (MC)",
+                   "analytic time (us)", "MC time (ms)"});
+  constexpr std::size_t kMcSamples = 200000;
+
+  for (double tp_ns : {2.0, 3.0, 4.0, 6.0, 8.0}) {
+    const double t = tp_ns * util::kNs;
+
+    const auto a0 = Clock::now();
+    const double lw_analytic = vaet.per_bit_log_wer(t) / std::log(10.0);
+    const auto a1 = Clock::now();
+
+    const auto m0 = Clock::now();
+    const double wer_mc = mc_per_bit_wer(pdk, i_write, t, kMcSamples, rng);
+    const auto m1 = Clock::now();
+    const double lw_mc =
+        wer_mc > 0.0 ? std::log10(wer_mc) : -std::log10(double(kMcSamples)) - 1;
+
+    table.add_row(
+        {TextTable::num(tp_ns, 1), TextTable::num(lw_analytic, 2),
+         wer_mc > 0.0 ? TextTable::num(lw_mc, 2)
+                      : ("< -" + TextTable::num(std::log10(double(kMcSamples)), 0)),
+         TextTable::num(
+             std::chrono::duration<double, std::micro>(a1 - a0).count(), 1),
+         TextTable::num(
+             std::chrono::duration<double, std::milli>(m1 - m0).count(), 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Where the MC estimate is resolvable (WER above ~1/%zu), the "
+              "two strategies agree; only the analytic strategy reaches the "
+              "deep-tail targets (1e-15..1e-18) of Figs. 7-8, at orders of "
+              "magnitude lower cost — the reason VAET-STT solves margins "
+              "analytically and reserves MC for the Table-1 distribution "
+              "statistics.\n",
+              kMcSamples);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: the three write-reliability knobs side by side — pulse-width
+// margining (Fig. 7), ECC (Fig. 8) and write-verify-retry — at several
+// target WERs. The point the analysis makes: retries beat margining at
+// moderate targets (they only pay the long latency when a write actually
+// failed), but they saturate at the process-weak-bit floor, where ECC is
+// the only knob that still works.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "vaet/estimator.hpp"
+#include "vaet/write_verify.hpp"
+
+int main() {
+  using namespace mss;
+  using util::TextTable;
+  using util::kNs;
+
+  std::printf("=== Ablation: margining vs ECC vs write-verify (45 nm) "
+              "===\n\n");
+
+  const auto pdk = core::Pdk::mss45();
+  nvsim::ArrayOrg org{1024, 1024, 256};
+  vaet::VaetOptions opt;
+  opt.mc_samples = 10;
+  const vaet::VaetStt vaet(pdk, org, opt);
+
+  TextTable t({"target WER", "raw margin (ns)", "ECC t=1 (ns)",
+               "verify k=3: E[lat] (ns)", "verify worst (ns)",
+               "verify E-factor"});
+  for (double target : {1e-6, 1e-9, 1e-12, 1e-15, 1e-18}) {
+    const double raw = vaet.write_latency_for_wer(target);
+    const double ecc = vaet.write_latency_with_ecc(target, 1);
+    std::string v_exp = "floor";
+    std::string v_worst = "-";
+    std::string v_factor = "-";
+    try {
+      const auto wv = vaet::design_write_verify(vaet, target, 3);
+      v_exp = TextTable::num(wv.expected_latency / kNs, 2);
+      v_worst = TextTable::num(wv.worst_latency / kNs, 2);
+      v_factor = TextTable::num(wv.expected_energy_factor, 3);
+    } catch (const std::invalid_argument&) {
+      // Below the weak-bit floor: retries cannot reach this target.
+    }
+    t.add_row({TextTable::sci(target, 0), TextTable::num(raw / kNs, 2),
+               TextTable::num(ecc / kNs, 2), v_exp, v_worst, v_factor});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Reading: verify wins on *expected* latency wherever it is "
+              "feasible (failures are rare, so retries almost never fire); "
+              "its worst case and its weak-bit floor are the price. ECC "
+              "keeps working into the deep-tail regime, which is exactly "
+              "the paper's Fig. 8 argument.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 11 reproduction: "Energy breakdown by component when executing
+// bodytrack kernel on big.LITTLE architecture".
+//
+// Four scenarios: Full-SRAM (reference), LITTLE-L2-STT-MRAM,
+// big-L2-STT-MRAM, Full-L2-STT-MRAM. For each we print the per-component
+// energies (cores, L1, L2, interconnect, DRAM+MC) and an ASCII bar chart of
+// the totals.
+#include <cstdio>
+
+#include "magpie/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mss;
+  using util::TextTable;
+
+  std::printf("=== Fig. 11: energy breakdown by component, bodytrack on "
+              "big.LITTLE ===\n\n");
+
+  const auto pdk = core::Pdk::mss45();
+  auto kernel = magpie::kernel_by_name("bodytrack");
+  const auto runs = magpie::run_kernel_all_scenarios(kernel, pdk);
+
+  // Component columns (fixed order across scenarios).
+  const std::vector<std::string> comps = {
+      "LITTLE cores", "LITTLE L1",          "LITTLE L2",
+      "LITTLE interconnect", "big cores",   "big L1",
+      "big L2",       "big interconnect",   "DRAM + MC"};
+
+  TextTable table({"component", "Full-SRAM (uJ)", "LITTLE-L2-STT (uJ)",
+                   "big-L2-STT (uJ)", "Full-L2-STT (uJ)"});
+  mss::util::CsvWriter csv({"component", "full_sram_uJ", "little_l2_stt_uJ",
+                            "big_l2_stt_uJ", "full_l2_stt_uJ"});
+
+  for (const auto& comp : comps) {
+    std::vector<std::string> row{comp};
+    for (const auto& run : runs) {
+      // L2 component names embed the technology; match by prefix.
+      double value = 0.0;
+      for (const auto& c : run.energy.components) {
+        if (c.name.rfind(comp, 0) == 0) value += c.total();
+      }
+      row.push_back(TextTable::num(value / 1e-6, 2));
+    }
+    table.add_row(row);
+    csv.add_row(row);
+  }
+  std::vector<std::string> totals{"TOTAL"};
+  for (const auto& run : runs) {
+    totals.push_back(TextTable::num(run.energy.total() / 1e-6, 2));
+  }
+  table.add_row(totals);
+  csv.add_row(totals);
+
+  std::printf("%s\n", table.str().c_str());
+  if (csv.write_file("fig11_breakdown.csv")) {
+    std::printf("(series written to fig11_breakdown.csv)\n");
+  }
+
+  std::printf("\nTotal energy by scenario:\n");
+  std::vector<std::pair<std::string, double>> bars;
+  for (const auto& run : runs) {
+    bars.emplace_back(magpie::to_string(run.scenario),
+                      run.energy.total() / 1e-6);
+  }
+  std::printf("%s\n", mss::util::bar_chart(bars).c_str());
+
+  const double ref = runs[0].energy.total();
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    std::printf("%-22s energy vs Full-SRAM: %.1f%%\n",
+                magpie::to_string(runs[i].scenario),
+                100.0 * runs[i].energy.total() / ref);
+  }
+  std::printf("\nShape check (paper): \"the overall energy consumption is "
+              "improved in all scenarios, at least up to 17%%\" — every STT "
+              "scenario must land below 100%%, with the L2 leakage "
+              "elimination the dominant effect.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig. 6 reproduction: "Layout of the first demonstrator, embedding test
+// structures and circuits from different partners".
+//
+// The figure itself is a chip photo; its *content* is the inventory of
+// MSS-based IPs integrated on the first test chip. This bench instantiates
+// and exercises every IP the paper names — bit cells, sense amplifiers,
+// write circuits, MRAM-based flip-flops, and the MSS-based programmable
+// current source — end to end through the SPICE engine, and prints the
+// "test chip" characterisation report.
+#include <cstdio>
+
+#include "cells/bitcell.hpp"
+#include "cells/current_source.hpp"
+#include "cells/nvff.hpp"
+#include "cells/sense_amp.hpp"
+#include "cells/write_driver.hpp"
+#include "core/mss_stack.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mss;
+  using util::TextTable;
+
+  const auto pdk = core::Pdk::mss45();
+  std::printf("=== Fig. 6: demonstrator test-chip IP inventory (MSS45) ===\n\n");
+
+  TextTable t({"IP block", "status", "key figures"});
+
+  // Memory / sensor / oscillator device instances (the three MSS flavours).
+  for (const auto& mode_dev :
+       {core::MssStack::make_memory(pdk.mtj),
+        core::MssStack::make_oscillator(pdk.mtj),
+        core::MssStack::make_sensor(pdk.mtj)}) {
+    t.add_row({std::string("MSS device [") + to_string(mode_dev.mode()) + "]",
+               "ok", mode_dev.describe()});
+  }
+
+  // 1T-1MTJ bit cell.
+  {
+    const cells::Bitcell cell(pdk);
+    const auto wr =
+        cell.characterize_write(core::WriteDirection::ToAntiparallel, 20e-9);
+    const auto rd = cell.characterize_read(5e-9);
+    t.add_row({"1T-1MTJ bit cell", wr.switched ? "ok" : "FAIL",
+               "t_sw " + TextTable::num(wr.t_switch / util::kNs, 2) +
+                   "ns, read margin " +
+                   TextTable::num(rd.delta_i / util::kUa, 1) + "uA"});
+  }
+
+  // Sense amplifier.
+  {
+    const cells::SenseAmp sa(pdk);
+    const auto r = sa.resolve(0.62, 0.55);
+    t.add_row({"latch sense amplifier",
+               (r.resolved && r.decision_correct) ? "ok" : "FAIL",
+               "t_resolve " + TextTable::num(r.t_resolve / util::kNs, 3) +
+                   "ns, E " + TextTable::num(r.energy / util::kFj, 1) + "fJ"});
+  }
+
+  // Write driver.
+  {
+    const cells::WriteDriver wd(pdk);
+    const auto r = wd.characterize();
+    t.add_row({"bit-line write driver", r.t_rise > 0.0 ? "ok" : "FAIL",
+               "t_r " + TextTable::num(r.t_rise / util::kNs, 3) + "ns, I " +
+                   TextTable::num(r.i_drive / util::kUa, 0) + "uA"});
+  }
+
+  // Non-volatile flip-flop (both data values).
+  {
+    const cells::Nvff ff(pdk);
+    const auto r1 = ff.characterize(true);
+    const auto r0 = ff.characterize(false);
+    const bool ok = r1.store_ok && r1.restore_ok && r0.store_ok && r0.restore_ok;
+    t.add_row({"non-volatile flip-flop", ok ? "ok" : "FAIL",
+               "store " + TextTable::num(r1.e_store / util::kPj, 2) +
+                   "pJ, restore " +
+                   TextTable::num(r1.t_restore / util::kNs, 2) + "ns"});
+  }
+
+  // MSS-based programmable current source (the sensor-interface analog IP).
+  {
+    const cells::CurrentSource cs(pdk);
+    const auto r = cs.characterize();
+    std::string levels;
+    for (double i : r.levels) {
+      if (!levels.empty()) levels += "/";
+      levels += TextTable::num(i / util::kUa, 1);
+    }
+    t.add_row({"programmable current source",
+               r.tuning_range > 0.1 ? "ok" : "FAIL",
+               "levels " + levels + " uA"});
+  }
+
+  std::printf("%s\n", t.str().c_str());
+  std::printf("All IPs the paper lists for the first demonstrator are "
+              "implemented and exercised at transistor level.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks of the library's hot kernels.
+// Not a paper figure — performance hygiene for the simulation substrates:
+// LLGS stepping, MNA transient solving, compact-model evaluation, the
+// Monte-Carlo estimator and the cache simulator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/compact_model.hpp"
+#include "core/pdk.hpp"
+#include "magpie/cache.hpp"
+#include "magpie/workload.hpp"
+#include "physics/llg.hpp"
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "util/math.hpp"
+#include "vaet/estimator.hpp"
+
+namespace {
+
+void BM_LlgDeterministicStep(benchmark::State& state) {
+  mss::physics::LlgParams p;
+  const mss::physics::LlgSolver solver(p);
+  for (auto _ : state) {
+    const auto run = solver.integrate({0.1, 0.0, -1.0}, 1e-9, 1e-12, 50e-6, 1024);
+    benchmark::DoNotOptimize(run.trajectory.back().m.z);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000); // steps per run
+}
+BENCHMARK(BM_LlgDeterministicStep);
+
+void BM_LlgThermalStep(benchmark::State& state) {
+  mss::physics::LlgParams p;
+  const mss::physics::LlgSolver solver(p);
+  mss::util::Rng rng(1);
+  for (auto _ : state) {
+    const auto run =
+        solver.integrate_thermal({0.1, 0.0, -1.0}, 1e-9, 1e-12, 50e-6, rng, 1024);
+    benchmark::DoNotOptimize(run.trajectory.back().m.z);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LlgThermalStep);
+
+void BM_CompactModelWer(benchmark::State& state) {
+  const mss::core::MtjCompactModel model{mss::core::MtjParams{}};
+  const double ic =
+      model.critical_current(mss::core::WriteDirection::ToAntiparallel);
+  double t = 1e-9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.write_error_rate(
+        mss::core::WriteDirection::ToAntiparallel, 2.0 * ic, t));
+    t = t < 20e-9 ? t + 1e-12 : 1e-9;
+  }
+}
+BENCHMARK(BM_CompactModelWer);
+
+void BM_SpiceRcTransient(benchmark::State& state) {
+  for (auto _ : state) {
+    mss::spice::Circuit ckt;
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add(std::make_unique<mss::spice::VoltageSource>(
+        "vin", in, mss::spice::kGround,
+        std::make_unique<mss::spice::PulseWave>(0.0, 1.0, 1e-10, 1e-11,
+                                                1e-11, 5e-9)));
+    ckt.add(std::make_unique<mss::spice::Resistor>("r", in, out, 1e3));
+    ckt.add(std::make_unique<mss::spice::Capacitor>("c", out,
+                                                    mss::spice::kGround,
+                                                    1e-12));
+    mss::spice::Engine eng(ckt);
+    const auto tr = eng.transient(5e-9, 5e-12);
+    benchmark::DoNotOptimize(tr.v("out", tr.size() - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000); // steps per run
+}
+BENCHMARK(BM_SpiceRcTransient);
+
+void BM_VaetMonteCarloAccess(benchmark::State& state) {
+  const auto pdk = mss::core::Pdk::mss45();
+  mss::nvsim::ArrayOrg org{1024, 1024, 256};
+  mss::vaet::VaetOptions opt;
+  opt.mc_samples = 10;
+  const mss::vaet::VaetStt vaet(pdk, org, opt);
+  mss::util::Rng rng(7);
+  for (auto _ : state) {
+    const auto res = vaet.monte_carlo(rng);
+    benchmark::DoNotOptimize(res.write_latency.mean);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * 256);
+}
+BENCHMARK(BM_VaetMonteCarloAccess);
+
+void BM_GaussHermiteMargin(benchmark::State& state) {
+  const auto pdk = mss::core::Pdk::mss45();
+  mss::nvsim::ArrayOrg org{1024, 1024, 256};
+  const mss::vaet::VaetStt vaet(pdk, org);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vaet.write_latency_for_wer(1e-12));
+  }
+}
+BENCHMARK(BM_GaussHermiteMargin);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mss::magpie::Cache l2(2u << 20, 16, 64, nullptr);
+  mss::magpie::Cache l1(32u << 10, 4, 64, &l2);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    benchmark::DoNotOptimize(l1.access(x % (8u << 20), (x & 1) != 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto kernel = mss::magpie::kernel_by_name("bodytrack");
+  mss::magpie::TraceGenerator gen(kernel, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next().addr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_NormalIsfDeepTail(benchmark::State& state) {
+  double q = 1e-20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mss::util::normal_isf(q));
+    q = q < 1e-4 ? q * 1.618 : 1e-20;
+  }
+}
+BENCHMARK(BM_NormalIsfDeepTail);
+
+} // namespace
+
+BENCHMARK_MAIN();

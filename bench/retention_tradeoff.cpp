@@ -1,0 +1,58 @@
+// Section I claim, quantified: "MTJs can have adjustable retention by
+// playing with the diameter of the stack thus allowing to minimize the
+// switching current according to the specified retention."
+//
+// This bench sweeps retention targets from scratchpad-grade (hours) to
+// storage-grade (10 years) and prints the designed pillar diameter,
+// thermal stability, critical current, switching time and write energy —
+// the MSS retention/write-cost trade-off curve.
+#include <cstdio>
+
+#include "core/pdk.hpp"
+#include "core/retention.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mss;
+  using util::TextTable;
+
+  std::printf("=== MSS retention vs write-cost trade-off (adjustable "
+              "diameter) ===\n\n");
+
+  const auto pdk = core::Pdk::mss45();
+  const core::RetentionDesigner designer(pdk.mtj, pdk.write_overdrive);
+
+  TextTable table({"retention", "Delta", "diameter (nm)", "Ic0 (uA)",
+                   "I_write (uA)", "t_switch (ns)", "E_write (fJ)"});
+
+  struct Point {
+    const char* label;
+    double years;
+  };
+  const Point points[] = {
+      {"1 hour", 1.0 / (365.25 * 24.0)}, {"1 day", 1.0 / 365.25},
+      {"1 month", 1.0 / 12.0},           {"1 year", 1.0},
+      {"10 years", 10.0},
+  };
+
+  double first_iw = 0.0;
+  double last_iw = 0.0;
+  for (const auto& pt : points) {
+    const auto d = designer.design(pt.years);
+    if (first_iw == 0.0) first_iw = d.write_current;
+    last_iw = d.write_current;
+    table.add_row({pt.label, TextTable::num(d.required_delta, 1),
+                   TextTable::num(d.diameter / util::kNm, 1),
+                   TextTable::num(d.ic0 / util::kUa, 1),
+                   TextTable::num(d.write_current / util::kUa, 1),
+                   TextTable::num(d.switching_time / util::kNs, 2),
+                   TextTable::num(d.write_energy / util::kFj, 0)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Relaxing retention from 10 years to 1 hour cuts the write "
+              "current by %.0f%% on the same baseline stack — the knob that "
+              "lets one MSS recipe serve caches and storage alike.\n",
+              100.0 * (1.0 - first_iw / last_iw));
+  return 0;
+}

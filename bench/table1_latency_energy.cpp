@@ -1,0 +1,68 @@
+// Table 1 reproduction: "Overall latency and energy values for 45 nm and
+// 65 nm technology nodes for a memory array of 1024x1024".
+//
+// For each node we print the NVSim-style nominal value next to the
+// variation-aware mean (mu) and standard deviation (sigma) from the
+// VAET-STT Monte-Carlo analysis — the exact quadruple-per-row structure of
+// the paper's Table 1.
+//
+// Paper values for comparison (45 nm / 65 nm):
+//   Write Latency (ns):  nominal 4.9 / 4.4,  mu 14.7 / 12.1,  sigma 1.82 / 1.32
+//   Write Energy  (pJ):  nominal 159 / 272.8, mu 425 / 512.2, sigma 3.73 / 2.79
+//   Read  Latency (ns):  nominal 1.2 / 1.22, mu 1.7 / 1.5,   sigma 0.08 / 0.05
+//   Read  Energy  (pJ):  nominal 3.4 / 4.8,  mu 4.8 / 5.7,   sigma 0.002 / 0.001
+#include <cstdio>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "vaet/estimator.hpp"
+
+int main() {
+  using mss::util::TextTable;
+  using mss::util::kNs;
+  using mss::util::kPj;
+
+  std::printf("=== Table 1: overall latency & energy, 1024x1024 array ===\n");
+  std::printf("(nominal = variation-unaware NVSim-style estimate; mu/sigma "
+              "from the VAET-STT Monte Carlo)\n\n");
+
+  TextTable table({"Metric", "Node", "Nominal", "mu", "sigma", "paper(nom/mu/sigma)"});
+
+  for (const auto node : {mss::core::TechNode::N45, mss::core::TechNode::N65}) {
+    const auto pdk = mss::core::Pdk::for_node(node);
+    mss::nvsim::ArrayOrg org;
+    org.rows = 1024;
+    org.cols = 1024;
+    org.word_bits = 256;
+    mss::vaet::VaetOptions opt;
+    opt.mc_samples = 4000;
+    const mss::vaet::VaetStt vaet(pdk, org, opt);
+    mss::util::Rng rng(0xDA7E2018);
+    const auto res = vaet.monte_carlo(rng);
+
+    const bool n45 = node == mss::core::TechNode::N45;
+    auto row = [&](const char* metric, const mss::vaet::DistributionSummary& d,
+                   double unit, int prec, const char* paper45,
+                   const char* paper65) {
+      table.add_row({metric, to_string(node),
+                     TextTable::num(d.nominal / unit, prec),
+                     TextTable::num(d.mean / unit, prec),
+                     TextTable::num(d.sigma / unit, prec),
+                     n45 ? paper45 : paper65});
+    };
+    row("Write Latency (ns)", res.write_latency, kNs, 2, "4.9/14.7/1.82",
+        "4.4/12.1/1.32");
+    row("Write Energy (pJ)", res.write_energy, kPj, 1, "159.0/425.0/3.73",
+        "272.8/512.2/2.79");
+    row("Read Latency (ns)", res.read_latency, kNs, 2, "1.2/1.7/0.08",
+        "1.22/1.5/0.05");
+    row("Read Energy (pJ)", res.read_energy, kPj, 2, "3.4/4.8/0.002",
+        "4.8/5.7/0.001");
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Shape checks (paper): mu >> nominal for latencies; sigma/mu "
+              "larger at 45nm; energies lower at 45nm.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// 1T-1MTJ bit cell, characterised through the SPICE engine exactly along
+// the paper's pipeline: template netlist -> transient -> MDL measurement
+// file -> parse -> cell parameters.
+//
+// Topology:
+//
+//   BL ──[MTJ free|ref]── n1 ──[NMOS access]── SL
+//                                  │gate
+//                                  WL
+//
+// Writing P:  BL = Vdd, SL = 0, WL = Vdd (current BL -> SL).
+// Writing AP: BL = 0, SL = Vdd, WL = Vdd (current SL -> BL; suffers the
+//             source-degenerated access device, the classic asymmetry).
+// Reading:    small BL bias, WL = Vdd, sense the bitline current.
+#pragma once
+
+#include "cells/characterization.hpp"
+#include "core/pdk.hpp"
+
+namespace mss::cells {
+
+/// Geometry/loading options of the cell and its environment.
+struct BitcellOptions {
+  double access_width_factor = 8.0; ///< access NMOS width in units of W_min
+  double c_bitline = 50e-15;        ///< bitline capacitance seen by the cell [F]
+  double c_sourceline = 50e-15;     ///< source-line capacitance [F]
+  double sim_dt = 10e-12;           ///< transient step [s]
+};
+
+/// Result of one write characterisation run.
+struct BitcellWriteResult {
+  bool switched = false;     ///< final MTJ state matches the write direction
+  double t_switch = 0.0;     ///< WL-rise to state-flip delay [s]
+  double energy = 0.0;       ///< energy delivered by the driving source [J]
+  double i_peak = 0.0;       ///< peak stack current [A]
+  double i_settled = 0.0;    ///< stack current just before the flip [A]
+};
+
+/// Result of a read characterisation run.
+struct BitcellReadResult {
+  double i_cell_p = 0.0;   ///< settled read current, parallel state [A]
+  double i_cell_ap = 0.0;  ///< settled read current, antiparallel state [A]
+  double delta_i = 0.0;    ///< sense margin current [A]
+  double energy_read = 0.0; ///< read energy per access (parallel state) [J]
+};
+
+/// The bit cell characterisation driver.
+class Bitcell {
+ public:
+  Bitcell(core::Pdk pdk, BitcellOptions options = {});
+
+  /// Characterises a write in the given direction with a WL/driver pulse of
+  /// `pulse_width` seconds.
+  [[nodiscard]] BitcellWriteResult characterize_write(
+      core::WriteDirection dir, double pulse_width) const;
+
+  /// Characterises the read operation at the PDK read bias.
+  [[nodiscard]] BitcellReadResult characterize_read(double t_read) const;
+
+  /// The PDK in use.
+  [[nodiscard]] const core::Pdk& pdk() const { return pdk_; }
+  /// Options in use.
+  [[nodiscard]] const BitcellOptions& options() const { return opt_; }
+
+ private:
+  core::Pdk pdk_;
+  BitcellOptions opt_;
+};
+
+} // namespace mss::cells

@@ -1,0 +1,54 @@
+#include "cells/characterization.hpp"
+
+#include <cstdio>
+
+namespace mss::cells {
+
+std::string mdl_num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9e", v);
+  return buf;
+}
+
+DeviceCards device_cards(const core::Pdk& pdk) {
+  DeviceCards cards;
+  const bool n45 = pdk.node == core::TechNode::N45;
+  cards.nmos = spice::MosModel::nmos(n45 ? 0.35 : 0.40, n45 ? 500e-6 : 450e-6);
+  cards.pmos = spice::MosModel::pmos(n45 ? 0.35 : 0.40, n45 ? 250e-6 : 220e-6);
+  cards.nmos.c_gate_per_m = pdk.cmos.c_gate_per_m;
+  cards.pmos.c_gate_per_m = pdk.cmos.c_gate_per_m;
+  cards.w_min = 2.0 * pdk.cmos.feature_m;
+  cards.l_min = pdk.cmos.feature_m;
+  cards.vdd = pdk.cmos.vdd;
+  return cards;
+}
+
+double source_energy(const spice::TransientResult& tr,
+                     const std::string& vsource_name,
+                     const std::string& plus_node,
+                     const std::string& minus_node) {
+  // SPICE convention: the stored branch current flows from the + terminal
+  // *through the source* to the - terminal, so a delivering source carries
+  // negative branch current and the power it delivers is p = -v * i.
+  const auto& times = tr.times();
+  double e = 0.0;
+  for (std::size_t k = 1; k < times.size(); ++k) {
+    const double dt = times[k] - times[k - 1];
+    const double p0 = -(tr.v(plus_node, k - 1) - tr.v(minus_node, k - 1)) *
+                      tr.i(vsource_name, k - 1);
+    const double p1 = -(tr.v(plus_node, k) - tr.v(minus_node, k)) *
+                      tr.i(vsource_name, k);
+    e += 0.5 * (p0 + p1) * dt;
+  }
+  return e;
+}
+
+std::map<std::string, double> run_mdl_pipeline(
+    const spice::TransientResult& tr, const std::string& mdl_script_text) {
+  const auto script = spice::mdl::Script::parse(mdl_script_text);
+  const auto results = script.evaluate(tr);
+  const std::string file = spice::mdl::write_measure_file(results);
+  return spice::mdl::parse_measure_file(file);
+}
+
+} // namespace mss::cells

@@ -1,0 +1,50 @@
+// Shared helpers for SPICE-based standard-cell characterisation: PDK ->
+// transistor model cards, waveform energy integration, and the
+// template-netlist -> transient -> MDL -> parse pipeline of the paper's
+// Fig. 10 circuit level.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/pdk.hpp"
+#include "spice/engine.hpp"
+#include "spice/mdl.hpp"
+#include "spice/mosfet.hpp"
+
+namespace mss::cells {
+
+/// Transistor model cards derived from a PDK node.
+struct DeviceCards {
+  spice::MosModel nmos;
+  spice::MosModel pmos;
+  double w_min = 0.0;   ///< minimum transistor width [m] (2 F)
+  double l_min = 0.0;   ///< channel length [m] (1 F)
+  double vdd = 1.1;     ///< supply [V]
+};
+
+/// Builds the model cards for a node.
+[[nodiscard]] DeviceCards device_cards(const core::Pdk& pdk);
+
+/// Formats a number for embedding in MDL script text. (std::to_string uses
+/// fixed 6-decimal notation and truncates nanosecond-scale values to zero.)
+[[nodiscard]] std::string mdl_num(double v);
+
+/// Energy *delivered by* a voltage source over the run [J]:
+/// integral of -(v(plus) - v(minus)) * i_branch dt, following the SPICE
+/// convention that the branch current flows from + through the source to -
+/// (a delivering source therefore carries negative branch current).
+[[nodiscard]] double source_energy(const spice::TransientResult& tr,
+                                   const std::string& vsource_name,
+                                   const std::string& plus_node,
+                                   const std::string& minus_node = "0");
+
+/// Runs the full paper pipeline on a finished transient: evaluate the MDL
+/// script text, serialise the measurement file, re-parse it, and return the
+/// extracted name->value map. Exercising the round trip (rather than using
+/// the in-memory results directly) is deliberate: it is the flow the paper
+/// describes.
+[[nodiscard]] std::map<std::string, double> run_mdl_pipeline(
+    const spice::TransientResult& tr, const std::string& mdl_script_text);
+
+} // namespace mss::cells

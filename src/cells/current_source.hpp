@@ -1,0 +1,51 @@
+// MSS-based programmable current source — the analog IP the paper names
+// for the sensor interface ("feedback using an MSS-based programmable
+// current source, has also been proposed and will be integrated in the
+// SoC").
+//
+// Topology: a reference branch VDD -> (chain of n MTJs in series) ->
+// diode-connected NMOS -> GND sets a reference current determined by the
+// programmed MTJ states; an NMOS current mirror copies it to the output.
+// Programming k of the n MTJs antiparallel yields n+1 monotonically
+// decreasing current levels — a digitally trimmable bias source.
+#pragma once
+
+#include <vector>
+
+#include "cells/characterization.hpp"
+#include "core/pdk.hpp"
+
+namespace mss::cells {
+
+/// Sizing options.
+struct CurrentSourceOptions {
+  int n_mtj = 3;                  ///< MTJs in the reference chain
+  double mirror_width_factor = 10.0; ///< mirror NMOS width in W_min units
+  double r_load = 5e3;            ///< output load resistance [Ohm]
+  double sim_dt = 10e-12;
+};
+
+/// Characterisation of the programmable levels.
+struct CurrentSourceResult {
+  /// Output current for k = 0..n antiparallel devices in the chain [A].
+  std::vector<double> levels;
+  /// Relative step granularity: (I_max - I_min) / I_max.
+  double tuning_range = 0.0;
+  /// Static power at the mid level [W].
+  double static_power = 0.0;
+};
+
+/// The programmable-current-source characterisation driver.
+class CurrentSource {
+ public:
+  CurrentSource(core::Pdk pdk, CurrentSourceOptions options = {});
+
+  /// Sweeps the programmed state and reports the output levels.
+  [[nodiscard]] CurrentSourceResult characterize() const;
+
+ private:
+  core::Pdk pdk_;
+  CurrentSourceOptions opt_;
+};
+
+} // namespace mss::cells

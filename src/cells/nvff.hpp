@@ -1,0 +1,55 @@
+// Non-volatile flip-flop (NVFF): a CMOS latch shadowed by a differential
+// MTJ pair — one of the MRAM-based standard cells the paper's Section II
+// analyses ("single bit cells and flip-flops based on MRAM").
+//
+// Topology:
+//   latch: cross-coupled inverters on nodes q / qb (powered by vlatch)
+//   shadow: MTJ1 between CTL and q, MTJ2 between CTL and qb
+//           (free terminal on the CTL side)
+//
+// Store  — two-phase CTL pulse with the latch holding data:
+//   phase 1 (CTL = 0):  current flows from the high node through its MTJ
+//                        -> writes it ANTIPARALLEL;
+//   phase 2 (CTL = Vdd): current flows into the low node's MTJ
+//                        -> writes it PARALLEL.
+// Restore — power-up with CTL = 0: the node shadowed by the AP (high-R)
+//   MTJ has the weaker pull-down, rises first, and the latch regenerates
+//   the stored value non-inverted.
+#pragma once
+
+#include "cells/characterization.hpp"
+#include "core/pdk.hpp"
+
+namespace mss::cells {
+
+/// NVFF sizing/loading options.
+struct NvffOptions {
+  double latch_width_factor = 10.0; ///< latch NMOS width in W_min units
+  double c_node = 2e-15;            ///< q/qb node capacitance [F]
+  double store_phase = 10e-9;       ///< duration of each store phase [s]
+  double sim_dt = 10e-12;
+};
+
+/// Store + restore characterisation for one data value.
+struct NvffResult {
+  bool store_ok = false;    ///< both MTJs reached the expected states
+  bool restore_ok = false;  ///< latch woke up with the stored value
+  double e_store = 0.0;     ///< energy of the store operation [J]
+  double t_restore = 0.0;   ///< supply-ramp start to resolved latch [s]
+  double e_restore = 0.0;   ///< energy of the restore operation [J]
+};
+
+/// The NVFF characterisation driver.
+class Nvff {
+ public:
+  Nvff(core::Pdk pdk, NvffOptions options = {});
+
+  /// Stores `bit`, power-cycles, restores; checks both halves.
+  [[nodiscard]] NvffResult characterize(bool bit) const;
+
+ private:
+  core::Pdk pdk_;
+  NvffOptions opt_;
+};
+
+} // namespace mss::cells

@@ -1,0 +1,42 @@
+// Bit-line write driver: a scaled CMOS inverter chain driving the bitline
+// capacitance plus the cell. Characterised for drive strength, transition
+// delay and energy — the "write circuits" of the paper's Section II cell
+// inventory.
+#pragma once
+
+#include "cells/characterization.hpp"
+#include "core/pdk.hpp"
+
+namespace mss::cells {
+
+/// Driver sizing options.
+struct WriteDriverOptions {
+  int stages = 3;              ///< inverter chain length
+  double taper = 3.0;          ///< per-stage width multiplication
+  double first_width_factor = 2.0; ///< first-stage width in W_min units
+  double c_load = 100e-15;     ///< driven bitline capacitance [F]
+  double sim_dt = 5e-12;
+};
+
+/// Characterisation outcome.
+struct WriteDriverResult {
+  double t_rise = 0.0;     ///< input-to-output rising delay (50 %-50 %) [s]
+  double t_fall = 0.0;     ///< input-to-output falling delay [s]
+  double energy_cycle = 0.0; ///< energy for one full low-high-low cycle [J]
+  double i_drive = 0.0;    ///< saturated drive current of the last stage [A]
+};
+
+/// The write-driver characterisation driver.
+class WriteDriver {
+ public:
+  WriteDriver(core::Pdk pdk, WriteDriverOptions options = {});
+
+  /// Runs the transient characterisation.
+  [[nodiscard]] WriteDriverResult characterize() const;
+
+ private:
+  core::Pdk pdk_;
+  WriteDriverOptions opt_;
+};
+
+} // namespace mss::cells

@@ -1,0 +1,156 @@
+#include "core/compact_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/constants.hpp"
+
+namespace mss::core {
+
+MtjCompactModel::MtjCompactModel(MtjParams params) : params_(params) {
+  params_.validate();
+}
+
+double MtjCompactModel::tmr(double v_bias) const {
+  const double r = v_bias / params_.v_h;
+  return params_.tmr0 / (1.0 + r * r);
+}
+
+double MtjCompactModel::resistance(MtjState state, double v_bias) const {
+  const double rp = params_.r_p();
+  if (state == MtjState::Parallel) return rp;
+  return rp * (1.0 + tmr(v_bias));
+}
+
+double MtjCompactModel::conductance_at_angle(double cos_theta,
+                                             double v_bias) const {
+  if (cos_theta < -1.0 || cos_theta > 1.0) {
+    throw std::invalid_argument("conductance_at_angle: |cos(theta)| > 1");
+  }
+  const double t = tmr(v_bias);
+  const double chi = t / (2.0 + t);
+  const double g_p = 1.0 / params_.r_p();
+  // G_P = G_T (1 + chi)  =>  G_T = G_P / (1 + chi).
+  const double g_t = g_p / (1.0 + chi);
+  return g_t * (1.0 + chi * cos_theta);
+}
+
+double MtjCompactModel::read_current(MtjState state, double v_read) const {
+  return v_read / resistance(state, v_read);
+}
+
+double MtjCompactModel::critical_current(WriteDirection dir) const {
+  return dir == WriteDirection::ToAntiparallel ? params_.ic0_p_to_ap()
+                                               : params_.ic0();
+}
+
+physics::SwitchingParams MtjCompactModel::switching_params(
+    WriteDirection dir) const {
+  physics::SwitchingParams sp;
+  sp.delta = params_.delta();
+  sp.ic0 = critical_current(dir);
+  sp.tau0 = params_.tau0;
+  sp.alpha = params_.alpha;
+  sp.hk_eff = params_.hk_eff();
+  return sp;
+}
+
+double MtjCompactModel::switching_time(WriteDirection dir,
+                                       double i_write) const {
+  const auto sp = switching_params(dir);
+  return physics::nominal_switching_time(sp, i_write / sp.ic0);
+}
+
+double MtjCompactModel::write_error_rate(WriteDirection dir, double i_write,
+                                         double t_pulse) const {
+  const auto sp = switching_params(dir);
+  return physics::write_error_rate(sp, i_write / sp.ic0, t_pulse);
+}
+
+double MtjCompactModel::log_write_error_rate(WriteDirection dir,
+                                             double i_write,
+                                             double t_pulse) const {
+  const auto sp = switching_params(dir);
+  return physics::log_write_error_rate(sp, i_write / sp.ic0, t_pulse);
+}
+
+double MtjCompactModel::pulse_width_for_wer(WriteDirection dir, double i_write,
+                                            double target_wer) const {
+  const auto sp = switching_params(dir);
+  return physics::pulse_width_for_wer(sp, i_write / sp.ic0, target_wer);
+}
+
+double MtjCompactModel::read_disturb_probability(double i_read,
+                                                 double t_read) const {
+  // Worst case: the read current destabilises the state it flows against;
+  // the easier (AP->P) critical current gives the higher disturb rate.
+  const auto sp = switching_params(WriteDirection::ToParallel);
+  return physics::read_disturb_probability(sp, i_read / sp.ic0, t_read);
+}
+
+double MtjCompactModel::retention_time() const {
+  const auto sp = switching_params(WriteDirection::ToParallel);
+  return physics::retention_time(sp);
+}
+
+double MtjCompactModel::write_energy(WriteDirection dir, double i_write,
+                                     double t_pulse) const {
+  // The junction spends part of the pulse in the initial state and the rest
+  // in the final state; approximate with the mean of the two resistances up
+  // to the median switching time, final resistance after.
+  const double t_sw = std::min(switching_time(dir, i_write), t_pulse);
+  const double r_init = dir == WriteDirection::ToAntiparallel
+                            ? params_.r_p()
+                            : params_.r_ap();
+  const double r_final = dir == WriteDirection::ToAntiparallel
+                             ? params_.r_ap()
+                             : params_.r_p();
+  const double i2 = i_write * i_write;
+  return i2 * (0.5 * (r_init + r_final) * t_sw + r_final * (t_pulse - t_sw));
+}
+
+WriteOutcome MtjCompactModel::llgs_write(WriteDirection dir, double i_write,
+                                         double t_pulse, mss::util::Rng& rng,
+                                         double dt) const {
+  physics::LlgParams lp;
+  lp.ms = params_.ms;
+  lp.alpha = params_.alpha;
+  lp.hk_eff = params_.hk_eff();
+  lp.volume = params_.volume();
+  lp.area = params_.area();
+  lp.t_fl = params_.t_fl;
+  lp.polarization = params_.polarization;
+  lp.temperature = params_.temperature;
+  lp.polarizer = {0.0, 0.0, 1.0};
+
+  // ToParallel drives m towards the polariser (+z); start in the opposite
+  // basin. The sign convention of the LLGS torque handles the direction.
+  const bool start_up = dir == WriteDirection::ToAntiparallel;
+  const double current = dir == WriteDirection::ToAntiparallel
+                             ? -std::abs(i_write)
+                             : std::abs(i_write);
+
+  physics::LlgSolver solver(lp);
+  const physics::Vec3 m0 = solver.thermal_initial_state(start_up, rng);
+  const auto run = solver.integrate_thermal(m0, t_pulse, dt, current, rng, 64);
+
+  WriteOutcome out;
+  out.switched = run.switched;
+  out.switch_time = run.switch_time;
+  out.energy = write_energy(dir, std::abs(i_write), t_pulse);
+  return out;
+}
+
+double MtjCompactModel::llgs_switch_probability(WriteDirection dir,
+                                                double i_write, double t_pulse,
+                                                std::size_t n,
+                                                mss::util::Rng& rng) const {
+  if (n == 0) throw std::invalid_argument("llgs_switch_probability: n == 0");
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (llgs_write(dir, i_write, t_pulse, rng).switched) ++hits;
+  }
+  return double(hits) / double(n);
+}
+
+} // namespace mss::core

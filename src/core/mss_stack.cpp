@@ -1,0 +1,121 @@
+#include "core/mss_stack.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mss::core {
+
+const char* to_string(MssMode mode) {
+  switch (mode) {
+    case MssMode::Memory: return "memory";
+    case MssMode::Sensor: return "sensor";
+    case MssMode::Oscillator: return "oscillator";
+  }
+  return "?";
+}
+
+MssStack::MssStack(MtjParams params, MssMode mode, BiasMagnetConfig bias)
+    : params_(params), mode_(mode), bias_(bias) {
+  params_.validate();
+  const double hk = params_.hk_eff();
+  switch (mode_) {
+    case MssMode::Memory:
+      if (bias_.material != BiasMagnetConfig::Material::None ||
+          bias_.h_bias != 0.0) {
+        throw std::invalid_argument(
+            "MssStack: memory mode must not have bias magnets");
+      }
+      memory_.emplace(params_);
+      break;
+    case MssMode::Oscillator:
+      if (bias_.material == BiasMagnetConfig::Material::None) {
+        throw std::invalid_argument(
+            "MssStack: oscillator mode requires bias magnets");
+      }
+      if (!(bias_.h_bias > 0.0) || bias_.h_bias >= hk) {
+        throw std::invalid_argument(
+            "MssStack: oscillator mode requires 0 < H_bias < Hk,eff");
+      }
+      sto_.emplace(params_, bias_.h_bias);
+      break;
+    case MssMode::Sensor:
+      if (bias_.material == BiasMagnetConfig::Material::None) {
+        throw std::invalid_argument(
+            "MssStack: sensor mode requires bias magnets");
+      }
+      if (bias_.h_bias <= hk) {
+        throw std::invalid_argument(
+            "MssStack: sensor mode requires H_bias > Hk,eff");
+      }
+      sensor_.emplace(params_, bias_.h_bias);
+      break;
+  }
+}
+
+MssStack MssStack::make_memory(const MtjParams& params) {
+  return MssStack(params, MssMode::Memory, BiasMagnetConfig{});
+}
+
+MssStack MssStack::make_oscillator(const MtjParams& params,
+                                   double bias_ratio) {
+  BiasMagnetConfig bias;
+  bias.material = BiasMagnetConfig::Material::CoCr;
+  bias.h_bias = bias_ratio * params.hk_eff();
+  return MssStack(params, MssMode::Oscillator, bias);
+}
+
+MssStack MssStack::make_sensor(const MtjParams& params, double bias_ratio,
+                               double diameter_scale) {
+  MtjParams p = params;
+  p.diameter *= diameter_scale;
+  BiasMagnetConfig bias;
+  bias.material = BiasMagnetConfig::Material::NdFeB;
+  bias.h_bias = bias_ratio * p.hk_eff();
+  return MssStack(p, MssMode::Sensor, bias);
+}
+
+const MtjCompactModel& MssStack::memory() const {
+  if (!memory_) throw std::logic_error("MssStack: not in memory mode");
+  return *memory_;
+}
+
+const SensorModel& MssStack::sensor() const {
+  if (!sensor_) throw std::logic_error("MssStack: not in sensor mode");
+  return *sensor_;
+}
+
+const StoModel& MssStack::oscillator() const {
+  if (!sto_) throw std::logic_error("MssStack: not in oscillator mode");
+  return *sto_;
+}
+
+std::string MssStack::describe() const {
+  std::ostringstream os;
+  os << "MSS[" << to_string(mode_) << "] d=" << params_.diameter / util::kNm
+     << "nm, Hk=" << params_.hk_eff() / util::kKiloOersted << "kOe";
+  if (bias_.material != BiasMagnetConfig::Material::None) {
+    os << ", Hbias=" << bias_.h_bias / util::kKiloOersted << "kOe ("
+       << (bias_.material == BiasMagnetConfig::Material::CoCr ? "CoCr"
+                                                              : "NdFeB")
+       << ")";
+  }
+  switch (mode_) {
+    case MssMode::Memory:
+      os << ", Delta=" << params_.delta();
+      break;
+    case MssMode::Oscillator:
+      os << ", tilt=" << sto_->tilt_angle() * 180.0 / M_PI << "deg";
+      break;
+    case MssMode::Sensor:
+      os << ", range=" << sensor_->characteristics().linear_range_am /
+                              util::kKiloOersted
+         << "kOe";
+      break;
+  }
+  return os.str();
+}
+
+} // namespace mss::core

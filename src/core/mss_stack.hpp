@@ -1,0 +1,91 @@
+// The Multifunctional Standardized Stack (MSS) — the paper's central object.
+//
+// One baseline perpendicular STT-MTJ stack serves three functions. The
+// function is selected at *layout* time by (a) the pillar diameter and
+// (b) patterned permanent magnets beside the pillar that add an in-plane
+// bias field (one extra lithography step). This class encodes exactly that:
+// a shared stack recipe, a mode, and a bias-magnet configuration — and it
+// enforces the per-mode invariants the paper states:
+//
+//  * Memory:     no bias magnets; diameter tuned for the retention spec.
+//  * Oscillator: bias ~ Hk,eff/2  -> free layer tilted ~30 degrees.
+//  * Sensor:     larger pillar, bias slightly > Hk,eff -> free layer
+//                in-plane, resistance linear in the out-of-plane field.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/compact_model.hpp"
+#include "core/mtj_params.hpp"
+#include "core/sensor_model.hpp"
+#include "core/sto_model.hpp"
+
+namespace mss::core {
+
+/// Function implemented by an MSS pillar instance.
+enum class MssMode { Memory, Sensor, Oscillator };
+
+/// Human-readable mode name.
+[[nodiscard]] const char* to_string(MssMode mode);
+
+/// Permanent-magnet bias configuration (the "one additional lithography
+/// step" of the paper).
+struct BiasMagnetConfig {
+  /// Magnet material, as suggested in the paper.
+  enum class Material { None, CoCr, NdFeB };
+  Material material = Material::None;
+  /// In-plane bias field produced at the pillar [A/m].
+  double h_bias = 0.0;
+};
+
+/// One configured MSS device instance.
+class MssStack {
+ public:
+  /// Builds a device and checks the mode invariants; throws
+  /// std::invalid_argument when the configuration violates them (e.g.
+  /// sensor mode with bias below Hk,eff).
+  MssStack(MtjParams params, MssMode mode, BiasMagnetConfig bias);
+
+  /// Memory-mode factory: no magnets, diameter from `params`.
+  [[nodiscard]] static MssStack make_memory(const MtjParams& params);
+  /// Oscillator-mode factory: sizes the magnets for h_bias = ratio * Hk,eff
+  /// (default 0.5, the paper's "half of the effective anisotropy field").
+  [[nodiscard]] static MssStack make_oscillator(const MtjParams& params,
+                                                double bias_ratio = 0.5);
+  /// Sensor-mode factory: enlarges the pillar by `diameter_scale` (paper:
+  /// "the diameter of the pillar will be increased") and sets
+  /// h_bias = ratio * Hk,eff with ratio slightly above 1 (default 1.3).
+  [[nodiscard]] static MssStack make_sensor(const MtjParams& params,
+                                            double bias_ratio = 1.3,
+                                            double diameter_scale = 2.0);
+
+  /// Configured mode.
+  [[nodiscard]] MssMode mode() const { return mode_; }
+  /// Stack parameters (after any mode-specific geometry adjustment).
+  [[nodiscard]] const MtjParams& params() const { return params_; }
+  /// Bias-magnet configuration.
+  [[nodiscard]] const BiasMagnetConfig& bias() const { return bias_; }
+
+  /// Memory-mode compact model; throws std::logic_error in other modes.
+  [[nodiscard]] const MtjCompactModel& memory() const;
+  /// Sensor model; throws std::logic_error in other modes.
+  [[nodiscard]] const SensorModel& sensor() const;
+  /// Oscillator model; throws std::logic_error in other modes.
+  [[nodiscard]] const StoModel& oscillator() const;
+
+  /// One-line description, e.g. for the test-chip inventory bench.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  MtjParams params_;
+  MssMode mode_;
+  BiasMagnetConfig bias_;
+  // Exactly one of these is engaged, matching mode_.
+  std::optional<MtjCompactModel> memory_;
+  std::optional<SensorModel> sensor_;
+  std::optional<StoModel> sto_;
+};
+
+} // namespace mss::core

@@ -1,0 +1,71 @@
+#include "core/mtj_params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/constants.hpp"
+
+namespace mss::core {
+
+using physics::kBoltzmann;
+using physics::kElectronCharge;
+using physics::kHbar;
+using physics::kMu0;
+
+double MtjParams::area() const {
+  return M_PI * diameter * diameter / 4.0;
+}
+
+double MtjParams::volume() const { return area() * t_fl; }
+
+double MtjParams::demag_nz() const {
+  // Flat-cylinder magnetometric approximation:
+  // Nz = k / (1 + k), k = (4 / (3 pi)) * (d / t).
+  const double k = (4.0 / (3.0 * M_PI)) * (diameter / t_fl);
+  return k / (1.0 + k);
+}
+
+double MtjParams::keff() const {
+  const double nz = demag_nz();
+  const double nx = 0.5 * (1.0 - nz);
+  const double shape = 0.5 * kMu0 * ms * ms * (nz - nx);
+  return k_i / t_fl - shape;
+}
+
+double MtjParams::hk_eff() const { return 2.0 * keff() / (kMu0 * ms); }
+
+double MtjParams::delta() const {
+  return keff() * volume() / physics::thermal_energy(temperature);
+}
+
+double MtjParams::r_p() const { return ra_product / area(); }
+
+double MtjParams::r_ap() const { return r_p() * (1.0 + tmr0); }
+
+double MtjParams::ic0() const {
+  return 4.0 * kElectronCharge * alpha *
+         physics::thermal_energy(temperature) * delta() /
+         (kHbar * polarization);
+}
+
+double MtjParams::ic0_p_to_ap() const { return ic0() * ic0_asymmetry; }
+
+void MtjParams::validate() const {
+  auto fail = [](const char* msg) { throw std::invalid_argument(msg); };
+  if (diameter <= 0.0 || diameter > 1e-6) fail("MtjParams: diameter out of range");
+  if (t_fl <= 0.0 || t_fl > 10e-9) fail("MtjParams: free-layer thickness out of range");
+  if (t_ox <= 0.0 || t_ox > 5e-9) fail("MtjParams: barrier thickness out of range");
+  if (ms <= 0.0) fail("MtjParams: Ms must be positive");
+  if (alpha <= 0.0 || alpha >= 1.0) fail("MtjParams: damping out of range");
+  if (polarization <= 0.0 || polarization >= 1.0) fail("MtjParams: polarization out of range");
+  if (ra_product <= 0.0) fail("MtjParams: RA must be positive");
+  if (tmr0 <= 0.0) fail("MtjParams: TMR must be positive");
+  if (v_h <= 0.0) fail("MtjParams: Vh must be positive");
+  if (temperature <= 0.0) fail("MtjParams: temperature must be positive");
+  if (keff() <= 0.0) {
+    fail("MtjParams: stack is not perpendicular (Keff <= 0); reduce diameter "
+         "or increase interfacial anisotropy");
+  }
+}
+
+} // namespace mss::core

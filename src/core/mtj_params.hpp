@@ -1,0 +1,78 @@
+// Geometry + material description of one MSS pillar and every derived
+// device quantity (area, volume, demagnetising factors, effective
+// anisotropy, thermal stability, resistances, critical current).
+//
+// These parameters describe the *single baseline stack* of the paper: a
+// perpendicular CoFeB/MgO/CoFeB STT-MTJ. The same parameter set serves all
+// three operating modes; only the pillar diameter and the permanent-magnet
+// bias field differ per mode.
+#pragma once
+
+namespace mss::core {
+
+/// Full parameter set of one MSS MTJ pillar. Passive value type; derived
+/// quantities are computed on demand so that variation sampling can perturb
+/// the independent parameters and get consistent physics.
+struct MtjParams {
+  // --- geometry ---
+  double diameter = 40e-9; ///< pillar diameter [m]
+  double t_fl = 1.3e-9;    ///< free-layer thickness [m]
+  double t_ox = 1.1e-9;    ///< MgO barrier thickness [m]
+
+  // --- magnetics ---
+  double ms = 1.0e6;  ///< saturation magnetisation [A/m]
+  double k_i = 0.9e-3; ///< interfacial anisotropy energy [J/m^2]
+  double alpha = 0.015; ///< Gilbert damping
+  double polarization = 0.6; ///< spin polarisation / STT efficiency eta
+
+  // --- transport ---
+  double ra_product = 9.0e-12; ///< resistance-area product [Ohm*m^2] (9 Ohm*um^2)
+  double tmr0 = 1.2;           ///< zero-bias TMR ratio (1.2 = 120 %)
+  double v_h = 0.5;            ///< bias voltage halving the TMR [V]
+
+  // --- environment ---
+  double temperature = 300.0; ///< [K]
+  double tau0 = 1.0e-9;       ///< attempt time for Neel-Brown [s]
+  /// Ic0(P->AP) / Ic0(AP->P): writing the AP state needs more current
+  /// because the STT efficiency is lower in that direction.
+  double ic0_asymmetry = 1.2;
+
+  // --- derived geometry ---
+  /// Junction area [m^2].
+  [[nodiscard]] double area() const;
+  /// Free-layer volume [m^3].
+  [[nodiscard]] double volume() const;
+
+  // --- derived magnetics ---
+  /// Axial demagnetising factor N_z of the cylindrical free layer
+  /// (flat-cylinder approximation; -> 1 in the thin-film limit).
+  [[nodiscard]] double demag_nz() const;
+  /// Effective perpendicular anisotropy energy density
+  /// Keff = K_i/t_fl - (1/2) mu0 Ms^2 (Nz - Nx)  [J/m^3].
+  /// Positive Keff means the stack is perpendicular (out-of-plane easy axis),
+  /// which is an invariant of the MSS technology.
+  [[nodiscard]] double keff() const;
+  /// Effective perpendicular anisotropy field Hk,eff = 2 Keff/(mu0 Ms) [A/m].
+  [[nodiscard]] double hk_eff() const;
+  /// Thermal stability factor Delta = Keff V / (kB T).
+  [[nodiscard]] double delta() const;
+
+  // --- derived transport ---
+  /// Parallel-state resistance R_P = RA / A [Ohm].
+  [[nodiscard]] double r_p() const;
+  /// Antiparallel-state resistance at zero bias [Ohm].
+  [[nodiscard]] double r_ap() const;
+
+  // --- derived switching ---
+  /// Zero-temperature critical current (AP->P direction, the easier one):
+  /// Ic0 = 4 e alpha kB T Delta / (hbar * eta)  [A].
+  [[nodiscard]] double ic0() const;
+  /// Critical current for the P->AP transition [A].
+  [[nodiscard]] double ic0_p_to_ap() const;
+
+  /// Validates physical consistency; throws std::invalid_argument with a
+  /// description of the first violated constraint.
+  void validate() const;
+};
+
+} // namespace mss::core

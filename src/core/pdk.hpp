@@ -1,0 +1,103 @@
+// Process Design Kit (Section II of the paper).
+//
+// Bundles, per technology node, everything the upper layers consume:
+//  * CMOS parameters (supply, drive, leakage, wire RC, FO4, Vth variation),
+//  * the MSS memory-mode MTJ corner at that node,
+//  * the process-variation specification for both,
+//  * nominal operating points (write overdrive, read bias),
+//  * analytic cell-parameter extraction (the "File Parser" step of the
+//    paper's Fig. 10 flow; the SPICE-based extraction lives in mss::cells
+//    and is cross-checked against this one in tests).
+#pragma once
+
+#include <string>
+
+#include "core/compact_model.hpp"
+#include "core/mtj_params.hpp"
+#include "util/rng.hpp"
+
+namespace mss::core {
+
+/// Supported technology nodes (the two evaluated in Table 1).
+enum class TechNode { N45, N65 };
+
+/// Node name, e.g. "45nm".
+[[nodiscard]] const char* to_string(TechNode node);
+
+/// CMOS front-end + interconnect parameters of a node.
+struct CmosTech {
+  double feature_m = 45e-9;     ///< feature size F [m]
+  double vdd = 1.1;             ///< nominal supply [V]
+  double fo4_delay = 15e-12;    ///< FO4 inverter delay [s]
+  double ion_per_m = 0.9e3;     ///< NMOS on-current per metre width [A/m] (0.9 mA/um)
+  double ioff_per_m = 0.1;      ///< off-state leakage per metre width [A/m] (100 nA/um)
+  double c_gate_per_m = 1.0e-9; ///< gate capacitance per metre width [F/m] (1 fF/um)
+  double wire_r_per_m = 3.0e6;  ///< local-metal wire resistance [Ohm/m] (3 Ohm/um)
+  double wire_c_per_m = 0.2e-9; ///< local-metal wire capacitance [F/m] (0.2 fF/um)
+  double sigma_vth = 0.030;     ///< Vth mismatch sigma [V]
+  double sense_offset_sigma = 0.012; ///< sense-amplifier input offset sigma [V]
+};
+
+/// Relative (1-sigma) process variation of the magnetic process.
+/// The paper (Sec. III): "STT-MRAM is also affected by manufacturing
+/// variations ... in the magnetic fabrication process as well as the CMOS
+/// process", and variability is worse at the smaller node.
+struct MtjVariation {
+  double sigma_diameter_rel = 0.05; ///< CD variation of the pillar
+  double sigma_ra_log = 0.05;       ///< lognormal sigma of RA (barrier thickness)
+  double sigma_tmr_rel = 0.05;      ///< TMR ratio variation
+  double sigma_ki_rel = 0.02;       ///< interfacial anisotropy variation
+};
+
+/// Cell-level parameters extracted from the device models — the quantities
+/// the paper's flow parses out of the SPICE measurement file and feeds into
+/// VAET-STT's cell configuration.
+struct CellParams {
+  double r_p = 0.0;             ///< parallel resistance [Ohm]
+  double r_ap = 0.0;            ///< antiparallel resistance (zero bias) [Ohm]
+  double i_write = 0.0;         ///< write current, worse (P->AP) direction [A]
+  double i_write_easy = 0.0;    ///< write current, AP->P direction [A]
+  double t_switch = 0.0;        ///< nominal switching time, worse direction [s]
+  double e_write_bit = 0.0;     ///< per-bit MTJ write energy at nominal pulse [J]
+  double v_read = 0.0;          ///< read bias across the cell [V]
+  double i_read_p = 0.0;        ///< read current, parallel state [A]
+  double i_read_ap = 0.0;       ///< read current, antiparallel state [A]
+  double read_disturb_ratio = 0.0; ///< I_read / Ic0(AP->P)
+  double delta = 0.0;           ///< thermal stability of the cell's MTJ
+};
+
+/// A complete PDK instance for one node.
+struct Pdk {
+  TechNode node = TechNode::N45;
+  CmosTech cmos;
+  MtjParams mtj;          ///< memory-mode MSS corner at this node
+  MtjVariation variation;
+  double write_overdrive = 2.0; ///< nominal I_write / Ic0 (per direction)
+  double v_read = 0.10;         ///< read bias across the junction [V]
+
+  /// The two shipped corners. Numbers are chosen so the nominal extraction
+  /// lands in the range of the paper's Table 1 (see EXPERIMENTS.md).
+  [[nodiscard]] static Pdk mss45();
+  [[nodiscard]] static Pdk mss65();
+  /// Corner by node.
+  [[nodiscard]] static Pdk for_node(TechNode node);
+
+  /// Analytic cell extraction at nominal process.
+  [[nodiscard]] CellParams extract_cell() const;
+
+  /// Samples one device instance under process variation (magnetic process
+  /// only; CMOS variation is sampled via `sample_drive_factor`).
+  [[nodiscard]] MtjParams sample_device(mss::util::Rng& rng) const;
+
+  /// Multiplicative variation of the CMOS write-driver current due to Vth
+  /// mismatch (first-order: dI/I = gm/I * sigma_vth ~ 2 sigma_vth / Vov).
+  [[nodiscard]] double sample_drive_factor(mss::util::Rng& rng) const;
+
+  /// Sense-amplifier input offset sample [V].
+  [[nodiscard]] double sample_sense_offset(mss::util::Rng& rng) const;
+
+  /// One-line identification string.
+  [[nodiscard]] std::string describe() const;
+};
+
+} // namespace mss::core

@@ -1,0 +1,84 @@
+#include "core/retention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/compact_model.hpp"
+#include "util/math.hpp"
+
+namespace mss::core {
+
+namespace {
+constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+constexpr double kDiameterLo = 10e-9;
+constexpr double kDiameterHi = 200e-9;
+} // namespace
+
+RetentionDesigner::RetentionDesigner(MtjParams base, double write_overdrive)
+    : base_(base), write_overdrive_(write_overdrive) {
+  if (write_overdrive_ <= 1.0) {
+    throw std::invalid_argument(
+        "RetentionDesigner: write overdrive must exceed 1 (precessional writes)");
+  }
+}
+
+double RetentionDesigner::delta_for_retention(double years, double fail_prob,
+                                              std::size_t array_bits) const {
+  if (years <= 0.0 || fail_prob <= 0.0 || fail_prob >= 1.0 || array_bits == 0) {
+    throw std::invalid_argument("delta_for_retention: bad spec");
+  }
+  const double t = years * kSecondsPerYear;
+  // Per-bit budget p1 = 1 - (1-p)^(1/N) ~ p/N; require 1 - exp(-t/tau) <= p1.
+  const double p1 = fail_prob / double(array_bits);
+  const double tau_needed = t / (-std::log1p(-p1));
+  return std::log(tau_needed / base_.tau0);
+}
+
+double RetentionDesigner::diameter_for_delta(double target_delta) const {
+  MtjParams p = base_;
+  auto delta_at = [&p](double d) mutable {
+    p.diameter = d;
+    return p.delta();
+  };
+  const double lo = delta_at(kDiameterLo);
+  const double hi = delta_at(kDiameterHi);
+  if (target_delta < lo || target_delta > hi) {
+    throw std::invalid_argument(
+        "diameter_for_delta: target Delta unreachable in [10nm, 200nm]");
+  }
+  return mss::util::bisect(
+      [&](double d) { return delta_at(d) - target_delta; }, kDiameterLo,
+      kDiameterHi, 1e-12);
+}
+
+RetentionDesign RetentionDesigner::design(double years, double fail_prob,
+                                          std::size_t array_bits) const {
+  RetentionDesign out;
+  out.retention_years = years;
+  out.required_delta = delta_for_retention(years, fail_prob, array_bits);
+  out.diameter = diameter_for_delta(out.required_delta);
+
+  MtjParams p = base_;
+  p.diameter = out.diameter;
+  const MtjCompactModel model(p);
+  // P -> AP is the harder direction; design the write path for it.
+  out.ic0 = model.critical_current(WriteDirection::ToAntiparallel);
+  out.write_current = write_overdrive_ * out.ic0;
+  out.switching_time =
+      model.switching_time(WriteDirection::ToAntiparallel, out.write_current);
+  out.write_energy = model.write_energy(WriteDirection::ToAntiparallel,
+                                        out.write_current,
+                                        1.5 * out.switching_time);
+  return out;
+}
+
+std::vector<RetentionDesign> RetentionDesigner::sweep(
+    const std::vector<double>& years_list, double fail_prob,
+    std::size_t array_bits) const {
+  std::vector<RetentionDesign> out;
+  out.reserve(years_list.size());
+  for (double y : years_list) out.push_back(design(y, fail_prob, array_bits));
+  return out;
+}
+
+} // namespace mss::core

@@ -1,0 +1,64 @@
+// Retention-vs-switching-current design helper.
+//
+// A key MSS selling point in the paper: "MTJs can have adjustable retention
+// by playing with the diameter of the stack thus allowing to minimize the
+// switching current according to the specified retention". This module
+// inverts the Delta(diameter) relation and reports the write-cost savings
+// of relaxing the retention target (e.g. an L2-cache-grade 1-day retention
+// versus a storage-grade 10-year retention).
+#pragma once
+
+#include <vector>
+
+#include "core/mtj_params.hpp"
+
+namespace mss::core {
+
+/// One designed retention point.
+struct RetentionDesign {
+  double retention_years = 0.0;   ///< specified retention target
+  double required_delta = 0.0;    ///< thermal stability implied by the target
+  double diameter = 0.0;          ///< pillar diameter achieving that Delta [m]
+  double ic0 = 0.0;               ///< critical current at that diameter [A]
+  double write_current = 0.0;     ///< current at the chosen overdrive [A]
+  double switching_time = 0.0;    ///< nominal switching time [s]
+  double write_energy = 0.0;      ///< energy of one nominal write pulse [J]
+};
+
+/// Designs MSS memory pillars against a retention spec by adjusting the
+/// diameter (all other stack parameters held at the shared baseline — the
+/// "single standardized stack" constraint of the technology).
+class RetentionDesigner {
+ public:
+  /// `base` supplies the common stack (thicknesses, Ms, K_i, ...); its
+  /// diameter field is ignored and solved for.
+  /// `write_overdrive` is the I_write / Ic0 ratio used when reporting write
+  /// current/time/energy for a design point.
+  explicit RetentionDesigner(MtjParams base, double write_overdrive = 2.0);
+
+  /// Thermal stability required so that an `array_bits`-bit array retains
+  /// data for `years` years with total failure probability at most
+  /// `fail_prob`: Delta = ln(N * t / (tau0 * -ln(1 - p))).
+  [[nodiscard]] double delta_for_retention(double years, double fail_prob,
+                                           std::size_t array_bits) const;
+
+  /// Diameter achieving a target Delta (bisection on the monotonic
+  /// Delta(diameter) relation). Throws if the target is unreachable within
+  /// [10 nm, 200 nm].
+  [[nodiscard]] double diameter_for_delta(double target_delta) const;
+
+  /// Full design point for a retention target.
+  [[nodiscard]] RetentionDesign design(double years, double fail_prob = 1e-4,
+                                       std::size_t array_bits = 1u << 20) const;
+
+  /// Sweep over a list of retention targets (the paper's trade-off curve).
+  [[nodiscard]] std::vector<RetentionDesign> sweep(
+      const std::vector<double>& years_list, double fail_prob = 1e-4,
+      std::size_t array_bits = 1u << 20) const;
+
+ private:
+  MtjParams base_;
+  double write_overdrive_;
+};
+
+} // namespace mss::core

@@ -1,0 +1,64 @@
+#include "core/sensor_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/constants.hpp"
+
+namespace mss::core {
+
+SensorModel::SensorModel(MtjParams params, double h_bias)
+    : model_(params), h_bias_(h_bias) {
+  if (h_bias_ <= model_.params().hk_eff()) {
+    throw std::invalid_argument(
+        "SensorModel: bias field must exceed Hk,eff to pull the free layer "
+        "in-plane (sensor-mode invariant)");
+  }
+}
+
+double SensorModel::mz(double h_z) const {
+  const double stiffness = h_bias_ - model_.params().hk_eff();
+  return std::clamp(h_z / stiffness, -1.0, 1.0);
+}
+
+double SensorModel::resistance(double h_z, double v_bias) const {
+  // Reference layer stays perpendicular (+z): cos(theta) = m_z.
+  return 1.0 / model_.conductance_at_angle(mz(h_z), v_bias);
+}
+
+SensorCharacteristics SensorModel::characteristics(double v_bias) const {
+  SensorCharacteristics c;
+  c.linear_range_am = h_bias_ - model_.params().hk_eff();
+  c.r_mid = resistance(0.0, v_bias);
+  // Positive out-of-plane field rotates the free layer towards the
+  // perpendicular reference: conductance up, resistance down.
+  c.r_min = resistance(2.0 * c.linear_range_am, v_bias);
+  c.r_max = resistance(-2.0 * c.linear_range_am, v_bias);
+  // Two-sided numeric derivative well inside the linear region.
+  const double dh = 1e-3 * c.linear_range_am;
+  c.sensitivity_ohm_per_am =
+      (resistance(dh, v_bias) - resistance(-dh, v_bias)) / (2.0 * dh);
+  return c;
+}
+
+double SensorModel::output_voltage(double h_z, double i_bias) const {
+  return i_bias * resistance(h_z, 0.0);
+}
+
+double SensorModel::noise_equivalent_field(double f_hz, double i_bias,
+                                           double corner_hz) const {
+  if (f_hz <= 0.0 || i_bias <= 0.0) {
+    throw std::invalid_argument("noise_equivalent_field: f and I must be > 0");
+  }
+  const auto c = characteristics();
+  // Johnson voltage noise of the mid-point resistance, plus a 1/f term
+  // referred through the transfer slope.
+  const double s_v_thermal =
+      4.0 * physics::kBoltzmann * model_.params().temperature * c.r_mid;
+  const double s_v = s_v_thermal * (1.0 + corner_hz / f_hz);
+  const double dv_dh = std::abs(c.sensitivity_ohm_per_am) * i_bias;
+  return std::sqrt(s_v) / dv_dh;
+}
+
+} // namespace mss::core

@@ -1,0 +1,69 @@
+// Sensor-mode model of the MSS device.
+//
+// Per the paper: the pillar diameter is increased relative to the memory
+// device and patterned permanent magnets (CoCr or NdFeB, as used to bias
+// magnetoresistive heads in hard disk drives) apply an in-plane field
+// *slightly larger* than the effective perpendicular anisotropy field
+// (~1 kOe), pulling the free layer in-plane. An out-of-plane field to be
+// sensed rotates the magnetisation up or down, producing a resistance
+// change proportional to the out-of-plane field amplitude.
+//
+// Stoner-Wohlfarth energy minimisation gives, for H_bias > Hk,eff,
+//   m_z(H_z) = H_z / (H_bias - Hk,eff)   (clamped to [-1, 1]),
+// so the transfer curve is linear with range |H_z| < H_bias - Hk,eff and
+// sensitivity that *diverges* as the bias approaches Hk from above — the
+// design knob traded against linear range.
+#pragma once
+
+#include "core/compact_model.hpp"
+#include "core/mtj_params.hpp"
+
+namespace mss::core {
+
+/// Static transfer characteristics of the sensor.
+struct SensorCharacteristics {
+  double sensitivity_ohm_per_am = 0.0; ///< dR/dHz at Hz = 0 [Ohm/(A/m)]
+  double linear_range_am = 0.0;        ///< |Hz| where m_z saturates [A/m]
+  double r_mid = 0.0;                  ///< resistance at Hz = 0 [Ohm]
+  double r_min = 0.0;                  ///< resistance at -saturation [Ohm]
+  double r_max = 0.0;                  ///< resistance at +saturation [Ohm]
+};
+
+/// Out-of-plane field sensor built from a biased MSS pillar.
+class SensorModel {
+ public:
+  /// `h_bias` is the in-plane permanent-magnet field [A/m]; must exceed the
+  /// effective anisotropy field of `params` (throws otherwise — that is the
+  /// sensor-mode invariant of the technology).
+  SensorModel(MtjParams params, double h_bias);
+
+  /// Device parameters.
+  [[nodiscard]] const MtjParams& params() const { return model_.params(); }
+  /// The in-plane bias field [A/m].
+  [[nodiscard]] double h_bias() const { return h_bias_; }
+
+  /// Out-of-plane magnetisation component for an applied out-of-plane field
+  /// [A/m]; clamped at saturation.
+  [[nodiscard]] double mz(double h_z) const;
+
+  /// Junction resistance for an applied out-of-plane field [Ohm].
+  /// `v_bias` models the TMR roll-off at the chosen readout voltage.
+  [[nodiscard]] double resistance(double h_z, double v_bias = 0.0) const;
+
+  /// Small-signal sensitivity and range summary.
+  [[nodiscard]] SensorCharacteristics characteristics(double v_bias = 0.0) const;
+
+  /// Output voltage when biased with a constant current `i_bias` [V].
+  [[nodiscard]] double output_voltage(double h_z, double i_bias) const;
+
+  /// Thermal (Johnson + magnetic) noise-equivalent field density at
+  /// frequency f [A/m / sqrt(Hz)]; 1/f corner captured with `corner_hz`.
+  [[nodiscard]] double noise_equivalent_field(double f_hz, double i_bias,
+                                              double corner_hz = 1e3) const;
+
+ private:
+  MtjCompactModel model_;
+  double h_bias_;
+};
+
+} // namespace mss::core

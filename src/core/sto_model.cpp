@@ -1,0 +1,176 @@
+#include "core/sto_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "physics/constants.hpp"
+#include "physics/llg.hpp"
+
+namespace mss::core {
+
+using physics::kBoltzmann;
+using physics::kElectronCharge;
+using physics::kGamma;
+using physics::kHbar;
+using physics::kMu0;
+
+namespace {
+/// Nonlinear damping coefficient Q of the Slavin-Tiberkevich model.
+constexpr double kQNonlinearDamping = 1.0;
+/// Amplitude-phase coupling (nu) used in the linewidth expression.
+constexpr double kNuCoupling = 1.5;
+/// Fraction of the FMR frequency swept by the nonlinear red shift at p0 = 1.
+constexpr double kKappaShift = 0.30;
+} // namespace
+
+StoModel::StoModel(MtjParams params, double h_bias)
+    : model_(params), h_bias_(h_bias) {
+  const double hk = model_.params().hk_eff();
+  if (!(h_bias_ > 0.0) || h_bias_ >= hk) {
+    throw std::invalid_argument(
+        "StoModel: oscillator mode requires 0 < H_bias < Hk,eff "
+        "(tilted free layer, not in-plane)");
+  }
+}
+
+double StoModel::tilt_angle() const {
+  return std::asin(h_bias_ / model_.params().hk_eff());
+}
+
+double StoModel::energy_density(double theta, double phi) const {
+  const auto& p = model_.params();
+  const double keff = p.keff();
+  const double mz = std::cos(theta);
+  const double mx = std::sin(theta) * std::cos(phi);
+  // Uniaxial perpendicular anisotropy + Zeeman with the in-plane (+x) bias.
+  return -keff * mz * mz - kMu0 * p.ms * h_bias_ * mx;
+}
+
+double StoModel::fmr_frequency() const {
+  const auto& p = model_.params();
+  const double theta0 = tilt_angle();
+  const double phi0 = 0.0;
+  const double h = 1e-5;
+  auto e = [this](double th, double ph) { return energy_density(th, ph); };
+  const double e0 = e(theta0, phi0);
+  const double e_tt =
+      (e(theta0 + h, phi0) - 2.0 * e0 + e(theta0 - h, phi0)) / (h * h);
+  const double e_pp =
+      (e(theta0, phi0 + h) - 2.0 * e0 + e(theta0, phi0 - h)) / (h * h);
+  const double e_tp = (e(theta0 + h, phi0 + h) - e(theta0 + h, phi0 - h) -
+                       e(theta0 - h, phi0 + h) + e(theta0 - h, phi0 - h)) /
+                      (4.0 * h * h);
+  const double disc = e_tt * e_pp - e_tp * e_tp;
+  if (disc <= 0.0) return 0.0; // bias point is not a stable minimum
+  const double omega = kGamma / (p.ms * std::sin(theta0)) * std::sqrt(disc);
+  return omega / (2.0 * M_PI);
+}
+
+double StoModel::threshold_current() const {
+  const auto& p = model_.params();
+  const double omega0 = 2.0 * M_PI * fmr_frequency();
+  const double h_op = omega0 / (kGamma * kMu0); // operating stiffness field
+  const double psi = tilt_angle();
+  // Damping-compensation estimate; the 1/cos(psi) factor accounts for the
+  // reduced STT efficiency at the tilted bias point.
+  return 2.0 * kElectronCharge * p.alpha * kMu0 * p.ms * p.volume() * h_op /
+         (kHbar * p.polarization * std::cos(psi));
+}
+
+double StoModel::normalized_power(double i_dc) const {
+  const double zeta = std::abs(i_dc) / threshold_current();
+  if (zeta <= 1.0) return 0.0;
+  return (zeta - 1.0) / (zeta + kQNonlinearDamping);
+}
+
+double StoModel::nonlinear_shift() const {
+  return -2.0 * M_PI * kKappaShift * fmr_frequency();
+}
+
+double StoModel::frequency(double i_dc) const {
+  return fmr_frequency() + nonlinear_shift() * normalized_power(i_dc) /
+                               (2.0 * M_PI);
+}
+
+double StoModel::output_voltage_rms(double i_dc) const {
+  const double p0 = normalized_power(i_dc);
+  if (p0 <= 0.0) return 0.0;
+  // Precession amplitude a ~ sqrt(2 p0 / (1 + p0)); the TMR converts the
+  // oscillating cos(theta) into a resistance oscillation.
+  const double a = std::sqrt(2.0 * p0 / (1.0 + p0));
+  const double t = model_.params().tmr0;
+  const double chi = t / (2.0 + t);
+  const double r_mid = 1.0 / model_.conductance_at_angle(std::cos(tilt_angle()));
+  const double dr = r_mid * chi * a * std::sin(tilt_angle());
+  return std::abs(i_dc) * dr / std::sqrt(2.0);
+}
+
+double StoModel::output_power_dbm(double i_dc, double r_load) const {
+  const double v_rms = output_voltage_rms(i_dc);
+  const double r_src = 1.0 / model_.conductance_at_angle(std::cos(tilt_angle()));
+  // Voltage division into the load.
+  const double v_load = v_rms * r_load / (r_load + r_src);
+  const double p_watts = v_load * v_load / r_load;
+  if (p_watts <= 0.0) return -200.0;
+  return 10.0 * std::log10(p_watts / 1e-3);
+}
+
+double StoModel::linewidth(double i_dc) const {
+  const auto& p = model_.params();
+  const double p0 = normalized_power(i_dc);
+  const double omega0 = 2.0 * M_PI * fmr_frequency();
+  if (p0 <= 0.0) {
+    // Below threshold: thermal FMR linewidth ~ alpha * omega / pi.
+    return p.alpha * omega0 / M_PI;
+  }
+  const double h_op = omega0 / (kGamma * kMu0);
+  const double e_osc = p0 * 0.5 * kMu0 * p.ms * p.volume() * h_op;
+  const double gamma_g = p.alpha * omega0;
+  return gamma_g / (2.0 * M_PI) *
+         (kBoltzmann * p.temperature / e_osc) *
+         (1.0 + kNuCoupling * kNuCoupling);
+}
+
+StoCharacteristics StoModel::characteristics() const {
+  return {tilt_angle(), fmr_frequency(), threshold_current()};
+}
+
+double StoModel::llgs_frequency(double i_dc, double duration, double dt) const {
+  const auto& p = model_.params();
+  physics::LlgParams lp;
+  lp.ms = p.ms;
+  lp.alpha = p.alpha;
+  lp.hk_eff = p.hk_eff();
+  lp.volume = p.volume();
+  lp.area = p.area();
+  lp.t_fl = p.t_fl;
+  lp.polarization = p.polarization;
+  lp.temperature = p.temperature;
+  lp.polarizer = {0.0, 0.0, 1.0};
+  lp.h_applied = {h_bias_, 0.0, 0.0};
+
+  physics::LlgSolver solver(lp);
+  // Start slightly off the equilibrium tilt so precession is excited even
+  // below threshold.
+  const double psi = tilt_angle() + 0.05;
+  const physics::Vec3 m0{std::sin(psi), 0.02, std::cos(psi)};
+  const auto run = solver.integrate(m0.normalized(), duration, dt, i_dc, 1);
+
+  // Count positive-going zero crossings of m_y in the trailing 60 %.
+  const auto& traj = run.trajectory;
+  const std::size_t start = traj.size() * 2 / 5;
+  std::vector<double> crossings;
+  for (std::size_t k = start + 1; k < traj.size(); ++k) {
+    if (traj[k - 1].m.y < 0.0 && traj[k].m.y >= 0.0) {
+      // Linear interpolation of the crossing instant.
+      const double f = -traj[k - 1].m.y / (traj[k].m.y - traj[k - 1].m.y);
+      crossings.push_back(traj[k - 1].t + f * (traj[k].t - traj[k - 1].t));
+    }
+  }
+  if (crossings.size() < 3) return 0.0;
+  const double span = crossings.back() - crossings.front();
+  return double(crossings.size() - 1) / span;
+}
+
+} // namespace mss::core

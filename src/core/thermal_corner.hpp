@@ -1,0 +1,57 @@
+// Temperature-corner analysis of the MSS device across the IoT operating
+// range (-40 .. +85 C, plus reflow/automotive points).
+//
+// The paper's platforms are battery-operated field devices; the MTJ's
+// magnetic parameters degrade with temperature:
+//   * Ms(T) follows the Bloch law  Ms(T) = Ms0 (1 - (T/Tc)^1.5),
+//   * the interfacial anisotropy tracks the magnetisation,
+//     K_i(T) ~ K_i0 (Ms/Ms0)^2.2  (Callen-Callen-like exponent for
+//     interface anisotropy),
+//   * the TMR derates approximately linearly with T.
+// Everything downstream (Delta, Ic0, retention, read margin) follows from
+// the rescaled parameters through the normal compact model.
+#pragma once
+
+#include <vector>
+
+#include "core/mtj_params.hpp"
+
+namespace mss::core {
+
+/// Temperature-scaling law parameters.
+struct ThermalScaling {
+  double curie_k = 1120.0;   ///< Curie temperature of the CoFeB free layer
+  double ms_bloch_exp = 1.5; ///< Bloch exponent
+  double ki_exp = 2.2;       ///< K_i ~ (Ms/Ms0)^ki_exp
+  double tmr_derate_per_k = 2.0e-3; ///< relative TMR loss per kelvin
+  double reference_k = 300.0;       ///< temperature of the nominal params
+};
+
+/// Device figures at one temperature.
+struct TempCorner {
+  double temperature_k = 300.0;
+  MtjParams params;          ///< rescaled parameter set
+  double delta = 0.0;        ///< thermal stability at T
+  double ic0 = 0.0;          ///< critical current at T [A]
+  double retention_years = 0.0;
+  double tmr = 0.0;          ///< zero-bias TMR at T
+  double read_margin_rel = 0.0; ///< (I_P - I_AP)/I_P at the read bias
+};
+
+/// Rescales a 300 K parameter set to temperature `t_k`.
+[[nodiscard]] MtjParams scale_to_temperature(const MtjParams& base, double t_k,
+                                             const ThermalScaling& law = {});
+
+/// Evaluates one corner (Delta, Ic0, retention, TMR, read margin at `v_read`).
+[[nodiscard]] TempCorner evaluate_corner(const MtjParams& base, double t_k,
+                                         double v_read = 0.1,
+                                         const ThermalScaling& law = {});
+
+/// Sweeps a list of temperatures (defaults to the IoT corner set).
+[[nodiscard]] std::vector<TempCorner> temperature_sweep(
+    const MtjParams& base,
+    const std::vector<double>& temps_k = {233.15, 273.15, 300.0, 333.15,
+                                          358.15, 398.15},
+    double v_read = 0.1, const ThermalScaling& law = {});
+
+} // namespace mss::core

@@ -1,0 +1,78 @@
+// System-architecture description for the MAGPIE flow (Section IV):
+// a big.LITTLE manycore with per-core L1s, per-cluster shared L2s whose
+// memory technology is the design variable, an interconnect, and DRAM.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mss::magpie {
+
+/// Cache memory technology of an L2 (the MAGPIE design variable).
+enum class MemTech { Sram, SttMram };
+
+/// Name of a technology.
+[[nodiscard]] inline const char* to_string(MemTech t) {
+  return t == MemTech::Sram ? "SRAM" : "STT-MRAM";
+}
+
+/// Per-technology cache timing/energy/leakage parameters, produced by the
+/// technology models (CACTI-style for SRAM, NVSim/VAET-STT for STT-MRAM).
+struct CacheTechParams {
+  MemTech tech = MemTech::Sram;
+  std::size_t capacity_bytes = 512 * 1024;
+  double read_latency = 4e-9;   ///< [s]
+  double write_latency = 4e-9;  ///< [s]
+  double read_energy = 200e-12; ///< [J] per line access
+  double write_energy = 220e-12;///< [J] per line access
+  double leakage = 0.15;        ///< [W] whole cache
+  double area = 0.0;            ///< [m^2] (informational)
+};
+
+/// Core microarchitecture parameters.
+struct CoreParams {
+  std::string name = "LITTLE";
+  double freq_hz = 1.2e9;
+  double base_ipc = 0.8;        ///< IPC when never missing
+  double miss_overlap = 0.15;   ///< fraction of miss latency hidden (OoO-ness)
+  double wb_exposed = 0.30;     ///< fraction of L2 write latency exposed
+  double energy_per_instr = 40e-12; ///< [J]
+  double static_power = 0.015;  ///< [W] per core
+};
+
+/// One cluster: n identical cores + shared L2.
+struct ClusterParams {
+  CoreParams core;
+  std::size_t n_cores = 4;
+  std::size_t l1_bytes = 32 * 1024;
+  std::size_t l1_ways = 4;
+  double l1_latency = 1.0e-9;       ///< hit latency [s] (pipelined, hidden)
+  double l1_energy = 20e-12;        ///< [J] per access
+  double l1_leakage_per_kb = 0.10e-3; ///< [W/KB]
+  std::size_t l2_ways = 8;
+  CacheTechParams l2;
+};
+
+/// Off-chip memory + interconnect.
+struct UncoreParams {
+  double dram_latency = 80e-9;      ///< [s]
+  double dram_energy = 8e-9;        ///< [J] per 64B line
+  double dram_static = 0.10;        ///< [W] (controller + background)
+  double bus_energy = 30e-12;       ///< [J] per L2<->L1 transaction
+  double bus_latency = 5e-9;        ///< [s] added on L2 miss path
+};
+
+/// The whole platform.
+struct SystemConfig {
+  std::string name = "big.LITTLE";
+  ClusterParams little;
+  ClusterParams big;
+  UncoreParams uncore;
+  std::size_t line_bytes = 64;
+
+  /// The reference Exynos-5-like big.LITTLE platform the MAGPIE evaluation
+  /// uses, with SRAM everywhere (the paper's Full-SRAM scenario).
+  [[nodiscard]] static SystemConfig reference_full_sram();
+};
+
+} // namespace mss::magpie

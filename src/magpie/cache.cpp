@@ -1,0 +1,90 @@
+#include "magpie/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mss::magpie {
+
+Cache::Cache(std::size_t capacity_bytes, std::size_t ways,
+             std::size_t line_bytes, Cache* next)
+    : capacity_(capacity_bytes), ways_(ways), line_bytes_(line_bytes),
+      sets_(capacity_bytes / (ways * line_bytes)), next_(next) {
+  if (capacity_ == 0 || ways_ == 0 || line_bytes_ == 0 || sets_ == 0) {
+    throw std::invalid_argument("Cache: bad geometry");
+  }
+  if (!std::has_single_bit(line_bytes_) || !std::has_single_bit(sets_)) {
+    throw std::invalid_argument("Cache: line size and set count must be powers of two");
+  }
+  line_shift_ = static_cast<std::size_t>(std::countr_zero(line_bytes_));
+  lines_.resize(sets_ * ways_);
+}
+
+Cache::Line* Cache::find(std::uint64_t set, std::uint64_t tag) {
+  Line* base = &lines_[set * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+Cache::Line& Cache::victim(std::uint64_t set) {
+  Line* base = &lines_[set * ways_];
+  Line* best = base;
+  for (std::size_t w = 1; w < ways_; ++w) {
+    if (!base[w].valid) return base[w];
+    if (base[w].lru < best->lru) best = &base[w];
+  }
+  return *best;
+}
+
+HitLevel Cache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint64_t set = line_addr & (sets_ - 1);
+  const std::uint64_t tag = line_addr >> std::countr_zero(sets_);
+
+  if (is_write)
+    ++stats_.writes;
+  else
+    ++stats_.reads;
+
+  if (Line* hit = find(set, tag)) {
+    hit->lru = ++tick_;
+    if (is_write) hit->dirty = true;
+    return HitLevel::L1; // "hit at this level"; caller maps to depth
+  }
+
+  if (is_write)
+    ++stats_.write_misses;
+  else
+    ++stats_.read_misses;
+
+  // Miss: fetch from below (read), then allocate here.
+  HitLevel below = HitLevel::Memory;
+  if (next_ != nullptr) {
+    const HitLevel b = next_->access(addr, /*is_write=*/false);
+    below = b == HitLevel::L1 ? HitLevel::L2 : HitLevel::Memory;
+  }
+
+  Line& v = victim(set);
+  if (v.valid && v.dirty) {
+    ++stats_.writebacks;
+    if (next_ != nullptr) {
+      // Reconstruct the victim's address and push it down as a write.
+      const std::uint64_t victim_line =
+          (v.tag << std::countr_zero(sets_)) | set;
+      (void)next_->access(victim_line << line_shift_, /*is_write=*/true);
+    }
+  }
+  v.valid = true;
+  v.dirty = is_write;
+  v.tag = tag;
+  v.lru = ++tick_;
+  return below;
+}
+
+void Cache::flush() {
+  for (auto& l : lines_) l = Line{};
+  tick_ = 0;
+}
+
+} // namespace mss::magpie

@@ -1,0 +1,77 @@
+#include "magpie/mcpat.hpp"
+
+#include <stdexcept>
+
+namespace mss::magpie {
+
+double EnergyBreakdown::total() const {
+  double t = 0.0;
+  for (const auto& c : components) t += c.total();
+  return t;
+}
+
+const ComponentEnergy& EnergyBreakdown::component(
+    const std::string& name) const {
+  for (const auto& c : components) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("EnergyBreakdown: no component '" + name + "'");
+}
+
+namespace {
+
+/// Adds the three cluster-side components (cores, L1, L2) for one cluster.
+void add_cluster(std::vector<ComponentEnergy>& out, const ClusterParams& cl,
+                 const ClusterActivity& act, const UncoreParams& un,
+                 double exec_time, const std::string& prefix) {
+  ComponentEnergy cores;
+  cores.name = prefix + " cores";
+  cores.dynamic = double(act.instructions) * cl.core.energy_per_instr;
+  cores.leakage =
+      double(cl.n_cores) * cl.core.static_power * exec_time;
+  out.push_back(cores);
+
+  ComponentEnergy l1;
+  l1.name = prefix + " L1";
+  l1.dynamic = double(act.l1_accesses) * cl.l1_energy;
+  l1.leakage = double(cl.n_cores) * double(cl.l1_bytes) / 1024.0 *
+               cl.l1_leakage_per_kb * exec_time;
+  out.push_back(l1);
+
+  ComponentEnergy l2;
+  l2.name = prefix + " L2 (" + std::string(to_string(cl.l2.tech)) + ")";
+  const double reads = double(act.l2_accesses) - double(act.l2_writes);
+  l2.dynamic = std::max(0.0, reads) * cl.l2.read_energy +
+               double(act.l2_writes) * cl.l2.write_energy;
+  l2.leakage = cl.l2.leakage * exec_time;
+  out.push_back(l2);
+
+  ComponentEnergy bus;
+  bus.name = prefix + " interconnect";
+  bus.dynamic = double(act.l2_accesses) * un.bus_energy;
+  out.push_back(bus);
+}
+
+} // namespace
+
+EnergyBreakdown energy_rollup(const SystemConfig& sys,
+                              const ActivityReport& activity) {
+  EnergyBreakdown out;
+  out.exec_time = activity.exec_time;
+
+  add_cluster(out.components, sys.little, activity.little, sys.uncore,
+              activity.exec_time, "LITTLE");
+  add_cluster(out.components, sys.big, activity.big, sys.uncore,
+              activity.exec_time, "big");
+
+  ComponentEnergy dram;
+  dram.name = "DRAM + MC";
+  dram.dynamic = double(activity.little.dram_accesses +
+                        activity.big.dram_accesses) *
+                 sys.uncore.dram_energy;
+  dram.leakage = sys.uncore.dram_static * activity.exec_time;
+  out.components.push_back(dram);
+  return out;
+}
+
+} // namespace mss::magpie

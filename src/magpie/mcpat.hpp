@@ -1,0 +1,41 @@
+// McPAT-style power/energy roll-up: converts the activity report of the
+// performance simulation into per-component energies (cores, L1s, L2s,
+// interconnect, memory controller + DRAM) — the breakdown of Fig. 11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "magpie/arch.hpp"
+#include "magpie/sim.hpp"
+
+namespace mss::magpie {
+
+/// Energy of one named component [J].
+struct ComponentEnergy {
+  std::string name;
+  double dynamic = 0.0;
+  double leakage = 0.0;
+
+  [[nodiscard]] double total() const { return dynamic + leakage; }
+};
+
+/// The full breakdown for one kernel run.
+struct EnergyBreakdown {
+  std::vector<ComponentEnergy> components;
+  double exec_time = 0.0; ///< [s]
+
+  /// Sum over components [J].
+  [[nodiscard]] double total() const;
+  /// Energy-delay product [J*s].
+  [[nodiscard]] double edp() const { return total() * exec_time; }
+  /// Component by name (throws std::out_of_range when absent).
+  [[nodiscard]] const ComponentEnergy& component(
+      const std::string& name) const;
+};
+
+/// Rolls up the energy of a run.
+[[nodiscard]] EnergyBreakdown energy_rollup(const SystemConfig& sys,
+                                            const ActivityReport& activity);
+
+} // namespace mss::magpie

@@ -1,0 +1,110 @@
+#include "magpie/mcu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "magpie/scenario.hpp"
+#include "nvsim/optimizer.hpp"
+#include "util/math.hpp"
+#include "vaet/estimator.hpp"
+
+namespace mss::magpie {
+
+std::vector<MibenchKernel> mibench_kernels() {
+  return {
+      {"basicmath", 120'000, 0.18, 0.25},
+      {"qsort", 80'000, 0.35, 0.40},
+      {"susan-edges", 150'000, 0.30, 0.20},
+      {"dijkstra", 90'000, 0.32, 0.15},
+      {"sha", 110'000, 0.22, 0.30},
+      {"crc32", 60'000, 0.40, 0.05},
+      {"fft", 130'000, 0.28, 0.35},
+  };
+}
+
+McuConfig make_mcu(MemTech tech, const core::Pdk& pdk,
+                   std::size_t mem_bytes) {
+  McuConfig mcu;
+  mcu.mem_tech = tech;
+  if (tech == MemTech::Sram) {
+    mcu.name = "MCU + SRAM work memory";
+    const auto sram = sram_cache(mem_bytes);
+    mcu.mem_read_latency = sram.read_latency;
+    mcu.mem_write_latency = sram.write_latency;
+    mcu.mem_read_energy = sram.read_energy / 8.0;  // word, not line
+    mcu.mem_write_energy = sram.write_energy / 8.0;
+    // MCU scratchpads use a low-power (high-Vth) SRAM process, not the
+    // performance cells of the big.LITTLE L2 model: ~0.02 mW/KB active.
+    mcu.mem_leak = 0.02e-3 * double(mem_bytes) / 1024.0;
+    // Sleep: the core rail gates but the SRAM must stay retained; deep
+    // data-retention mode at ~0.03 uW/KB, plus the always-on PMU.
+    mcu.p_sleep = 0.03e-6 * double(mem_bytes) / 1024.0 + 2e-6;
+    mcu.e_wake_cycle = 50e-12; // PLL/regulator restart
+  } else {
+    mcu.name = "MCU + MSS MRAM work memory (normally-off)";
+    const auto best =
+        nvsim::optimize(pdk, mem_bytes * 8, 64, nvsim::Goal::ReadLatency);
+    if (!best) throw std::logic_error("make_mcu: no feasible organisation");
+    vaet::VaetOptions vopt;
+    vopt.mc_samples = 100;
+    const vaet::VaetStt vaet(pdk, best->org, vopt);
+    mcu.mem_read_latency = vaet.read_latency_for_rer(1e-9);
+    mcu.mem_write_latency = vaet.write_latency_for_wer(1e-9);
+    mcu.mem_read_energy = best->estimate.read_energy / 8.0;
+    mcu.mem_write_energy = best->estimate.write_energy / 8.0;
+    mcu.mem_leak = best->estimate.leakage_power;
+    // Sleep: everything gates; state lives in the MTJs.
+    mcu.p_sleep = 0.1e-6; // wake-up timer only
+    // 64 NVFFs of MCU state + PMU restart.
+    mcu.e_wake_cycle = 64.0 * 5e-12 + 50e-12;
+  }
+  return mcu;
+}
+
+McuRun run_mcu(const McuConfig& mcu, const MibenchKernel& k) {
+  McuRun run;
+  run.kernel = k.name;
+  const double mem_ops = double(k.instructions) * k.mem_ratio;
+  const double writes = mem_ops * k.write_ratio;
+  const double reads = mem_ops - writes;
+
+  const double t_core = double(k.instructions) * mcu.cpi / mcu.freq_hz;
+  // A single-issue MCU exposes the full memory latency beyond one cycle.
+  const double cycle = 1.0 / mcu.freq_hz;
+  const double t_mem =
+      reads * std::max(0.0, mcu.mem_read_latency - cycle) +
+      writes * std::max(0.0, mcu.mem_write_latency - cycle);
+  run.active_time = t_core + t_mem;
+  run.active_energy = double(k.instructions) * mcu.e_per_instr +
+                      reads * mcu.mem_read_energy +
+                      writes * mcu.mem_write_energy +
+                      (mcu.p_core_leak + mcu.mem_leak) * run.active_time;
+  return run;
+}
+
+double average_power(const McuConfig& mcu, const McuRun& run, double period) {
+  if (period <= run.active_time) {
+    // Always active: no sleep interval.
+    return run.active_energy / run.active_time;
+  }
+  const double t_sleep = period - run.active_time;
+  const double e_period =
+      run.active_energy + mcu.p_sleep * t_sleep + mcu.e_wake_cycle;
+  return e_period / period;
+}
+
+double normally_off_crossover(const McuConfig& sram, const McuConfig& mram,
+                              const McuRun& run_sram, const McuRun& run_mram) {
+  auto diff = [&](double period) {
+    return average_power(sram, run_sram, period) -
+           average_power(mram, run_mram, period);
+  };
+  const double lo = 1e-6;
+  const double hi = 86400.0;
+  // MRAM wins when diff > 0 (SRAM node burns more).
+  if (diff(lo) > 0.0 && diff(hi) > 0.0) return -1.0; // MRAM always wins
+  if (diff(lo) < 0.0 && diff(hi) < 0.0) return -2.0; // SRAM always wins
+  return mss::util::bisect(diff, lo, hi, 1e-6);
+}
+
+} // namespace mss::magpie

@@ -1,0 +1,79 @@
+// MCU-class (SecretBlaze-like) evaluation — the embedded end of the
+// paper's system level. Reference [2] of the paper is the SecretBlaze
+// soft-core, and the MAGPIE input set includes "Applications based on
+// MiBench & SPEC2000/2006 benchmarks"; this module models a small in-order
+// IoT microcontroller whose unified work memory is either always-on SRAM
+// or normally-off MSS MRAM, and quantifies the duty-cycle regime where the
+// non-volatile option wins — the paper's core IoT energy argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pdk.hpp"
+#include "magpie/arch.hpp"
+
+namespace mss::magpie {
+
+/// A MiBench-like embedded kernel (per activation of the node).
+struct MibenchKernel {
+  std::string name;
+  std::uint64_t instructions = 100'000;
+  double mem_ratio = 0.25;   ///< memory instructions per instruction
+  double write_ratio = 0.3;  ///< stores among memory instructions
+};
+
+/// The embedded suite used by the MCU study.
+[[nodiscard]] std::vector<MibenchKernel> mibench_kernels();
+
+/// MCU platform description.
+struct McuConfig {
+  std::string name = "SecretBlaze-like MCU";
+  double freq_hz = 100e6;
+  double cpi = 1.2;                ///< cycles per instruction (no misses)
+  double e_per_instr = 15e-12;     ///< core dynamic energy [J]
+  double p_core_leak = 50e-6;      ///< core leakage while powered [W]
+  MemTech mem_tech = MemTech::Sram;
+  double mem_read_latency = 10e-9; ///< per memory access [s]
+  double mem_write_latency = 10e-9;
+  double mem_read_energy = 5e-12;  ///< [J] per access
+  double mem_write_energy = 5e-12;
+  double mem_leak = 0.0;           ///< memory leakage while powered [W]
+  /// Sleep-state power. SRAM must retain (memory keeps leaking); the MSS
+  /// MRAM node power-gates everything and pays a store/restore toll.
+  double p_sleep = 0.0;            ///< [W]
+  double e_wake_cycle = 0.0;       ///< store+restore energy per sleep cycle [J]
+};
+
+/// Builds the MCU platform for a memory technology, deriving the MRAM
+/// numbers from the cross-layer flow (NVSim/VAET at the given PDK corner)
+/// and the SRAM numbers from the CACTI-style model.
+[[nodiscard]] McuConfig make_mcu(MemTech tech, const core::Pdk& pdk,
+                                 std::size_t mem_bytes = 64 * 1024);
+
+/// One kernel activation on the MCU.
+struct McuRun {
+  std::string kernel;
+  double active_time = 0.0;   ///< [s]
+  double active_energy = 0.0; ///< [J]
+};
+
+/// Executes one kernel activation (analytic, no trace needed at this
+/// scale: the scratchpad always hits).
+[[nodiscard]] McuRun run_mcu(const McuConfig& mcu, const MibenchKernel& k);
+
+/// Duty-cycled node comparison: the kernel runs every `period` seconds,
+/// the node sleeps in between. Returns average power for the platform.
+[[nodiscard]] double average_power(const McuConfig& mcu, const McuRun& run,
+                                   double period);
+
+/// The activation period above which the MRAM node's average power drops
+/// below the SRAM node's (the normally-off crossover), found by bisection
+/// over the period. Returns a negative value when MRAM wins at every
+/// period in [1 us, 1 day].
+[[nodiscard]] double normally_off_crossover(const McuConfig& sram,
+                                            const McuConfig& mram,
+                                            const McuRun& run_sram,
+                                            const McuRun& run_mram);
+
+} // namespace mss::magpie

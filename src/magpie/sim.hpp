@@ -1,0 +1,59 @@
+// Trace-driven big.LITTLE performance simulation — the gem5 role in the
+// MAGPIE flow. Produces the activity report (runtime, reads/writes,
+// hits/misses, IPC) that the McPAT-style energy model consumes, exactly
+// the hand-off the paper describes ("GemS generates a detailed report of
+// the system activity including the number of memory transactions ... and
+// the execution time. This activity information is then used by McPAT").
+//
+// Timing model per thread:
+//   cycles = instructions / base_ipc
+//          + loads missing L1 * L2_latency  * (1 - miss_overlap)
+//          + loads missing L2 * (L2 + bus + DRAM latency) * (1 - overlap)
+//          + L2 writes (writebacks + store misses) * L2_write * wb_exposed
+// Threads within a cluster run concurrently and share the L2 (accesses are
+// interleaved round-robin in chunks to mix the reference streams); the
+// cluster time is the slowest thread; the kernel time is the slowest
+// cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "magpie/arch.hpp"
+#include "magpie/cache.hpp"
+#include "magpie/workload.hpp"
+
+namespace mss::magpie {
+
+/// Per-cluster slice of the activity report.
+struct ClusterActivity {
+  std::string name;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l2_writes = 0; ///< writebacks + fills marked dirty
+  std::uint64_t dram_accesses = 0;
+  double time = 0.0; ///< cluster completion time [s]
+  double ipc = 0.0;  ///< achieved IPC (per core average)
+};
+
+/// The full activity report for one kernel on one system configuration.
+struct ActivityReport {
+  std::string kernel;
+  std::string config;
+  ClusterActivity little;
+  ClusterActivity big;
+  double exec_time = 0.0; ///< max over clusters [s]
+};
+
+/// Runs `kernel` on `sys` (threads pinned: n_cores per cluster, work split
+/// across all 8 threads) and returns the activity report. Deterministic
+/// for a given seed.
+[[nodiscard]] ActivityReport simulate(const SystemConfig& sys,
+                                      const KernelParams& kernel,
+                                      std::uint64_t seed = 0xC0FFEE);
+
+} // namespace mss::magpie

@@ -1,0 +1,89 @@
+#include "magpie/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mss::magpie {
+
+std::vector<KernelParams> parsec_kernels() {
+  // {name, instr/thread, mem, wr, hot bytes, stream bytes, hot frac,
+  //  shared, hot-core frac, hot-core bytes}
+  return {
+      {"blackscholes", 400'000, 0.20, 0.25, 16u << 10, 2u << 20, 0.92, 0.3,
+       0.90, 16u << 10},
+      {"bodytrack", 500'000, 0.30, 0.30, 1280u << 10, 8u << 20, 0.88, 0.7,
+       0.70, 64u << 10},
+      {"canneal", 400'000, 0.35, 0.15, 12u << 20, 32u << 20, 0.65, 0.8,
+       0.55, 64u << 10},
+      {"ferret", 450'000, 0.28, 0.20, 256u << 10, 4u << 20, 0.82, 0.5,
+       0.82, 64u << 10},
+      {"fluidanimate", 500'000, 0.32, 0.45, 768u << 10, 6u << 20, 0.80, 0.6,
+       0.85, 64u << 10},
+      {"freqmine", 450'000, 0.30, 0.20, 1536u << 10, 4u << 20, 0.85, 0.7,
+       0.72, 64u << 10},
+      {"streamcluster", 500'000, 0.35, 0.10, 64u << 10, 16u << 20, 0.40, 0.4,
+       0.85, 64u << 10},
+      {"swaptions", 400'000, 0.18, 0.25, 32u << 10, 1u << 20, 0.93, 0.2,
+       0.92, 32u << 10},
+      {"x264", 500'000, 0.25, 0.35, 640u << 10, 8u << 20, 0.75, 0.5,
+       0.78, 64u << 10},
+  };
+}
+
+KernelParams kernel_by_name(const std::string& name) {
+  for (const auto& k : parsec_kernels()) {
+    if (k.name == name) return k;
+  }
+  throw std::out_of_range("kernel_by_name: unknown kernel '" + name + "'");
+}
+
+TraceGenerator::TraceGenerator(KernelParams kernel, unsigned thread_id,
+                               std::uint64_t seed)
+    : kernel_(std::move(kernel)), thread_id_(thread_id),
+      rng_(seed ^ (0x9E37'79B9'7F4A'7C15ull * (thread_id + 1))) {}
+
+std::uint64_t TraceGenerator::total_refs() const {
+  return static_cast<std::uint64_t>(
+      std::llround(double(kernel_.instructions) * kernel_.mem_ratio));
+}
+
+MemRef TraceGenerator::next() {
+  MemRef ref;
+  ref.is_write = rng_.bernoulli(kernel_.write_ratio);
+  if (rng_.bernoulli(kernel_.hot_fraction)) {
+    // Most hot references land in the small core slice (fits every cache);
+    // only the tail sweeps the full hot set and feels the L2 capacity.
+    if (rng_.bernoulli(kernel_.hot_core_fraction)) {
+      const std::uint64_t core =
+          std::min<std::uint64_t>(kernel_.hot_core_bytes, kernel_.hot_bytes);
+      const std::uint64_t off = rng_.uniform_u64(core) & ~std::uint64_t{7};
+      ref.addr = kSharedBase + off;
+      return ref;
+    }
+    // Hot-tail access: a shared region of `hot_bytes` plus per-thread
+    // private slices of hot_bytes/8 (total cluster footprint ~ 1.5x
+    // hot_bytes for four threads).
+    const bool shared = rng_.bernoulli(kernel_.shared_fraction);
+    if (shared) {
+      const std::uint64_t off =
+          rng_.uniform_u64(kernel_.hot_bytes) & ~std::uint64_t{7};
+      ref.addr = kSharedBase + off;
+    } else {
+      const std::uint64_t slice = std::max<std::uint64_t>(
+          kernel_.hot_bytes / 8, 4096);
+      const std::uint64_t off = rng_.uniform_u64(slice) & ~std::uint64_t{7};
+      ref.addr = kPrivateHotBase +
+                 std::uint64_t(thread_id_) * (slice + (1u << 20)) + off;
+    }
+  } else {
+    // Streaming access: sequential walk through the private region.
+    const std::uint64_t region = kernel_.stream_bytes;
+    ref.addr = kStreamBase +
+               std::uint64_t(thread_id_) * (region + (16u << 20)) +
+               (stream_pos_ % region);
+    stream_pos_ += 8; // sequential 8-byte strides
+  }
+  return ref;
+}
+
+} // namespace mss::magpie

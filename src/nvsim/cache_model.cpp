@@ -1,0 +1,111 @@
+#include "nvsim/cache_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "nvsim/optimizer.hpp"
+
+namespace mss::nvsim {
+
+std::size_t CacheOrg::tag_bits() const {
+  const std::size_t set_bits =
+      static_cast<std::size_t>(std::log2(double(sets())));
+  const std::size_t off_bits =
+      static_cast<std::size_t>(std::log2(double(line_bytes)));
+  if (address_bits <= set_bits + off_bits) {
+    throw std::invalid_argument("CacheOrg: address narrower than index");
+  }
+  return address_bits - set_bits - off_bits;
+}
+
+CacheEstimate estimate_cache(const core::Pdk& pdk, const CacheOrg& org) {
+  if (org.sets() == 0 || !std::has_single_bit(org.sets())) {
+    throw std::invalid_argument("estimate_cache: sets must be a power of two");
+  }
+  CacheEstimate out;
+
+  // Data array: the line (all ways read in parallel -> ways*line bits per
+  // set access; energy counted for the selected way plus the bitline
+  // activation of the others at half weight).
+  const std::size_t line_bits = org.line_bytes * 8;
+  ArrayOrg data_org;
+  data_org.rows = org.sets();
+  data_org.cols = line_bits * org.ways;
+  data_org.word_bits = line_bits;
+  data_org.type = ArrayOrg::Type::Cache;
+  // Very wide rows are physically split into mats; model the split by
+  // capping columns at 2048 and replicating.
+  double data_mats = 1.0;
+  while (data_org.cols > 2048) {
+    data_org.cols /= 2;
+    data_mats *= 2.0;
+  }
+  if (data_org.word_bits > data_org.cols) {
+    data_org.word_bits = data_org.cols;
+  }
+  const ArrayModel data_model(pdk, data_org);
+  out.data = data_model.estimate();
+
+  // Tag array: ways tags of tag_bits read per access.
+  ArrayOrg tag_org;
+  tag_org.rows = org.sets();
+  tag_org.cols = std::max<std::size_t>(64, org.tag_bits() * org.ways);
+  tag_org.word_bits = tag_org.cols;
+  tag_org.type = ArrayOrg::Type::Cache;
+  const ArrayModel tag_model(pdk, tag_org);
+  out.tag = tag_model.estimate();
+
+  // Way-select mux + compare: a few FO4.
+  const double t_compare = 3.0 * pdk.cmos.fo4_delay;
+  out.hit_latency =
+      std::max(out.tag.read_latency + t_compare, out.data.read_latency) +
+      2.0 * pdk.cmos.fo4_delay;
+  out.write_latency = std::max(out.data.write_latency,
+                               out.tag.read_latency + t_compare);
+  out.hit_energy = out.tag.read_energy + out.data.read_energy * data_mats;
+  out.write_energy = out.tag.read_energy + out.data.write_energy;
+  out.leakage_power =
+      out.tag.leakage_power + out.data.leakage_power * data_mats;
+  out.area = out.tag.area + out.data.area * data_mats;
+  return out;
+}
+
+CamEstimate estimate_cam(const core::Pdk& pdk, std::size_t entries,
+                         std::size_t word_bits) {
+  if (entries == 0 || word_bits == 0) {
+    throw std::invalid_argument("estimate_cam: empty organisation");
+  }
+  CamEstimate out;
+  ArrayOrg org;
+  org.rows = std::bit_ceil(entries);
+  org.cols = std::max<std::size_t>(64, word_bits);
+  org.word_bits = org.cols;
+  org.type = ArrayOrg::Type::Cam;
+  const ArrayModel model(pdk, org);
+  const auto est = model.estimate();
+  const auto& geom = model.geometry();
+  const double vdd = pdk.cmos.vdd;
+
+  // Search: all search lines toggle (word_bits of them, wordline-like RC)
+  // and every row's match line discharges; the match line is a wire of the
+  // row length with a per-cell transistor load.
+  const double c_matchline = geom.c_wordline;
+  const double t_search_lines = 0.38 * geom.r_bitline * geom.c_bitline;
+  const double t_matchline = 0.38 * geom.r_wordline * c_matchline;
+  out.search_latency = est.t_decoder + t_search_lines + t_matchline +
+                       4.0 * pdk.cmos.fo4_delay;
+  out.search_energy = double(word_bits) * geom.c_bitline * vdd * vdd +
+                      double(org.rows) * c_matchline * vdd * vdd * 0.5;
+  out.write_latency = est.write_latency;
+  out.write_energy = est.write_energy;
+  // The priority encoder adds periphery leakage proportional to rows.
+  out.leakage_power = est.leakage_power +
+                      double(org.rows) * 16.0 * pdk.cmos.feature_m *
+                          pdk.cmos.ioff_per_m * vdd;
+  out.area = est.area * 1.6; // match-line + encoder overhead
+  return out;
+}
+
+} // namespace mss::nvsim

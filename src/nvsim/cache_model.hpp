@@ -1,0 +1,67 @@
+// Cache and CAM organisations on top of the plain RAM array model —
+// completing the paper's "type of memory (e.g. Cache, RAM, CAM)" axis of
+// VAET-STT's memory-level evaluation.
+//
+// A set-associative cache is modelled as a *tag* array and a *data* array
+// accessed in parallel (the usual NVSim composition): the access latency is
+// the slower of the two paths plus the way-select mux, the energy is the
+// sum, and the area adds the comparators. A CAM replaces the tag path with
+// a match-line search across all rows.
+#pragma once
+
+#include "nvsim/array_model.hpp"
+
+namespace mss::nvsim {
+
+/// Set-associative cache organisation.
+struct CacheOrg {
+  std::size_t capacity_bytes = 512 * 1024;
+  std::size_t ways = 8;
+  std::size_t line_bytes = 64;
+  std::size_t address_bits = 40;
+
+  /// Number of sets implied by the geometry.
+  [[nodiscard]] std::size_t sets() const {
+    return capacity_bytes / (ways * line_bytes);
+  }
+  /// Tag width: address minus set-index minus line-offset bits.
+  [[nodiscard]] std::size_t tag_bits() const;
+};
+
+/// Composite estimate for a cache built from MSS arrays.
+struct CacheEstimate {
+  MemoryEstimate data;   ///< data-array contribution
+  MemoryEstimate tag;    ///< tag-array contribution
+  double hit_latency = 0.0;    ///< [s]
+  double write_latency = 0.0;  ///< [s] (data write dominates)
+  double hit_energy = 0.0;     ///< [J]
+  double write_energy = 0.0;   ///< [J]
+  double leakage_power = 0.0;  ///< [W]
+  double area = 0.0;           ///< [m^2]
+};
+
+/// Estimates a set-associative cache at the given PDK corner. The data
+/// array reads one line per access (all ways in parallel, way-select after
+/// tag compare); the tag array reads `ways` tags.
+[[nodiscard]] CacheEstimate estimate_cache(const core::Pdk& pdk,
+                                           const CacheOrg& org);
+
+/// Content-addressable memory estimate: `entries` words of `word_bits`
+/// searched in parallel. The search discharges every match line, so search
+/// energy scales with the full array, which is what makes MSS-CAMs
+/// attractive only with the near-zero leakage factored in.
+struct CamEstimate {
+  double search_latency = 0.0; ///< [s]
+  double search_energy = 0.0;  ///< [J]
+  double write_latency = 0.0;  ///< [s]
+  double write_energy = 0.0;   ///< [J]
+  double leakage_power = 0.0;  ///< [W]
+  double area = 0.0;           ///< [m^2]
+};
+
+/// Estimates a CAM at the given PDK corner.
+[[nodiscard]] CamEstimate estimate_cam(const core::Pdk& pdk,
+                                       std::size_t entries,
+                                       std::size_t word_bits);
+
+} // namespace mss::nvsim

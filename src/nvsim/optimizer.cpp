@@ -1,0 +1,75 @@
+#include "nvsim/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mss::nvsim {
+
+namespace {
+
+double objective_of(Goal goal, const MemoryEstimate& e) {
+  switch (goal) {
+    case Goal::ReadLatency: return e.read_latency;
+    case Goal::WriteLatency: return e.write_latency;
+    case Goal::ReadEnergy: return e.read_energy;
+    case Goal::WriteEnergy: return e.write_energy;
+    case Goal::Area: return e.area;
+    case Goal::ReadEdp: return e.read_latency * e.read_energy;
+  }
+  throw std::invalid_argument("objective_of: bad goal");
+}
+
+bool satisfies(const Constraints& c, const MemoryEstimate& e) {
+  if (c.max_read_latency && e.read_latency > *c.max_read_latency) return false;
+  if (c.max_write_latency && e.write_latency > *c.max_write_latency) return false;
+  if (c.max_area && e.area > *c.max_area) return false;
+  if (c.max_leakage && e.leakage_power > *c.max_leakage) return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<Candidate> explore(const core::Pdk& pdk,
+                               std::size_t capacity_bits,
+                               std::size_t word_bits, Goal goal,
+                               const Constraints& constraints) {
+  if (capacity_bits == 0 || word_bits == 0) {
+    throw std::invalid_argument("explore: zero capacity or word width");
+  }
+  std::vector<Candidate> out;
+  // rows from 64 to 8192, cols = capacity / rows; power-of-two splits.
+  for (std::size_t rows = 64; rows <= 8192; rows *= 2) {
+    if (capacity_bits % rows != 0) continue;
+    const std::size_t cols = capacity_bits / rows;
+    if (cols < word_bits || cols > 16384) continue;
+    const double aspect = double(rows) / double(cols);
+    if (aspect > 8.0 || aspect < 1.0 / 8.0) continue;
+    ArrayOrg org;
+    org.rows = rows;
+    org.cols = cols;
+    org.word_bits = word_bits;
+    const ArrayModel model(pdk, org);
+    Candidate cand;
+    cand.org = org;
+    cand.estimate = model.estimate();
+    if (!satisfies(constraints, cand.estimate)) continue;
+    cand.objective = objective_of(goal, cand.estimate);
+    out.push_back(cand);
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.objective < b.objective;
+  });
+  return out;
+}
+
+std::optional<Candidate> optimize(const core::Pdk& pdk,
+                                  std::size_t capacity_bits,
+                                  std::size_t word_bits, Goal goal,
+                                  const Constraints& constraints) {
+  auto all = explore(pdk, capacity_bits, word_bits, goal, constraints);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+} // namespace mss::nvsim

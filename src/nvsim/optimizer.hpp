@@ -1,0 +1,54 @@
+// Organisation optimizer: NVSim's "find the best subarray organisation for
+// a target" role, which VAET-STT exposes as "optimization settings (e.g.
+// buffer design optimization) and various design constraints" for design
+// space exploration before fabrication.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nvsim/array_model.hpp"
+
+namespace mss::nvsim {
+
+/// Optimisation objective.
+enum class Goal {
+  ReadLatency,
+  WriteLatency,
+  ReadEnergy,
+  WriteEnergy,
+  Area,
+  ReadEdp, ///< read latency x read energy
+};
+
+/// Optional constraints an organisation must satisfy.
+struct Constraints {
+  std::optional<double> max_read_latency;  ///< [s]
+  std::optional<double> max_write_latency; ///< [s]
+  std::optional<double> max_area;          ///< [m^2]
+  std::optional<double> max_leakage;       ///< [W]
+};
+
+/// One evaluated candidate.
+struct Candidate {
+  ArrayOrg org;
+  MemoryEstimate estimate;
+  double objective = 0.0;
+};
+
+/// Enumerates power-of-two organisations for `capacity_bits` with the given
+/// I/O width, evaluates each, filters by constraints and returns candidates
+/// sorted by the goal (best first). Explored dimensions: rows x cols splits
+/// with aspect ratios between 1:8 and 8:1.
+[[nodiscard]] std::vector<Candidate> explore(const core::Pdk& pdk,
+                                             std::size_t capacity_bits,
+                                             std::size_t word_bits, Goal goal,
+                                             const Constraints& constraints = {});
+
+/// Convenience: best organisation or nullopt when nothing satisfies the
+/// constraints.
+[[nodiscard]] std::optional<Candidate> optimize(
+    const core::Pdk& pdk, std::size_t capacity_bits, std::size_t word_bits,
+    Goal goal, const Constraints& constraints = {});
+
+} // namespace mss::nvsim

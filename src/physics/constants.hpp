@@ -1,0 +1,23 @@
+// Physical constants (CODATA 2018 exact/recommended values) used by the
+// magnetisation-dynamics and thermal-activation models.
+#pragma once
+
+namespace mss::physics {
+
+inline constexpr double kBoltzmann = 1.380649e-23;    ///< k_B [J/K]
+inline constexpr double kMu0 = 1.25663706212e-6;      ///< vacuum permeability [T*m/A]
+inline constexpr double kMuBohr = 9.2740100783e-24;   ///< Bohr magneton [J/T]
+inline constexpr double kHbar = 1.054571817e-34;      ///< reduced Planck [J*s]
+inline constexpr double kElectronCharge = 1.602176634e-19; ///< e [C]
+/// Gyromagnetic ratio of the electron, rad/(s*T). The LLG equation uses
+/// gamma * mu0 * H with H in A/m.
+inline constexpr double kGamma = 1.76085963023e11;
+/// Default operating temperature for all nominal analyses [K].
+inline constexpr double kRoomTemperature = 300.0;
+
+/// Thermal energy k_B * T [J].
+[[nodiscard]] constexpr double thermal_energy(double temperature_k) {
+  return kBoltzmann * temperature_k;
+}
+
+} // namespace mss::physics

@@ -1,0 +1,148 @@
+#include "physics/llg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/constants.hpp"
+
+namespace mss::physics {
+
+double LlgParams::stt_field(double i_amps) const {
+  const double j = i_amps / area;
+  return kHbar * polarization * j /
+         (2.0 * kElectronCharge * kMu0 * ms * t_fl);
+}
+
+double LlgParams::delta() const {
+  const double keff = 0.5 * kMu0 * ms * hk_eff;
+  return keff * volume / thermal_energy(temperature);
+}
+
+LlgSolver::LlgSolver(LlgParams params) : params_(params) {
+  if (params_.ms <= 0.0 || params_.volume <= 0.0 || params_.area <= 0.0 ||
+      params_.t_fl <= 0.0 || params_.alpha <= 0.0) {
+    throw std::invalid_argument("LlgSolver: non-physical parameters");
+  }
+}
+
+Vec3 LlgSolver::effective_field(const Vec3& m) const {
+  // Uniaxial perpendicular anisotropy: H_ani = Hk_eff * m_z * e_z.
+  return Vec3{0.0, 0.0, params_.hk_eff * m.z} + params_.h_applied;
+}
+
+Vec3 LlgSolver::rhs(const Vec3& m, const Vec3& h, double i_amps) const {
+  const double gp = kGamma * kMu0; // torque prefactor for H in A/m
+  const double alpha = params_.alpha;
+  const double inv = 1.0 / (1.0 + alpha * alpha);
+
+  const Vec3 m_x_h = m.cross(h);
+  const Vec3 m_x_m_x_h = m.cross(m_x_h);
+
+  Vec3 dmdt = (-gp * inv) * (m_x_h + alpha * m_x_m_x_h);
+
+  if (i_amps != 0.0) {
+    // Slonczewski in-plane torque with equivalent field a_j.
+    const double aj = params_.stt_field(i_amps);
+    const Vec3& p = params_.polarizer;
+    const Vec3 m_x_p = m.cross(p);
+    const Vec3 m_x_m_x_p = m.cross(m_x_p);
+    dmdt += (-gp * inv * aj) * (m_x_m_x_p - alpha * m_x_p);
+  }
+  return dmdt;
+}
+
+namespace {
+
+Vec3 renormalize(const Vec3& m) { return m.normalized(); }
+
+} // namespace
+
+LlgRun LlgSolver::integrate(const Vec3& m0, double duration, double dt,
+                            double i_amps, std::size_t record_stride) const {
+  if (dt <= 0.0 || duration <= 0.0) {
+    throw std::invalid_argument("LlgSolver::integrate: bad time step");
+  }
+  LlgRun run;
+  Vec3 m = renormalize(m0);
+  const double mz0_sign = (m.z >= 0.0) ? 1.0 : -1.0;
+  const auto steps = static_cast<std::size_t>(std::ceil(duration / dt));
+  run.trajectory.push_back({0.0, m});
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double t = double(k) * dt;
+    const Vec3 k1 = rhs(m, effective_field(m), i_amps);
+    const Vec3 m2 = renormalize(m + k1 * (dt / 2.0));
+    const Vec3 k2 = rhs(m2, effective_field(m2), i_amps);
+    const Vec3 m3 = renormalize(m + k2 * (dt / 2.0));
+    const Vec3 k3 = rhs(m3, effective_field(m3), i_amps);
+    const Vec3 m4 = renormalize(m + k3 * dt);
+    const Vec3 k4 = rhs(m4, effective_field(m4), i_amps);
+    m = renormalize(m + (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (dt / 6.0));
+    if (!run.switched && m.z * mz0_sign < 0.0) {
+      run.switched = true;
+      run.switch_time = t + dt;
+    }
+    if ((k + 1) % record_stride == 0) {
+      run.trajectory.push_back({t + dt, m});
+    }
+  }
+  if (run.trajectory.back().t < duration) {
+    run.trajectory.push_back({duration, m});
+  }
+  return run;
+}
+
+LlgRun LlgSolver::integrate_thermal(const Vec3& m0, double duration, double dt,
+                                    double i_amps, mss::util::Rng& rng,
+                                    std::size_t record_stride) const {
+  if (dt <= 0.0 || duration <= 0.0) {
+    throw std::invalid_argument("LlgSolver::integrate_thermal: bad time step");
+  }
+  LlgRun run;
+  Vec3 m = renormalize(m0);
+  const double mz0_sign = (m.z >= 0.0) ? 1.0 : -1.0;
+  const auto steps = static_cast<std::size_t>(std::ceil(duration / dt));
+  run.trajectory.push_back({0.0, m});
+
+  // Brown thermal-field standard deviation per component for step dt.
+  const double sigma_h =
+      std::sqrt(2.0 * params_.alpha *
+                thermal_energy(params_.temperature) /
+                (kGamma * kMu0 * kMu0 * params_.ms * params_.volume * dt));
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double t = double(k) * dt;
+    const Vec3 h_th{sigma_h * rng.normal(), sigma_h * rng.normal(),
+                    sigma_h * rng.normal()};
+    // Heun predictor-corrector; the thermal field is held fixed across the
+    // two stages (Stratonovich interpretation).
+    const Vec3 f1 = rhs(m, effective_field(m) + h_th, i_amps);
+    const Vec3 mp = renormalize(m + f1 * dt);
+    const Vec3 f2 = rhs(mp, effective_field(mp) + h_th, i_amps);
+    m = renormalize(m + (f1 + f2) * (0.5 * dt));
+    if (!run.switched && m.z * mz0_sign < 0.0) {
+      run.switched = true;
+      run.switch_time = t + dt;
+    }
+    if ((k + 1) % record_stride == 0) {
+      run.trajectory.push_back({t + dt, m});
+    }
+  }
+  if (run.trajectory.back().t < duration) {
+    run.trajectory.push_back({duration, m});
+  }
+  return run;
+}
+
+Vec3 LlgSolver::thermal_initial_state(bool up, mss::util::Rng& rng) const {
+  const double delta = params_.delta();
+  // Small-angle equilibrium: theta^2/2 ~ Exp(1/ (2 Delta)) in the quadratic
+  // well; equivalently theta_x, theta_y ~ N(0, 1/(2 Delta)).
+  const double s = std::sqrt(1.0 / (2.0 * std::max(delta, 1.0)));
+  const double tx = s * rng.normal();
+  const double ty = s * rng.normal();
+  const double sign = up ? 1.0 : -1.0;
+  Vec3 m{tx, ty, sign * std::sqrt(std::max(0.0, 1.0 - tx * tx - ty * ty))};
+  return m.normalized();
+}
+
+} // namespace mss::physics

@@ -1,0 +1,102 @@
+// Macrospin Landau-Lifshitz-Gilbert-Slonczewski (LLGS) integrator.
+//
+// This is the "physical" compact-modelling strategy of Jabeur et al.
+// (Electronics Letters 2014), the model family the paper's PDK is built on:
+// the MTJ free layer is a single macrospin with uniaxial perpendicular
+// anisotropy, optional in-plane bias field (the MSS permanent magnets),
+// Slonczewski spin-transfer torque from the stack current, and an optional
+// stochastic thermal field (Brown).
+//
+// Conventions:
+//  * magnetisation is the unit vector m; the easy axis is +z,
+//  * fields H are in A/m; the torque uses gamma * mu0 * H,
+//  * positive current I drives the free layer towards the polariser
+//    direction p (i.e. favours the parallel state for p = +z).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "physics/vec3.hpp"
+#include "util/rng.hpp"
+
+namespace mss::physics {
+
+/// Free-layer parameters seen by the LLGS integrator.
+struct LlgParams {
+  double ms = 1.0e6;          ///< saturation magnetisation [A/m]
+  double alpha = 0.015;       ///< Gilbert damping
+  double hk_eff = 1.6e5;      ///< effective perpendicular anisotropy field [A/m]
+  double volume = 1.6e-24;    ///< free-layer volume [m^3]
+  double area = 1.26e-15;     ///< junction area [m^2]
+  double t_fl = 1.3e-9;       ///< free-layer thickness [m]
+  double polarization = 0.6;  ///< spin polarisation of the reference layer
+  double temperature = 300.0; ///< [K]
+  Vec3 polarizer{0.0, 0.0, 1.0}; ///< reference-layer magnetisation direction
+  Vec3 h_applied{0.0, 0.0, 0.0}; ///< external + bias field [A/m]
+
+  /// Spin-torque prefactor a_j = hbar * P * J / (2 e mu0 Ms t_fl) for a
+  /// stack current `i_amps`, expressed as an equivalent field [A/m].
+  [[nodiscard]] double stt_field(double i_amps) const;
+
+  /// Thermal stability factor Delta = Keff*V/(kB*T) with
+  /// Keff = mu0*Ms*Hk_eff/2.
+  [[nodiscard]] double delta() const;
+};
+
+/// One LLGS trajectory sample.
+struct LlgSample {
+  double t = 0.0; ///< time [s]
+  Vec3 m;         ///< unit magnetisation
+};
+
+/// Result of an integration run.
+struct LlgRun {
+  std::vector<LlgSample> trajectory; ///< sampled every `record_stride` steps
+  bool switched = false;             ///< crossed m_z = 0 from the start basin
+  double switch_time = 0.0;          ///< first crossing time [s] (if switched)
+};
+
+/// Macrospin integrator. Deterministic runs use classic RK4; finite
+/// temperature uses the stochastic Heun scheme (Stratonovich-consistent),
+/// with the Brown thermal-field variance
+/// sigma_H^2 = 2 alpha kB T / (gamma mu0^2 Ms V dt).
+class LlgSolver {
+ public:
+  explicit LlgSolver(LlgParams params);
+
+  /// Read access to the parameters.
+  [[nodiscard]] const LlgParams& params() const { return params_; }
+
+  /// Deterministic RK4 integration from `m0` for `duration` seconds with a
+  /// fixed step `dt`, driving current `i_amps` through the stack.
+  /// Records every `record_stride`-th step into the trajectory.
+  [[nodiscard]] LlgRun integrate(const Vec3& m0, double duration, double dt,
+                                 double i_amps,
+                                 std::size_t record_stride = 16) const;
+
+  /// Stochastic (finite-temperature) Heun integration. Same contract as
+  /// `integrate`, but adds the thermal field drawn from `rng`.
+  [[nodiscard]] LlgRun integrate_thermal(const Vec3& m0, double duration,
+                                         double dt, double i_amps,
+                                         mss::util::Rng& rng,
+                                         std::size_t record_stride = 16) const;
+
+  /// Effective field (anisotropy + applied) at magnetisation m, in A/m.
+  [[nodiscard]] Vec3 effective_field(const Vec3& m) const;
+
+  /// Right-hand side dm/dt of the explicit LLGS equation at (m, field H,
+  /// current I).
+  [[nodiscard]] Vec3 rhs(const Vec3& m, const Vec3& h, double i_amps) const;
+
+  /// Draws an initial magnetisation from the thermal-equilibrium
+  /// distribution around +z or -z (small-angle Boltzmann cone,
+  /// <theta^2> = 1/Delta for a 2-D Gaussian cone approximation).
+  [[nodiscard]] Vec3 thermal_initial_state(bool up, mss::util::Rng& rng) const;
+
+ private:
+  LlgParams params_;
+};
+
+} // namespace mss::physics

@@ -1,0 +1,78 @@
+// Thermal-activation (Néel-Brown) switching statistics and the Sun
+// precessional-regime model. Together these are the "behavioural"
+// compact-modelling strategy of Jabeur'14: closed-form switching time /
+// error-rate expressions, no trajectory integration.
+//
+// Regimes (I is the stack current, Ic0 the zero-temperature critical
+// current):
+//  * I < Ic0  — thermally activated: tau(I) = tau0 * exp(Delta * (1 - I/Ic0)),
+//               P_switch(t) = 1 - exp(-t / tau(I)).  Also models retention
+//               (I = 0) and read disturb (I = I_read).
+//  * I > Ic0  — precessional: the initial thermal angle theta_0 sets the
+//               incubation delay; with <theta0^2> = 1/(2 Delta),
+//               P_switch(t) = exp(-(pi^2 Delta / 4) * exp(-2 t / tau_d(I))),
+//               tau_d(I) = (1 + alpha^2) / (alpha * gamma * mu0 * Hk * (I/Ic0 - 1)).
+#pragma once
+
+namespace mss::physics {
+
+/// Inputs of the analytic switching model.
+struct SwitchingParams {
+  double delta = 60.0;        ///< thermal stability factor
+  double ic0 = 50e-6;         ///< critical current [A]
+  double tau0 = 1e-9;         ///< attempt time [s] (1/f0, f0 ~ 1 GHz)
+  double alpha = 0.015;       ///< Gilbert damping
+  double hk_eff = 1.6e5;      ///< effective anisotropy field [A/m]
+};
+
+/// Néel-Brown mean dwell time under sub-critical current [s].
+/// i_over_ic0 must be < 1; at or above 1 the activated picture is invalid.
+[[nodiscard]] double neel_brown_tau(const SwitchingParams& p,
+                                    double i_over_ic0);
+
+/// Probability that a sub-critical current pulse of width t_pulse switches
+/// the layer (thermally activated regime).
+[[nodiscard]] double activated_switch_probability(const SwitchingParams& p,
+                                                  double i_over_ic0,
+                                                  double t_pulse);
+
+/// Characteristic precessional time constant tau_d(I) for I > Ic0 [s].
+[[nodiscard]] double precessional_tau(const SwitchingParams& p,
+                                      double i_over_ic0);
+
+/// Switching probability after a pulse of width t_pulse at supercritical
+/// current (Sun / ballistic regime with thermal initial angles).
+[[nodiscard]] double precessional_switch_probability(const SwitchingParams& p,
+                                                     double i_over_ic0,
+                                                     double t_pulse);
+
+/// Write error rate WER(t) = 1 - P_switch(t), valid in both regimes
+/// (selects the regime from i_over_ic0). Returns values clamped to
+/// [1e-300, 1].
+[[nodiscard]] double write_error_rate(const SwitchingParams& p,
+                                      double i_over_ic0, double t_pulse);
+
+/// log(WER) — usable deep in the tail where WER underflows a double.
+[[nodiscard]] double log_write_error_rate(const SwitchingParams& p,
+                                          double i_over_ic0, double t_pulse);
+
+/// Pulse width required to reach a target WER at the given overdrive [s].
+[[nodiscard]] double pulse_width_for_wer(const SwitchingParams& p,
+                                         double i_over_ic0, double target_wer);
+
+/// Deterministic (median-angle) switching delay in the precessional regime:
+/// t_sw = tau_d * ln(pi / (2 theta0)) with theta0 = sqrt(1/(2 Delta)).
+/// This is the "nominal" switching time an NVSim-style estimator uses.
+[[nodiscard]] double nominal_switching_time(const SwitchingParams& p,
+                                            double i_over_ic0);
+
+/// Retention time at zero current [s]: tau0 * exp(Delta).
+[[nodiscard]] double retention_time(const SwitchingParams& p);
+
+/// Probability that a read pulse (sub-critical, width t_read) accidentally
+/// flips the cell — the read-disturb probability of Fig. 9.
+[[nodiscard]] double read_disturb_probability(const SwitchingParams& p,
+                                              double i_read_over_ic0,
+                                              double t_read);
+
+} // namespace mss::physics

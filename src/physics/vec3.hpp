@@ -1,0 +1,46 @@
+// Minimal 3-vector used by the macrospin LLG integrator.
+#pragma once
+
+#include <cmath>
+
+namespace mss::physics {
+
+/// Plain-value 3-vector with the handful of operations magnetisation
+/// dynamics needs. Passive data, value semantics.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  /// Cross product.
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  /// Unit vector in the same direction (caller ensures non-zero norm).
+  [[nodiscard]] Vec3 normalized() const { return *this / norm(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+} // namespace mss::physics

@@ -1,0 +1,124 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/engine.hpp"
+
+namespace mss::spice {
+
+std::complex<double> AcResult::v(const std::string& node,
+                                 std::size_t k) const {
+  if (node == "0" || node == "gnd" || node == "GND") return {0.0, 0.0};
+  const auto it = node_index_.find(node);
+  if (it == node_index_.end()) {
+    throw std::out_of_range("AcResult: unknown node '" + node + "'");
+  }
+  return samples_[k][it->second];
+}
+
+double AcResult::magnitude(const std::string& node, std::size_t k) const {
+  return std::abs(v(node, k));
+}
+
+double AcResult::magnitude_db(const std::string& node, std::size_t k) const {
+  return 20.0 * std::log10(std::max(1e-300, magnitude(node, k)));
+}
+
+double AcResult::phase(const std::string& node, std::size_t k) const {
+  return std::arg(v(node, k));
+}
+
+std::vector<double> log_sweep(double f_lo, double f_hi, int per_decade) {
+  if (f_lo <= 0.0 || f_hi <= f_lo || per_decade < 1) {
+    throw std::invalid_argument("log_sweep: bad range");
+  }
+  std::vector<double> out;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  for (double f = f_lo; f <= f_hi * (1.0 + 1e-12); f *= step) {
+    out.push_back(f);
+  }
+  return out;
+}
+
+bool lu_solve_complex(std::vector<std::complex<double>>& a,
+                      std::vector<std::complex<double>>& b, std::size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("lu_solve_complex: dimension mismatch");
+  }
+  auto at = [&](std::size_t r, std::size_t c) -> std::complex<double>& {
+    return a[r * n + c];
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = std::abs(at(r, k));
+      if (m > best) {
+        best = m;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(at(k, c), at(piv, c));
+      std::swap(b[k], b[piv]);
+    }
+    const std::complex<double> inv = 1.0 / at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const std::complex<double> f = at(r, k) * inv;
+      if (f == std::complex<double>{}) continue;
+      at(r, k) = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) at(r, c) -= f * at(k, c);
+      b[r] -= f * b[k];
+    }
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    std::complex<double> acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= at(ri, c) * b[c];
+    b[ri] = acc / at(ri, ri);
+  }
+  return true;
+}
+
+AcResult ac_analysis(Circuit& circuit, const std::vector<double>& freqs) {
+  if (freqs.empty()) {
+    throw std::invalid_argument("ac_analysis: empty frequency list");
+  }
+  Engine engine(circuit);
+  const auto dc = engine.dc();
+  if (!dc.converged) {
+    throw std::runtime_error("ac_analysis: DC operating point did not converge");
+  }
+  const Solution op(dc.x);
+
+  const std::size_t dim = circuit.assign_unknowns();
+  const std::size_t n_nodes = circuit.node_count();
+
+  AcResult res;
+  for (std::size_t k = 0; k < n_nodes; ++k) {
+    res.node_index_.emplace(circuit.node_name(k), k);
+  }
+
+  std::vector<std::complex<double>> y(dim * dim);
+  std::vector<std::complex<double>> rhs(dim);
+  for (double f : freqs) {
+    const double omega = 2.0 * M_PI * f;
+    std::fill(y.begin(), y.end(), std::complex<double>{});
+    std::fill(rhs.begin(), rhs.end(), std::complex<double>{});
+    AcStamper st(y, rhs, dim);
+    for (const auto& e : circuit.elements()) e->stamp_ac(st, op, omega);
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      y[k * dim + k] += 1e-12; // gmin
+    }
+    if (!lu_solve_complex(y, rhs, dim)) {
+      res.converged_ = false;
+      rhs.assign(dim, std::complex<double>{});
+    }
+    res.freqs_.push_back(f);
+    res.samples_.push_back(rhs);
+  }
+  return res;
+}
+
+} // namespace mss::spice

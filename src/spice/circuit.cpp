@@ -1,0 +1,66 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace mss::spice {
+
+Stamper::Stamper(std::vector<double>& g_flat, std::vector<double>& rhs,
+                 std::size_t dim)
+    : g_(g_flat), rhs_(rhs), dim_(dim) {}
+
+void Stamper::add_g(int i, int j, double g) {
+  if (i == kGround || j == kGround) return;
+  g_[static_cast<std::size_t>(i) * dim_ + static_cast<std::size_t>(j)] += g;
+}
+
+void Stamper::add_rhs(int i, double v) {
+  if (i == kGround) return;
+  rhs_[static_cast<std::size_t>(i)] += v;
+}
+
+AcStamper::AcStamper(std::vector<std::complex<double>>& y_flat,
+                     std::vector<std::complex<double>>& rhs, std::size_t dim)
+    : y_(y_flat), rhs_(rhs), dim_(dim) {}
+
+void AcStamper::add_y(int i, int j, std::complex<double> y) {
+  if (i == kGround || j == kGround) return;
+  y_[static_cast<std::size_t>(i) * dim_ + static_cast<std::size_t>(j)] += y;
+}
+
+void AcStamper::add_rhs(int i, std::complex<double> v) {
+  if (i == kGround) return;
+  rhs_[static_cast<std::size_t>(i)] += v;
+}
+
+int Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const int idx = static_cast<int>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, idx);
+  return idx;
+}
+
+int Circuit::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("Circuit: unknown node '" + name + "'");
+  }
+  return it->second;
+}
+
+std::size_t Circuit::assign_unknowns() {
+  std::size_t next = names_.size();
+  for (auto& e : elements_) {
+    const int n = e->branch_count();
+    if (n > 0) {
+      e->set_branch_base(next);
+      next += static_cast<std::size_t>(n);
+    }
+  }
+  return next;
+}
+
+} // namespace mss::spice

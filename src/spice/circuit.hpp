@@ -1,0 +1,177 @@
+// Netlist container and the element interface of the MNA engine.
+//
+// Unknown vector layout: x = [v(1..N-1 nodes, ground excluded), i(branches)].
+// Elements register nodes by name through the Circuit and may claim branch
+// unknowns (voltage sources, inductor-like elements).
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mss::spice {
+
+/// Ground node index sentinel (node "0" or "gnd").
+inline constexpr int kGround = -1;
+
+/// What the engine is currently computing; elements stamp differently for
+/// DC (capacitors open) vs transient (companion models).
+enum class AnalysisKind { Dc, Transient };
+
+/// Integration method for dynamic elements.
+enum class Integrator { BackwardEuler, Trapezoidal };
+
+/// Per-iteration context handed to Element::stamp.
+struct StampContext {
+  AnalysisKind kind = AnalysisKind::Dc;
+  Integrator method = Integrator::Trapezoidal;
+  double t = 0.0;     ///< time at the *end* of the current step
+  double dt = 0.0;    ///< current step size (0 in DC)
+  bool first_step = false; ///< transient: first step after DC (use BE)
+};
+
+/// Accumulates MNA stamps. Node index kGround is silently dropped.
+class Stamper {
+ public:
+  Stamper(std::vector<double>& g_flat, std::vector<double>& rhs,
+          std::size_t dim);
+
+  /// Adds g to G[i][j].
+  void add_g(int i, int j, double g);
+  /// Adds value to RHS[i] (current injected *into* node i).
+  void add_rhs(int i, double v);
+  /// System dimension.
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+
+ private:
+  std::vector<double>& g_;
+  std::vector<double>& rhs_;
+  std::size_t dim_;
+};
+
+/// Accumulates complex admittance stamps for the AC analysis.
+class AcStamper {
+ public:
+  AcStamper(std::vector<std::complex<double>>& y_flat,
+            std::vector<std::complex<double>>& rhs, std::size_t dim);
+
+  /// Adds y to Y[i][j] (ground rows/columns dropped).
+  void add_y(int i, int j, std::complex<double> y);
+  /// Adds a stimulus term to the RHS.
+  void add_rhs(int i, std::complex<double> v);
+  /// System dimension.
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+
+ private:
+  std::vector<std::complex<double>>& y_;
+  std::vector<std::complex<double>>& rhs_;
+  std::size_t dim_;
+};
+
+/// Read access to the present Newton iterate / last accepted solution.
+class Solution {
+ public:
+  explicit Solution(const std::vector<double>& x) : x_(&x) {}
+  /// Voltage at node index (0 for ground).
+  [[nodiscard]] double v(int node) const {
+    return node == kGround ? 0.0 : (*x_)[static_cast<std::size_t>(node)];
+  }
+  /// Raw unknown (branch currents live past the node block).
+  [[nodiscard]] double raw(std::size_t idx) const { return (*x_)[idx]; }
+
+ private:
+  const std::vector<double>* x_;
+};
+
+/// Base class of all circuit elements.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  /// Instance name (diagnostics, MDL current probes).
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Number of extra branch-current unknowns this element needs.
+  [[nodiscard]] virtual int branch_count() const { return 0; }
+  /// Called once by the circuit with the index of the first claimed branch
+  /// unknown (absolute index into x).
+  virtual void set_branch_base(std::size_t /*base*/) {}
+
+  /// True when the element's stamps depend on the present iterate
+  /// (MOSFET, MTJ): forces Newton iteration.
+  [[nodiscard]] virtual bool nonlinear() const { return false; }
+
+  /// Adds the element's contribution for the current iterate `x`.
+  virtual void stamp(Stamper& st, const Solution& x,
+                     const StampContext& ctx) const = 0;
+
+  /// Adds the element's *small-signal* contribution, linearised at the DC
+  /// operating point `op`, for angular frequency `omega`. The default is a
+  /// no-op (element invisible to AC: ideal current sources, open elements).
+  virtual void stamp_ac(AcStamper& /*st*/, const Solution& /*op*/,
+                        double /*omega*/) const {}
+
+  /// Accepts the converged step (update internal state: capacitor history,
+  /// MTJ switching phase).
+  virtual void commit(const Solution& /*x*/, const StampContext& /*ctx*/) {}
+
+  /// Resets internal state before a new analysis.
+  virtual void reset() {}
+
+ private:
+  std::string name_;
+};
+
+/// The netlist: nodes by name + owned elements.
+class Circuit {
+ public:
+  /// Returns the index for a node name, creating it on first use.
+  /// "0" and "gnd" map to the ground sentinel.
+  int node(const std::string& name);
+
+  /// Number of non-ground nodes.
+  [[nodiscard]] std::size_t node_count() const { return names_.size(); }
+
+  /// Name of node index i.
+  [[nodiscard]] const std::string& node_name(std::size_t i) const {
+    return names_[i];
+  }
+
+  /// Index of an existing node; throws std::out_of_range if absent.
+  [[nodiscard]] int find_node(const std::string& name) const;
+
+  /// Adds an element (ownership transferred). Returns a borrowed pointer
+  /// usable for later state queries.
+  template <typename T>
+  T* add(std::unique_ptr<T> e) {
+    T* raw = e.get();
+    elements_.push_back(std::move(e));
+    return raw;
+  }
+
+  /// Owned elements.
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements() const {
+    return elements_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<Element>>& elements() {
+    return elements_;
+  }
+
+  /// Assigns branch indices; returns total unknown count. Called by the
+  /// engine before an analysis.
+  std::size_t assign_unknowns();
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Element>> elements_;
+};
+
+} // namespace mss::spice

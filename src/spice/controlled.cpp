@@ -1,0 +1,147 @@
+#include "spice/controlled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mss::spice {
+
+Vcvs::Vcvs(std::string name, int p, int n, int cp, int cn, double gain)
+    : Element(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::stamp(Stamper& st, const Solution&, const StampContext&) const {
+  const int br = static_cast<int>(branch_);
+  st.add_g(p_, br, 1.0);
+  st.add_g(n_, br, -1.0);
+  // Branch row: v(p) - v(n) - gain*(v(cp) - v(cn)) = 0.
+  st.add_g(br, p_, 1.0);
+  st.add_g(br, n_, -1.0);
+  st.add_g(br, cp_, -gain_);
+  st.add_g(br, cn_, gain_);
+}
+
+Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
+    : Element(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(gm) {}
+
+void Vccs::stamp(Stamper& st, const Solution&, const StampContext&) const {
+  // Current gm*(v(cp)-v(cn)) flows out of p into n.
+  st.add_g(p_, cp_, gm_);
+  st.add_g(p_, cn_, -gm_);
+  st.add_g(n_, cp_, -gm_);
+  st.add_g(n_, cn_, gm_);
+}
+
+Diode::Diode(std::string name, int anode, int cathode, double i_s,
+             double n_ideality)
+    : Element(std::move(name)), a_(anode), c_(cathode), i_s_(i_s),
+      vt_n_(n_ideality * 0.025852) {
+  if (i_s_ <= 0.0 || n_ideality <= 0.0) {
+    throw std::invalid_argument("Diode: bad model parameters");
+  }
+}
+
+double Diode::current(double v) const {
+  // Clamp the exponent so evaluation never overflows; the Newton loop's
+  // damping brings the iterate back into range.
+  const double x = std::min(v / vt_n_, 80.0);
+  return i_s_ * std::expm1(x);
+}
+
+void Diode::stamp(Stamper& st, const Solution& x,
+                  const StampContext&) const {
+  const double v = x.v(a_) - x.v(c_);
+  const double vl = std::min(v / vt_n_, 80.0);
+  const double g = std::max(1e-12, i_s_ * std::exp(vl) / vt_n_);
+  const double i = current(v);
+  const double ieq = i - g * v;
+  st.add_g(a_, a_, g);
+  st.add_g(c_, c_, g);
+  st.add_g(a_, c_, -g);
+  st.add_g(c_, a_, -g);
+  st.add_rhs(a_, -ieq);
+  st.add_rhs(c_, ieq);
+}
+
+Inductor::Inductor(std::string name, int a, int b, double henries,
+                   double i_initial)
+    : Element(std::move(name)), a_(a), b_(b), l_(henries), i0_(i_initial),
+      i_prev_(i_initial) {
+  if (l_ <= 0.0) throw std::invalid_argument("Inductor: non-positive value");
+}
+
+void Inductor::reset() {
+  i_prev_ = i0_;
+  v_prev_ = 0.0;
+}
+
+void Inductor::stamp(Stamper& st, const Solution&,
+                     const StampContext& ctx) const {
+  const int br = static_cast<int>(branch_);
+  // KCL: branch current flows a -> b.
+  st.add_g(a_, br, 1.0);
+  st.add_g(b_, br, -1.0);
+  if (ctx.kind == AnalysisKind::Dc || ctx.dt <= 0.0) {
+    // DC: short circuit, v(a) - v(b) = 0.
+    st.add_g(br, a_, 1.0);
+    st.add_g(br, b_, -1.0);
+    return;
+  }
+  // v = L di/dt. BE: v_n = (L/dt)(i_n - i_{n-1});
+  // trapezoidal: v_n = (2L/dt)(i_n - i_{n-1}) - v_{n-1}.
+  const bool trap = ctx.method == Integrator::Trapezoidal && !ctx.first_step;
+  const double req = (trap ? 2.0 : 1.0) * l_ / ctx.dt;
+  // Branch row: v(a) - v(b) - req * i = rhs.
+  st.add_g(br, a_, 1.0);
+  st.add_g(br, b_, -1.0);
+  st.add_g(br, br, -req);
+  st.add_rhs(br, trap ? (-req * i_prev_ - v_prev_) : (-req * i_prev_));
+}
+
+void Inductor::commit(const Solution& x, const StampContext& ctx) {
+  i_prev_ = x.raw(branch_);
+  if (ctx.kind == AnalysisKind::Transient && ctx.dt > 0.0) {
+    v_prev_ = x.v(a_) - x.v(b_);
+  } else {
+    v_prev_ = 0.0;
+  }
+}
+
+void Vcvs::stamp_ac(AcStamper& st, const Solution&, double) const {
+  const int br = static_cast<int>(branch_);
+  st.add_y(p_, br, 1.0);
+  st.add_y(n_, br, -1.0);
+  st.add_y(br, p_, 1.0);
+  st.add_y(br, n_, -1.0);
+  st.add_y(br, cp_, -gain_);
+  st.add_y(br, cn_, gain_);
+}
+
+void Vccs::stamp_ac(AcStamper& st, const Solution&, double) const {
+  st.add_y(p_, cp_, gm_);
+  st.add_y(p_, cn_, -gm_);
+  st.add_y(n_, cp_, -gm_);
+  st.add_y(n_, cn_, gm_);
+}
+
+void Diode::stamp_ac(AcStamper& st, const Solution& op, double) const {
+  const double v = op.v(a_) - op.v(c_);
+  const double vl = std::min(v / vt_n_, 80.0);
+  const std::complex<double> g(
+      std::max(1e-12, i_s_ * std::exp(vl) / vt_n_), 0.0);
+  st.add_y(a_, a_, g);
+  st.add_y(c_, c_, g);
+  st.add_y(a_, c_, -g);
+  st.add_y(c_, a_, -g);
+}
+
+void Inductor::stamp_ac(AcStamper& st, const Solution&, double omega) const {
+  const int br = static_cast<int>(branch_);
+  st.add_y(a_, br, 1.0);
+  st.add_y(b_, br, -1.0);
+  // Branch row: v(a) - v(b) - j*omega*L * i = 0.
+  st.add_y(br, a_, 1.0);
+  st.add_y(br, b_, -1.0);
+  st.add_y(br, br, std::complex<double>(0.0, -omega * l_));
+}
+
+} // namespace mss::spice

@@ -1,0 +1,177 @@
+#include "spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/elements.hpp"
+#include "spice/matrix.hpp"
+
+namespace mss::spice {
+
+std::size_t TransientResult::idx_of_node(const std::string& node) const {
+  auto it = node_index_.find(node);
+  if (it == node_index_.end()) {
+    throw std::out_of_range("TransientResult: unknown node '" + node + "'");
+  }
+  return it->second;
+}
+
+std::size_t TransientResult::idx_of_source(const std::string& vsource) const {
+  auto it = source_branch_.find(vsource);
+  if (it == source_branch_.end()) {
+    throw std::out_of_range("TransientResult: unknown source '" + vsource +
+                            "'");
+  }
+  return it->second;
+}
+
+double TransientResult::v(const std::string& node, std::size_t k) const {
+  if (node == "0" || node == "gnd" || node == "GND") return 0.0;
+  return samples_[k][idx_of_node(node)];
+}
+
+std::vector<double> TransientResult::voltage(const std::string& node) const {
+  std::vector<double> out(times_.size());
+  for (std::size_t k = 0; k < times_.size(); ++k) out[k] = v(node, k);
+  return out;
+}
+
+double TransientResult::i(const std::string& vsource, std::size_t k) const {
+  return samples_[k][idx_of_source(vsource)];
+}
+
+std::vector<double> TransientResult::current(
+    const std::string& vsource) const {
+  std::vector<double> out(times_.size());
+  const std::size_t idx = idx_of_source(vsource);
+  for (std::size_t k = 0; k < times_.size(); ++k) out[k] = samples_[k][idx];
+  return out;
+}
+
+bool TransientResult::has_node(const std::string& node) const {
+  return node == "0" || node == "gnd" || node == "GND" ||
+         node_index_.count(node) > 0;
+}
+
+bool TransientResult::has_source(const std::string& vsource) const {
+  return source_branch_.count(vsource) > 0;
+}
+
+Engine::Engine(Circuit& circuit, EngineOptions options)
+    : ckt_(circuit), opt_(options) {}
+
+bool Engine::solve(std::vector<double>& x, const StampContext& ctx,
+                   std::size_t dim) {
+  const std::size_t n_nodes = ckt_.node_count();
+  Matrix a(dim, dim);
+  std::vector<double> g_flat(dim * dim, 0.0);
+  std::vector<double> rhs(dim, 0.0);
+
+  bool any_nonlinear = false;
+  for (const auto& e : ckt_.elements()) {
+    if (e->nonlinear()) {
+      any_nonlinear = true;
+      break;
+    }
+  }
+  const int iters = any_nonlinear ? opt_.max_newton : 1;
+
+  for (int it = 0; it < iters; ++it) {
+    std::fill(g_flat.begin(), g_flat.end(), 0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    Stamper st(g_flat, rhs, dim);
+    const Solution sol(x);
+    for (const auto& e : ckt_.elements()) e->stamp(st, sol, ctx);
+    // gmin to ground on every node row keeps floating nodes solvable.
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      g_flat[k * dim + k] += opt_.gmin;
+    }
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) a.at(r, c) = g_flat[r * dim + c];
+    }
+    std::vector<double> x_new = rhs;
+    if (!lu_solve(a, x_new)) return false;
+
+    // A purely linear system is exact after one solve; damping only applies
+    // to Newton steps of nonlinear circuits.
+    if (!any_nonlinear) {
+      x = std::move(x_new);
+      return true;
+    }
+
+    // Damped update + convergence check.
+    double worst = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) {
+      double dxk = x_new[k] - x[k];
+      if (k < n_nodes) {
+        dxk = std::clamp(dxk, -opt_.damping, opt_.damping);
+      }
+      x[k] += dxk;
+      worst = std::max(worst, std::abs(dxk) / std::max(1.0, std::abs(x[k])));
+    }
+    if (worst <= opt_.vtol) return true;
+  }
+  return false;
+}
+
+DcResult Engine::dc() {
+  const std::size_t dim = ckt_.assign_unknowns();
+  DcResult out;
+  out.x.assign(dim, 0.0);
+  StampContext ctx;
+  ctx.kind = AnalysisKind::Dc;
+  ctx.t = 0.0;
+  ctx.dt = 0.0;
+  out.converged = solve(out.x, ctx, dim);
+  return out;
+}
+
+TransientResult Engine::transient(double t_stop, double dt,
+                                  bool use_initial_conditions) {
+  if (t_stop <= 0.0 || dt <= 0.0 || dt > t_stop) {
+    throw std::invalid_argument("Engine::transient: bad time parameters");
+  }
+  const std::size_t dim = ckt_.assign_unknowns();
+
+  TransientResult res;
+  for (std::size_t k = 0; k < ckt_.node_count(); ++k) {
+    res.node_index_.emplace(ckt_.node_name(k), k);
+  }
+  for (const auto& e : ckt_.elements()) {
+    if (const auto* vs = dynamic_cast<const VoltageSource*>(e.get())) {
+      res.source_branch_.emplace(vs->name(), vs->branch_index());
+    }
+  }
+
+  for (auto& e : ckt_.elements()) e->reset();
+
+  std::vector<double> x(dim, 0.0);
+  if (!use_initial_conditions) {
+    StampContext dc_ctx;
+    dc_ctx.kind = AnalysisKind::Dc;
+    if (!solve(x, dc_ctx, dim)) res.converged_ = false;
+    const Solution sol(x);
+    for (auto& e : ckt_.elements()) e->commit(sol, dc_ctx);
+  }
+  res.times_.push_back(0.0);
+  res.samples_.push_back(x);
+
+  const auto steps = static_cast<std::size_t>(std::llround(t_stop / dt));
+  for (std::size_t k = 0; k < steps; ++k) {
+    StampContext ctx;
+    ctx.kind = AnalysisKind::Transient;
+    ctx.method = opt_.method;
+    ctx.t = double(k + 1) * dt;
+    ctx.dt = dt;
+    ctx.first_step = (k == 0);
+    if (!solve(x, ctx, dim)) res.converged_ = false;
+    const Solution sol(x);
+    for (auto& e : ckt_.elements()) e->commit(sol, ctx);
+    res.times_.push_back(ctx.t);
+    res.samples_.push_back(x);
+  }
+  return res;
+}
+
+} // namespace mss::spice

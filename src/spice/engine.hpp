@@ -1,0 +1,88 @@
+// DC operating-point (Newton-Raphson) and transient analysis over a
+// Circuit, with trapezoidal or backward-Euler integration.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace mss::spice {
+
+/// Solver options.
+struct EngineOptions {
+  double vtol = 1e-6;      ///< Newton convergence: |dx| <= vtol*max(1,|x|)
+  int max_newton = 200;    ///< Newton iteration cap per solve
+  double gmin = 1e-12;     ///< node-to-ground shunt conductance
+  double damping = 0.6;    ///< max voltage change per Newton step [V]
+  Integrator method = Integrator::Trapezoidal;
+};
+
+/// DC solve outcome.
+struct DcResult {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> x; ///< unknown vector (node voltages + branch currents)
+};
+
+/// Stored transient waveforms with name-based signal access.
+class TransientResult {
+ public:
+  /// Time points [s].
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+
+  /// Voltage of a named node at step k.
+  [[nodiscard]] double v(const std::string& node, std::size_t k) const;
+  /// Complete voltage waveform of a named node.
+  [[nodiscard]] std::vector<double> voltage(const std::string& node) const;
+  /// Branch current through a named voltage source at step k
+  /// (positive current flows from + through the source to -).
+  [[nodiscard]] double i(const std::string& vsource, std::size_t k) const;
+  /// Complete current waveform of a named voltage source.
+  [[nodiscard]] std::vector<double> current(const std::string& vsource) const;
+  /// True when the named signal exists ("v:<node>" or "i:<source>").
+  [[nodiscard]] bool has_node(const std::string& node) const;
+  [[nodiscard]] bool has_source(const std::string& vsource) const;
+  /// Number of stored steps.
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  /// Whether every step converged.
+  [[nodiscard]] bool converged() const { return converged_; }
+
+ private:
+  friend class Engine;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> samples_;
+  std::unordered_map<std::string, std::size_t> node_index_;
+  std::unordered_map<std::string, std::size_t> source_branch_;
+  bool converged_ = true;
+
+  [[nodiscard]] std::size_t idx_of_node(const std::string& node) const;
+  [[nodiscard]] std::size_t idx_of_source(const std::string& vsource) const;
+};
+
+/// The analysis driver. Borrows the circuit for its lifetime.
+class Engine {
+ public:
+  explicit Engine(Circuit& circuit, EngineOptions options = {});
+
+  /// DC operating point at t = 0 (capacitors open, waveforms evaluated at 0).
+  [[nodiscard]] DcResult dc();
+
+  /// Fixed-step transient from 0 to `t_stop`.
+  /// When `use_initial_conditions` is true the run starts from x = 0 with
+  /// element initial conditions (capacitor v0); otherwise a DC operating
+  /// point is computed first and committed as the starting state.
+  [[nodiscard]] TransientResult transient(double t_stop, double dt,
+                                          bool use_initial_conditions = false);
+
+ private:
+  Circuit& ckt_;
+  EngineOptions opt_;
+
+  /// One Newton solve at the given context; x is in/out. Returns converged.
+  bool solve(std::vector<double>& x, const StampContext& ctx,
+             std::size_t dim);
+};
+
+} // namespace mss::spice

@@ -1,0 +1,52 @@
+#include "spice/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mss::spice {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+bool lu_solve(Matrix& a, std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("lu_solve: dimension mismatch");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::abs(a.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(a.at(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(piv, c));
+      std::swap(b[k], b[piv]);
+    }
+    const double inv_pivot = 1.0 / a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = a.at(r, k) * inv_pivot;
+      if (f == 0.0) continue;
+      a.at(r, k) = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) a.at(r, c) -= f * a.at(k, c);
+      b[r] -= f * b[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * b[c];
+    b[ri] = acc / a.at(ri, ri);
+  }
+  return true;
+}
+
+} // namespace mss::spice

@@ -1,0 +1,46 @@
+// Dense linear algebra for the MNA system. Circuit matrices in this library
+// are small (bit cells, flip-flops, sense amplifiers: tens of unknowns), so
+// a dense LU with partial pivoting is simpler and faster than a sparse
+// solver at this scale.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mss::spice {
+
+/// Dense row-major square-capable matrix.
+class Matrix {
+ public:
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Number of rows.
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  /// Number of columns.
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Element access.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  /// Element access (const).
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Sets all entries to zero (reused across Newton iterations).
+  void zero();
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b in place via LU with partial pivoting. A is overwritten.
+/// Returns false when the matrix is numerically singular (pivot below
+/// 1e-300); the caller treats that as a non-converged solve.
+[[nodiscard]] bool lu_solve(Matrix& a, std::vector<double>& b);
+
+} // namespace mss::spice

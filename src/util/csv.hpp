@@ -1,0 +1,34 @@
+// CSV emission. Benches can optionally dump their series as CSV files next
+// to the console output so the figures can be re-plotted externally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mss::util {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes cells that
+/// contain commas/quotes/newlines).
+class CsvWriter {
+ public:
+  /// Creates a writer with a header row.
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  /// Appends a row of cells (must match header width).
+  void add_row(std::vector<std::string> row);
+
+  /// Serialises to a CSV string.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to `path`; returns false (and leaves no partial file guarantee)
+  /// on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mss::util

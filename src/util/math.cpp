@@ -1,0 +1,247 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mss::util {
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_sf(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+namespace {
+
+// Acklam's rational approximation to the inverse normal CDF.
+double acklam_quantile(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log1p(-p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+} // namespace
+
+double normal_quantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  }
+  double x = acklam_quantile(p);
+  // One Halley refinement step. The residual is evaluated with the
+  // tail-accurate CDF, so the refinement holds deep into the tails.
+  const double e = (p < 0.5 ? normal_cdf(x) - p : -(normal_sf(x) - (1.0 - p)));
+  const double pdf =
+      std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+  if (pdf > 0.0) {
+    const double u = e / pdf;
+    x = x - u / (1.0 + 0.5 * x * u);
+  }
+  return x;
+}
+
+double normal_isf(double q) {
+  if (!(q > 0.0) || !(q < 1.0)) {
+    throw std::invalid_argument("normal_isf: q must be in (0,1)");
+  }
+  if (q >= 0.5) return -normal_quantile(q) * 0.0 + normal_quantile(1.0 - q);
+  // Solve Q(x) = q. Start from Acklam on the lower tail and refine with
+  // Newton in the log domain (stable because log Q is nearly quadratic).
+  double x = -acklam_quantile(q); // Q(x)=q  <=>  Phi(-x)=q
+  for (int i = 0; i < 40; ++i) {
+    const double sf = normal_sf(x);
+    if (sf <= 0.0) break;
+    const double log_ratio = std::log(sf) - std::log(q);
+    const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+    if (pdf <= 0.0) break;
+    // d(log Q)/dx = -pdf/Q
+    const double step = log_ratio * sf / pdf;
+    x += step;
+    if (std::abs(step) < 1e-13 * std::max(1.0, std::abs(x))) break;
+  }
+  return x;
+}
+
+double log1mexp(double x) {
+  if (x > 0.0) throw std::invalid_argument("log1mexp: x must be <= 0");
+  // Split at log(2) per Maechler (2012).
+  if (x > -M_LN2) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+double log_binomial(unsigned n, unsigned k) {
+  if (k > n) throw std::invalid_argument("log_binomial: k > n");
+  return std::lgamma(double(n) + 1.0) - std::lgamma(double(k) + 1.0) -
+         std::lgamma(double(n - k) + 1.0);
+}
+
+double log_binomial_sf(unsigned n, unsigned t, double log_p) {
+  if (t >= n) return -std::numeric_limits<double>::infinity();
+  const double log_q = log1mexp(std::min(0.0, log_p)); // log(1-p)
+  // Sum P(X = k) for k = t+1 .. n in the log domain using log-sum-exp.
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  terms.reserve(n - t);
+  for (unsigned k = t + 1; k <= n; ++k) {
+    const double lt = log_binomial(n, k) + double(k) * log_p +
+                      double(n - k) * log_q;
+    terms.push_back(lt);
+    max_term = std::max(max_term, lt);
+    // Terms decay geometrically once k >> n*p; stop when negligible.
+    if (lt < max_term - 80.0 && k > t + 4) break;
+  }
+  double sum = 0.0;
+  for (double lt : terms) sum += std::exp(lt - max_term);
+  return max_term + std::log(sum);
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double xtol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    throw std::invalid_argument("bisect: endpoints do not bracket a root");
+  }
+  for (int i = 0; i < max_iter; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+    if ((hi - lo) <= xtol * std::max(1.0, std::abs(mid))) return mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double bisect_expand(const std::function<double(double)>& f, double lo,
+                     double hi, double xtol, int max_expand) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  int n = 0;
+  while ((flo > 0.0) == (fhi > 0.0)) {
+    if (++n > max_expand) {
+      throw std::invalid_argument(
+          "bisect_expand: no sign change within expansion budget");
+    }
+    lo = hi;
+    flo = fhi;
+    hi *= 2.0;
+    fhi = f(hi);
+  }
+  return bisect(f, lo, hi, xtol);
+}
+
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("interp_linear: bad table");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  // Binary search for the segment.
+  std::size_t lo = 0;
+  std::size_t hi = xs.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (xs[mid] <= x)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+GaussHermite::GaussHermite(int n) {
+  if (n < 1 || n > 64) {
+    throw std::invalid_argument("GaussHermite: n must be in [1, 64]");
+  }
+  nodes.resize(static_cast<std::size_t>(n));
+  weights.resize(static_cast<std::size_t>(n));
+  // Newton iteration on the physicists' Hermite polynomial H_n; initial
+  // guesses per Numerical Recipes.
+  const double pi_term = std::pow(M_PI, -0.25);
+  double z = 0.0;
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    if (i == 0) {
+      z = std::sqrt(2.0 * n + 1.0) - 1.85575 * std::pow(2.0 * n + 1.0, -1.0 / 6.0);
+    } else if (i == 1) {
+      z -= 1.14 * std::pow(double(n), 0.426) / z;
+    } else if (i == 2) {
+      z = 1.86 * z - 0.86 * nodes[0];
+    } else if (i == 3) {
+      z = 1.91 * z - 0.91 * nodes[1];
+    } else {
+      z = 2.0 * z - nodes[static_cast<std::size_t>(i) - 2];
+    }
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double p1 = pi_term;
+      double p2 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p3 = p2;
+        p2 = p1;
+        p1 = z * std::sqrt(2.0 / (j + 1.0)) * p2 -
+             std::sqrt(double(j) / (j + 1.0)) * p3;
+      }
+      pp = std::sqrt(2.0 * n) * p2;
+      const double dz = p1 / pp;
+      z -= dz;
+      if (std::abs(dz) < 1e-15) break;
+    }
+    const auto idx = static_cast<std::size_t>(i);
+    nodes[idx] = z;
+    nodes[static_cast<std::size_t>(n) - 1 - idx] = -z;
+    weights[idx] = 2.0 / (pp * pp);
+    weights[static_cast<std::size_t>(n) - 1 - idx] = weights[idx];
+  }
+  // Reverse so nodes ascend (cosmetic, but tests rely on ordering).
+  std::vector<double> xs(nodes.rbegin(), nodes.rend());
+  std::vector<double> ws(weights.rbegin(), weights.rend());
+  nodes = std::move(xs);
+  weights = std::move(ws);
+}
+
+double GaussHermite::expect(const std::function<double(double)>& g, double mu,
+                            double sigma) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    acc += weights[i] * g(mu + sigma * std::sqrt(2.0) * nodes[i]);
+  }
+  return acc / std::sqrt(M_PI);
+}
+
+} // namespace mss::util

@@ -1,0 +1,105 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mss::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& lane : s_) lane = splitmix64(x);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return double(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_u64: n must be > 0");
+  // 128-bit multiply-shift mapping.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * n;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * f;
+  has_cached_normal_ = true;
+  return u * f;
+}
+
+double Rng::normal(double mean, double sigma) {
+  return mean + sigma * normal();
+}
+
+double Rng::lognormal_median(double median, double sigma_log) {
+  return median * std::exp(sigma_log * normal());
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  // 1 - uniform() is in (0, 1]: log never sees zero.
+  return -mean * std::log(1.0 - uniform());
+}
+
+Rng Rng::fork(std::uint64_t label) const {
+  std::uint64_t x = s_[0] ^ rotl(s_[2], 13) ^ (label * 0xD6E8FEB86659FD93ull);
+  Rng child(0);
+  child.s_[0] = splitmix64(x);
+  child.s_[1] = splitmix64(x);
+  child.s_[2] = splitmix64(x);
+  child.s_[3] = splitmix64(x);
+  if (child.s_[0] == 0 && child.s_[1] == 0 && child.s_[2] == 0 &&
+      child.s_[3] == 0) {
+    child.s_[0] = 1;
+  }
+  return child;
+}
+
+} // namespace mss::util

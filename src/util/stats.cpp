@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mss::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(n);
+  mean_ = (mean_ * double(n_) + other.mean_ * double(other.n_)) / double(n);
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double quantile(std::span<const double> data, double p) {
+  if (data.empty()) throw std::invalid_argument("quantile: empty data");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("quantile: bad p");
+  std::vector<double> v(data.begin(), data.end());
+  std::sort(v.begin(), v.end());
+  const double idx = p * double(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double t = idx - double(lo);
+  return v[lo] + t * (v[hi] - v[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: bad range or bins");
+  }
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::ptrdiff_t>(t * double(counts_.size()));
+  i = std::clamp<std::ptrdiff_t>(i, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::center(std::size_t i) const {
+  const double w = (hi_ - lo_) / double(counts_.size());
+  return lo_ + (double(i) + 0.5) * w;
+}
+
+double Histogram::density(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  const double w = (hi_ - lo_) / double(counts_.size());
+  return double(counts_[i]) / (double(total_) * w);
+}
+
+} // namespace mss::util

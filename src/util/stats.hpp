@@ -1,0 +1,77 @@
+// Streaming and batch statistics used by the Monte-Carlo estimators and by
+// the bench harnesses when summarising distributions (Table 1 reports
+// nominal / mu / sigma triplets).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mss::util {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Sample mean (0 when empty).
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when n < 2).
+  [[nodiscard]] double variance() const;
+  /// Unbiased sample standard deviation.
+  [[nodiscard]] double stddev() const;
+  /// Smallest observation (+inf when empty).
+  [[nodiscard]] double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  [[nodiscard]] double max() const { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// p-quantile (p in [0,1]) by linear interpolation on a copy of the data.
+[[nodiscard]] double quantile(std::span<const double> data, double p);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// samples clamp into the edge buckets. Used for distribution plots in
+/// benches and for the Boltzmann-equilibrium physics test.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one sample.
+  void add(double x);
+
+  /// Bucket counts.
+  [[nodiscard]] const std::vector<std::size_t>& counts() const {
+    return counts_;
+  }
+  /// Centre of bucket i.
+  [[nodiscard]] double center(std::size_t i) const;
+  /// Total number of samples.
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Normalised density of bucket i (integrates to ~1 over the range).
+  [[nodiscard]] double density(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+} // namespace mss::util

@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mss::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "  " : "");
+      out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& items,
+                      double max_width) {
+  double vmax = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : items) {
+    vmax = std::max(vmax, std::abs(v));
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, v] : items) {
+    const int n = vmax > 0.0
+                      ? static_cast<int>(std::lround(std::abs(v) / vmax * max_width))
+                      : 0;
+    out << label << std::string(label_w - label.size(), ' ') << " | "
+        << std::string(static_cast<std::size_t>(n), '#') << ' '
+        << TextTable::num(v, 3) << '\n';
+  }
+  return out.str();
+}
+
+} // namespace mss::util

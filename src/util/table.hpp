@@ -1,0 +1,38 @@
+// Console table rendering for the bench harnesses. Every bench prints the
+// paper's table/figure as an aligned text table so the row/series shapes can
+// be compared with the publication directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mss::util {
+
+/// Minimal right-aligned text table with a header row.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Scientific notation, e.g. "1.0e-15" — used for error-rate axes.
+  static std::string sci(double v, int precision = 1);
+
+  /// Renders the table with a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart (used to mirror the paper's bar
+/// figures, e.g. the Fig. 11 energy-breakdown and Fig. 12 EDP charts).
+[[nodiscard]] std::string bar_chart(
+    const std::vector<std::pair<std::string, double>>& items, double max_width = 48);
+
+} // namespace mss::util

@@ -1,0 +1,51 @@
+// Unit conversion constants.
+//
+// The whole library works in SI units internally (seconds, joules, metres,
+// amperes, volts, kelvin, A/m for magnetic fields H, tesla for inductions B).
+// These constants convert to/from the "engineering" units used in the paper
+// (ns, pJ, nm, Oe, kOe) at the reporting boundary only.
+#pragma once
+
+namespace mss::util {
+
+// --- time ---
+inline constexpr double kNs = 1e-9;  ///< nanosecond in seconds
+inline constexpr double kPs = 1e-12; ///< picosecond in seconds
+inline constexpr double kUs = 1e-6;  ///< microsecond in seconds
+
+// --- energy ---
+inline constexpr double kPj = 1e-12; ///< picojoule in joules
+inline constexpr double kFj = 1e-15; ///< femtojoule in joules
+inline constexpr double kNj = 1e-9;  ///< nanojoule in joules
+inline constexpr double kMj = 1e-3;  ///< millijoule in joules
+
+// --- length ---
+inline constexpr double kNm = 1e-9; ///< nanometre in metres
+inline constexpr double kUm = 1e-6; ///< micrometre in metres
+inline constexpr double kMm = 1e-3; ///< millimetre in metres
+
+// --- current / power ---
+inline constexpr double kUa = 1e-6; ///< microampere in amperes
+inline constexpr double kMa = 1e-3; ///< milliampere in amperes
+inline constexpr double kMw = 1e-3; ///< milliwatt in watts
+inline constexpr double kUw = 1e-6; ///< microwatt in watts
+
+// --- capacitance / resistance ---
+inline constexpr double kFf   = 1e-15; ///< femtofarad in farads
+inline constexpr double kPf   = 1e-12; ///< picofarad in farads
+inline constexpr double kKohm = 1e3;   ///< kiloohm in ohms
+
+// --- magnetic field ---
+// 1 oersted = 1000/(4*pi) A/m.
+inline constexpr double kOersted = 79.5774715459477; ///< Oe in A/m
+inline constexpr double kKiloOersted = 1e3 * kOersted; ///< kOe in A/m
+
+// --- frequency ---
+inline constexpr double kGhz = 1e9; ///< gigahertz in hertz
+inline constexpr double kMhz = 1e6; ///< megahertz in hertz
+
+// --- area ---
+inline constexpr double kUm2 = 1e-12; ///< square micrometre in square metres
+inline constexpr double kMm2 = 1e-6;  ///< square millimetre in square metres
+
+} // namespace mss::util

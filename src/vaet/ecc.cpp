@@ -1,0 +1,46 @@
+#include "vaet/ecc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace mss::vaet {
+
+unsigned EccScheme::check_bits() const {
+  if (t_correct == 0) return 0;
+  const unsigned m =
+      static_cast<unsigned>(std::ceil(std::log2(double(data_bits) + 1.0))) + 1;
+  return m * t_correct;
+}
+
+unsigned EccScheme::codeword_bits() const { return data_bits + check_bits(); }
+
+double EccScheme::overhead() const {
+  return double(check_bits()) / double(data_bits);
+}
+
+double log_codeword_failure(const EccScheme& scheme, double log_p_bit) {
+  if (log_p_bit > 0.0) {
+    throw std::invalid_argument("log_codeword_failure: log_p must be <= 0");
+  }
+  return mss::util::log_binomial_sf(scheme.codeword_bits(), scheme.t_correct,
+                                    log_p_bit);
+}
+
+double allowed_log_p_bit(const EccScheme& scheme, double log_target) {
+  if (log_target >= 0.0) {
+    throw std::invalid_argument("allowed_log_p_bit: log_target must be < 0");
+  }
+  // log_codeword_failure is increasing in log_p_bit; bracket and bisect.
+  double lo = log_target - 10.0; // p_bit certainly too small
+  double hi = -1e-9;             // p_bit ~ 1: failure ~ certain
+  while (log_codeword_failure(scheme, lo) > log_target) lo -= 50.0;
+  return mss::util::bisect(
+      [&](double lp) {
+        return log_codeword_failure(scheme, lp) - log_target;
+      },
+      lo, hi, 1e-10);
+}
+
+} // namespace mss::vaet

@@ -1,0 +1,39 @@
+// Error-correcting-code model for the write-reliability trade-off of
+// Fig. 8: instead of widening the write pulse until the raw per-bit WER is
+// low enough, keep a shorter pulse and correct the tail errors with a
+// t-error-correcting BCH code over the data word.
+#pragma once
+
+#include <cstddef>
+
+namespace mss::vaet {
+
+/// Parameters of a shortened binary BCH code protecting `data_bits` with
+/// `t_correct`-bit correction capability.
+struct EccScheme {
+  unsigned data_bits = 512;
+  unsigned t_correct = 0; ///< number of correctable bit errors
+
+  /// Check bits: m * t with m = ceil(log2(data_bits + 1)) + 1 (shortened
+  /// BCH bound); zero when t_correct == 0.
+  [[nodiscard]] unsigned check_bits() const;
+  /// Total codeword length.
+  [[nodiscard]] unsigned codeword_bits() const;
+  /// Storage overhead ratio check/data.
+  [[nodiscard]] double overhead() const;
+};
+
+/// log of the probability that a codeword write *fails* (more than
+/// t_correct bit errors among codeword_bits independent bits), given the
+/// per-bit log error rate. Evaluated fully in the log domain so targets
+/// down to 1e-30 are representable.
+[[nodiscard]] double log_codeword_failure(const EccScheme& scheme,
+                                          double log_p_bit);
+
+/// The per-bit log error rate allowed so that the codeword failure
+/// probability stays at `log_target`. Inverse of `log_codeword_failure`,
+/// solved by bisection (monotone).
+[[nodiscard]] double allowed_log_p_bit(const EccScheme& scheme,
+                                       double log_target);
+
+} // namespace mss::vaet

@@ -1,0 +1,269 @@
+#include "vaet/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/compact_model.hpp"
+#include "physics/thermal.hpp"
+#include "util/math.hpp"
+#include "vaet/ecc.hpp"
+
+namespace mss::vaet {
+
+using core::MtjCompactModel;
+using core::MtjState;
+using core::WriteDirection;
+using mss::util::GaussHermite;
+
+VaetStt::VaetStt(core::Pdk pdk, nvsim::ArrayOrg org, VaetOptions options)
+    : pdk_(std::move(pdk)), org_(org), opt_(options),
+      array_(pdk_, org_) {}
+
+DistributionSummary VaetStt::summarize(const std::vector<double>& samples,
+                                       double nominal) const {
+  mss::util::RunningStats st;
+  for (double s : samples) st.add(s);
+  DistributionSummary d;
+  d.nominal = nominal;
+  d.mean = st.mean();
+  d.sigma = st.stddev();
+  d.min = st.min();
+  d.max = st.max();
+  d.p99 = mss::util::quantile(samples, 0.99);
+  return d;
+}
+
+VaetResult VaetStt::monte_carlo(mss::util::Rng& rng) const {
+  const auto nominal = array_.estimate();
+  const auto cell = array_.cell();
+  const double vdd = pdk_.cmos.vdd;
+  const double c_bl = array_.geometry().c_bitline;
+  const auto word = double(org_.word_bits);
+
+  // Fixed energies shared by every sample (decoder + wordline swing).
+  const double e_fixed_wr = nominal.e_decoder + nominal.e_wordline +
+                            nominal.e_bitline_write;
+  const double e_fixed_rd = nominal.e_decoder + nominal.e_wordline +
+                            nominal.e_senseamp;
+
+  const double t_peri_wr = array_.write_periphery_latency();
+  const double t_peri_rd = array_.read_periphery_latency();
+
+  std::vector<double> wr_lat, wr_en, rd_lat, rd_en;
+  wr_lat.reserve(opt_.mc_samples);
+  wr_en.reserve(opt_.mc_samples);
+  rd_lat.reserve(opt_.mc_samples);
+  rd_en.reserve(opt_.mc_samples);
+
+  for (std::size_t s = 0; s < opt_.mc_samples; ++s) {
+    // ---------- write access ----------
+    double t_slowest = 0.0;
+    double i_sum = 0.0;
+    for (std::size_t b = 0; b < org_.word_bits; ++b) {
+      const auto dev = pdk_.sample_device(rng);
+      const MtjCompactModel model(dev);
+      const double drive = pdk_.sample_drive_factor(rng);
+      // The driver is sized for the *nominal* device; the sampled device
+      // sees the nominal current scaled by the CMOS drive factor.
+      const double i_w = drive * cell.i_write;
+      i_sum += i_w;
+      const double ic = model.critical_current(WriteDirection::ToAntiparallel);
+      const double x = i_w / ic;
+      const auto sp = model.switching_params(WriteDirection::ToAntiparallel);
+      double t_bit;
+      if (x > 1.05) {
+        // Precessional: thermal initial angle (Rayleigh) sets the delay.
+        const double s_theta = std::sqrt(1.0 / (2.0 * std::max(sp.delta, 1.0)));
+        const double u = rng.uniform();
+        const double theta0 =
+            std::max(1e-6, s_theta * std::sqrt(-2.0 * std::log1p(-u)));
+        t_bit = physics::precessional_tau(sp, x) *
+                std::log(M_PI / (2.0 * theta0));
+      } else {
+        // Sub-critical outlier bit: thermally activated, heavy tail.
+        const double xa = std::min(x, 0.999);
+        const double tau = physics::neel_brown_tau(sp, xa);
+        t_bit = std::min(rng.exponential(tau), opt_.activated_cap);
+      }
+      t_slowest = std::max(t_slowest, std::max(t_bit, 0.0));
+    }
+    const double lat_wr = t_peri_wr + t_slowest;
+    wr_lat.push_back(lat_wr);
+    // All word drivers stay on until the slowest bit completes.
+    wr_en.push_back(e_fixed_wr + i_sum * vdd * t_slowest);
+
+    // ---------- read access ----------
+    double t_sense_worst = 0.0;
+    double i_read_sum = 0.0;
+    for (std::size_t b = 0; b < org_.word_bits; ++b) {
+      const auto dev = pdk_.sample_device(rng);
+      const MtjCompactModel model(dev);
+      const double i_p = model.read_current(MtjState::Parallel, pdk_.v_read);
+      const double i_ap =
+          model.read_current(MtjState::Antiparallel, pdk_.v_read);
+      const double delta_i = std::max(1e-7, i_p - i_ap);
+      const double offset = std::abs(pdk_.sample_sense_offset(rng));
+      const double swing = opt_.v_resolve + offset;
+      const double t_bit = c_bl * swing / (0.5 * delta_i);
+      t_sense_worst = std::max(t_sense_worst, t_bit);
+      i_read_sum += 0.5 * (i_p + i_ap);
+    }
+    const double lat_rd = t_peri_rd + t_sense_worst;
+    rd_lat.push_back(lat_rd);
+    // Bitline bias energy scales with the actual sensing window.
+    rd_en.push_back(e_fixed_rd + i_read_sum * pdk_.v_read * t_sense_worst +
+                    word * c_bl * pdk_.v_read * vdd);
+  }
+
+  VaetResult out;
+  out.write_latency = summarize(wr_lat, nominal.write_latency);
+  out.write_energy = summarize(wr_en, nominal.write_energy);
+  out.read_latency = summarize(rd_lat, nominal.read_latency);
+  out.read_energy = summarize(rd_en, nominal.read_energy);
+  return out;
+}
+
+double VaetStt::overdrive_rel_sigma() const {
+  // Effective overdrive x = I_drive / Ic0(device): combine (in quadrature)
+  // the CMOS drive sigma with the Ic0 sigma implied by the magnetic
+  // variation (Ic0 ~ Delta ~ Keff(K_i) * V(d)).
+  const double v_ov = pdk_.cmos.vdd / 3.0;
+  const double s_drive = 2.0 * pdk_.cmos.sigma_vth / v_ov;
+  // d(ln V)/d(ln d) = 2 -> sigma_V = 2 * sigma_d.
+  const double s_volume = 2.0 * pdk_.variation.sigma_diameter_rel;
+  // Keff = K_i/t - shape: amplification of K_i variation.
+  const double amplif =
+      (pdk_.mtj.k_i / pdk_.mtj.t_fl) / pdk_.mtj.keff();
+  const double s_keff = amplif * pdk_.variation.sigma_ki_rel;
+  return std::sqrt(s_drive * s_drive + s_volume * s_volume + s_keff * s_keff);
+}
+
+double VaetStt::per_bit_log_wer(double t_pulse) const {
+  if (t_pulse <= 0.0) return 0.0;
+  const auto cell = array_.cell();
+  const MtjCompactModel model(pdk_.mtj);
+  const auto sp = model.switching_params(WriteDirection::ToAntiparallel);
+  const double x_nom =
+      cell.i_write / model.critical_current(WriteDirection::ToAntiparallel);
+  const double s_x = overdrive_rel_sigma();
+
+  const GaussHermite gh(opt_.gh_points);
+  // Average WER over the overdrive factor (lognormal to stay positive).
+  const double wer = gh.expect(
+      [&](double z) {
+        const double x = x_nom * std::exp(z);
+        if (x <= 1.001) return 1.0; // non-switching bit within the pulse
+        return physics::write_error_rate(sp, x, t_pulse);
+      },
+      -0.5 * s_x * s_x, s_x);
+  return std::log(std::max(wer, 1e-300));
+}
+
+double VaetStt::per_bit_log_wer_after_attempts(double t_pulse,
+                                               unsigned attempts) const {
+  if (attempts == 0) {
+    throw std::invalid_argument(
+        "per_bit_log_wer_after_attempts: need at least one attempt");
+  }
+  if (t_pulse <= 0.0) return 0.0;
+  const auto cell = array_.cell();
+  const MtjCompactModel model(pdk_.mtj);
+  const auto sp = model.switching_params(WriteDirection::ToAntiparallel);
+  const double x_nom =
+      cell.i_write / model.critical_current(WriteDirection::ToAntiparallel);
+  const double s_x = overdrive_rel_sigma();
+
+  const GaussHermite gh(opt_.gh_points);
+  const double wer = gh.expect(
+      [&](double z) {
+        const double x = x_nom * std::exp(z);
+        if (x <= 1.001) return 1.0; // stuck bit: fails every attempt
+        const double lw = physics::log_write_error_rate(sp, x, t_pulse);
+        return std::exp(std::max(-700.0, double(attempts) * lw));
+      },
+      -0.5 * s_x * s_x, s_x);
+  return std::log(std::max(wer, 1e-300));
+}
+
+double VaetStt::write_latency_for_wer(double wer_target) const {
+  return write_latency_with_ecc(wer_target, 0);
+}
+
+double VaetStt::write_latency_with_ecc(double wer_target,
+                                       unsigned t_correct) const {
+  if (wer_target <= 0.0 || wer_target >= 1.0) {
+    throw std::invalid_argument("write_latency_with_ecc: target in (0,1)");
+  }
+  EccScheme scheme;
+  scheme.data_bits = static_cast<unsigned>(org_.word_bits);
+  scheme.t_correct = t_correct;
+  const double log_p_allowed =
+      allowed_log_p_bit(scheme, std::log(wer_target));
+
+  // Solve per_bit_log_wer(t) = log_p_allowed; monotone decreasing in t.
+  const double t0 = array_.cell().t_switch;
+  const double t = mss::util::bisect_expand(
+      [&](double tp) { return log_p_allowed - per_bit_log_wer(tp); },
+      0.05 * t0, t0, 1e-15);
+  return array_.write_periphery_latency() + t;
+}
+
+double VaetStt::per_bit_log_rer(double t_sense) const {
+  if (t_sense <= 0.0) return 0.0;
+  const auto cell = array_.cell();
+  const double c_bl = array_.geometry().c_bitline;
+  const double delta_i_nom = cell.i_read_p - cell.i_read_ap;
+  // Margin-current variation: RA (lognormal) and TMR dominate.
+  const double s_di = std::sqrt(
+      pdk_.variation.sigma_ra_log * pdk_.variation.sigma_ra_log +
+      pdk_.variation.sigma_tmr_rel * pdk_.variation.sigma_tmr_rel);
+  const double sigma_os = pdk_.cmos.sense_offset_sigma;
+
+  const GaussHermite gh(opt_.gh_points);
+  const double rer = gh.expect(
+      [&](double z) {
+        const double di = delta_i_nom * std::exp(z);
+        const double swing = 0.5 * di * t_sense / c_bl;
+        // Error when the developed swing fails to exceed offset + resolve.
+        const double arg = (swing - opt_.v_resolve) / sigma_os;
+        if (arg <= 0.0) return 1.0;
+        return mss::util::normal_sf(arg);
+      },
+      -0.5 * s_di * s_di, s_di);
+  return std::log(std::max(rer, 1e-300));
+}
+
+double VaetStt::read_latency_for_rer(double rer_target) const {
+  if (rer_target <= 0.0 || rer_target >= 1.0) {
+    throw std::invalid_argument("read_latency_for_rer: target in (0,1)");
+  }
+  const double log_bit_target =
+      std::log(rer_target) - std::log(double(org_.word_bits));
+  const double t_nom = array_.estimate().t_bitline;
+  const double t = mss::util::bisect_expand(
+      [&](double ts) { return log_bit_target - per_bit_log_rer(ts); },
+      0.05 * t_nom, t_nom, 1e-15);
+  const auto est = array_.estimate();
+  return est.t_decoder + est.t_wordline + est.t_senseamp + t;
+}
+
+double VaetStt::read_disturb_probability(double t_read) const {
+  if (t_read <= 0.0) return 0.0;
+  const auto cell = array_.cell();
+  const MtjCompactModel model(pdk_.mtj);
+  const auto sp = model.switching_params(WriteDirection::ToParallel);
+  const double x_nom =
+      cell.i_read_p / model.critical_current(WriteDirection::ToParallel);
+  const double s_x = overdrive_rel_sigma();
+  const GaussHermite gh(opt_.gh_points);
+  return gh.expect(
+      [&](double z) {
+        const double x = std::min(0.999, x_nom * std::exp(z));
+        return physics::read_disturb_probability(sp, x, t_read);
+      },
+      -0.5 * s_x * s_x, s_x);
+}
+
+} // namespace mss::vaet

@@ -1,0 +1,121 @@
+// VAET-STT — Variation-Aware Estimator Tool for STT-MRAM (Section III;
+// Nair et al., DATE'17). Built on top of the NVSim-style array model, it
+// turns the single nominal latency/energy numbers into *distributions* by
+// propagating:
+//   * magnetic process variation (diameter, RA, TMR, anisotropy),
+//   * CMOS variation (driver strength, sense-amp offset),
+//   * the stochastic switching of the MTJ (thermal initial angle /
+//     activated switching),
+// and derives reliability-constrained timing margins:
+//   * write latency vs. target WER (Fig. 7),
+//   * read latency vs. target RER (Fig. 7),
+//   * write latency vs. ECC correction capability at fixed WER (Fig. 8),
+//   * read-disturb probability vs. read period (Fig. 9).
+//
+// Two propagation strategies are implemented and cross-validated (an
+// ablation the benches exercise): Monte Carlo over full device samples and
+// an analytic Gauss-Hermite average over an effective overdrive-ratio
+// distribution.
+#pragma once
+
+#include <cstddef>
+
+#include "nvsim/array_model.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mss::vaet {
+
+/// Summary of a sampled distribution next to its variation-unaware value.
+struct DistributionSummary {
+  double nominal = 0.0; ///< NVSim-style nominal (no variation)
+  double mean = 0.0;    ///< mu of the variation-aware distribution
+  double sigma = 0.0;   ///< standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double p99 = 0.0;     ///< 99th percentile
+};
+
+/// The Table-1 quadruple.
+struct VaetResult {
+  DistributionSummary write_latency; ///< [s]
+  DistributionSummary write_energy;  ///< [J]
+  DistributionSummary read_latency;  ///< [s]
+  DistributionSummary read_energy;   ///< [J]
+};
+
+/// Estimator options (sampling depth and solver knobs).
+struct VaetOptions {
+  std::size_t mc_samples = 2000;   ///< Monte-Carlo access samples
+  double activated_cap = 50e-9;    ///< cap for sampled sub-critical switching [s]
+  int gh_points = 40;              ///< Gauss-Hermite nodes for analytic path
+  /// Sense swing needed beyond the offset [V]; defaults to the array
+  /// model's nvsim::kSenseResolveV so nominal and variation-aware sensing
+  /// share the same resolve contract.
+  double v_resolve = 0.022;
+};
+
+/// The estimator.
+class VaetStt {
+ public:
+  VaetStt(core::Pdk pdk, nvsim::ArrayOrg org, VaetOptions options = {});
+
+  /// The underlying nominal array model.
+  [[nodiscard]] const nvsim::ArrayModel& array() const { return array_; }
+  /// Options in use.
+  [[nodiscard]] const VaetOptions& options() const { return opt_; }
+
+  /// Monte-Carlo variation analysis — produces Table 1 (nominal, mu, sigma
+  /// for read/write latency/energy).
+  [[nodiscard]] VaetResult monte_carlo(mss::util::Rng& rng) const;
+
+  // --- reliability-constrained margins (analytic strategy) ---
+
+  /// Per-bit log WER after a write pulse `t_pulse`, averaged over process
+  /// variation (Gauss-Hermite over the effective overdrive factor).
+  [[nodiscard]] double per_bit_log_wer(double t_pulse) const;
+
+  /// Residual per-bit log WER after `attempts` independent write-verify
+  /// attempts of width `t_pulse`: log E[WER(t;X)^k]. The expectation of
+  /// the *power* matters — the stochastic (thermal) part of the failure
+  /// probability averages out across retries, but a process-weak bit fails
+  /// every attempt, so retries saturate where margining/ECC do not.
+  [[nodiscard]] double per_bit_log_wer_after_attempts(double t_pulse,
+                                                      unsigned attempts) const;
+
+  /// Overall write latency (periphery + pulse) such that the probability of
+  /// any raw bit error in a word-access stays at `wer_target` (Fig. 7).
+  [[nodiscard]] double write_latency_for_wer(double wer_target) const;
+
+  /// Overall write latency at `wer_target` when a t-bit-correcting ECC
+  /// protects the word (Fig. 8). `t_correct = 0` reduces to the raw case.
+  [[nodiscard]] double write_latency_with_ecc(double wer_target,
+                                              unsigned t_correct) const;
+
+  /// Per-bit log RER for a sensing time `t_sense` (offset + margin-current
+  /// variation averaged analytically).
+  [[nodiscard]] double per_bit_log_rer(double t_sense) const;
+
+  /// Overall read latency (periphery + sensing) for a target access RER
+  /// (Fig. 7).
+  [[nodiscard]] double read_latency_for_rer(double rer_target) const;
+
+  /// Variation-averaged probability that one read access of the given
+  /// period (pulse width) disturbs the cell (Fig. 9).
+  [[nodiscard]] double read_disturb_probability(double t_read) const;
+
+  /// Relative 1-sigma of the effective write-overdrive factor (drive
+  /// strength over critical current), exposed for tests/ablation.
+  [[nodiscard]] double overdrive_rel_sigma() const;
+
+ private:
+  core::Pdk pdk_;
+  nvsim::ArrayOrg org_;
+  VaetOptions opt_;
+  nvsim::ArrayModel array_;
+
+  [[nodiscard]] DistributionSummary summarize(
+      const std::vector<double>& samples, double nominal) const;
+};
+
+} // namespace mss::vaet

@@ -1,0 +1,60 @@
+#include "vaet/reliability_opt.hpp"
+
+#include <algorithm>
+
+#include "nvsim/optimizer.hpp"
+
+namespace mss::vaet {
+
+std::vector<ReliableCandidate> explore_reliable(
+    const core::Pdk& pdk, std::size_t capacity_bits, std::size_t word_bits,
+    const ReliabilityConstraints& c) {
+  // Start from every feasible plain organisation (no constraint yet; the
+  // reliability filter below is the binding one).
+  const auto plain = nvsim::explore(pdk, capacity_bits, word_bits,
+                                    nvsim::Goal::ReadLatency);
+  std::vector<ReliableCandidate> out;
+  for (const auto& cand : plain) {
+    VaetOptions opt;
+    opt.mc_samples = 10; // margins are analytic; MC unused here
+    const VaetStt vaet(pdk, cand.org, opt);
+
+    ReliableCandidate rc;
+    rc.org = cand.org;
+    rc.nominal = cand.estimate;
+    rc.write_latency = vaet.write_latency_with_ecc(c.wer_target, c.ecc_t);
+    rc.read_latency = vaet.read_latency_for_rer(c.rer_target);
+    // The exposure window is the sensing portion of the read.
+    const double t_sense = rc.read_latency -
+                           (cand.estimate.read_latency -
+                            cand.estimate.t_bitline);
+    rc.disturb_probability =
+        vaet.read_disturb_probability(std::max(t_sense, 0.0));
+    rc.objective = rc.write_latency + rc.read_latency;
+
+    if (c.max_write_latency && rc.write_latency > *c.max_write_latency)
+      continue;
+    if (c.max_read_latency && rc.read_latency > *c.max_read_latency)
+      continue;
+    if (c.max_disturb_probability &&
+        rc.disturb_probability > *c.max_disturb_probability)
+      continue;
+    if (c.max_area && rc.nominal.area > *c.max_area) continue;
+    out.push_back(rc);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ReliableCandidate& a, const ReliableCandidate& b) {
+              return a.objective < b.objective;
+            });
+  return out;
+}
+
+std::optional<ReliableCandidate> optimize_reliable(
+    const core::Pdk& pdk, std::size_t capacity_bits, std::size_t word_bits,
+    const ReliabilityConstraints& constraints) {
+  auto all = explore_reliable(pdk, capacity_bits, word_bits, constraints);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+} // namespace mss::vaet

@@ -1,0 +1,54 @@
+// Reliability-constrained design-space exploration — VAET-STT's
+// "optimization settings ... and various design constraints to facilitate
+// a variation-aware design space exploration before the fabrication of the
+// actual memory chip" (paper, Section IV-B).
+//
+// Couples the NVSim-style organisation enumerator with the analytic
+// WER/RER margin solvers: every candidate organisation is evaluated at its
+// *margined* (not nominal) latencies, and filtered against reliability and
+// physical constraints.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nvsim/array_model.hpp"
+#include "vaet/estimator.hpp"
+
+namespace mss::vaet {
+
+/// Reliability + physical constraints of the exploration.
+struct ReliabilityConstraints {
+  double wer_target = 1e-12; ///< per-access write error budget
+  double rer_target = 1e-12; ///< per-access read error budget
+  unsigned ecc_t = 0;        ///< ECC correction capability assumed
+  std::optional<double> max_write_latency; ///< margined [s]
+  std::optional<double> max_read_latency;  ///< margined [s]
+  std::optional<double> max_disturb_probability; ///< at the margined read
+  std::optional<double> max_area;          ///< [m^2]
+};
+
+/// One reliability-evaluated candidate.
+struct ReliableCandidate {
+  nvsim::ArrayOrg org;
+  nvsim::MemoryEstimate nominal;  ///< variation-unaware estimate
+  double write_latency = 0.0;     ///< margined for wer_target (+ECC) [s]
+  double read_latency = 0.0;      ///< margined for rer_target [s]
+  double disturb_probability = 0.0; ///< at the margined read period
+  double objective = 0.0;         ///< margined read+write latency sum
+};
+
+/// Enumerates organisations for `capacity_bits` / `word_bits`, evaluates
+/// the reliability-margined behaviour of each, filters against the
+/// constraints and returns candidates sorted by the margined-latency
+/// objective (best first).
+[[nodiscard]] std::vector<ReliableCandidate> explore_reliable(
+    const core::Pdk& pdk, std::size_t capacity_bits, std::size_t word_bits,
+    const ReliabilityConstraints& constraints);
+
+/// Best candidate or nullopt when nothing satisfies the constraints.
+[[nodiscard]] std::optional<ReliableCandidate> optimize_reliable(
+    const core::Pdk& pdk, std::size_t capacity_bits, std::size_t word_bits,
+    const ReliabilityConstraints& constraints);
+
+} // namespace mss::vaet

@@ -1,0 +1,76 @@
+#include "vaet/write_verify.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace mss::vaet {
+
+WriteVerifyResult evaluate_write_verify(const VaetStt& vaet,
+                                        const WriteVerifyScheme& scheme) {
+  if (scheme.max_attempts == 0 || scheme.pulse_width <= 0.0) {
+    throw std::invalid_argument("evaluate_write_verify: bad scheme");
+  }
+  WriteVerifyResult out;
+  out.residual_log_wer = vaet.per_bit_log_wer_after_attempts(
+      scheme.pulse_width, scheme.max_attempts);
+  const double word = double(vaet.array().org().word_bits);
+  out.access_log_wer = std::log(word) + out.residual_log_wer;
+
+  // Expected attempts: the word retries while any bit is pending. With the
+  // per-attempt single-bit failure probability p1, the probability a
+  // *word* needs attempt k+1 is ~ min(1, word * p1^k) (union bound; the
+  // first attempt is always taken).
+  const double log_p1 = vaet.per_bit_log_wer(scheme.pulse_width);
+  double expected_attempts = 1.0;
+  for (unsigned k = 1; k < scheme.max_attempts; ++k) {
+    const double log_retry = std::log(word) + double(k) * log_p1;
+    expected_attempts += std::exp(std::min(0.0, log_retry));
+  }
+  out.expected_energy_factor = expected_attempts;
+
+  const double t_peri = vaet.array().write_periphery_latency();
+  const double per_attempt = scheme.pulse_width + scheme.verify_time;
+  out.expected_latency =
+      t_peri + scheme.pulse_width +
+      (expected_attempts - 1.0) * per_attempt +
+      scheme.verify_time; // the final verify always happens
+  out.worst_latency = t_peri + double(scheme.max_attempts) * per_attempt;
+  return out;
+}
+
+WriteVerifyResult design_write_verify(const VaetStt& vaet, double wer_target,
+                                      unsigned max_attempts,
+                                      double verify_time) {
+  if (wer_target <= 0.0 || wer_target >= 1.0) {
+    throw std::invalid_argument("design_write_verify: target in (0,1)");
+  }
+  const double word = double(vaet.array().org().word_bits);
+  const double log_bit_target = std::log(wer_target) - std::log(word);
+
+  // Reachability: even with very long pulses the weak-bit population sets
+  // a floor on E[WER^k].
+  const double t_max = 64.0 * vaet.array().cell().t_switch;
+  if (vaet.per_bit_log_wer_after_attempts(t_max, max_attempts) >
+      log_bit_target) {
+    throw std::invalid_argument(
+        "design_write_verify: target below the weak-bit floor for this "
+        "attempt count — use ECC or repair");
+  }
+  const double t0 = vaet.array().cell().t_switch;
+  const double t = mss::util::bisect_expand(
+      [&](double tp) {
+        return log_bit_target -
+               vaet.per_bit_log_wer_after_attempts(tp, max_attempts);
+      },
+      0.05 * t0, t0, 1e-15);
+
+  WriteVerifyScheme scheme;
+  scheme.pulse_width = t;
+  scheme.max_attempts = max_attempts;
+  scheme.verify_time = verify_time;
+  return evaluate_write_verify(vaet, scheme);
+}
+
+} // namespace mss::vaet

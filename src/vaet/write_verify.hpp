@@ -1,0 +1,47 @@
+// Write-verify-retry scheme analysis — the third write-reliability knob
+// next to pulse-width margining (Fig. 7) and ECC (Fig. 8).
+//
+// Instead of one long worst-case pulse, the controller issues a short
+// pulse, reads the bit back, and retries on mismatch (up to `max_attempts`
+// total). Retries average out the *stochastic* part of the write error
+// (the thermal initial angle) but not the *process* part: a weak device
+// fails every attempt, so the residual error saturates at the
+// weak-bit population — which is why deep targets still need ECC. The
+// model computes E[WER^k] over the variation distribution (not
+// (E[WER])^k) to capture exactly that.
+#pragma once
+
+#include "vaet/estimator.hpp"
+
+namespace mss::vaet {
+
+/// A write-verify configuration.
+struct WriteVerifyScheme {
+  double pulse_width = 4e-9; ///< per-attempt write pulse [s]
+  unsigned max_attempts = 3; ///< total attempts (1 = plain write)
+  double verify_time = 2e-9; ///< read-back time per verify [s]
+};
+
+/// Evaluated behaviour of a scheme.
+struct WriteVerifyResult {
+  double residual_log_wer = 0.0; ///< per-bit log WER after all attempts
+  double access_log_wer = 0.0;   ///< per-word-access log WER
+  double expected_latency = 0.0; ///< expected access latency [s]
+  double worst_latency = 0.0;    ///< all-attempts-used latency [s]
+  double expected_energy_factor = 1.0; ///< expected write pulses per access
+};
+
+/// Evaluates a scheme against the estimator's array/word configuration.
+[[nodiscard]] WriteVerifyResult evaluate_write_verify(
+    const VaetStt& vaet, const WriteVerifyScheme& scheme);
+
+/// Finds the per-attempt pulse width so that the scheme's *access* WER
+/// meets `wer_target`, and returns the evaluated scheme. Throws
+/// std::invalid_argument when the target is unreachable with this attempt
+/// count (the weak-bit floor), which is itself the finding: beyond the
+/// floor only ECC/repair helps.
+[[nodiscard]] WriteVerifyResult design_write_verify(
+    const VaetStt& vaet, double wer_target, unsigned max_attempts,
+    double verify_time = 2e-9);
+
+} // namespace mss::vaet

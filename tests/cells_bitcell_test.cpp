@@ -1,0 +1,66 @@
+// Transistor-level bit-cell characterisation tests (write both directions,
+// read margins) — the SPICE half of the paper's Fig. 10 circuit level.
+#include "cells/bitcell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mc = mss::cells;
+
+namespace {
+mc::Bitcell cell45() { return mc::Bitcell(mss::core::Pdk::mss45()); }
+} // namespace
+
+TEST(Bitcell, WritesParallelWithinPulse) {
+  const auto cell = cell45();
+  const auto r = cell.characterize_write(mss::core::WriteDirection::ToParallel,
+                                         15e-9);
+  EXPECT_TRUE(r.switched);
+  EXPECT_GT(r.t_switch, 0.2e-9);
+  EXPECT_LT(r.t_switch, 15e-9);
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_GT(r.i_peak, cell.pdk().mtj.ic0());
+}
+
+TEST(Bitcell, WritesAntiparallelSlowerThanParallel) {
+  // The AP write fights the source-degenerated access NMOS *and* the higher
+  // critical current: it must be the slower direction.
+  const auto cell = cell45();
+  const auto rp = cell.characterize_write(
+      mss::core::WriteDirection::ToParallel, 25e-9);
+  const auto rap = cell.characterize_write(
+      mss::core::WriteDirection::ToAntiparallel, 25e-9);
+  ASSERT_TRUE(rp.switched);
+  ASSERT_TRUE(rap.switched);
+  EXPECT_GT(rap.t_switch, rp.t_switch);
+}
+
+TEST(Bitcell, TooShortPulseFailsToWrite) {
+  const auto cell = cell45();
+  const auto r = cell.characterize_write(
+      mss::core::WriteDirection::ToAntiparallel, 0.3e-9);
+  EXPECT_FALSE(r.switched);
+}
+
+TEST(Bitcell, ReadProducesPositiveSenseMargin) {
+  const auto cell = cell45();
+  const auto r = cell.characterize_read(5e-9);
+  EXPECT_GT(r.i_cell_p, r.i_cell_ap);
+  EXPECT_GT(r.delta_i, 1e-6); // at least a microamp of margin
+  EXPECT_GT(r.energy_read, 0.0);
+  // Read current must stay well below critical (no write during read).
+  EXPECT_LT(r.i_cell_p, cell.pdk().mtj.ic0());
+}
+
+TEST(Bitcell, ReadEnergyFarBelowWriteEnergy) {
+  const auto cell = cell45();
+  const auto w = cell.characterize_write(
+      mss::core::WriteDirection::ToParallel, 15e-9);
+  const auto r = cell.characterize_read(5e-9);
+  EXPECT_LT(r.energy_read, w.energy);
+}
+
+TEST(Bitcell, BothNodesCharacterize) {
+  const mc::Bitcell c65{mss::core::Pdk::mss65()};
+  const auto r = c65.characterize_read(5e-9);
+  EXPECT_GT(r.delta_i, 0.0);
+}

@@ -1,0 +1,80 @@
+// Tests of the unified MSS device facade and its mode invariants.
+#include "core/mss_stack.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace mc = mss::core;
+
+TEST(MssStack, MemoryFactoryHasNoMagnets) {
+  const auto dev = mc::MssStack::make_memory(mc::MtjParams{});
+  EXPECT_EQ(dev.mode(), mc::MssMode::Memory);
+  EXPECT_EQ(dev.bias().material, mc::BiasMagnetConfig::Material::None);
+  EXPECT_NO_THROW((void)dev.memory());
+  EXPECT_THROW((void)dev.sensor(), std::logic_error);
+  EXPECT_THROW((void)dev.oscillator(), std::logic_error);
+}
+
+TEST(MssStack, OscillatorFactoryDefaultsToHalfHk) {
+  const mc::MtjParams p;
+  const auto dev = mc::MssStack::make_oscillator(p);
+  EXPECT_EQ(dev.mode(), mc::MssMode::Oscillator);
+  EXPECT_NEAR(dev.bias().h_bias, 0.5 * p.hk_eff(), 1e-6);
+  EXPECT_NEAR(dev.oscillator().tilt_angle() * 180.0 / M_PI, 30.0, 1e-6);
+  EXPECT_THROW((void)dev.memory(), std::logic_error);
+}
+
+TEST(MssStack, SensorFactoryEnlargesPillarAndBiasesAboveHk) {
+  const mc::MtjParams p;
+  const auto dev = mc::MssStack::make_sensor(p);
+  EXPECT_EQ(dev.mode(), mc::MssMode::Sensor);
+  EXPECT_NEAR(dev.params().diameter, 2.0 * p.diameter, 1e-15);
+  EXPECT_GT(dev.bias().h_bias, dev.params().hk_eff());
+  EXPECT_NO_THROW((void)dev.sensor());
+}
+
+TEST(MssStack, InvariantsAreEnforced) {
+  const mc::MtjParams p;
+  // Memory with magnets: rejected.
+  mc::BiasMagnetConfig bias;
+  bias.material = mc::BiasMagnetConfig::Material::CoCr;
+  bias.h_bias = 0.5 * p.hk_eff();
+  EXPECT_THROW(mc::MssStack(p, mc::MssMode::Memory, bias),
+               std::invalid_argument);
+  // Oscillator with bias >= Hk: rejected.
+  bias.h_bias = 1.5 * p.hk_eff();
+  EXPECT_THROW(mc::MssStack(p, mc::MssMode::Oscillator, bias),
+               std::invalid_argument);
+  // Sensor with bias <= Hk: rejected.
+  bias.h_bias = 0.8 * p.hk_eff();
+  EXPECT_THROW(mc::MssStack(p, mc::MssMode::Sensor, bias),
+               std::invalid_argument);
+  // Oscillator without magnets: rejected.
+  mc::BiasMagnetConfig none;
+  none.h_bias = 0.5 * p.hk_eff();
+  EXPECT_THROW(mc::MssStack(p, mc::MssMode::Oscillator, none),
+               std::invalid_argument);
+}
+
+TEST(MssStack, DescribeNamesTheMode) {
+  EXPECT_NE(mc::MssStack::make_memory(mc::MtjParams{}).describe().find("memory"),
+            std::string::npos);
+  EXPECT_NE(
+      mc::MssStack::make_oscillator(mc::MtjParams{}).describe().find("oscillator"),
+      std::string::npos);
+  EXPECT_NE(mc::MssStack::make_sensor(mc::MtjParams{}).describe().find("sensor"),
+            std::string::npos);
+}
+
+TEST(MssStack, SameBaselineStackAcrossModes) {
+  // The point of the MSS: one stack recipe. Material parameters must be
+  // identical across the three modes (only diameter/bias differ).
+  const mc::MtjParams p;
+  const auto mem = mc::MssStack::make_memory(p);
+  const auto osc = mc::MssStack::make_oscillator(p);
+  const auto sen = mc::MssStack::make_sensor(p);
+  EXPECT_EQ(mem.params().ms, osc.params().ms);
+  EXPECT_EQ(mem.params().k_i, sen.params().k_i);
+  EXPECT_EQ(osc.params().ra_product, sen.params().ra_product);
+  EXPECT_EQ(mem.params().t_fl, sen.params().t_fl);
+}

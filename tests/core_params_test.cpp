@@ -1,0 +1,98 @@
+// Tests of the MTJ parameter set and its derived quantities.
+#include "core/mtj_params.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace mc = mss::core;
+
+TEST(MtjParams, DefaultsAreValidAndSane) {
+  mc::MtjParams p;
+  EXPECT_NO_THROW(p.validate());
+  // Typical perpendicular MTJ: Delta in tens, Ic0 in tens of uA,
+  // R_P in kOhm.
+  EXPECT_GT(p.delta(), 20.0);
+  EXPECT_LT(p.delta(), 150.0);
+  EXPECT_GT(p.ic0(), 5e-6);
+  EXPECT_LT(p.ic0(), 300e-6);
+  EXPECT_GT(p.r_p(), 1e3);
+  EXPECT_LT(p.r_p(), 50e3);
+}
+
+TEST(MtjParams, AreaAndVolume) {
+  mc::MtjParams p;
+  p.diameter = 40e-9;
+  p.t_fl = 1.3e-9;
+  EXPECT_NEAR(p.area(), M_PI * 20e-9 * 20e-9, 1e-20);
+  EXPECT_NEAR(p.volume(), p.area() * 1.3e-9, 1e-28);
+}
+
+TEST(MtjParams, DemagFactorLimits) {
+  mc::MtjParams p;
+  // Thin-film limit: very wide pillar -> Nz -> 1.
+  p.diameter = 900e-9;
+  p.t_fl = 1.0e-9;
+  EXPECT_GT(p.demag_nz(), 0.99);
+  // Tall-pillar limit -> Nz -> 0 (never physical for MSS, math check only).
+  p.diameter = 1e-9;
+  p.t_fl = 5e-9;
+  EXPECT_LT(p.demag_nz(), 0.15);
+}
+
+TEST(MtjParams, ResistancesFollowTmr) {
+  mc::MtjParams p;
+  EXPECT_NEAR(p.r_ap() / p.r_p(), 1.0 + p.tmr0, 1e-12);
+  EXPECT_NEAR(p.r_p() * p.area(), p.ra_product, 1e-18);
+}
+
+TEST(MtjParams, DeltaGrowsWithDiameter) {
+  mc::MtjParams p;
+  double prev = 0.0;
+  for (double d = 30e-9; d <= 100e-9; d += 10e-9) {
+    p.diameter = d;
+    EXPECT_GT(p.delta(), prev) << d;
+    prev = p.delta();
+  }
+}
+
+TEST(MtjParams, Ic0ProportionalToDelta) {
+  mc::MtjParams a, b;
+  b.diameter = 56e-9;
+  EXPECT_NEAR(b.ic0() / a.ic0(), b.delta() / a.delta(), 1e-9);
+  EXPECT_NEAR(a.ic0_p_to_ap() / a.ic0(), a.ic0_asymmetry, 1e-12);
+}
+
+TEST(MtjParams, ValidateRejectsNonsense) {
+  mc::MtjParams p;
+  p.diameter = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = mc::MtjParams{};
+  p.alpha = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = mc::MtjParams{};
+  p.polarization = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = mc::MtjParams{};
+  p.tmr0 = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  // In-plane stack (Keff <= 0) is rejected: the MSS baseline is
+  // perpendicular by construction.
+  p = mc::MtjParams{};
+  p.k_i = 0.1e-3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MtjParams, HkEffInPaperRange) {
+  // The paper's bias-magnet sizing (~1 kOe ~ Hk/2) implies Hk,eff of a few
+  // kOe for the memory pillar.
+  mc::MtjParams p;
+  const double hk_koe = p.hk_eff() / mss::util::kKiloOersted;
+  EXPECT_GT(hk_koe, 1.0);
+  EXPECT_LT(hk_koe, 6.0);
+}

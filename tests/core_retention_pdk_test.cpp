@@ -1,0 +1,117 @@
+// Tests of the retention designer and the PDK corners.
+#include "core/pdk.hpp"
+#include "core/retention.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace mc = mss::core;
+
+TEST(Retention, DeltaForRetentionGrowsWithSpec) {
+  const mc::RetentionDesigner d{mc::MtjParams{}};
+  const double d_cache = d.delta_for_retention(1.0 / 365.25, 1e-4, 1u << 20);
+  const double d_year = d.delta_for_retention(1.0, 1e-4, 1u << 20);
+  const double d_ten = d.delta_for_retention(10.0, 1e-4, 1u << 20);
+  EXPECT_LT(d_cache, d_year);
+  EXPECT_LT(d_year, d_ten);
+  EXPECT_GT(d_cache, 20.0); // even a day of retention needs a real barrier
+}
+
+TEST(Retention, DiameterForDeltaInvertsDelta) {
+  const mc::MtjParams base;
+  const mc::RetentionDesigner d{base};
+  for (double target : {40.0, 60.0, 80.0}) {
+    const double dia = d.diameter_for_delta(target);
+    mc::MtjParams p = base;
+    p.diameter = dia;
+    EXPECT_NEAR(p.delta(), target, 1e-4 * target);
+  }
+  EXPECT_THROW((void)d.diameter_for_delta(1e6), std::invalid_argument);
+}
+
+TEST(Retention, RelaxedRetentionShrinksWriteCost) {
+  // The paper's claim: adjust the diameter to the retention spec to
+  // minimise switching current.
+  const mc::RetentionDesigner d{mc::MtjParams{}};
+  const auto cache = d.design(1.0 / 52.0); // one week
+  const auto storage = d.design(10.0);     // ten years
+  EXPECT_LT(cache.diameter, storage.diameter);
+  EXPECT_LT(cache.ic0, storage.ic0);
+  EXPECT_LT(cache.write_current, storage.write_current);
+  EXPECT_LT(cache.write_energy, storage.write_energy);
+}
+
+TEST(Retention, SweepIsMonotonicInCurrent) {
+  const mc::RetentionDesigner d{mc::MtjParams{}};
+  const auto sweep = d.sweep({0.01, 0.1, 1.0, 10.0});
+  ASSERT_EQ(sweep.size(), 4u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].ic0, sweep[i - 1].ic0);
+    EXPECT_GT(sweep[i].required_delta, sweep[i - 1].required_delta);
+  }
+}
+
+TEST(Retention, RejectsBadInputs) {
+  EXPECT_THROW(mc::RetentionDesigner(mc::MtjParams{}, 0.5),
+               std::invalid_argument);
+  const mc::RetentionDesigner d{mc::MtjParams{}};
+  EXPECT_THROW((void)d.delta_for_retention(-1.0, 1e-4, 1024),
+               std::invalid_argument);
+  EXPECT_THROW((void)d.delta_for_retention(1.0, 2.0, 1024),
+               std::invalid_argument);
+}
+
+TEST(Pdk, CornersDiffer) {
+  const auto p45 = mc::Pdk::mss45();
+  const auto p65 = mc::Pdk::mss65();
+  EXPECT_LT(p45.cmos.feature_m, p65.cmos.feature_m);
+  EXPECT_LT(p45.cmos.vdd, p65.cmos.vdd);
+  EXPECT_LT(p45.mtj.diameter, p65.mtj.diameter);
+  // Variability is more pronounced at the smaller node (paper Sec. III).
+  EXPECT_GT(p45.variation.sigma_diameter_rel, p65.variation.sigma_diameter_rel);
+  EXPECT_GT(p45.variation.sigma_ra_log, p65.variation.sigma_ra_log);
+}
+
+TEST(Pdk, ExtractionProducesConsistentCell) {
+  for (const auto node : {mc::TechNode::N45, mc::TechNode::N65}) {
+    const auto pdk = mc::Pdk::for_node(node);
+    const auto cell = pdk.extract_cell();
+    EXPECT_GT(cell.r_ap, cell.r_p);
+    EXPECT_GT(cell.i_write, cell.i_write_easy);
+    EXPECT_GT(cell.t_switch, 0.5e-9);
+    EXPECT_LT(cell.t_switch, 20e-9);
+    EXPECT_GT(cell.i_read_p, cell.i_read_ap);
+    EXPECT_LT(cell.read_disturb_ratio, 1.0);
+    EXPECT_GT(cell.delta, 30.0);
+  }
+}
+
+TEST(Pdk, SampledDevicesSpreadAroundNominal) {
+  const auto pdk = mc::Pdk::mss45();
+  mss::util::Rng rng(77);
+  double sum_d = 0.0, sum_ra = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto dev = pdk.sample_device(rng);
+    sum_d += dev.diameter;
+    sum_ra += dev.ra_product;
+    EXPECT_GT(dev.diameter, 0.0);
+    EXPECT_GT(dev.tmr0, 0.0);
+  }
+  EXPECT_NEAR(sum_d / n / pdk.mtj.diameter, 1.0, 0.01);
+  EXPECT_NEAR(sum_ra / n / pdk.mtj.ra_product, 1.0, 0.02);
+}
+
+TEST(Pdk, DriveFactorCentredOnUnity) {
+  const auto pdk = mc::Pdk::mss45();
+  mss::util::Rng rng(78);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += pdk.sample_drive_factor(rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Pdk, DescribeMentionsNode) {
+  EXPECT_NE(mc::Pdk::mss45().describe().find("45nm"), std::string::npos);
+  EXPECT_NE(mc::Pdk::mss65().describe().find("65nm"), std::string::npos);
+}

@@ -1,0 +1,98 @@
+// Tests of the sensor-mode model.
+#include "core/sensor_model.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace mc = mss::core;
+
+namespace {
+mc::MtjParams sensor_pillar() {
+  mc::MtjParams p;
+  p.diameter = 80e-9; // enlarged pillar, per the paper
+  return p;
+}
+} // namespace
+
+TEST(Sensor, RequiresBiasAboveHk) {
+  const auto p = sensor_pillar();
+  EXPECT_THROW(mc::SensorModel(p, 0.9 * p.hk_eff()), std::invalid_argument);
+  EXPECT_NO_THROW(mc::SensorModel(p, 1.3 * p.hk_eff()));
+}
+
+TEST(Sensor, TransferIsLinearThenSaturates) {
+  const auto p = sensor_pillar();
+  const mc::SensorModel s(p, 1.3 * p.hk_eff());
+  const double range = s.characteristics().linear_range_am;
+
+  // Linear region: mz proportional to Hz.
+  EXPECT_NEAR(s.mz(0.1 * range), 0.1, 1e-9);
+  EXPECT_NEAR(s.mz(-0.5 * range), -0.5, 1e-9);
+  // Saturation.
+  EXPECT_EQ(s.mz(2.0 * range), 1.0);
+  EXPECT_EQ(s.mz(-3.0 * range), -1.0);
+}
+
+TEST(Sensor, ResistanceMonotonicInField) {
+  const auto p = sensor_pillar();
+  const mc::SensorModel s(p, 1.3 * p.hk_eff());
+  const double range = s.characteristics().linear_range_am;
+  // Positive out-of-plane field rotates the free layer towards the
+  // (perpendicular) reference: conductance up, resistance down.
+  double prev = s.resistance(-range);
+  for (double h = -0.8 * range; h <= 0.8 * range; h += 0.2 * range) {
+    const double r = s.resistance(h);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Sensor, SensitivityDivergesNearHk) {
+  const auto p = sensor_pillar();
+  const mc::SensorModel tight(p, 1.1 * p.hk_eff());
+  const mc::SensorModel loose(p, 2.0 * p.hk_eff());
+  EXPECT_GT(std::abs(tight.characteristics().sensitivity_ohm_per_am),
+            std::abs(loose.characteristics().sensitivity_ohm_per_am));
+  // ... at the cost of linear range.
+  EXPECT_LT(tight.characteristics().linear_range_am,
+            loose.characteristics().linear_range_am);
+}
+
+TEST(Sensor, MidpointResistanceBetweenExtremes) {
+  const auto p = sensor_pillar();
+  const mc::SensorModel s(p, 1.3 * p.hk_eff());
+  const auto c = s.characteristics();
+  EXPECT_GT(c.r_mid, c.r_min);
+  EXPECT_LT(c.r_mid, c.r_max);
+}
+
+TEST(Sensor, OutputVoltageScalesWithBiasCurrent) {
+  const auto p = sensor_pillar();
+  const mc::SensorModel s(p, 1.3 * p.hk_eff());
+  const double h = 0.2 * s.characteristics().linear_range_am;
+  EXPECT_NEAR(s.output_voltage(h, 20e-6) / s.output_voltage(h, 10e-6), 2.0,
+              1e-9);
+}
+
+TEST(Sensor, NoiseFallsWithFrequencyAndCurrent) {
+  const auto p = sensor_pillar();
+  const mc::SensorModel s(p, 1.3 * p.hk_eff());
+  const double nef_lf = s.noise_equivalent_field(10.0, 10e-6);
+  const double nef_hf = s.noise_equivalent_field(1e6, 10e-6);
+  const double nef_hi_i = s.noise_equivalent_field(1e6, 100e-6);
+  EXPECT_GT(nef_lf, nef_hf);   // 1/f corner
+  EXPECT_GT(nef_hf, nef_hi_i); // more bias current -> better resolution
+  EXPECT_THROW((void)s.noise_equivalent_field(-1.0, 1e-6),
+               std::invalid_argument);
+}
+
+TEST(Sensor, PaperScaleBiasFieldIsAboutOneKiloOersted) {
+  // The paper sizes the magnets for ~1 kOe; for the enlarged pillar the
+  // required bias (1.3 x Hk,eff) must be in that order of magnitude.
+  const auto p = sensor_pillar();
+  const double bias_koe = 1.3 * p.hk_eff() / mss::util::kKiloOersted;
+  EXPECT_GT(bias_koe, 0.3);
+  EXPECT_LT(bias_koe, 5.0);
+}

@@ -1,0 +1,102 @@
+// Tests of the spin-torque-oscillator mode.
+#include "core/sto_model.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace mc = mss::core;
+
+namespace {
+mc::StoModel sto(double bias_ratio = 0.5) {
+  mc::MtjParams p;
+  return mc::StoModel(p, bias_ratio * p.hk_eff());
+}
+} // namespace
+
+TEST(Sto, RequiresTiltedBias) {
+  mc::MtjParams p;
+  EXPECT_THROW(mc::StoModel(p, 0.0), std::invalid_argument);
+  EXPECT_THROW(mc::StoModel(p, 1.2 * p.hk_eff()), std::invalid_argument);
+}
+
+TEST(Sto, HalfHkBiasTiltsThirtyDegrees) {
+  // The paper: bias ~ Hk/2 tilts the free layer "at about 30 degrees".
+  const auto s = sto(0.5);
+  EXPECT_NEAR(s.tilt_angle() * 180.0 / M_PI, 30.0, 1e-9);
+}
+
+TEST(Sto, FmrFrequencyInGigahertzRange) {
+  const auto s = sto();
+  const double f = s.fmr_frequency();
+  EXPECT_GT(f, 0.5e9);
+  EXPECT_LT(f, 30e9);
+}
+
+TEST(Sto, EnergyMinimumAtEquilibriumTilt) {
+  const auto s = sto();
+  const double th0 = s.tilt_angle();
+  const double e0 = s.energy_density(th0, 0.0);
+  EXPECT_LT(e0, s.energy_density(th0 + 0.1, 0.0));
+  EXPECT_LT(e0, s.energy_density(th0 - 0.1, 0.0));
+  EXPECT_LT(e0, s.energy_density(th0, 0.2));
+}
+
+TEST(Sto, PowerZeroBelowThresholdGrowsAbove) {
+  const auto s = sto();
+  const double ith = s.threshold_current();
+  EXPECT_GT(ith, 1e-6);
+  EXPECT_LT(ith, 5e-3);
+  EXPECT_EQ(s.normalized_power(0.5 * ith), 0.0);
+  const double p15 = s.normalized_power(1.5 * ith);
+  const double p30 = s.normalized_power(3.0 * ith);
+  EXPECT_GT(p15, 0.0);
+  EXPECT_GT(p30, p15);
+  EXPECT_LT(p30, 1.0);
+}
+
+TEST(Sto, FrequencyRedShiftsWithCurrent) {
+  const auto s = sto();
+  const double ith = s.threshold_current();
+  const double f0 = s.frequency(0.5 * ith);
+  EXPECT_NEAR(f0, s.fmr_frequency(), 1.0); // below threshold: FMR
+  const double f15 = s.frequency(1.5 * ith);
+  const double f3 = s.frequency(3.0 * ith);
+  EXPECT_LT(f15, f0);
+  EXPECT_LT(f3, f15); // monotone current tuning
+}
+
+TEST(Sto, OutputPowerAppearsAboveThreshold) {
+  const auto s = sto();
+  const double ith = s.threshold_current();
+  EXPECT_EQ(s.output_voltage_rms(0.8 * ith), 0.0);
+  EXPECT_GT(s.output_voltage_rms(2.0 * ith), 0.0);
+  EXPECT_GT(s.output_power_dbm(2.0 * ith), -90.0);
+  EXPECT_LT(s.output_power_dbm(2.0 * ith), 0.0);
+}
+
+TEST(Sto, LinewidthNarrowsAboveThreshold) {
+  const auto s = sto();
+  const double ith = s.threshold_current();
+  const double lw_below = s.linewidth(0.5 * ith);
+  const double lw_15 = s.linewidth(1.5 * ith);
+  const double lw_3 = s.linewidth(3.0 * ith);
+  EXPECT_GT(lw_below, lw_3);
+  EXPECT_GT(lw_15, lw_3);
+}
+
+TEST(Sto, CharacteristicsBundleIsConsistent) {
+  const auto s = sto();
+  const auto c = s.characteristics();
+  EXPECT_EQ(c.tilt_rad, s.tilt_angle());
+  EXPECT_EQ(c.f_fmr_hz, s.fmr_frequency());
+  EXPECT_EQ(c.i_threshold, s.threshold_current());
+}
+
+TEST(Sto, LlgsFrequencyMatchesSmitBeljers) {
+  // Physical-strategy cross-check: the LLGS ringing frequency at small
+  // drive must agree with the Smit-Beljers small-signal frequency.
+  const auto s = sto();
+  const double f_llgs = s.llgs_frequency(0.0, 8e-9, 0.5e-12);
+  ASSERT_GT(f_llgs, 0.0);
+  EXPECT_NEAR(f_llgs / s.fmr_frequency(), 1.0, 0.15);
+}

@@ -1,0 +1,71 @@
+// Tests of the temperature-corner analysis.
+#include "core/thermal_corner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mc = mss::core;
+
+TEST(ThermalCorner, ReferenceTemperatureIsIdentity) {
+  const mc::MtjParams base;
+  const auto p = mc::scale_to_temperature(base, 300.0);
+  EXPECT_NEAR(p.ms, base.ms, 1e-9 * base.ms);
+  EXPECT_NEAR(p.k_i, base.k_i, 1e-9 * base.k_i);
+  EXPECT_NEAR(p.tmr0, base.tmr0, 1e-9);
+}
+
+TEST(ThermalCorner, HotterMeansWeakerMagnetics) {
+  const mc::MtjParams base;
+  const auto cold = mc::scale_to_temperature(base, 233.15);
+  const auto hot = mc::scale_to_temperature(base, 358.15);
+  EXPECT_GT(cold.ms, hot.ms);
+  EXPECT_GT(cold.k_i, hot.k_i);
+  EXPECT_GT(cold.tmr0, hot.tmr0);
+}
+
+TEST(ThermalCorner, DeltaAndRetentionDropWithTemperature) {
+  const mc::MtjParams base;
+  double prev_delta = 1e9;
+  double prev_ret = 1e300;
+  for (double t : {233.15, 273.15, 300.0, 333.15, 358.15}) {
+    const auto c = mc::evaluate_corner(base, t);
+    EXPECT_LT(c.delta, prev_delta) << t;
+    EXPECT_LT(c.retention_years, prev_ret) << t;
+    prev_delta = c.delta;
+    prev_ret = c.retention_years;
+  }
+}
+
+TEST(ThermalCorner, IoTRangeStaysFunctional) {
+  // Across -40..+85 C the memory-mode pillar must stay perpendicular with
+  // usable stability and read margin.
+  const mc::MtjParams base;
+  for (const auto& c : mc::temperature_sweep(base)) {
+    EXPECT_GT(c.delta, 25.0) << c.temperature_k;
+    EXPECT_GT(c.read_margin_rel, 0.2) << c.temperature_k;
+    EXPECT_GT(c.tmr, 0.5) << c.temperature_k;
+  }
+}
+
+TEST(ThermalCorner, HotWritesAreCheaper) {
+  // Lower barrier -> lower critical current: the one upside of heat.
+  const mc::MtjParams base;
+  const auto cold = mc::evaluate_corner(base, 233.15);
+  const auto hot = mc::evaluate_corner(base, 358.15);
+  EXPECT_GT(cold.ic0, hot.ic0);
+}
+
+TEST(ThermalCorner, RejectsUnphysicalTemperatures) {
+  const mc::MtjParams base;
+  EXPECT_THROW((void)mc::scale_to_temperature(base, -5.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mc::scale_to_temperature(base, 2000.0),
+               std::invalid_argument);
+}
+
+TEST(ThermalCorner, SweepPreservesOrder) {
+  const mc::MtjParams base;
+  const auto sweep = mc::temperature_sweep(base, {250.0, 300.0, 350.0});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].temperature_k, 250.0);
+  EXPECT_EQ(sweep[2].temperature_k, 350.0);
+}

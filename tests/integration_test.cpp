@@ -1,0 +1,112 @@
+// Cross-layer integration tests: the full Fig. 10 pipeline
+// (PDK -> SPICE cell -> MDL parse -> array model -> VAET -> MAGPIE).
+#include <gtest/gtest.h>
+
+#include "cells/bitcell.hpp"
+#include "core/pdk.hpp"
+#include "magpie/scenario.hpp"
+#include "nvsim/array_model.hpp"
+#include "vaet/estimator.hpp"
+
+namespace {
+const mss::core::Pdk& pdk45() {
+  static const auto pdk = mss::core::Pdk::mss45();
+  return pdk;
+}
+} // namespace
+
+TEST(Integration, SpiceExtractionAgreesWithAnalyticExtraction) {
+  // The paper's flow extracts cell parameters from SPICE simulation; our
+  // PDK also offers a closed-form extraction. The two must agree on the
+  // write current scale and the switching-time order of magnitude.
+  const auto analytic = pdk45().extract_cell();
+  const mss::cells::Bitcell cell(pdk45());
+  const auto spice_wr = cell.characterize_write(
+      mss::core::WriteDirection::ToAntiparallel, 25e-9);
+  ASSERT_TRUE(spice_wr.switched);
+  // Write current through the real access device vs the analytic target.
+  EXPECT_GT(spice_wr.i_settled, 0.4 * analytic.i_write);
+  EXPECT_LT(spice_wr.i_settled, 2.5 * analytic.i_write);
+  // Switching time: same order.
+  EXPECT_GT(spice_wr.t_switch, 0.2 * analytic.t_switch);
+  EXPECT_LT(spice_wr.t_switch, 8.0 * analytic.t_switch);
+}
+
+TEST(Integration, SpiceReadMatchesAnalyticMargin) {
+  const auto analytic = pdk45().extract_cell();
+  const mss::cells::Bitcell cell(pdk45());
+  const auto rd = cell.characterize_read(5e-9);
+  const double analytic_margin = analytic.i_read_p - analytic.i_read_ap;
+  // The access transistor drops some bias, so the SPICE margin is lower but
+  // within 3x.
+  EXPECT_GT(rd.delta_i, analytic_margin / 3.0);
+  EXPECT_LT(rd.delta_i, analytic_margin * 1.5);
+}
+
+TEST(Integration, ArrayModelConsumesSpiceExtractedCell) {
+  // Feed the SPICE-extracted switching time into the array model (the
+  // "update the cell configuration file of the VAET-STT tool" step).
+  const mss::cells::Bitcell cell(pdk45());
+  const auto wr = cell.characterize_write(
+      mss::core::WriteDirection::ToAntiparallel, 25e-9);
+  ASSERT_TRUE(wr.switched);
+
+  auto cell_params = pdk45().extract_cell();
+  cell_params.t_switch = wr.t_switch;
+
+  mss::nvsim::ArrayOrg org{1024, 1024, 256};
+  const mss::nvsim::ArrayModel with_spice(pdk45(), org, cell_params);
+  const mss::nvsim::ArrayModel analytic(pdk45(), org);
+  // Same periphery, different MTJ switching term.
+  EXPECT_NEAR(with_spice.estimate().read_latency,
+              analytic.estimate().read_latency, 1e-12);
+  EXPECT_NEAR(with_spice.estimate().write_latency - wr.t_switch,
+              analytic.estimate().write_latency -
+                  analytic.cell().t_switch,
+              1e-12);
+}
+
+TEST(Integration, VaetMarginsExceedNominalAlways) {
+  mss::nvsim::ArrayOrg org{1024, 1024, 256};
+  mss::vaet::VaetOptions opt;
+  opt.mc_samples = 100;
+  const mss::vaet::VaetStt vaet(pdk45(), org, opt);
+  const auto nominal = vaet.array().estimate();
+  for (double target : {1e-5, 1e-10, 1e-15}) {
+    EXPECT_GT(vaet.write_latency_for_wer(target), nominal.write_latency);
+    EXPECT_GT(vaet.read_latency_for_rer(target), nominal.read_latency);
+  }
+}
+
+TEST(Integration, SttCacheParamsFlowIntoMagpie) {
+  // End-to-end: device corner -> array -> reliability margins -> cache
+  // params -> system scenario.
+  const auto sys = mss::magpie::make_scenario(
+      mss::magpie::Scenario::FullL2Stt, pdk45());
+  EXPECT_EQ(sys.little.l2.tech, mss::magpie::MemTech::SttMram);
+  // The STT write latency must reflect the VAET margin (well above the
+  // nominal array write latency).
+  mss::nvsim::ArrayOrg org{1024, 1024, 512};
+  const auto nominal =
+      mss::nvsim::ArrayModel(pdk45(), org).estimate().write_latency;
+  EXPECT_GT(sys.little.l2.write_latency, nominal);
+  // And a full kernel run completes with sane outputs.
+  auto k = mss::magpie::kernel_by_name("blackscholes");
+  k.instructions = 30'000;
+  const auto rep = mss::magpie::simulate(sys, k);
+  const auto e = mss::magpie::energy_rollup(sys, rep);
+  EXPECT_GT(rep.exec_time, 0.0);
+  EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(Integration, TechnologyNodeOrderingPropagates) {
+  // 45 nm vs 65 nm ordering must survive through the array level: energy
+  // lower at 45 nm, both read and write (Table 1's node comparison).
+  mss::nvsim::ArrayOrg org{1024, 1024, 256};
+  const auto e45 =
+      mss::nvsim::ArrayModel(mss::core::Pdk::mss45(), org).estimate();
+  const auto e65 =
+      mss::nvsim::ArrayModel(mss::core::Pdk::mss65(), org).estimate();
+  EXPECT_LT(e45.write_energy, e65.write_energy);
+  EXPECT_LT(e45.read_energy, e65.read_energy);
+}

@@ -1,0 +1,90 @@
+// Tests of the cache model used by the MAGPIE performance simulation.
+#include "magpie/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mm = mss::magpie;
+
+TEST(Cache, ColdMissThenHit) {
+  mm::Cache c(1024, 2, 64, nullptr);
+  EXPECT_EQ(c.access(0x1000, false), mm::HitLevel::Memory);
+  EXPECT_EQ(c.access(0x1000, false), mm::HitLevel::L1);
+  EXPECT_EQ(c.stats().reads, 2u);
+  EXPECT_EQ(c.stats().read_misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits) {
+  mm::Cache c(1024, 2, 64, nullptr);
+  (void)c.access(0x1000, false);
+  EXPECT_EQ(c.access(0x103F, false), mm::HitLevel::L1);
+  EXPECT_EQ(c.access(0x1040, false), mm::HitLevel::Memory); // next line
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 2-way, 2 sets of 64B lines: capacity 256B. Addresses mapping to set 0:
+  // multiples of 128.
+  mm::Cache c(256, 2, 64, nullptr);
+  (void)c.access(0x0000, false);  // set 0, way A
+  (void)c.access(0x0080, false);  // set 0, way B
+  (void)c.access(0x0000, false);  // touch A: B is now LRU
+  (void)c.access(0x0100, false);  // evicts B
+  EXPECT_EQ(c.access(0x0000, false), mm::HitLevel::L1); // A still present
+  EXPECT_EQ(c.access(0x0080, false), mm::HitLevel::Memory); // B evicted
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  mm::Cache l2(4096, 4, 64, nullptr);
+  mm::Cache l1(128, 1, 64, &l2); // 2 sets, direct-mapped: easy conflicts
+  (void)l1.access(0x0000, true); // dirty line in set 0
+  (void)l1.access(0x0100, false); // conflicts set 0 -> evicts dirty
+  EXPECT_EQ(l1.stats().writebacks, 1u);
+  // The writeback lands in the L2 as a write access.
+  EXPECT_GE(l2.stats().writes, 1u);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteback) {
+  mm::Cache l1(128, 1, 64, nullptr);
+  (void)l1.access(0x0000, false);
+  (void)l1.access(0x0100, false);
+  EXPECT_EQ(l1.stats().writebacks, 0u);
+}
+
+TEST(Cache, HierarchyReportsIntermediateHit) {
+  mm::Cache l2(8192, 4, 64, nullptr);
+  mm::Cache l1(256, 2, 64, &l2);
+  (void)l1.access(0xAA00, false);            // cold: memory
+  l1.flush();                                 // L1 loses it, L2 keeps it
+  EXPECT_EQ(l1.access(0xAA00, false), mm::HitLevel::L2);
+}
+
+TEST(Cache, FlushClearsContentNotStats) {
+  mm::Cache c(1024, 2, 64, nullptr);
+  (void)c.access(0x40, false);
+  c.flush();
+  EXPECT_EQ(c.access(0x40, false), mm::HitLevel::Memory);
+  EXPECT_EQ(c.stats().reads, 2u);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().reads, 0u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(mm::Cache(0, 2, 64, nullptr), std::invalid_argument);
+  EXPECT_THROW(mm::Cache(1000, 2, 60, nullptr), std::invalid_argument);
+}
+
+TEST(Cache, MissRateDropsWithCapacity) {
+  // Random-ish working set of 32 KB against 8 KB vs 64 KB caches.
+  auto run = [](std::size_t cap) {
+    mm::Cache c(cap, 8, 64, nullptr);
+    std::uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < 200000; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      (void)c.access((x % (32 * 1024)) & ~63ull, false);
+    }
+    return c.stats().miss_rate();
+  };
+  EXPECT_GT(run(8 * 1024), run(64 * 1024));
+  EXPECT_LT(run(64 * 1024), 0.01); // fits entirely
+}

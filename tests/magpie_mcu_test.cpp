@@ -1,0 +1,93 @@
+// Tests of the MCU-class (SecretBlaze-like) normally-off study.
+#include "magpie/mcu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mm = mss::magpie;
+
+namespace {
+const mss::core::Pdk& pdk45() {
+  static const auto pdk = mss::core::Pdk::mss45();
+  return pdk;
+}
+} // namespace
+
+TEST(Mcu, KernelSuiteIsPopulated) {
+  const auto kernels = mm::mibench_kernels();
+  EXPECT_GE(kernels.size(), 5u);
+  for (const auto& k : kernels) {
+    EXPECT_GT(k.instructions, 0u);
+    EXPECT_GT(k.mem_ratio, 0.0);
+    EXPECT_LT(k.mem_ratio, 1.0);
+  }
+}
+
+TEST(Mcu, ConfigsDifferByTechnology) {
+  const auto sram = mm::make_mcu(mm::MemTech::Sram, pdk45());
+  const auto mram = mm::make_mcu(mm::MemTech::SttMram, pdk45());
+  // MRAM writes are slower, SRAM leaks more, MRAM sleeps deeper.
+  EXPECT_GT(mram.mem_write_latency, sram.mem_write_latency);
+  EXPECT_GT(sram.mem_leak, mram.mem_leak);
+  EXPECT_GT(sram.p_sleep, mram.p_sleep);
+}
+
+TEST(Mcu, RunProducesPositiveNumbers) {
+  const auto mcu = mm::make_mcu(mm::MemTech::Sram, pdk45());
+  for (const auto& k : mm::mibench_kernels()) {
+    const auto run = mm::run_mcu(mcu, k);
+    EXPECT_GT(run.active_time, 0.0) << k.name;
+    EXPECT_GT(run.active_energy, 0.0) << k.name;
+  }
+}
+
+TEST(Mcu, MramActiveRunIsSlower) {
+  const auto sram = mm::make_mcu(mm::MemTech::Sram, pdk45());
+  const auto mram = mm::make_mcu(mm::MemTech::SttMram, pdk45());
+  const auto k = mm::mibench_kernels().front();
+  EXPECT_GT(mm::run_mcu(mram, k).active_time,
+            mm::run_mcu(sram, k).active_time);
+}
+
+TEST(Mcu, AveragePowerFallsWithPeriod) {
+  const auto mcu = mm::make_mcu(mm::MemTech::SttMram, pdk45());
+  const auto run = mm::run_mcu(mcu, mm::mibench_kernels().front());
+  double prev = 1e9;
+  for (double period : {1e-3, 1e-2, 1e-1, 1.0, 10.0}) {
+    const double p = mm::average_power(mcu, run, period);
+    EXPECT_LT(p, prev) << period;
+    prev = p;
+  }
+}
+
+TEST(Mcu, NormallyOffWinsAtLowDutyCycle) {
+  // The paper's IoT argument: at long idle periods the non-volatile node's
+  // zero retention power must win.
+  const auto sram = mm::make_mcu(mm::MemTech::Sram, pdk45());
+  const auto mram = mm::make_mcu(mm::MemTech::SttMram, pdk45());
+  const auto k = mm::mibench_kernels().front();
+  const auto run_sram = mm::run_mcu(sram, k);
+  const auto run_mram = mm::run_mcu(mram, k);
+  const double p_sram_idle = mm::average_power(sram, run_sram, 60.0);
+  const double p_mram_idle = mm::average_power(mram, run_mram, 60.0);
+  EXPECT_LT(p_mram_idle, p_sram_idle);
+}
+
+TEST(Mcu, CrossoverExistsOrMramAlwaysWins) {
+  const auto sram = mm::make_mcu(mm::MemTech::Sram, pdk45());
+  const auto mram = mm::make_mcu(mm::MemTech::SttMram, pdk45());
+  const auto k = mm::mibench_kernels().front();
+  const double cross = mm::normally_off_crossover(
+      sram, mram, mm::run_mcu(sram, k), mm::run_mcu(mram, k));
+  // Either a finite crossover period, or MRAM wins everywhere (-1).
+  EXPECT_NE(cross, -2.0); // SRAM must not win everywhere
+  if (cross > 0.0) {
+    EXPECT_LT(cross, 86400.0);
+    // Below the crossover SRAM is better, above it MRAM is.
+    const auto run_s = mm::run_mcu(sram, k);
+    const auto run_m = mm::run_mcu(mram, k);
+    EXPECT_LT(mm::average_power(sram, run_s, cross / 4.0),
+              mm::average_power(mram, run_m, cross / 4.0));
+    EXPECT_GT(mm::average_power(sram, run_s, cross * 4.0),
+              mm::average_power(mram, run_m, cross * 4.0));
+  }
+}

@@ -1,0 +1,117 @@
+// Tests of the four MAGPIE scenarios and the McPAT-style energy roll-up.
+#include "magpie/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mm = mss::magpie;
+
+namespace {
+const mss::core::Pdk& pdk45() {
+  static const auto pdk = mss::core::Pdk::mss45();
+  return pdk;
+}
+} // namespace
+
+TEST(Scenario, SramCacheScalesWithCapacity) {
+  const auto small = mm::sram_cache(512 * 1024);
+  const auto large = mm::sram_cache(2 * 1024 * 1024);
+  EXPECT_GT(large.read_latency, small.read_latency);
+  EXPECT_GT(large.read_energy, small.read_energy);
+  EXPECT_GT(large.leakage, small.leakage);
+  EXPECT_EQ(small.tech, mm::MemTech::Sram);
+}
+
+TEST(Scenario, SttCacheDerivedFromCrossLayerFlow) {
+  const auto stt = mm::stt_cache(pdk45(), 2 * 1024 * 1024);
+  EXPECT_EQ(stt.tech, mm::MemTech::SttMram);
+  // STT-MRAM: much slower writes than reads, near-zero leakage.
+  EXPECT_GT(stt.write_latency, 2.0 * stt.read_latency);
+  EXPECT_GT(stt.write_energy, stt.read_energy);
+  const auto sram = mm::sram_cache(2 * 1024 * 1024);
+  EXPECT_LT(stt.leakage, 0.2 * sram.leakage);
+}
+
+TEST(Scenario, MakeScenarioSwapsTheRightCluster) {
+  const auto ref = mm::make_scenario(mm::Scenario::FullSram, pdk45());
+  EXPECT_EQ(ref.little.l2.tech, mm::MemTech::Sram);
+  EXPECT_EQ(ref.big.l2.tech, mm::MemTech::Sram);
+
+  const auto little = mm::make_scenario(mm::Scenario::LittleL2Stt, pdk45());
+  EXPECT_EQ(little.little.l2.tech, mm::MemTech::SttMram);
+  EXPECT_EQ(little.big.l2.tech, mm::MemTech::Sram);
+  // Iso-area: 4x the SRAM capacity.
+  EXPECT_EQ(little.little.l2.capacity_bytes,
+            4 * ref.little.l2.capacity_bytes);
+
+  const auto big = mm::make_scenario(mm::Scenario::BigL2Stt, pdk45());
+  EXPECT_EQ(big.little.l2.tech, mm::MemTech::Sram);
+  EXPECT_EQ(big.big.l2.tech, mm::MemTech::SttMram);
+
+  const auto full = mm::make_scenario(mm::Scenario::FullL2Stt, pdk45());
+  EXPECT_EQ(full.little.l2.tech, mm::MemTech::SttMram);
+  EXPECT_EQ(full.big.l2.tech, mm::MemTech::SttMram);
+}
+
+TEST(Scenario, EnergyRollupHasAllComponents) {
+  auto k = mm::kernel_by_name("bodytrack");
+  k.instructions = 50'000;
+  const auto sys = mm::make_scenario(mm::Scenario::FullSram, pdk45());
+  const auto rep = mm::simulate(sys, k);
+  const auto e = mm::energy_rollup(sys, rep);
+  EXPECT_GT(e.total(), 0.0);
+  EXPECT_GT(e.edp(), 0.0);
+  EXPECT_NO_THROW((void)e.component("LITTLE cores"));
+  EXPECT_NO_THROW((void)e.component("big cores"));
+  EXPECT_NO_THROW((void)e.component("LITTLE L2 (SRAM)"));
+  EXPECT_NO_THROW((void)e.component("DRAM + MC"));
+  EXPECT_THROW((void)e.component("GPU"), std::out_of_range);
+  for (const auto& c : e.components) {
+    EXPECT_GE(c.dynamic, 0.0) << c.name;
+    EXPECT_GE(c.leakage, 0.0) << c.name;
+  }
+}
+
+TEST(Scenario, SttScenariosSaveEnergy) {
+  // The paper: "the overall energy consumption is improved in all
+  // scenarios" (for the STT-L2 configurations).
+  auto k = mm::kernel_by_name("bodytrack");
+  k.instructions = 60'000;
+  const auto runs = mm::run_kernel_all_scenarios(k, pdk45());
+  ASSERT_EQ(runs.size(), 4u);
+  const auto& ref = runs[0];
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const auto m = mm::normalize(ref, runs[i]);
+    EXPECT_LT(m.energy_ratio, 1.0) << mm::to_string(runs[i].scenario);
+  }
+  // Full-L2-STT kills the most leakage: best energy ratio.
+  const auto full = mm::normalize(ref, runs[3]);
+  const auto little = mm::normalize(ref, runs[1]);
+  EXPECT_LT(full.energy_ratio, little.energy_ratio);
+}
+
+TEST(Scenario, LittleL2SttReducesExecTimeForCacheHungryKernel) {
+  // The paper: "Only the scenario with STT-MRAM in the L2 cache of the
+  // LITTLE cluster reduces the execution time".
+  auto k = mm::kernel_by_name("bodytrack");
+  k.instructions = 60'000;
+  const auto runs = mm::run_kernel_all_scenarios(k, pdk45());
+  const auto little = mm::normalize(runs[0], runs[1]);
+  EXPECT_LT(little.exec_time_ratio, 1.0);
+  // And the EDP improves.
+  EXPECT_LT(little.edp_ratio, 1.0);
+}
+
+TEST(Scenario, BigL2SttDoesNotSpeedUp) {
+  auto k = mm::kernel_by_name("fluidanimate"); // write-heavy
+  k.instructions = 60'000;
+  const auto runs = mm::run_kernel_all_scenarios(k, pdk45());
+  const auto big = mm::normalize(runs[0], runs[2]);
+  EXPECT_GE(big.exec_time_ratio, 0.999);
+}
+
+TEST(Scenario, NamesAreStable) {
+  EXPECT_STREQ(mm::to_string(mm::Scenario::FullSram), "Full-SRAM");
+  EXPECT_STREQ(mm::to_string(mm::Scenario::LittleL2Stt),
+               "LITTLE-L2-STT-MRAM");
+  EXPECT_EQ(mm::all_scenarios().size(), 4u);
+}

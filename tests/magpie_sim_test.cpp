@@ -1,0 +1,96 @@
+// Tests of the trace-driven performance simulation (gem5 substitute).
+#include "magpie/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "magpie/scenario.hpp"
+
+namespace mm = mss::magpie;
+
+namespace {
+mm::KernelParams small_kernel(const char* name = "swaptions") {
+  auto k = mm::kernel_by_name(name);
+  k.instructions = 50'000; // keep unit tests fast
+  return k;
+}
+} // namespace
+
+TEST(Sim, ActivityCountsAreConsistent) {
+  const auto sys = mm::SystemConfig::reference_full_sram();
+  const auto rep = mm::simulate(sys, small_kernel());
+  // Every generated reference hits the L1s exactly once.
+  const auto k = small_kernel();
+  const auto expected_refs =
+      std::uint64_t(double(k.instructions) * k.mem_ratio) * sys.little.n_cores;
+  EXPECT_EQ(rep.little.l1_accesses, expected_refs);
+  EXPECT_EQ(rep.big.l1_accesses, expected_refs);
+  // L2 sees at least the L1 misses (plus writebacks).
+  EXPECT_GE(rep.little.l2_accesses, rep.little.l1_misses);
+  // Times are positive and the report takes the max.
+  EXPECT_GT(rep.little.time, 0.0);
+  EXPECT_GT(rep.big.time, 0.0);
+  EXPECT_EQ(rep.exec_time, std::max(rep.little.time, rep.big.time));
+}
+
+TEST(Sim, IpcBoundedByBaseIpc) {
+  const auto sys = mm::SystemConfig::reference_full_sram();
+  const auto rep = mm::simulate(sys, small_kernel());
+  EXPECT_LE(rep.little.ipc, sys.little.core.base_ipc + 1e-9);
+  EXPECT_LE(rep.big.ipc, sys.big.core.base_ipc + 1e-9);
+  EXPECT_GT(rep.little.ipc, 0.0);
+}
+
+TEST(Sim, DeterministicPerSeed) {
+  const auto sys = mm::SystemConfig::reference_full_sram();
+  const auto a = mm::simulate(sys, small_kernel(), 1);
+  const auto b = mm::simulate(sys, small_kernel(), 1);
+  const auto c = mm::simulate(sys, small_kernel(), 2);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.little.l2_misses, b.little.l2_misses);
+  EXPECT_NE(a.little.l2_misses, c.little.l2_misses);
+}
+
+TEST(Sim, BiggerL2ReducesMissesForCacheHungryKernel) {
+  auto sys = mm::SystemConfig::reference_full_sram();
+  const auto k = small_kernel("bodytrack");
+  const auto base = mm::simulate(sys, k);
+  auto sys_big_l2 = sys;
+  sys_big_l2.little.l2.capacity_bytes *= 4;
+  const auto boosted = mm::simulate(sys_big_l2, k);
+  EXPECT_LT(boosted.little.l2_misses, base.little.l2_misses);
+  EXPECT_LE(boosted.little.time, base.little.time * 1.001);
+}
+
+TEST(Sim, SlowerL2WriteLatencyHurtsWriteHeavyKernel) {
+  auto sys = mm::SystemConfig::reference_full_sram();
+  const auto k = small_kernel("fluidanimate");
+  const auto base = mm::simulate(sys, k);
+  auto sys_slow_wr = sys;
+  sys_slow_wr.big.l2.write_latency *= 8.0;
+  const auto slowed = mm::simulate(sys_slow_wr, k);
+  EXPECT_GT(slowed.big.time, base.big.time);
+}
+
+TEST(Sim, LittleClusterIsTheBottleneck) {
+  // In-order 1.2 GHz LITTLE cores vs OoO 1.6 GHz big cores: the LITTLE
+  // cluster finishes last in the reference configuration — this is what
+  // makes the LITTLE-L2 upgrade matter for total execution time.
+  const auto sys = mm::SystemConfig::reference_full_sram();
+  for (const char* name : {"bodytrack", "ferret", "x264"}) {
+    const auto rep = mm::simulate(sys, small_kernel(name));
+    EXPECT_GT(rep.little.time, rep.big.time) << name;
+  }
+}
+
+TEST(Sim, StreamingKernelInsensitiveToL2Capacity) {
+  auto sys = mm::SystemConfig::reference_full_sram();
+  const auto k = small_kernel("streamcluster");
+  const auto base = mm::simulate(sys, k);
+  auto sys_big_l2 = sys;
+  sys_big_l2.little.l2.capacity_bytes *= 4;
+  const auto boosted = mm::simulate(sys_big_l2, k);
+  // Misses shrink by far less than for the cache-hungry kernel.
+  const double ratio =
+      double(boosted.little.l2_misses) / double(base.little.l2_misses);
+  EXPECT_GT(ratio, 0.6);
+}

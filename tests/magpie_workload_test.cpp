@@ -1,0 +1,80 @@
+// Tests of the synthetic workload kernels and trace generation.
+#include "magpie/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mm = mss::magpie;
+
+TEST(Workload, KernelSetContainsPaperKernels) {
+  const auto kernels = mm::parsec_kernels();
+  EXPECT_GE(kernels.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& k : kernels) names.insert(k.name);
+  // bodytrack is the kernel shown in Fig. 11; streamcluster and
+  // fluidanimate drive the streaming / write-heavy behaviours.
+  EXPECT_TRUE(names.count("bodytrack"));
+  EXPECT_TRUE(names.count("streamcluster"));
+  EXPECT_TRUE(names.count("fluidanimate"));
+  EXPECT_TRUE(names.count("blackscholes"));
+}
+
+TEST(Workload, LookupByNameWorksAndThrows) {
+  EXPECT_EQ(mm::kernel_by_name("bodytrack").name, "bodytrack");
+  EXPECT_THROW((void)mm::kernel_by_name("doom"), std::out_of_range);
+}
+
+TEST(Workload, TraceIsDeterministic) {
+  const auto k = mm::kernel_by_name("bodytrack");
+  mm::TraceGenerator a(k, 0, 99), b(k, 0, 99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.is_write, rb.is_write);
+  }
+}
+
+TEST(Workload, DifferentThreadsUseDifferentPrivateRegions) {
+  const auto k = mm::kernel_by_name("streamcluster");
+  mm::TraceGenerator a(k, 0), b(k, 3);
+  std::set<std::uint64_t> pages_a, pages_b;
+  for (int i = 0; i < 5000; ++i) {
+    pages_a.insert(a.next().addr >> 21);
+    pages_b.insert(b.next().addr >> 21);
+  }
+  // Streaming pages must not collide between threads (shared hot pages may).
+  int common_private = 0;
+  for (auto p : pages_a) {
+    if (p >= (0x8000'0000ull >> 21) && pages_b.count(p)) ++common_private;
+  }
+  EXPECT_EQ(common_private, 0);
+}
+
+TEST(Workload, WriteRatioApproximatelyHonoured) {
+  const auto k = mm::kernel_by_name("fluidanimate"); // write_ratio 0.45
+  mm::TraceGenerator g(k, 1);
+  int writes = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) writes += g.next().is_write ? 1 : 0;
+  EXPECT_NEAR(double(writes) / n, k.write_ratio, 0.02);
+}
+
+TEST(Workload, TotalRefsMatchesMemRatio) {
+  const auto k = mm::kernel_by_name("swaptions");
+  mm::TraceGenerator g(k, 0);
+  EXPECT_EQ(g.total_refs(),
+            std::uint64_t(double(k.instructions) * k.mem_ratio));
+}
+
+TEST(Workload, HotAccessesDominatePerHotFraction) {
+  const auto k = mm::kernel_by_name("blackscholes"); // hot_fraction 0.92
+  mm::TraceGenerator g(k, 0);
+  int hot = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (g.next().addr < 0x8000'0000ull) ++hot;
+  }
+  EXPECT_NEAR(double(hot) / n, k.hot_fraction, 0.02);
+}

@@ -1,0 +1,91 @@
+// Tests of the cache and CAM composites on top of the array model.
+#include "nvsim/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn = mss::nvsim;
+
+namespace {
+const mss::core::Pdk& pdk45() {
+  static const auto pdk = mss::core::Pdk::mss45();
+  return pdk;
+}
+} // namespace
+
+TEST(CacheOrg, GeometryDerivation) {
+  mn::CacheOrg org;
+  org.capacity_bytes = 512 * 1024;
+  org.ways = 8;
+  org.line_bytes = 64;
+  org.address_bits = 40;
+  EXPECT_EQ(org.sets(), 1024u);
+  EXPECT_EQ(org.tag_bits(), 40u - 10u - 6u);
+}
+
+TEST(CacheModel, EstimateIsConsistent) {
+  mn::CacheOrg org;
+  const auto est = mn::estimate_cache(pdk45(), org);
+  EXPECT_GT(est.hit_latency, 0.0);
+  EXPECT_GT(est.write_latency, est.hit_latency); // MTJ write dominates
+  EXPECT_GT(est.hit_energy, 0.0);
+  EXPECT_GT(est.write_energy, est.hit_energy);
+  EXPECT_GT(est.area, est.tag.area); // data array adds area
+  // Hit latency covers both the tag path and the data path.
+  EXPECT_GE(est.hit_latency, est.data.read_latency);
+  EXPECT_GE(est.hit_latency, est.tag.read_latency);
+}
+
+TEST(CacheModel, BiggerCacheIsSlowerAndBigger) {
+  mn::CacheOrg small;
+  small.capacity_bytes = 256 * 1024;
+  mn::CacheOrg large;
+  large.capacity_bytes = 4 * 1024 * 1024;
+  const auto e_small = mn::estimate_cache(pdk45(), small);
+  const auto e_large = mn::estimate_cache(pdk45(), large);
+  EXPECT_GT(e_large.area, e_small.area);
+  EXPECT_GE(e_large.hit_latency, e_small.hit_latency);
+  EXPECT_GT(e_large.leakage_power, e_small.leakage_power);
+}
+
+TEST(CacheModel, MoreWaysCostEnergy) {
+  mn::CacheOrg few;
+  few.ways = 4;
+  mn::CacheOrg many;
+  many.ways = 16;
+  const auto e_few = mn::estimate_cache(pdk45(), few);
+  const auto e_many = mn::estimate_cache(pdk45(), many);
+  EXPECT_GT(e_many.tag.read_energy, e_few.tag.read_energy);
+}
+
+TEST(CacheModel, RejectsNonPowerOfTwoSets) {
+  mn::CacheOrg org;
+  org.capacity_bytes = 3 * 64 * 1024; // 3 * 2^k sets
+  EXPECT_THROW((void)mn::estimate_cache(pdk45(), org), std::invalid_argument);
+}
+
+TEST(CamModel, SearchScalesWithEntries) {
+  const auto small = mn::estimate_cam(pdk45(), 64, 64);
+  const auto large = mn::estimate_cam(pdk45(), 1024, 64);
+  EXPECT_GT(small.search_latency, 0.0);
+  EXPECT_GT(large.search_energy, small.search_energy);
+  EXPECT_GT(large.area, small.area);
+  EXPECT_GT(large.leakage_power, small.leakage_power);
+}
+
+TEST(CamModel, WiderWordsCostSearchEnergy) {
+  const auto narrow = mn::estimate_cam(pdk45(), 256, 64);
+  const auto wide = mn::estimate_cam(pdk45(), 256, 256);
+  EXPECT_GT(wide.search_energy, narrow.search_energy);
+}
+
+TEST(CamModel, RejectsEmpty) {
+  EXPECT_THROW((void)mn::estimate_cam(pdk45(), 0, 64), std::invalid_argument);
+  EXPECT_THROW((void)mn::estimate_cam(pdk45(), 64, 0), std::invalid_argument);
+}
+
+TEST(CamModel, NonVolatileLeakageFarBelowSramEquivalent) {
+  // The MSS-CAM's array does not leak; only periphery and encoder do.
+  const auto cam = mn::estimate_cam(pdk45(), 1024, 64);
+  // An SRAM CAM of 1024x64 bits at ~0.3 mW/KB would leak ~2.4 mW.
+  EXPECT_LT(cam.leakage_power, 1.0e-3);
+}

@@ -1,0 +1,130 @@
+// Tests of the NVSim-style array estimator and organisation optimizer.
+#include "nvsim/array_model.hpp"
+#include "nvsim/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn = mss::nvsim;
+
+namespace {
+mn::ArrayModel model_1mb() {
+  mn::ArrayOrg org;
+  org.rows = 1024;
+  org.cols = 1024;
+  org.word_bits = 256;
+  return mn::ArrayModel(mss::core::Pdk::mss45(), org);
+}
+} // namespace
+
+TEST(ArrayModel, EstimateComponentsArePositiveAndSumUp) {
+  const auto est = model_1mb().estimate();
+  EXPECT_GT(est.t_decoder, 0.0);
+  EXPECT_GT(est.t_wordline, 0.0);
+  EXPECT_GT(est.t_bitline, 0.0);
+  EXPECT_GT(est.t_senseamp, 0.0);
+  EXPECT_GT(est.t_mtj_switch, 0.0);
+  EXPECT_NEAR(est.read_latency,
+              est.t_decoder + est.t_wordline + est.t_bitline + est.t_senseamp,
+              1e-15);
+  EXPECT_NEAR(est.write_latency,
+              est.t_decoder + est.t_wordline + est.t_driver + est.t_mtj_switch,
+              1e-15);
+  EXPECT_NEAR(est.read_energy,
+              est.e_decoder + est.e_wordline + est.e_bitline_read +
+                  est.e_senseamp,
+              1e-18);
+  EXPECT_GT(est.leakage_power, 0.0);
+  EXPECT_GT(est.area, 0.0);
+}
+
+TEST(ArrayModel, WriteDominatedByMtjAndSlowerThanRead) {
+  const auto est = model_1mb().estimate();
+  EXPECT_GT(est.write_latency, est.read_latency);
+  EXPECT_GT(est.write_energy, est.read_energy);
+  EXPECT_GT(est.t_mtj_switch, est.t_decoder);
+}
+
+TEST(ArrayModel, TallerArrayHasSlowerBitlines) {
+  mn::ArrayOrg short_org{512, 1024, 256};
+  mn::ArrayOrg tall_org{4096, 1024, 256};
+  const auto pdk = mss::core::Pdk::mss45();
+  const auto e_short = mn::ArrayModel(pdk, short_org).estimate();
+  const auto e_tall = mn::ArrayModel(pdk, tall_org).estimate();
+  EXPECT_GT(e_tall.t_bitline, e_short.t_bitline);
+}
+
+TEST(ArrayModel, WiderWordCostsMoreEnergy) {
+  mn::ArrayOrg narrow{1024, 1024, 128};
+  mn::ArrayOrg wide{1024, 1024, 512};
+  const auto pdk = mss::core::Pdk::mss45();
+  const auto e_n = mn::ArrayModel(pdk, narrow).estimate();
+  const auto e_w = mn::ArrayModel(pdk, wide).estimate();
+  EXPECT_GT(e_w.write_energy, e_n.write_energy);
+  EXPECT_GT(e_w.read_energy, e_n.read_energy);
+}
+
+TEST(ArrayModel, SixtyFiveNmHasHigherEnergy) {
+  // The paper's Table 1: the smaller node reduces read and write energy.
+  mn::ArrayOrg org{1024, 1024, 256};
+  const auto e45 = mn::ArrayModel(mss::core::Pdk::mss45(), org).estimate();
+  const auto e65 = mn::ArrayModel(mss::core::Pdk::mss65(), org).estimate();
+  EXPECT_LT(e45.write_energy, e65.write_energy);
+  EXPECT_LT(e45.read_energy, e65.read_energy);
+}
+
+TEST(ArrayModel, RejectsBadOrganisation) {
+  const auto pdk = mss::core::Pdk::mss45();
+  EXPECT_THROW(mn::ArrayModel(pdk, mn::ArrayOrg{0, 1024, 64}),
+               std::invalid_argument);
+  EXPECT_THROW(mn::ArrayModel(pdk, mn::ArrayOrg{1024, 64, 256}),
+               std::invalid_argument); // word wider than cols
+}
+
+TEST(ArrayModel, ColMuxDerived) {
+  mn::ArrayOrg org{1024, 1024, 256};
+  EXPECT_EQ(org.col_mux(), 4u);
+}
+
+TEST(Optimizer, ReturnsSortedFeasibleCandidates) {
+  const auto pdk = mss::core::Pdk::mss45();
+  const auto cands =
+      mn::explore(pdk, 1u << 20, 256, mn::Goal::ReadLatency);
+  ASSERT_GT(cands.size(), 1u);
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_LE(cands[i - 1].objective, cands[i].objective);
+  }
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.org.rows * c.org.cols, 1u << 20);
+  }
+}
+
+TEST(Optimizer, ConstraintsFilter) {
+  const auto pdk = mss::core::Pdk::mss45();
+  mn::Constraints tight;
+  tight.max_read_latency = 1e-12; // impossible
+  EXPECT_FALSE(mn::optimize(pdk, 1u << 20, 256, mn::Goal::ReadLatency, tight)
+                   .has_value());
+
+  mn::Constraints loose;
+  loose.max_read_latency = 1e-6;
+  const auto best =
+      mn::optimize(pdk, 1u << 20, 256, mn::Goal::ReadLatency, loose);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LT(best->estimate.read_latency, 1e-6);
+}
+
+TEST(Optimizer, DifferentGoalsPickDifferentShapes) {
+  const auto pdk = mss::core::Pdk::mss45();
+  const auto lat = mn::optimize(pdk, 1u << 22, 512, mn::Goal::ReadLatency);
+  const auto area = mn::optimize(pdk, 1u << 22, 512, mn::Goal::Area);
+  ASSERT_TRUE(lat.has_value());
+  ASSERT_TRUE(area.has_value());
+  EXPECT_LE(lat->estimate.read_latency, area->estimate.read_latency);
+  EXPECT_LE(area->estimate.area, lat->estimate.area);
+}
+
+TEST(Optimizer, RejectsZeroCapacity) {
+  const auto pdk = mss::core::Pdk::mss45();
+  EXPECT_THROW((void)mn::explore(pdk, 0, 64, mn::Goal::Area),
+               std::invalid_argument);
+}

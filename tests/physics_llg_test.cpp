@@ -1,0 +1,160 @@
+// Physics validation of the macrospin LLGS integrator.
+#include "physics/llg.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "physics/constants.hpp"
+
+namespace mp = mss::physics;
+
+namespace {
+
+mp::LlgParams test_params() {
+  mp::LlgParams p;
+  p.ms = 1.0e6;
+  p.alpha = 0.02;
+  p.hk_eff = 2.0e5;
+  p.volume = 1.6e-24;
+  p.area = 1.26e-15;
+  p.t_fl = 1.3e-9;
+  p.polarization = 0.6;
+  p.temperature = 300.0;
+  return p;
+}
+
+} // namespace
+
+TEST(Llg, NormIsConserved) {
+  const mp::LlgSolver solver(test_params());
+  const mp::Vec3 m0 = mp::Vec3{0.3, 0.1, 0.95}.normalized();
+  const auto run = solver.integrate(m0, 2e-9, 1e-12, 0.0, 1);
+  for (const auto& s : run.trajectory) {
+    EXPECT_NEAR(s.m.norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(Llg, PrecessionFrequencyMatchesLarmor) {
+  // Small damping, field only along z: precession at f = gamma mu0 H / 2pi.
+  mp::LlgParams p = test_params();
+  p.alpha = 1e-4;
+  p.hk_eff = 0.0;
+  p.h_applied = {0.0, 0.0, 2.0e5};
+  const mp::LlgSolver solver(p);
+  const mp::Vec3 m0 = mp::Vec3{0.5, 0.0, 0.8}.normalized();
+  const double duration = 2e-9;
+  const auto run = solver.integrate(m0, duration, 0.5e-13, 0.0, 1);
+
+  // Count positive-going zero crossings of m_y.
+  int crossings = 0;
+  double first = 0.0, last = 0.0;
+  for (std::size_t k = 1; k < run.trajectory.size(); ++k) {
+    if (run.trajectory[k - 1].m.y < 0.0 && run.trajectory[k].m.y >= 0.0) {
+      if (crossings == 0) first = run.trajectory[k].t;
+      last = run.trajectory[k].t;
+      ++crossings;
+    }
+  }
+  ASSERT_GE(crossings, 3);
+  const double f_measured = double(crossings - 1) / (last - first);
+  const double f_expected =
+      mp::kGamma * mp::kMu0 * 2.0e5 / (2.0 * M_PI);
+  EXPECT_NEAR(f_measured / f_expected, 1.0, 0.02);
+}
+
+TEST(Llg, DampingRelaxesToEasyAxis) {
+  mp::LlgParams p = test_params();
+  p.alpha = 0.1; // fast relaxation for the test
+  const mp::LlgSolver solver(p);
+  const mp::Vec3 m0 = mp::Vec3{0.6, 0.0, 0.8}.normalized();
+  const auto run = solver.integrate(m0, 20e-9, 1e-12, 0.0, 16);
+  EXPECT_GT(run.trajectory.back().m.z, 0.999);
+  EXPECT_FALSE(run.switched);
+}
+
+TEST(Llg, SupercriticalCurrentSwitches) {
+  const mp::LlgParams p = test_params();
+  const mp::LlgSolver solver(p);
+  // Start near -z with a small tilt, drive towards +z (positive current).
+  const mp::Vec3 m0 = mp::Vec3{0.08, 0.0, -1.0}.normalized();
+  // A large current well above critical.
+  const double i = 400e-6;
+  const auto run = solver.integrate(m0, 30e-9, 1e-12, i, 16);
+  EXPECT_TRUE(run.switched);
+  EXPECT_GT(run.trajectory.back().m.z, 0.9);
+  EXPECT_GT(run.switch_time, 0.0);
+  EXPECT_LT(run.switch_time, 30e-9);
+}
+
+TEST(Llg, SubcriticalCurrentDoesNotSwitchAtZeroTemperature) {
+  const mp::LlgParams p = test_params();
+  const mp::LlgSolver solver(p);
+  const mp::Vec3 m0 = mp::Vec3{0.05, 0.0, -1.0}.normalized();
+  const double i = 2e-6; // well below critical
+  const auto run = solver.integrate(m0, 10e-9, 1e-12, i, 16);
+  EXPECT_FALSE(run.switched);
+  EXPECT_LT(run.trajectory.back().m.z, -0.99);
+}
+
+TEST(Llg, SttFieldScalesWithCurrent) {
+  const mp::LlgParams p = test_params();
+  EXPECT_NEAR(p.stt_field(100e-6) / p.stt_field(50e-6), 2.0, 1e-12);
+  EXPECT_GT(p.stt_field(50e-6), 0.0);
+  EXPECT_LT(p.stt_field(-50e-6), 0.0);
+}
+
+TEST(Llg, DeltaIsConsistentWithClosedForm) {
+  const mp::LlgParams p = test_params();
+  const double keff = 0.5 * mp::kMu0 * p.ms * p.hk_eff;
+  const double expected = keff * p.volume / mp::thermal_energy(300.0);
+  EXPECT_NEAR(p.delta(), expected, 1e-9 * expected);
+}
+
+TEST(Llg, ThermalEquilibriumAngleSpread) {
+  // At equilibrium in the +z well, <theta^2> ~ 1/Delta (small-angle,
+  // two transverse modes each with variance 1/(2 Delta)).
+  mp::LlgParams p = test_params();
+  p.hk_eff = 4.0e5; // deepen the well so excursions stay small
+  const mp::LlgSolver solver(p);
+  mss::util::Rng rng(123);
+  const mp::Vec3 m0{0.0, 0.0, 1.0};
+  const auto run = solver.integrate_thermal(m0, 40e-9, 0.5e-12, 0.0, rng, 8);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t k = run.trajectory.size() / 4; k < run.trajectory.size();
+       ++k) {
+    const auto& m = run.trajectory[k].m;
+    acc += m.x * m.x + m.y * m.y; // = sin^2(theta) ~ theta^2
+    ++n;
+  }
+  const double delta = p.delta();
+  EXPECT_NEAR((acc / double(n)) * delta, 1.0, 0.35);
+}
+
+TEST(Llg, ThermalInitialStateIsNearPole) {
+  const mp::LlgSolver solver(test_params());
+  mss::util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto up = solver.thermal_initial_state(true, rng);
+    EXPECT_GT(up.z, 0.9);
+    const auto dn = solver.thermal_initial_state(false, rng);
+    EXPECT_LT(dn.z, -0.9);
+  }
+}
+
+TEST(Llg, RejectsBadParameters) {
+  mp::LlgParams p = test_params();
+  p.alpha = 0.0;
+  EXPECT_THROW(mp::LlgSolver{p}, std::invalid_argument);
+  p = test_params();
+  p.volume = -1.0;
+  EXPECT_THROW(mp::LlgSolver{p}, std::invalid_argument);
+}
+
+TEST(Llg, RejectsBadTimeStep) {
+  const mp::LlgSolver solver(test_params());
+  EXPECT_THROW((void)solver.integrate({0, 0, 1}, 1e-9, -1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)solver.integrate({0, 0, 1}, 0.0, 1e-12, 0.0),
+               std::invalid_argument);
+}

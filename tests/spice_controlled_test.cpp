@@ -1,0 +1,139 @@
+// Tests of controlled sources, diode and inductor.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spice/controlled.hpp"
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+
+namespace ms = mss::spice;
+
+TEST(Vcvs, AmplifiesDifferentialInput) {
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<ms::VoltageSource>("vin", in, ms::kGround,
+                                              std::make_unique<ms::DcWave>(0.2)));
+  ckt.add(std::make_unique<ms::Vcvs>("e1", out, ms::kGround, in, ms::kGround,
+                                     5.0));
+  ckt.add(std::make_unique<ms::Resistor>("rl", out, ms::kGround, 1e3));
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(out)], 1.0, 1e-6);
+}
+
+TEST(Vccs, TransconductanceIntoLoad) {
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<ms::VoltageSource>("vin", in, ms::kGround,
+                                              std::make_unique<ms::DcWave>(0.5)));
+  // gm = 1 mS: i = 0.5 mA out of 'out' node -> into 2k load: v = -1 V.
+  ckt.add(std::make_unique<ms::Vccs>("g1", out, ms::kGround, in, ms::kGround,
+                                     1e-3));
+  ckt.add(std::make_unique<ms::Resistor>("rl", out, ms::kGround, 2e3));
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(out)], -1.0, 1e-6);
+}
+
+TEST(Diode, ForwardDropNearSixHundredMillivolts) {
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int a = ckt.node("a");
+  ckt.add(std::make_unique<ms::VoltageSource>("v1", in, ms::kGround,
+                                              std::make_unique<ms::DcWave>(3.0)));
+  ckt.add(std::make_unique<ms::Resistor>("r1", in, a, 1e3));
+  ckt.add(std::make_unique<ms::Diode>("d1", a, ms::kGround));
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  const double vd = dc.x[static_cast<std::size_t>(a)];
+  EXPECT_GT(vd, 0.5);
+  EXPECT_LT(vd, 0.75);
+  // Current through the resistor equals the diode current.
+  const ms::Diode probe("p", 0, ms::kGround);
+  EXPECT_NEAR((3.0 - vd) / 1e3, probe.current(vd), 1e-5);
+}
+
+TEST(Diode, ReverseBlocksAndRejectsBadModel) {
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int a = ckt.node("a");
+  ckt.add(std::make_unique<ms::VoltageSource>("v1", in, ms::kGround,
+                                              std::make_unique<ms::DcWave>(-3.0)));
+  ckt.add(std::make_unique<ms::Resistor>("r1", in, a, 1e3));
+  ckt.add(std::make_unique<ms::Diode>("d1", a, ms::kGround));
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  // Reverse-biased: almost the full -3 V appears across the diode.
+  EXPECT_LT(dc.x[static_cast<std::size_t>(a)], -2.9);
+  EXPECT_THROW(ms::Diode("bad", 0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Inductor, DcShortCircuit) {
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int mid = ckt.node("mid");
+  ckt.add(std::make_unique<ms::VoltageSource>("v1", in, ms::kGround,
+                                              std::make_unique<ms::DcWave>(2.0)));
+  ckt.add(std::make_unique<ms::Inductor>("l1", in, mid, 1e-9));
+  ckt.add(std::make_unique<ms::Resistor>("r1", mid, ms::kGround, 1e3));
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(mid)], 2.0, 1e-6);
+}
+
+TEST(Inductor, RlStepMatchesAnalytic) {
+  // Series R-L driven by a step: i(t) = (V/R)(1 - exp(-t R/L)).
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int mid = ckt.node("mid");
+  ckt.add(std::make_unique<ms::VoltageSource>(
+      "v1", in, ms::kGround,
+      std::make_unique<ms::PulseWave>(0.0, 1.0, 0.1e-9, 10e-12, 10e-12,
+                                      100e-9)));
+  ckt.add(std::make_unique<ms::Resistor>("r1", in, mid, 100.0));
+  ckt.add(std::make_unique<ms::Inductor>("l1", mid, ms::kGround, 100e-9));
+  ms::Engine eng(ckt);
+  const auto tr = eng.transient(5e-9, 5e-12);
+  ASSERT_TRUE(tr.converged());
+  // tau = L/R = 1 ns. After 2 ns: v(mid) = exp(-2) (voltage across L).
+  const double t = 0.11e-9 + 2e-9;
+  const auto k = static_cast<std::size_t>(std::llround(t / 5e-12));
+  EXPECT_NEAR(tr.v("mid", k), std::exp(-2.0), 0.03);
+}
+
+TEST(Inductor, RejectsNonPositive) {
+  EXPECT_THROW(ms::Inductor("l", 0, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Vcvs, UnityGainBufferInTransient) {
+  // VCVS as an ideal buffer between an RC and a load: the load must not
+  // disturb the RC time constant.
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int mid = ckt.node("mid");
+  const int out = ckt.node("out");
+  ckt.add(std::make_unique<ms::VoltageSource>(
+      "v1", in, ms::kGround,
+      std::make_unique<ms::PulseWave>(0.0, 1.0, 0.1e-9, 10e-12, 10e-12,
+                                      50e-9)));
+  ckt.add(std::make_unique<ms::Resistor>("r1", in, mid, 1e3));
+  ckt.add(std::make_unique<ms::Capacitor>("c1", mid, ms::kGround, 1e-12));
+  ckt.add(std::make_unique<ms::Vcvs>("e1", out, ms::kGround, mid, ms::kGround,
+                                     1.0));
+  ckt.add(std::make_unique<ms::Resistor>("rload", out, ms::kGround, 10.0));
+  ms::Engine eng(ckt);
+  const auto tr = eng.transient(4e-9, 5e-12);
+  const double t = 0.11e-9 + 1e-9; // one tau after the step
+  const auto k = static_cast<std::size_t>(std::llround(t / 5e-12));
+  EXPECT_NEAR(tr.v("out", k), 1.0 - std::exp(-1.0), 0.03);
+  EXPECT_NEAR(tr.v("out", k), tr.v("mid", k), 1e-9);
+}

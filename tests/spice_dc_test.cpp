@@ -1,0 +1,131 @@
+// DC operating-point tests: linear networks and the level-1 MOSFET.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "spice/mosfet.hpp"
+
+namespace ms = mss::spice;
+
+TEST(Dc, VoltageDivider) {
+  ms::Circuit ckt;
+  const int in = ckt.node("in");
+  const int mid = ckt.node("mid");
+  ckt.add(std::make_unique<ms::VoltageSource>("v1", in, ms::kGround,
+                                              std::make_unique<ms::DcWave>(3.0)));
+  ckt.add(std::make_unique<ms::Resistor>("r1", in, mid, 1e3));
+  ckt.add(std::make_unique<ms::Resistor>("r2", mid, ms::kGround, 2e3));
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(mid)], 2.0, 1e-6);
+  // Branch current of the source: 3V across 3k = 1 mA, delivering =>
+  // negative by the SPICE convention.
+  EXPECT_NEAR(dc.x[ckt.node_count()], -1e-3, 1e-8);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  ms::Circuit ckt;
+  const int out = ckt.node("out");
+  // 1 mA from ground into 'out' through a 2k resistor to ground: the SPICE
+  // convention has positive current flowing plus -> minus through the
+  // source, so plus=gnd, minus=out injects into out.
+  ckt.add(std::make_unique<ms::CurrentSource>(
+      "i1", ms::kGround, out, std::make_unique<ms::DcWave>(1e-3)));
+  ckt.add(std::make_unique<ms::Resistor>("r1", out, ms::kGround, 2e3));
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(out)], 2.0, 1e-6);
+}
+
+TEST(Dc, SeriesResistorsFloatingMiddleHandledByGmin) {
+  ms::Circuit ckt;
+  const int a = ckt.node("a");
+  const int b = ckt.node("b");
+  ckt.add(std::make_unique<ms::VoltageSource>("v1", a, ms::kGround,
+                                              std::make_unique<ms::DcWave>(1.0)));
+  ckt.add(std::make_unique<ms::Resistor>("r1", a, b, 1e3));
+  // b only connects through r1: gmin keeps the system solvable.
+  ms::Engine eng(ckt);
+  const auto dc = eng.dc();
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(b)], 1.0, 1e-3);
+}
+
+TEST(Mosfet, IdsRegions) {
+  const auto nm = ms::MosModel::nmos(0.35, 500e-6);
+  const ms::Mosfet m("m1", 0, 1, 2, nm, 1e-6, 100e-9);
+  // Cutoff.
+  EXPECT_EQ(m.ids(0.2, 1.0), 0.0);
+  // Triode vs saturation ordering.
+  const double i_tri = m.ids(1.0, 0.2);
+  const double i_sat = m.ids(1.0, 1.0);
+  EXPECT_GT(i_sat, i_tri);
+  // Saturation value: 0.5 k W/L Vov^2 (1 + lambda vds).
+  const double beta = 500e-6 * (1e-6 / 100e-9);
+  EXPECT_NEAR(i_sat, 0.5 * beta * 0.65 * 0.65 * 1.1, 1e-7);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  const auto pm = ms::MosModel::pmos(0.35, 250e-6);
+  const ms::Mosfet m("m1", 0, 1, 2, pm, 1e-6, 100e-9);
+  // PMOS conducts with negative vgs/vds; current flows source->drain.
+  const double i = m.ids(-1.0, -1.0);
+  EXPECT_LT(i, 0.0);
+  EXPECT_EQ(m.ids(0.2, -1.0), 0.0); // off
+}
+
+TEST(Dc, NmosInverterTransfersCorrectly) {
+  // NMOS with resistive pull-up: in=0 -> out high; in=vdd -> out low.
+  for (const double vin : {0.0, 1.1}) {
+    ms::Circuit ckt;
+    const int vdd = ckt.node("vdd");
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add(std::make_unique<ms::VoltageSource>(
+        "vdd", vdd, ms::kGround, std::make_unique<ms::DcWave>(1.1)));
+    ckt.add(std::make_unique<ms::VoltageSource>(
+        "vin", in, ms::kGround, std::make_unique<ms::DcWave>(vin)));
+    ckt.add(std::make_unique<ms::Resistor>("rl", vdd, out, 10e3));
+    ckt.add(std::make_unique<ms::Mosfet>("m1", out, in, ms::kGround,
+                                         ms::MosModel::nmos(), 2e-6, 100e-9));
+    ms::Engine eng(ckt);
+    const auto dc = eng.dc();
+    ASSERT_TRUE(dc.converged) << "vin=" << vin;
+    const double vout = dc.x[static_cast<std::size_t>(out)];
+    if (vin == 0.0) {
+      EXPECT_GT(vout, 1.05);
+    } else {
+      EXPECT_LT(vout, 0.2);
+    }
+  }
+}
+
+TEST(Dc, CmosInverterRailToRail) {
+  for (const double vin : {0.0, 1.1}) {
+    ms::Circuit ckt;
+    const int vdd = ckt.node("vdd");
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add(std::make_unique<ms::VoltageSource>(
+        "vdd", vdd, ms::kGround, std::make_unique<ms::DcWave>(1.1)));
+    ckt.add(std::make_unique<ms::VoltageSource>(
+        "vin", in, ms::kGround, std::make_unique<ms::DcWave>(vin)));
+    ckt.add(std::make_unique<ms::Mosfet>("mp", out, in, vdd,
+                                         ms::MosModel::pmos(), 4e-6, 100e-9));
+    ckt.add(std::make_unique<ms::Mosfet>("mn", out, in, ms::kGround,
+                                         ms::MosModel::nmos(), 2e-6, 100e-9));
+    ms::Engine eng(ckt);
+    const auto dc = eng.dc();
+    ASSERT_TRUE(dc.converged) << "vin=" << vin;
+    const double vout = dc.x[static_cast<std::size_t>(out)];
+    if (vin == 0.0) {
+      EXPECT_GT(vout, 1.0);
+    } else {
+      EXPECT_LT(vout, 0.1);
+    }
+  }
+}

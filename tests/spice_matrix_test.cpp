@@ -1,0 +1,82 @@
+// Tests of the dense LU solver and waveforms used by the MNA engine.
+#include "spice/matrix.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace ms = mss::spice;
+
+TEST(Matrix, SolvesIdentity) {
+  ms::Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  std::vector<double> b{1.0, 2.0, 3.0};
+  ASSERT_TRUE(ms::lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+  EXPECT_NEAR(b[2], 3.0, 1e-12);
+}
+
+TEST(Matrix, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  ms::Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  std::vector<double> b{5.0, 10.0};
+  ASSERT_TRUE(ms::lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, PivotsZeroDiagonal) {
+  // Requires row exchange: [0 1; 1 0] x = [2; 3] -> x = [3; 2].
+  ms::Matrix a(2, 2);
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  std::vector<double> b{2.0, 3.0};
+  ASSERT_TRUE(ms::lu_solve(a, b));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, DetectsSingular) {
+  ms::Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_FALSE(ms::lu_solve(a, b));
+}
+
+TEST(Matrix, RejectsDimensionMismatch) {
+  ms::Matrix a(2, 3);
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)ms::lu_solve(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, ZeroResetsEntries) {
+  ms::Matrix a(2, 2);
+  a.at(0, 0) = 5.0;
+  a.zero();
+  EXPECT_EQ(a.at(0, 0), 0.0);
+}
+
+TEST(Matrix, LargerRandomSystemRoundTrips) {
+  // Build A x = b with known x; solve and compare.
+  const std::size_t n = 12;
+  ms::Matrix a(n, n);
+  std::vector<double> x_ref(n), b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x_ref[i] = double(i) - 3.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = (i == j) ? 10.0 + double(i) : std::sin(double(i * 7 + j));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_ref[j];
+  }
+  ASSERT_TRUE(ms::lu_solve(a, b));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_ref[i], 1e-9);
+}

@@ -1,0 +1,106 @@
+// Unit tests for the deterministic RNG.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mu = mss::util;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  mu::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  mu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  mu::Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  mu::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  mu::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.uniform_u64(17), 17u);
+  }
+  EXPECT_THROW((void)rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  mu::Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShifted) {
+  mu::Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  mu::Rng rng(17);
+  std::vector<double> v(20001);
+  for (auto& x : v) x = rng.lognormal_median(5.0, 0.3);
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[v.size() / 2], 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate) {
+  mu::Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  mu::Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  mu::Rng parent(31);
+  mu::Rng c1 = parent.fork(1);
+  mu::Rng c2 = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64()); // same label -> same stream
+  mu::Rng c3 = parent.fork(2);
+  mu::Rng c4 = parent.fork(1);
+  EXPECT_NE(c3.next_u64(), c4.next_u64()); // different labels differ
+}

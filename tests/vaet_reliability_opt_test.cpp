@@ -1,0 +1,79 @@
+// Tests of the reliability-constrained organisation exploration.
+#include "vaet/reliability_opt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mv = mss::vaet;
+
+namespace {
+const mss::core::Pdk& pdk45() {
+  static const auto pdk = mss::core::Pdk::mss45();
+  return pdk;
+}
+} // namespace
+
+TEST(ReliabilityOpt, CandidatesAreSortedAndMargined) {
+  mv::ReliabilityConstraints c;
+  c.wer_target = 1e-9;
+  c.rer_target = 1e-9;
+  const auto cands = mv::explore_reliable(pdk45(), 1u << 20, 256, c);
+  ASSERT_GT(cands.size(), 1u);
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_LE(cands[i - 1].objective, cands[i].objective);
+  }
+  for (const auto& cand : cands) {
+    // Margined latencies must exceed the nominal estimate.
+    EXPECT_GT(cand.write_latency, cand.nominal.write_latency);
+    EXPECT_GT(cand.read_latency, cand.nominal.read_latency);
+    EXPECT_GE(cand.disturb_probability, 0.0);
+  }
+}
+
+TEST(ReliabilityOpt, EccRelaxesTheWriteMargin) {
+  mv::ReliabilityConstraints raw;
+  raw.wer_target = 1e-15;
+  mv::ReliabilityConstraints ecc = raw;
+  ecc.ecc_t = 1;
+  const auto best_raw = mv::optimize_reliable(pdk45(), 1u << 20, 256, raw);
+  const auto best_ecc = mv::optimize_reliable(pdk45(), 1u << 20, 256, ecc);
+  ASSERT_TRUE(best_raw.has_value());
+  ASSERT_TRUE(best_ecc.has_value());
+  EXPECT_LT(best_ecc->write_latency, best_raw->write_latency);
+}
+
+TEST(ReliabilityOpt, ImpossibleConstraintsYieldNothing) {
+  mv::ReliabilityConstraints c;
+  c.max_write_latency = 1e-12; // nothing is that fast with margins
+  EXPECT_FALSE(mv::optimize_reliable(pdk45(), 1u << 20, 256, c).has_value());
+}
+
+TEST(ReliabilityOpt, DisturbConstraintFilters) {
+  mv::ReliabilityConstraints loose;
+  loose.rer_target = 1e-9;
+  const auto all = mv::explore_reliable(pdk45(), 1u << 20, 256, loose);
+  ASSERT_FALSE(all.empty());
+  // Find the largest disturb value and constrain just below it; the
+  // filtered set must be strictly smaller but still sorted.
+  double max_disturb = 0.0;
+  for (const auto& cand : all) {
+    max_disturb = std::max(max_disturb, cand.disturb_probability);
+  }
+  mv::ReliabilityConstraints tight = loose;
+  tight.max_disturb_probability = max_disturb * 0.999;
+  const auto filtered = mv::explore_reliable(pdk45(), 1u << 20, 256, tight);
+  EXPECT_LT(filtered.size(), all.size());
+}
+
+TEST(ReliabilityOpt, TighterTargetsCostLatency) {
+  mv::ReliabilityConstraints loose;
+  loose.wer_target = 1e-6;
+  loose.rer_target = 1e-6;
+  mv::ReliabilityConstraints tight;
+  tight.wer_target = 1e-13;
+  tight.rer_target = 1e-13;
+  const auto a = mv::optimize_reliable(pdk45(), 1u << 20, 256, loose);
+  const auto b = mv::optimize_reliable(pdk45(), 1u << 20, 256, tight);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LT(a->objective, b->objective);
+}

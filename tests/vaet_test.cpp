@@ -1,0 +1,150 @@
+// Tests of the VAET-STT variation-aware estimator.
+#include "vaet/estimator.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace mv = mss::vaet;
+
+namespace {
+
+mv::VaetStt make_vaet(std::size_t samples = 300) {
+  mss::nvsim::ArrayOrg org;
+  org.rows = 1024;
+  org.cols = 1024;
+  org.word_bits = 256;
+  mv::VaetOptions opt;
+  opt.mc_samples = samples;
+  return mv::VaetStt(mss::core::Pdk::mss45(), org, opt);
+}
+
+} // namespace
+
+TEST(Vaet, MonteCarloMeanExceedsNominal) {
+  // The headline Table-1 observation: "mu is much higher than the nominal
+  // values" because the access must wait for the worst bit.
+  auto vaet = make_vaet();
+  mss::util::Rng rng(42);
+  const auto res = vaet.monte_carlo(rng);
+  EXPECT_GT(res.write_latency.mean, 1.5 * res.write_latency.nominal);
+  EXPECT_GT(res.read_latency.mean, 1.1 * res.read_latency.nominal);
+  EXPECT_GT(res.write_energy.mean, res.write_energy.nominal);
+  EXPECT_GT(res.write_latency.sigma, 0.0);
+  EXPECT_GT(res.read_latency.sigma, 0.0);
+  EXPECT_LE(res.write_latency.min, res.write_latency.mean);
+  EXPECT_GE(res.write_latency.max, res.write_latency.p99);
+}
+
+TEST(Vaet, MonteCarloIsDeterministicPerSeed) {
+  auto vaet = make_vaet(100);
+  mss::util::Rng r1(7), r2(7), r3(8);
+  const auto a = vaet.monte_carlo(r1);
+  const auto b = vaet.monte_carlo(r2);
+  const auto c = vaet.monte_carlo(r3);
+  EXPECT_EQ(a.write_latency.mean, b.write_latency.mean);
+  EXPECT_NE(a.write_latency.mean, c.write_latency.mean);
+}
+
+TEST(Vaet, PerBitWerDecreasesWithPulse) {
+  auto vaet = make_vaet(10);
+  double prev = 1.0;
+  for (double t = 1e-9; t <= 30e-9; t += 2e-9) {
+    const double lw = vaet.per_bit_log_wer(t);
+    EXPECT_LE(lw, prev + 1e-12);
+    prev = lw;
+  }
+}
+
+TEST(Vaet, WriteMarginGrowsAsTargetTightens) {
+  // Fig. 7 shape: lower target error rates need higher timing margins.
+  auto vaet = make_vaet(10);
+  const double t5 = vaet.write_latency_for_wer(1e-5);
+  const double t10 = vaet.write_latency_for_wer(1e-10);
+  const double t15 = vaet.write_latency_for_wer(1e-15);
+  EXPECT_LT(t5, t10);
+  EXPECT_LT(t10, t15);
+  // And all exceed the nominal (variation-unaware) write latency.
+  EXPECT_GT(t5, vaet.array().estimate().write_latency);
+}
+
+TEST(Vaet, ReadMarginGrowsAsTargetTightens) {
+  auto vaet = make_vaet(10);
+  const double t5 = vaet.read_latency_for_rer(1e-5);
+  const double t10 = vaet.read_latency_for_rer(1e-10);
+  const double t15 = vaet.read_latency_for_rer(1e-15);
+  EXPECT_LT(t5, t10);
+  EXPECT_LT(t10, t15);
+  EXPECT_GT(t5, vaet.array().estimate().read_latency);
+}
+
+TEST(Vaet, EccDrasticallyImprovesWriteLatency) {
+  // Fig. 8: one corrected bit buys a large latency reduction; further bits
+  // help progressively less.
+  auto vaet = make_vaet(10);
+  const double wer = 1e-18;
+  const double t0 = vaet.write_latency_with_ecc(wer, 0);
+  const double t1 = vaet.write_latency_with_ecc(wer, 1);
+  const double t2 = vaet.write_latency_with_ecc(wer, 2);
+  const double t3 = vaet.write_latency_with_ecc(wer, 3);
+  EXPECT_LT(t1, t0);
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t3, t2);
+  EXPECT_GT(t0 - t1, t1 - t2); // diminishing returns
+  EXPECT_GT(t1 - t2, t2 - t3);
+}
+
+TEST(Vaet, ReadDisturbIncreasesWithReadPeriod) {
+  // Fig. 9: longer read pulses disturb more.
+  auto vaet = make_vaet(10);
+  double prev = 0.0;
+  for (double t = 1e-9; t <= 60e-9; t += 5e-9) {
+    const double p = vaet.read_disturb_probability(t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.0);
+  EXPECT_LT(prev, 1e-3); // still a rare event at sane read currents
+}
+
+TEST(Vaet, ConflictingReadRequirements) {
+  // The paper's point about Fig. 7 vs Fig. 9: longer sensing lowers RER
+  // but raises the disturb probability. Verify both slopes.
+  auto vaet = make_vaet(10);
+  const double t_short = 2e-9;
+  const double t_long = 20e-9;
+  EXPECT_LT(vaet.per_bit_log_rer(t_long), vaet.per_bit_log_rer(t_short));
+  EXPECT_GT(vaet.read_disturb_probability(t_long),
+            vaet.read_disturb_probability(t_short));
+}
+
+TEST(Vaet, RejectsBadTargets) {
+  auto vaet = make_vaet(10);
+  EXPECT_THROW((void)vaet.write_latency_for_wer(0.0), std::invalid_argument);
+  EXPECT_THROW((void)vaet.write_latency_for_wer(1.0), std::invalid_argument);
+  EXPECT_THROW((void)vaet.read_latency_for_rer(-1.0), std::invalid_argument);
+}
+
+TEST(Vaet, OverdriveSigmaCombinesSources) {
+  auto vaet = make_vaet(10);
+  const double s = vaet.overdrive_rel_sigma();
+  EXPECT_GT(s, 0.02);
+  EXPECT_LT(s, 0.40);
+}
+
+TEST(Vaet, FortyFiveNmMoreVariableThanSixtyFive) {
+  // Paper: "the effect of variations in write and read latencies is more
+  // pronounced in the smaller technology node" (sigma/mu higher at 45 nm).
+  mss::nvsim::ArrayOrg org;
+  org.rows = 1024;
+  org.cols = 1024;
+  org.word_bits = 256;
+  mv::VaetOptions opt;
+  opt.mc_samples = 400;
+  mv::VaetStt v45(mss::core::Pdk::mss45(), org, opt);
+  mv::VaetStt v65(mss::core::Pdk::mss65(), org, opt);
+  mss::util::Rng r1(11), r2(11);
+  const auto a = v45.monte_carlo(r1);
+  const auto b = v65.monte_carlo(r2);
+  EXPECT_GT(a.write_latency.sigma / a.write_latency.mean,
+            b.write_latency.sigma / b.write_latency.mean);
+}

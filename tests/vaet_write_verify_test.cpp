@@ -1,0 +1,91 @@
+// Tests of the write-verify-retry analysis.
+#include "vaet/write_verify.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace mv = mss::vaet;
+
+namespace {
+const mv::VaetStt& vaet45() {
+  static const mv::VaetStt vaet(mss::core::Pdk::mss45(),
+                                mss::nvsim::ArrayOrg{1024, 1024, 256},
+                                [] {
+                                  mv::VaetOptions o;
+                                  o.mc_samples = 10;
+                                  return o;
+                                }());
+  return vaet;
+}
+} // namespace
+
+TEST(WriteVerify, RetriesReduceResidualWer) {
+  const auto& vaet = vaet45();
+  const double t = vaet.array().cell().t_switch;
+  const double l1 = vaet.per_bit_log_wer_after_attempts(t, 1);
+  const double l2 = vaet.per_bit_log_wer_after_attempts(t, 2);
+  const double l3 = vaet.per_bit_log_wer_after_attempts(t, 3);
+  EXPECT_LT(l2, l1);
+  EXPECT_LT(l3, l2);
+  // One attempt reduces to the plain per-bit WER.
+  EXPECT_NEAR(l1, vaet.per_bit_log_wer(t), 1e-9);
+}
+
+TEST(WriteVerify, RetriesSaturateAtWeakBitFloor) {
+  // The second retry must buy *less* than the first: E[p^k] is dominated
+  // by the weak-bit tail, which retries cannot fix.
+  const auto& vaet = vaet45();
+  const double t = 1.5 * vaet.array().cell().t_switch;
+  const double l1 = vaet.per_bit_log_wer_after_attempts(t, 1);
+  const double l2 = vaet.per_bit_log_wer_after_attempts(t, 2);
+  const double l4 = vaet.per_bit_log_wer_after_attempts(t, 4);
+  EXPECT_LT(l2 - l1, 0.0);
+  // Diminishing gain per extra attempt: attempts 3-4 together buy less
+  // than twice what attempt 2 bought.
+  EXPECT_GT(l4 - l2, 2.0 * (l2 - l1));
+}
+
+TEST(WriteVerify, EvaluateProducesConsistentNumbers) {
+  const auto& vaet = vaet45();
+  mv::WriteVerifyScheme scheme;
+  // A realistic per-attempt pulse (per-bit WER well below 1/word) so that
+  // retries are the exception, not the rule.
+  scheme.pulse_width = 2.5 * vaet.array().cell().t_switch;
+  scheme.max_attempts = 3;
+  scheme.verify_time = 2e-9;
+  const auto r = mv::evaluate_write_verify(vaet, scheme);
+  EXPECT_LT(r.residual_log_wer, 0.0);
+  EXPECT_GT(r.access_log_wer, r.residual_log_wer); // word factor
+  EXPECT_GT(r.worst_latency, r.expected_latency);
+  EXPECT_GE(r.expected_energy_factor, 1.0);
+  EXPECT_LT(r.expected_energy_factor, 2.0); // retries are rare
+}
+
+TEST(WriteVerify, DesignMeetsModerateTarget) {
+  const auto& vaet = vaet45();
+  const auto r = mv::design_write_verify(vaet, 1e-9, 2);
+  EXPECT_NEAR(r.access_log_wer, std::log(1e-9), 1e-3);
+  // Expected latency beats the raw single-pulse margin for the same target.
+  const double raw = vaet.write_latency_for_wer(1e-9);
+  EXPECT_LT(r.expected_latency, raw);
+}
+
+TEST(WriteVerify, DeepTargetHitsTheFloor) {
+  // At 1e-18 with few attempts the weak-bit floor should bite (that is the
+  // designed-in finding: ECC is the right tool there).
+  const auto& vaet = vaet45();
+  EXPECT_THROW((void)mv::design_write_verify(vaet, 1e-30, 2),
+               std::invalid_argument);
+}
+
+TEST(WriteVerify, RejectsBadInputs) {
+  const auto& vaet = vaet45();
+  EXPECT_THROW((void)vaet.per_bit_log_wer_after_attempts(1e-9, 0),
+               std::invalid_argument);
+  mv::WriteVerifyScheme bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW((void)mv::evaluate_write_verify(vaet, bad),
+               std::invalid_argument);
+  EXPECT_THROW((void)mv::design_write_verify(vaet, 2.0, 2),
+               std::invalid_argument);
+}

@@ -1,7 +1,15 @@
 // google-benchmark microbenchmarks of the library's hot kernels.
 // Not a paper figure — performance hygiene for the simulation substrates:
 // LLGS stepping, MNA transient solving, compact-model evaluation, the
-// Monte-Carlo estimator and the cache simulator.
+// Monte-Carlo estimator (serial and thread-pool sharded) and the cache
+// simulator.
+//
+// Trajectory tracking: record a run as JSON and diff against the previous
+// snapshot —
+//   ./bench_perf_micro --benchmark_format=json > BENCH_$(git rev-parse --short HEAD).json
+// Thread scaling of the parallel kernels is the `/threads:N` suffix of
+// BM_VaetMonteCarlo and BM_LlgThermalEnsemble (real_time is the metric that
+// must shrink with N; both report identical statistics for every N).
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -90,6 +98,56 @@ void BM_VaetMonteCarloAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10 * 256);
 }
 BENCHMARK(BM_VaetMonteCarloAccess);
+
+// The sharded Monte-Carlo kernel at an explicit thread count (arg). The
+// /threads:1 row is the serial baseline the speedup criterion compares
+// against; all rows produce bit-identical VaetResult statistics.
+void BM_VaetMonteCarlo(benchmark::State& state) {
+  const auto pdk = mss::core::Pdk::mss45();
+  mss::nvsim::ArrayOrg org{1024, 1024, 256};
+  mss::vaet::VaetOptions opt;
+  opt.mc_samples = 256;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  const mss::vaet::VaetStt vaet(pdk, org, opt);
+  mss::util::Rng rng(7);
+  for (auto _ : state) {
+    const auto res = vaet.monte_carlo(rng);
+    benchmark::DoNotOptimize(res.write_latency.mean);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(opt.mc_samples) * 256);
+}
+BENCHMARK(BM_VaetMonteCarlo)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0) // 0 = all hardware threads (shared pool)
+    ->ArgName("threads")
+    ->UseRealTime();
+
+// Batched thermal-trajectory ensemble across the pool; no trajectories are
+// materialized (record_stride = 0 inside the ensemble).
+void BM_LlgThermalEnsemble(benchmark::State& state) {
+  mss::physics::LlgParams p;
+  const mss::physics::LlgSolver solver(p);
+  mss::physics::LlgEnsembleOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  mss::util::Rng rng(3);
+  constexpr std::size_t kTrajectories = 64;
+  for (auto _ : state) {
+    const auto ens = solver.integrate_thermal_ensemble(
+        kTrajectories, {0.0, 0.0, -1.0}, 2e-9, 1e-12, 60e-6, rng, opt);
+    benchmark::DoNotOptimize(ens.n_switched);
+  }
+  state.SetItemsProcessed(state.iterations() * kTrajectories * 2000);
+}
+BENCHMARK(BM_LlgThermalEnsemble)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->UseRealTime();
 
 void BM_GaussHermiteMargin(benchmark::State& state) {
   const auto pdk = mss::core::Pdk::mss45();

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# One-command tier-1 verify: configure + build + ctest.
+#   scripts/check.sh            # Release
+#   BUILD_TYPE=Debug scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "physics/constants.hpp"
+#include "util/parallel.hpp"
 
 namespace mss::physics {
 
@@ -66,7 +68,8 @@ LlgRun LlgSolver::integrate(const Vec3& m0, double duration, double dt,
   Vec3 m = renormalize(m0);
   const double mz0_sign = (m.z >= 0.0) ? 1.0 : -1.0;
   const auto steps = static_cast<std::size_t>(std::ceil(duration / dt));
-  run.trajectory.push_back({0.0, m});
+  const bool record = record_stride != 0;
+  if (record) run.trajectory.push_back({0.0, m});
   for (std::size_t k = 0; k < steps; ++k) {
     const double t = double(k) * dt;
     const Vec3 k1 = rhs(m, effective_field(m), i_amps);
@@ -81,13 +84,14 @@ LlgRun LlgSolver::integrate(const Vec3& m0, double duration, double dt,
       run.switched = true;
       run.switch_time = t + dt;
     }
-    if ((k + 1) % record_stride == 0) {
+    if (record && (k + 1) % record_stride == 0) {
       run.trajectory.push_back({t + dt, m});
     }
   }
-  if (run.trajectory.back().t < duration) {
+  if (record && run.trajectory.back().t < duration) {
     run.trajectory.push_back({duration, m});
   }
+  run.m_final = m;
   return run;
 }
 
@@ -101,7 +105,8 @@ LlgRun LlgSolver::integrate_thermal(const Vec3& m0, double duration, double dt,
   Vec3 m = renormalize(m0);
   const double mz0_sign = (m.z >= 0.0) ? 1.0 : -1.0;
   const auto steps = static_cast<std::size_t>(std::ceil(duration / dt));
-  run.trajectory.push_back({0.0, m});
+  const bool record = record_stride != 0;
+  if (record) run.trajectory.push_back({0.0, m});
 
   // Brown thermal-field standard deviation per component for step dt.
   const double sigma_h =
@@ -123,14 +128,82 @@ LlgRun LlgSolver::integrate_thermal(const Vec3& m0, double duration, double dt,
       run.switched = true;
       run.switch_time = t + dt;
     }
-    if ((k + 1) % record_stride == 0) {
+    if (record && (k + 1) % record_stride == 0) {
       run.trajectory.push_back({t + dt, m});
     }
   }
-  if (run.trajectory.back().t < duration) {
+  if (record && run.trajectory.back().t < duration) {
     run.trajectory.push_back({duration, m});
   }
+  run.m_final = m;
   return run;
+}
+
+LlgEnsembleResult LlgSolver::integrate_thermal_ensemble(
+    std::size_t n_trajectories, const Vec3& m0, double duration, double dt,
+    double i_amps, mss::util::Rng& rng,
+    const LlgEnsembleOptions& options) const {
+  if (dt <= 0.0 || duration <= 0.0) {
+    throw std::invalid_argument(
+        "LlgSolver::integrate_thermal_ensemble: bad time step");
+  }
+
+  LlgEnsembleResult out;
+  out.n_trajectories = n_trajectories;
+  if (n_trajectories == 0) return out;
+
+  // Trajectories are long (thousands of steps), so chunks are small: enough
+  // to amortise the pool handoff, small enough to load-balance. Fixed —
+  // never a function of the thread count — to keep the chunk -> substream
+  // mapping, and therefore every statistic, thread-count invariant.
+  constexpr std::size_t kChunkTrajectories = 4;
+  const std::size_t n_chunks =
+      mss::util::ThreadPool::chunk_count(n_trajectories, kChunkTrajectories);
+
+  const std::vector<mss::util::Rng> streams = rng.jump_substreams(n_chunks);
+
+  struct ChunkStats {
+    std::size_t switched = 0;
+    mss::util::RunningStats switch_time;
+    double mz_final_sum = 0.0;
+  };
+
+  const bool start_up = m0.z >= 0.0;
+  const auto map_chunk = [&](std::size_t c, std::size_t begin,
+                             std::size_t end) {
+    mss::util::Rng r = streams[c];
+    ChunkStats st;
+    for (std::size_t k = begin; k < end; ++k) {
+      const Vec3 start =
+          options.thermal_start ? thermal_initial_state(start_up, r) : m0;
+      const LlgRun run = integrate_thermal(start, duration, dt, i_amps, r,
+                                           /*record_stride=*/0);
+      if (run.switched) {
+        ++st.switched;
+        st.switch_time.add(run.switch_time);
+      }
+      st.mz_final_sum += run.m_final.z;
+    }
+    return st;
+  };
+  // parallel_reduce combines in chunk order — RunningStats::merge is
+  // order-sensitive at the bit level, so the fixed order is what makes the
+  // reduction thread-count invariant.
+  const auto combine = [](ChunkStats acc, ChunkStats part) {
+    acc.switched += part.switched;
+    acc.switch_time.merge(part.switch_time);
+    acc.mz_final_sum += part.mz_final_sum;
+    return acc;
+  };
+
+  const ChunkStats total = mss::util::ThreadPool::reduce_with<ChunkStats>(
+      options.threads, n_trajectories, kChunkTrajectories, ChunkStats{},
+      map_chunk, combine);
+
+  out.n_switched = total.switched;
+  out.switch_time = total.switch_time;
+  out.mean_mz_final = total.mz_final_sum / double(n_trajectories);
+  return out;
 }
 
 Vec3 LlgSolver::thermal_initial_state(bool up, mss::util::Rng& rng) const {

@@ -20,6 +20,7 @@
 
 #include "physics/vec3.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace mss::physics {
 
@@ -56,6 +57,33 @@ struct LlgRun {
   std::vector<LlgSample> trajectory; ///< sampled every `record_stride` steps
   bool switched = false;             ///< crossed m_z = 0 from the start basin
   double switch_time = 0.0;          ///< first crossing time [s] (if switched)
+  Vec3 m_final;                      ///< magnetisation at the end of the run
+};
+
+/// Switching statistics of a thermal trajectory ensemble. Trajectories are
+/// never materialized — only the per-trajectory switch outcome feeds the
+/// accumulators, so memory stays O(1) in the trajectory count and length.
+struct LlgEnsembleResult {
+  std::size_t n_trajectories = 0; ///< ensemble size
+  std::size_t n_switched = 0;     ///< trajectories that crossed m_z = 0
+  mss::util::RunningStats switch_time; ///< over the switched subset [s]
+  double mean_mz_final = 0.0;     ///< ensemble-mean final m_z (diagnostic)
+
+  /// Switching probability within the pulse.
+  [[nodiscard]] double p_switch() const {
+    return n_trajectories ? double(n_switched) / double(n_trajectories) : 0.0;
+  }
+};
+
+/// Options of `LlgSolver::integrate_thermal_ensemble`.
+struct LlgEnsembleOptions {
+  /// Worker threads: 0 = all hardware threads (shared pool), 1 = serial,
+  /// N = dedicated pool of N. Statistics are bit-identical for any value.
+  std::size_t threads = 0;
+  /// Draw each trajectory's start from the thermal equilibrium cone around
+  /// the basin of `m0` (the physical write-error setup). When false every
+  /// trajectory starts exactly at `m0`.
+  bool thermal_start = true;
 };
 
 /// Macrospin integrator. Deterministic runs use classic RK4; finite
@@ -71,17 +99,32 @@ class LlgSolver {
 
   /// Deterministic RK4 integration from `m0` for `duration` seconds with a
   /// fixed step `dt`, driving current `i_amps` through the stack.
-  /// Records every `record_stride`-th step into the trajectory.
+  /// Records every `record_stride`-th step into the trajectory;
+  /// `record_stride == 0` disables recording entirely (switch detection and
+  /// `m_final` still work, and the run performs no heap allocation) — the
+  /// mode ensemble sweeps use.
   [[nodiscard]] LlgRun integrate(const Vec3& m0, double duration, double dt,
                                  double i_amps,
                                  std::size_t record_stride = 16) const;
 
   /// Stochastic (finite-temperature) Heun integration. Same contract as
-  /// `integrate`, but adds the thermal field drawn from `rng`.
+  /// `integrate` (including `record_stride == 0`), but adds the thermal
+  /// field drawn from `rng`.
   [[nodiscard]] LlgRun integrate_thermal(const Vec3& m0, double duration,
                                          double dt, double i_amps,
                                          mss::util::Rng& rng,
                                          std::size_t record_stride = 16) const;
+
+  /// Runs `n_trajectories` thermal trajectories (same start basin, pulse
+  /// and step as a single `integrate_thermal` call) across the thread pool
+  /// and reduces them to switching-time statistics without recording any
+  /// trajectory. Trajectories are keyed to Xoshiro jump substreams in
+  /// fixed-size chunks, so the statistics are bit-identical for any thread
+  /// count; `rng` is advanced once to derive the streams.
+  [[nodiscard]] LlgEnsembleResult integrate_thermal_ensemble(
+      std::size_t n_trajectories, const Vec3& m0, double duration, double dt,
+      double i_amps, mss::util::Rng& rng,
+      const LlgEnsembleOptions& options = {}) const;
 
   /// Effective field (anisotropy + applied) at magnetisation m, in A/m.
   [[nodiscard]] Vec3 effective_field(const Vec3& m) const;

@@ -61,13 +61,24 @@ bool TransientResult::has_source(const std::string& vsource) const {
 Engine::Engine(Circuit& circuit, EngineOptions options)
     : ckt_(circuit), opt_(options) {}
 
+void Engine::ensure_workspace(std::size_t dim) {
+  if (ws_dim_ == dim) return;
+  a_.resize(dim, dim);
+  g_flat_.assign(dim * dim, 0.0);
+  rhs_.assign(dim, 0.0);
+  x_new_.assign(dim, 0.0);
+  pivots_.assign(dim, 0);
+  g_cached_.assign(dim * dim, 0.0);
+  lu_valid_ = false;
+  ws_dim_ = dim;
+}
+
 bool Engine::solve(std::vector<double>& x, const StampContext& ctx,
                    std::size_t dim) {
   const std::size_t n_nodes = ckt_.node_count();
-  Matrix a(dim, dim);
-  std::vector<double> g_flat(dim * dim, 0.0);
-  std::vector<double> rhs(dim, 0.0);
-
+  ensure_workspace(dim);
+  // Scanned every solve (allocation-free) so element-set changes between
+  // analyses cannot leave a stale linearity assumption.
   bool any_nonlinear = false;
   for (const auto& e : ckt_.elements()) {
     if (e->nonlinear()) {
@@ -78,32 +89,47 @@ bool Engine::solve(std::vector<double>& x, const StampContext& ctx,
   const int iters = any_nonlinear ? opt_.max_newton : 1;
 
   for (int it = 0; it < iters; ++it) {
-    std::fill(g_flat.begin(), g_flat.end(), 0.0);
-    std::fill(rhs.begin(), rhs.end(), 0.0);
-    Stamper st(g_flat, rhs, dim);
+    std::fill(g_flat_.begin(), g_flat_.end(), 0.0);
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    Stamper st(g_flat_, rhs_, dim);
     const Solution sol(x);
     for (const auto& e : ckt_.elements()) e->stamp(st, sol, ctx);
     // gmin to ground on every node row keeps floating nodes solvable.
     for (std::size_t k = 0; k < n_nodes; ++k) {
-      g_flat[k * dim + k] += opt_.gmin;
+      g_flat_[k * dim + k] += opt_.gmin;
     }
-    for (std::size_t r = 0; r < dim; ++r) {
-      for (std::size_t c = 0; c < dim; ++c) a.at(r, c) = g_flat[r * dim + c];
-    }
-    std::vector<double> x_new = rhs;
-    if (!lu_solve(a, x_new)) return false;
 
-    // A purely linear system is exact after one solve; damping only applies
-    // to Newton steps of nonlinear circuits.
     if (!any_nonlinear) {
-      x = std::move(x_new);
+      // Dirty-stamp fast path: a linear circuit restamps the same matrix on
+      // every step (only sources and companion histories move the RHS), so
+      // compare the stamps against the factored copy and skip the O(dim^3)
+      // refactor when they are unchanged.
+      if (!lu_valid_ || g_flat_ != g_cached_) {
+        // Invalidate first: lu_factor clobbers a_ even when it fails, and a
+        // failure must not leave the old g_cached_ paired with garbage.
+        lu_valid_ = false;
+        std::copy(g_flat_.begin(), g_flat_.end(), a_.data());
+        if (!lu_factor(a_, pivots_)) return false;
+        std::copy(g_flat_.begin(), g_flat_.end(), g_cached_.begin());
+        lu_valid_ = true;
+      }
+      x = rhs_;
+      lu_substitute(a_, pivots_, x);
       return true;
     }
+
+    // Nonlinear: stamps depend on the iterate, factor fresh each iteration.
+    // This clobbers a_, so any cached linear factorization dies with it.
+    lu_valid_ = false;
+    std::copy(g_flat_.begin(), g_flat_.end(), a_.data());
+    x_new_ = rhs_;
+    if (!lu_factor(a_, pivots_)) return false;
+    lu_substitute(a_, pivots_, x_new_);
 
     // Damped update + convergence check.
     double worst = 0.0;
     for (std::size_t k = 0; k < dim; ++k) {
-      double dxk = x_new[k] - x[k];
+      double dxk = x_new_[k] - x[k];
       if (k < n_nodes) {
         dxk = std::clamp(dxk, -opt_.damping, opt_.damping);
       }
@@ -146,6 +172,13 @@ TransientResult Engine::transient(double t_stop, double dt,
 
   for (auto& e : ckt_.elements()) e->reset();
 
+  // Preallocate the full waveform storage so the stepping loop below only
+  // copies into existing buffers: after this point the transient performs
+  // zero heap allocations per step.
+  const auto steps = static_cast<std::size_t>(std::llround(t_stop / dt));
+  res.times_.assign(steps + 1, 0.0);
+  res.samples_.assign(steps + 1, std::vector<double>(dim, 0.0));
+
   std::vector<double> x(dim, 0.0);
   if (!use_initial_conditions) {
     StampContext dc_ctx;
@@ -154,10 +187,9 @@ TransientResult Engine::transient(double t_stop, double dt,
     const Solution sol(x);
     for (auto& e : ckt_.elements()) e->commit(sol, dc_ctx);
   }
-  res.times_.push_back(0.0);
-  res.samples_.push_back(x);
+  res.times_[0] = 0.0;
+  res.samples_[0] = x;
 
-  const auto steps = static_cast<std::size_t>(std::llround(t_stop / dt));
   for (std::size_t k = 0; k < steps; ++k) {
     StampContext ctx;
     ctx.kind = AnalysisKind::Transient;
@@ -168,8 +200,8 @@ TransientResult Engine::transient(double t_stop, double dt,
     if (!solve(x, ctx, dim)) res.converged_ = false;
     const Solution sol(x);
     for (auto& e : ckt_.elements()) e->commit(sol, ctx);
-    res.times_.push_back(ctx.t);
-    res.samples_.push_back(x);
+    res.times_[k + 1] = ctx.t;
+    res.samples_[k + 1] = x;
   }
   return res;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/matrix.hpp"
 
 namespace mss::spice {
 
@@ -79,6 +80,27 @@ class Engine {
  private:
   Circuit& ckt_;
   EngineOptions opt_;
+
+  // Persistent solve workspace, sized once per dimension and reused across
+  // every timestep and Newton iteration: the transient hot loop performs no
+  // heap allocation after the first step.
+  Matrix a_;                         ///< LU scratch / factorization
+  std::vector<double> g_flat_;       ///< stamped conductance matrix
+  std::vector<double> rhs_;          ///< stamped right-hand side
+  std::vector<double> x_new_;        ///< solve output buffer
+  std::vector<std::size_t> pivots_;  ///< LU pivot rows
+  std::size_t ws_dim_ = 0;           ///< dimension the workspace is sized for
+
+  // Dirty-stamp fast path for linear circuits: keep the last stamped matrix
+  // next to its factorization and refactor only when the stamps change
+  // (an O(dim^2) compare instead of the O(dim^3) factorization). Sources
+  // only move the RHS, so a fixed-step linear transient factors twice —
+  // the first (backward-Euler) step and the trapezoidal steady pattern.
+  std::vector<double> g_cached_;
+  bool lu_valid_ = false;
+
+  /// (Re)sizes the workspace for `dim` unknowns; invalidates the LU cache.
+  void ensure_workspace(std::size_t dim);
 
   /// One Newton solve at the given context; x is in/out. Returns converged.
   bool solve(std::vector<double>& x, const StampContext& ctx,

@@ -1,5 +1,6 @@
 #include "spice/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -10,11 +11,18 @@ Matrix::Matrix(std::size_t rows, std::size_t cols)
 
 void Matrix::zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
-bool lu_solve(Matrix& a, std::vector<double>& b) {
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+bool lu_factor(Matrix& a, std::vector<std::size_t>& pivots) {
   const std::size_t n = a.rows();
-  if (a.cols() != n || b.size() != n) {
-    throw std::invalid_argument("lu_solve: dimension mismatch");
+  if (a.cols() != n) {
+    throw std::invalid_argument("lu_factor: matrix not square");
   }
+  pivots.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot.
     std::size_t piv = k;
@@ -27,26 +35,51 @@ bool lu_solve(Matrix& a, std::vector<double>& b) {
       }
     }
     if (best < 1e-300) return false;
+    pivots[k] = piv;
     if (piv != k) {
       for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(piv, c));
-      std::swap(b[k], b[piv]);
     }
     const double inv_pivot = 1.0 / a.at(k, k);
     for (std::size_t r = k + 1; r < n; ++r) {
       const double f = a.at(r, k) * inv_pivot;
+      a.at(r, k) = f; // store the L factor for later substitutions
       if (f == 0.0) continue;
-      a.at(r, k) = 0.0;
       for (std::size_t c = k + 1; c < n; ++c) a.at(r, c) -= f * a.at(k, c);
-      b[r] -= f * b[k];
     }
-  }
-  // Back substitution.
-  for (std::size_t ri = n; ri-- > 0;) {
-    double acc = b[ri];
-    for (std::size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * b[c];
-    b[ri] = acc / a.at(ri, ri);
   }
   return true;
 }
 
+void lu_substitute(const Matrix& lu, const std::vector<std::size_t>& pivots,
+                   std::vector<double>& b) {
+  const std::size_t n = lu.rows();
+  if (b.size() != n || pivots.size() != n) {
+    throw std::invalid_argument("lu_substitute: dimension mismatch");
+  }
+  // Apply the row permutation, then forward-substitute through L.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
+    double acc = b[k];
+    for (std::size_t c = 0; c < k; ++c) acc -= lu.at(k, c) * b[c];
+    b[k] = acc;
+  }
+  // Back substitution through U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu.at(ri, c) * b[c];
+    b[ri] = acc / lu.at(ri, ri);
+  }
+}
+
+bool lu_solve(Matrix& a, std::vector<double>& b) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("lu_solve: dimension mismatch");
+  }
+  std::vector<std::size_t> pivots;
+  if (!lu_factor(a, pivots)) return false;
+  lu_substitute(a, pivots, b);
+  return true;
+}
+
 } // namespace mss::spice
+

@@ -12,6 +12,9 @@ namespace mss::spice {
 /// Dense row-major square-capable matrix.
 class Matrix {
  public:
+  /// Empty 0 x 0 matrix (size it later with `resize`).
+  Matrix() = default;
+
   /// rows x cols zero matrix.
   Matrix(std::size_t rows, std::size_t cols);
 
@@ -32,11 +35,32 @@ class Matrix {
   /// Sets all entries to zero (reused across Newton iterations).
   void zero();
 
+  /// Reshapes to rows x cols and zeroes every entry. Reuses the existing
+  /// allocation when capacity suffices — the engine's persistent-workspace
+  /// contract.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Flat row-major storage (rows*cols doubles).
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
  private:
-  std::size_t rows_;
-  std::size_t cols_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// Factors the square matrix in place (Doolittle LU, partial pivoting): L
+/// below the unit diagonal, U on and above it; `pivots[k]` records the row
+/// swapped into position k. `pivots` is resized by the call but reuses its
+/// allocation. Returns false when numerically singular (pivot below 1e-300).
+[[nodiscard]] bool lu_factor(Matrix& a, std::vector<std::size_t>& pivots);
+
+/// Solves L U x = P b given a factorization from `lu_factor`; `b` is
+/// replaced by the solution. Allocation-free — the factored-once,
+/// solved-per-timestep fast path of linear transient circuits.
+void lu_substitute(const Matrix& lu, const std::vector<std::size_t>& pivots,
+                   std::vector<double>& b);
 
 /// Solves A x = b in place via LU with partial pivoting. A is overwritten.
 /// Returns false when the matrix is numerically singular (pivot below

@@ -1,0 +1,177 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace mss::util {
+
+namespace {
+
+// The pool this thread is currently executing a chunk body for. Lets
+// parallel_for_chunks detect same-pool re-entrancy (a body calling back
+// into its own pool — e.g. a kernel composed of two global()-pool kernels)
+// and degrade to an inline run instead of deadlocking on the single-region
+// slot.
+thread_local const ThreadPool* t_active_pool = nullptr;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t k = 0; k + 1 < threads; ++k) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  const std::size_t chunks = chunk_count(n, chunk_size);
+
+  if (workers_.empty() || chunks == 1 || t_active_pool == this) {
+    // Serial fast path: identical chunk layout, no synchronisation. Also
+    // taken on same-pool re-entrancy, where waiting for the region slot
+    // would deadlock against our own unfinished chunk.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body(c, c * chunk_size, std::min(n, (c + 1) * chunk_size));
+    }
+    return;
+  }
+  if (chunks > kChunkMask) {
+    throw std::invalid_argument("ThreadPool: more than 2^32 chunks");
+  }
+
+  Region region;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    // One region at a time; a second caller queues here.
+    cv_done_.wait(lk, [this] { return body_ == nullptr; });
+    body_ = &body;
+    n_ = n;
+    chunk_size_ = chunk_size;
+    n_chunks_ = chunks;
+    region = Region{&body, n, chunk_size, chunks, ++epoch_};
+    claim_.store((region.epoch & kChunkMask) << kEpochShift,
+                 std::memory_order_release);
+    done_chunks_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+  }
+  cv_work_.notify_all();
+
+  // The caller is worker zero; mark it active so a body that calls back
+  // into this pool runs inline.
+  const ThreadPool* outer = t_active_pool;
+  t_active_pool = this;
+  run_chunks(region);
+  t_active_pool = outer;
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [this] {
+      return done_chunks_.load(std::memory_order_acquire) == n_chunks_;
+    });
+    err = first_error_;
+    body_ = nullptr;
+  }
+  cv_done_.notify_all(); // wake a queued caller, if any
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t joined_epoch = 0;
+  for (;;) {
+    Region region;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_work_.wait(lk, [&] {
+        return stop_ ||
+               (body_ != nullptr && epoch_ != joined_epoch &&
+                (claim_.load(std::memory_order_relaxed) & kChunkMask) <
+                    n_chunks_);
+      });
+      if (stop_) return;
+      joined_epoch = epoch_;
+      region = Region{body_, n_, chunk_size_, n_chunks_, epoch_};
+    }
+    t_active_pool = this;
+    run_chunks(region);
+    t_active_pool = nullptr;
+  }
+}
+
+void ThreadPool::run_chunks(const Region& region) {
+  const std::uint64_t tag = (region.epoch & kChunkMask) << kEpochShift;
+  for (;;) {
+    // Epoch-checked chunk claim: one CAS both verifies the claim word still
+    // belongs to the region we joined and takes the next chunk. The bound
+    // check uses the snapshot, never the shared field, so a worker that
+    // lags a region change cannot claim a phantom chunk while the next
+    // caller is mid-install.
+    std::uint64_t cur = claim_.load(std::memory_order_acquire);
+    std::size_t c;
+    for (;;) {
+      if ((cur & ~kChunkMask) != tag) return;
+      c = cur & kChunkMask;
+      if (c >= region.n_chunks) return;
+      if (claim_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+    try {
+      (*region.body)(c, c * region.chunk_size,
+                     std::min(region.n, (c + 1) * region.chunk_size));
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    const std::size_t done =
+        done_chunks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == region.n_chunks) {
+      // Take the mutex so the completion flag cannot slip between the
+      // caller's predicate check and its wait.
+      std::lock_guard<std::mutex> lk(m_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool& ThreadPool::shared_for(std::size_t threads) {
+  if (threads == 0) return global();
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lk(mu);
+  auto& pool = pools[threads];
+  if (!pool) pool = std::make_unique<ThreadPool>(threads);
+  return *pool;
+}
+
+void ThreadPool::run_with(
+    std::size_t threads, std::size_t n, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  shared_for(threads).parallel_for_chunks(n, chunk_size, body);
+}
+
+} // namespace mss::util

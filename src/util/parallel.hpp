@@ -1,0 +1,147 @@
+// Reusable fixed-size thread pool for the Monte-Carlo and ensemble kernels.
+//
+// Design rules that keep every parallel caller bit-reproducible:
+//  * work is split into *fixed-size chunks* whose layout depends only on
+//    (n, chunk_size) — never on the thread count — so a chunk index is a
+//    stable identity that callers key RNG substreams and output slots off;
+//  * chunks are claimed dynamically (atomic counter), so scheduling varies
+//    between runs, but chunk outputs land in chunk-indexed slots and
+//    reductions combine them in chunk order;
+//  * the calling thread participates, so a pool of size 1 degrades to the
+//    plain serial loop with no synchronisation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mss::util {
+
+/// Fixed-size worker pool. `size()` counts the caller thread, so
+/// `ThreadPool(1)` spawns no workers and runs every chunk inline.
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread;
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the participating caller).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Splits [0, n) into chunks of `chunk_size` (last chunk partial) and runs
+  /// `body(chunk_index, begin, end)` for every chunk across the pool.
+  /// Blocks until all chunks completed; rethrows the first body exception.
+  /// The chunk layout is a pure function of (n, chunk_size).
+  void parallel_for_chunks(
+      std::size_t n, std::size_t chunk_size,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// Chunk-parallel map-reduce: `map(chunk_index, begin, end) -> T` runs on
+  /// the pool, partial results are combined *in chunk order* with
+  /// `combine(acc, part)` — deterministic for any thread count.
+  template <typename T, typename MapFn, typename CombineFn>
+  [[nodiscard]] T parallel_reduce(std::size_t n, std::size_t chunk_size,
+                                  T init, MapFn map, CombineFn combine) {
+    const std::size_t chunks = chunk_count(n, chunk_size);
+    std::vector<T> parts(chunks, init);
+    parallel_for_chunks(n, chunk_size,
+                        [&](std::size_t c, std::size_t b, std::size_t e) {
+                          parts[c] = map(c, b, e);
+                        });
+    T acc = std::move(init);
+    for (T& part : parts) acc = combine(std::move(acc), std::move(part));
+    return acc;
+  }
+
+  /// Number of chunks `parallel_for_chunks(n, chunk_size, ...)` will run.
+  [[nodiscard]] static std::size_t chunk_count(std::size_t n,
+                                               std::size_t chunk_size) {
+    if (chunk_size == 0) chunk_size = 1;
+    return (n + chunk_size - 1) / chunk_size;
+  }
+
+  /// Shared process-wide pool sized to the hardware; lazily constructed.
+  [[nodiscard]] static ThreadPool& global();
+
+  // The thread policy every parallel kernel shares (`VaetOptions::threads`,
+  // `LlgEnsembleOptions::threads`): 0 = the shared global pool, otherwise a
+  // shared pool of that exact size (1 = serial inline). Centralised here so
+  // the policy and its determinism contract live in one place.
+
+  /// Pool for a policy value: 0 -> `global()`, N -> a lazily created,
+  /// process-lifetime pool of N threads (cached per size, so repeated
+  /// kernel calls with an explicit thread count never respawn workers).
+  [[nodiscard]] static ThreadPool& shared_for(std::size_t threads);
+
+  /// `parallel_for_chunks` under the shared thread policy.
+  static void run_with(
+      std::size_t threads, std::size_t n, std::size_t chunk_size,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// `parallel_reduce` under the shared thread policy.
+  template <typename T, typename MapFn, typename CombineFn>
+  [[nodiscard]] static T reduce_with(std::size_t threads, std::size_t n,
+                                     std::size_t chunk_size, T init, MapFn map,
+                                     CombineFn combine) {
+    return shared_for(threads).parallel_reduce<T>(n, chunk_size,
+                                                  std::move(init), map,
+                                                  combine);
+  }
+
+ private:
+  /// Region state snapshotted under the mutex when a thread joins, so chunk
+  /// execution never reads the shared fields while a later caller installs
+  /// the next region.
+  struct Region {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+        nullptr;
+    std::size_t n = 0;
+    std::size_t chunk_size = 0;
+    std::size_t n_chunks = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of the snapshotted region. A worker that lags
+  /// behind a region change fails the epoch check on its first claim (see
+  /// `kEpochShift` packing) or the bound check against its own snapshot,
+  /// and touches no region state either way.
+  void run_chunks(const Region& region);
+
+  // The claim word packs (epoch << 32) | next_chunk so a chunk claim and the
+  // "is this still my region" check are one atomic operation. A successful
+  // claim pins the region: its chunk cannot complete until the claimant runs
+  // it, so region state (body_, n_, chunk_size_, n_chunks_) stays valid.
+  static constexpr std::uint64_t kEpochShift = 32;
+  static constexpr std::uint64_t kChunkMask = 0xFFFFFFFFull;
+
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable cv_work_; ///< workers wait here for a region
+  std::condition_variable cv_done_; ///< caller waits here for completion
+
+  // State of the active parallel region (valid while body_ != nullptr).
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body_ =
+      nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_size_ = 0;
+  std::size_t n_chunks_ = 0;
+  std::uint64_t epoch_ = 0; ///< bumped per region (32-bit tag in claim word)
+  std::atomic<std::uint64_t> claim_{0};
+  std::atomic<std::size_t> done_chunks_{0};
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+} // namespace mss::util

@@ -88,6 +88,51 @@ double Rng::exponential(double mean) {
   return -mean * std::log(1.0 - uniform());
 }
 
+namespace {
+
+// Jump polynomials from the reference Xoshiro256** implementation
+// (Blackman & Vigna, prng.di.unimi.it).
+constexpr std::uint64_t kJump[4] = {
+    0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull, 0xa9582618e03fc9aaull,
+    0x39abdc4529b1661cull};
+constexpr std::uint64_t kLongJump[4] = {
+    0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull, 0x77710069854ee241ull,
+    0x39109bb02acbe635ull};
+
+} // namespace
+
+void Rng::apply_jump(const std::uint64_t (&poly)[4]) {
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : poly) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ull << b)) {
+        acc[0] ^= s_[0];
+        acc[1] ^= s_[1];
+        acc[2] ^= s_[2];
+        acc[3] ^= s_[3];
+      }
+      (void)next_u64();
+    }
+  }
+  s_ = acc;
+  has_cached_normal_ = false;
+}
+
+void Rng::jump() { apply_jump(kJump); }
+
+void Rng::long_jump() { apply_jump(kLongJump); }
+
+std::vector<Rng> Rng::jump_substreams(std::size_t n) {
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  Rng stream = fork(next_u64());
+  for (std::size_t c = 0; c < n; ++c) {
+    streams.push_back(stream);
+    stream.jump();
+  }
+  return streams;
+}
+
 Rng Rng::fork(std::uint64_t label) const {
   std::uint64_t x = s_[0] ^ rotl(s_[2], 13) ^ (label * 0xD6E8FEB86659FD93ull);
   Rng child(0);

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace mss::util {
 
@@ -52,7 +54,29 @@ class Rng {
   /// the current state and the label). Deterministic given (parent seed, label).
   [[nodiscard]] Rng fork(std::uint64_t label) const;
 
+  /// Advances the state by 2^128 steps (standard Xoshiro256** jump
+  /// polynomial): from one seed, `jump()` partitions the period into up to
+  /// 2^128 provably non-overlapping substreams of 2^128 draws each — one per
+  /// parallel worker. Clears any cached normal so the substream starts clean.
+  void jump();
+
+  /// Advances the state by 2^192 steps (long-jump polynomial): strides for
+  /// distributing work across processes, each of which then uses `jump()`
+  /// for its own workers.
+  void long_jump();
+
+  /// Derives `n` independent deterministic substreams for chunked parallel
+  /// work: advances this stream once (so consecutive calls see fresh
+  /// randomness), forks a base stream from the drawn label, and strides it
+  /// with `jump()` — substream c starts 2^128 * c draws into the base.
+  /// Substream c is a pure function of (state on entry, c), never of the
+  /// thread count; both parallel Monte-Carlo kernels derive their chunk
+  /// streams through this single protocol.
+  [[nodiscard]] std::vector<Rng> jump_substreams(std::size_t n);
+
  private:
+  void apply_jump(const std::uint64_t (&poly)[4]);
+
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -8,6 +8,7 @@
 #include "core/compact_model.hpp"
 #include "physics/thermal.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 #include "vaet/ecc.hpp"
 
 namespace mss::vaet {
@@ -35,6 +36,15 @@ DistributionSummary VaetStt::summarize(const std::vector<double>& samples,
   return d;
 }
 
+namespace {
+
+/// Samples per Monte-Carlo chunk. Fixed (never derived from the thread
+/// count) so the chunk -> jump-substream mapping, and therefore every
+/// sampled value, is identical for any pool size.
+constexpr std::size_t kMcChunkSamples = 32;
+
+} // namespace
+
 VaetResult VaetStt::monte_carlo(mss::util::Rng& rng) const {
   const auto nominal = array_.estimate();
   const auto cell = array_.cell();
@@ -51,71 +61,84 @@ VaetResult VaetStt::monte_carlo(mss::util::Rng& rng) const {
   const double t_peri_wr = array_.write_periphery_latency();
   const double t_peri_rd = array_.read_periphery_latency();
 
-  std::vector<double> wr_lat, wr_en, rd_lat, rd_en;
-  wr_lat.reserve(opt_.mc_samples);
-  wr_en.reserve(opt_.mc_samples);
-  rd_lat.reserve(opt_.mc_samples);
-  rd_en.reserve(opt_.mc_samples);
+  const std::size_t n = opt_.mc_samples;
+  std::vector<double> wr_lat(n), wr_en(n), rd_lat(n), rd_en(n);
 
-  for (std::size_t s = 0; s < opt_.mc_samples; ++s) {
-    // ---------- write access ----------
+  // Every chunk draws from its own jump substream — provably
+  // non-overlapping and a pure function of the incoming RNG state.
+  const std::vector<mss::util::Rng> streams = rng.jump_substreams(
+      mss::util::ThreadPool::chunk_count(n, kMcChunkSamples));
+
+  // One access sample: a single pass over the word samples each device once
+  // and derives both the write and the read behaviour from it (the seed
+  // built a second MtjCompactModel per bit for the read loop; the shared
+  // device is both cheaper and physically consistent — it is the same word).
+  const auto sample_access = [&](std::size_t s, mss::util::Rng& r) {
     double t_slowest = 0.0;
     double i_sum = 0.0;
+    double t_sense_worst = 0.0;
+    double i_read_sum = 0.0;
     for (std::size_t b = 0; b < org_.word_bits; ++b) {
-      const auto dev = pdk_.sample_device(rng);
+      const auto dev = pdk_.sample_device(r);
       const MtjCompactModel model(dev);
-      const double drive = pdk_.sample_drive_factor(rng);
+      const double drive = pdk_.sample_drive_factor(r);
+      // Draw the per-bit stochastic inputs unconditionally so the RNG
+      // consumption per bit is branch-free (fixed draw schedule).
+      const double u_theta = r.uniform();
+      const double u_act = r.uniform();
+      const double offset = std::abs(pdk_.sample_sense_offset(r));
+
+      // ---------- write behaviour ----------
       // The driver is sized for the *nominal* device; the sampled device
       // sees the nominal current scaled by the CMOS drive factor.
       const double i_w = drive * cell.i_write;
       i_sum += i_w;
-      const double ic = model.critical_current(WriteDirection::ToAntiparallel);
-      const double x = i_w / ic;
       const auto sp = model.switching_params(WriteDirection::ToAntiparallel);
+      const double x = i_w / sp.ic0;
       double t_bit;
       if (x > 1.05) {
         // Precessional: thermal initial angle (Rayleigh) sets the delay.
         const double s_theta = std::sqrt(1.0 / (2.0 * std::max(sp.delta, 1.0)));
-        const double u = rng.uniform();
         const double theta0 =
-            std::max(1e-6, s_theta * std::sqrt(-2.0 * std::log1p(-u)));
+            std::max(1e-6, s_theta * std::sqrt(-2.0 * std::log1p(-u_theta)));
         t_bit = physics::precessional_tau(sp, x) *
                 std::log(M_PI / (2.0 * theta0));
       } else {
         // Sub-critical outlier bit: thermally activated, heavy tail.
         const double xa = std::min(x, 0.999);
         const double tau = physics::neel_brown_tau(sp, xa);
-        t_bit = std::min(rng.exponential(tau), opt_.activated_cap);
+        t_bit = std::min(-tau * std::log1p(-u_act), opt_.activated_cap);
       }
       t_slowest = std::max(t_slowest, std::max(t_bit, 0.0));
-    }
-    const double lat_wr = t_peri_wr + t_slowest;
-    wr_lat.push_back(lat_wr);
-    // All word drivers stay on until the slowest bit completes.
-    wr_en.push_back(e_fixed_wr + i_sum * vdd * t_slowest);
 
-    // ---------- read access ----------
-    double t_sense_worst = 0.0;
-    double i_read_sum = 0.0;
-    for (std::size_t b = 0; b < org_.word_bits; ++b) {
-      const auto dev = pdk_.sample_device(rng);
-      const MtjCompactModel model(dev);
+      // ---------- read behaviour (same sampled device) ----------
       const double i_p = model.read_current(MtjState::Parallel, pdk_.v_read);
       const double i_ap =
           model.read_current(MtjState::Antiparallel, pdk_.v_read);
       const double delta_i = std::max(1e-7, i_p - i_ap);
-      const double offset = std::abs(pdk_.sample_sense_offset(rng));
       const double swing = opt_.v_resolve + offset;
-      const double t_bit = c_bl * swing / (0.5 * delta_i);
-      t_sense_worst = std::max(t_sense_worst, t_bit);
+      const double t_sense_bit = c_bl * swing / (0.5 * delta_i);
+      t_sense_worst = std::max(t_sense_worst, t_sense_bit);
       i_read_sum += 0.5 * (i_p + i_ap);
     }
-    const double lat_rd = t_peri_rd + t_sense_worst;
-    rd_lat.push_back(lat_rd);
+    wr_lat[s] = t_peri_wr + t_slowest;
+    // All word drivers stay on until the slowest bit completes.
+    wr_en[s] = e_fixed_wr + i_sum * vdd * t_slowest;
+    rd_lat[s] = t_peri_rd + t_sense_worst;
     // Bitline bias energy scales with the actual sensing window.
-    rd_en.push_back(e_fixed_rd + i_read_sum * pdk_.v_read * t_sense_worst +
-                    word * c_bl * pdk_.v_read * vdd);
-  }
+    rd_en[s] = e_fixed_rd + i_read_sum * pdk_.v_read * t_sense_worst +
+               word * c_bl * pdk_.v_read * vdd;
+  };
+
+  const auto run_chunk = [&](std::size_t c, std::size_t begin,
+                             std::size_t end) {
+    mss::util::Rng r = streams[c];
+    for (std::size_t s = begin; s < end; ++s) sample_access(s, r);
+  };
+
+  // Chunks write disjoint slices of the preallocated sample arrays, so the
+  // merged result needs no reduction step and is ordered by sample index.
+  mss::util::ThreadPool::run_with(opt_.threads, n, kMcChunkSamples, run_chunk);
 
   VaetResult out;
   out.write_latency = summarize(wr_lat, nominal.write_latency);

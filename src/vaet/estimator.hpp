@@ -53,6 +53,11 @@ struct VaetOptions {
   /// model's nvsim::kSenseResolveV so nominal and variation-aware sensing
   /// share the same resolve contract.
   double v_resolve = 0.022;
+  /// Monte-Carlo worker threads: 0 = all hardware threads (shared pool),
+  /// 1 = serial, N = a dedicated pool of N. Results are bit-identical for
+  /// every setting — samples are keyed to RNG jump substreams by chunk
+  /// index, not by thread.
+  std::size_t threads = 0;
 };
 
 /// The estimator.
@@ -66,7 +71,11 @@ class VaetStt {
   [[nodiscard]] const VaetOptions& options() const { return opt_; }
 
   /// Monte-Carlo variation analysis — produces Table 1 (nominal, mu, sigma
-  /// for read/write latency/energy).
+  /// for read/write latency/energy). Samples are sharded across the thread
+  /// pool (`options().threads`) in fixed-size chunks, each chunk drawing
+  /// from its own Xoshiro jump substream: the result is bit-identical for
+  /// any thread count. `rng` is advanced once to derive the sample streams,
+  /// so consecutive calls see fresh randomness.
   [[nodiscard]] VaetResult monte_carlo(mss::util::Rng& rng) const;
 
   // --- reliability-constrained margins (analytic strategy) ---

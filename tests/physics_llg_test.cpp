@@ -158,3 +158,29 @@ TEST(Llg, RejectsBadTimeStep) {
   EXPECT_THROW((void)solver.integrate({0, 0, 1}, 0.0, 1e-12, 0.0),
                std::invalid_argument);
 }
+
+TEST(Llg, NoRecordModeMatchesRecordedRun) {
+  // record_stride == 0 must change nothing but the trajectory storage:
+  // switch detection, switch time and the final state stay bit-identical.
+  const mp::LlgSolver solver(test_params());
+  mss::util::Rng r1(77), r2(77);
+  const mp::Vec3 m0{0.05, 0.0, -1.0};
+  const auto recorded =
+      solver.integrate_thermal(m0, 3e-9, 1e-12, 60e-6, r1, 16);
+  const auto bare = solver.integrate_thermal(m0, 3e-9, 1e-12, 60e-6, r2, 0);
+  EXPECT_TRUE(bare.trajectory.empty());
+  EXPECT_FALSE(recorded.trajectory.empty());
+  EXPECT_EQ(recorded.switched, bare.switched);
+  EXPECT_EQ(recorded.switch_time, bare.switch_time);
+  EXPECT_EQ(recorded.m_final.x, bare.m_final.x);
+  EXPECT_EQ(recorded.m_final.y, bare.m_final.y);
+  EXPECT_EQ(recorded.m_final.z, bare.m_final.z);
+}
+
+TEST(Llg, DeterministicNoRecordMode) {
+  const mp::LlgSolver solver(test_params());
+  const auto recorded = solver.integrate({0.1, 0.0, 1.0}, 1e-9, 1e-12, 0.0, 8);
+  const auto bare = solver.integrate({0.1, 0.0, 1.0}, 1e-9, 1e-12, 0.0, 0);
+  EXPECT_TRUE(bare.trajectory.empty());
+  EXPECT_EQ(recorded.m_final.z, bare.m_final.z);
+}

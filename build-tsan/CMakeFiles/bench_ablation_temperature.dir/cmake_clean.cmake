@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_temperature.dir/bench/ablation_temperature.cpp.o"
+  "CMakeFiles/bench_ablation_temperature.dir/bench/ablation_temperature.cpp.o.d"
+  "bench_ablation_temperature"
+  "bench_ablation_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

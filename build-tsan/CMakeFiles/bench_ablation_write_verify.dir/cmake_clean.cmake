@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_write_verify.dir/bench/ablation_write_verify.cpp.o"
+  "CMakeFiles/bench_ablation_write_verify.dir/bench/ablation_write_verify.cpp.o.d"
+  "bench_ablation_write_verify"
+  "bench_ablation_write_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_write_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

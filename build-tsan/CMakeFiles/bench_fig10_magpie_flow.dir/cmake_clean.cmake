@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_magpie_flow.dir/bench/fig10_magpie_flow.cpp.o"
+  "CMakeFiles/bench_fig10_magpie_flow.dir/bench/fig10_magpie_flow.cpp.o.d"
+  "bench_fig10_magpie_flow"
+  "bench_fig10_magpie_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_magpie_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

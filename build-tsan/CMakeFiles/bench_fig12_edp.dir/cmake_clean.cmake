@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_edp.dir/bench/fig12_edp.cpp.o"
+  "CMakeFiles/bench_fig12_edp.dir/bench/fig12_edp.cpp.o.d"
+  "bench_fig12_edp"
+  "bench_fig12_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_5_device_pdk.dir/bench/fig2_5_device_pdk.cpp.o"
+  "CMakeFiles/bench_fig2_5_device_pdk.dir/bench/fig2_5_device_pdk.cpp.o.d"
+  "bench_fig2_5_device_pdk"
+  "bench_fig2_5_device_pdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_5_device_pdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_testchip_ips.dir/bench/fig6_testchip_ips.cpp.o"
+  "CMakeFiles/bench_fig6_testchip_ips.dir/bench/fig6_testchip_ips.cpp.o.d"
+  "bench_fig6_testchip_ips"
+  "bench_fig6_testchip_ips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_testchip_ips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

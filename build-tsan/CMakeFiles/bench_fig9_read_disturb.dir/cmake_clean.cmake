@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_read_disturb.dir/bench/fig9_read_disturb.cpp.o"
+  "CMakeFiles/bench_fig9_read_disturb.dir/bench/fig9_read_disturb.cpp.o.d"
+  "bench_fig9_read_disturb"
+  "bench_fig9_read_disturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_read_disturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

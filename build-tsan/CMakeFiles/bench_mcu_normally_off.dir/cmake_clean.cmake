@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mcu_normally_off.dir/bench/mcu_normally_off.cpp.o"
+  "CMakeFiles/bench_mcu_normally_off.dir/bench/mcu_normally_off.cpp.o.d"
+  "bench_mcu_normally_off"
+  "bench_mcu_normally_off.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcu_normally_off.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_mcu_normally_off.
+# This may be replaced when dependencies are built.

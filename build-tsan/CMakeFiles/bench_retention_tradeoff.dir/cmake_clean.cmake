@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retention_tradeoff.dir/bench/retention_tradeoff.cpp.o"
+  "CMakeFiles/bench_retention_tradeoff.dir/bench/retention_tradeoff.cpp.o.d"
+  "bench_retention_tradeoff"
+  "bench_retention_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retention_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

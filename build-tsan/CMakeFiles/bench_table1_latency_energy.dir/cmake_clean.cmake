@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_latency_energy.dir/bench/table1_latency_energy.cpp.o"
+  "CMakeFiles/bench_table1_latency_energy.dir/bench/table1_latency_energy.cpp.o.d"
+  "bench_table1_latency_energy"
+  "bench_table1_latency_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_latency_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_periphery_test.dir/tests/cells_periphery_test.cpp.o"
+  "CMakeFiles/cells_periphery_test.dir/tests/cells_periphery_test.cpp.o.d"
+  "cells_periphery_test"
+  "cells_periphery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_periphery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

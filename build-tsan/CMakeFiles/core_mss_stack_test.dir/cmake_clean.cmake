@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mss_stack_test.dir/tests/core_mss_stack_test.cpp.o"
+  "CMakeFiles/core_mss_stack_test.dir/tests/core_mss_stack_test.cpp.o.d"
+  "core_mss_stack_test"
+  "core_mss_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mss_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_params_test.dir/tests/core_params_test.cpp.o"
+  "CMakeFiles/core_params_test.dir/tests/core_params_test.cpp.o.d"
+  "core_params_test"
+  "core_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_retention_pdk_test.dir/tests/core_retention_pdk_test.cpp.o"
+  "CMakeFiles/core_retention_pdk_test.dir/tests/core_retention_pdk_test.cpp.o.d"
+  "core_retention_pdk_test"
+  "core_retention_pdk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_retention_pdk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sensor_test.dir/tests/core_sensor_test.cpp.o"
+  "CMakeFiles/core_sensor_test.dir/tests/core_sensor_test.cpp.o.d"
+  "core_sensor_test"
+  "core_sensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sto_test.dir/tests/core_sto_test.cpp.o"
+  "CMakeFiles/core_sto_test.dir/tests/core_sto_test.cpp.o.d"
+  "core_sto_test"
+  "core_sto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

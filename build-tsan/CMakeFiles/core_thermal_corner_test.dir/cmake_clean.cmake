@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_thermal_corner_test.dir/tests/core_thermal_corner_test.cpp.o"
+  "CMakeFiles/core_thermal_corner_test.dir/tests/core_thermal_corner_test.cpp.o.d"
+  "core_thermal_corner_test"
+  "core_thermal_corner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_thermal_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

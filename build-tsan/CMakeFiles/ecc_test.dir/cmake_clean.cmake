@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_test.dir/tests/ecc_test.cpp.o"
+  "CMakeFiles/ecc_test.dir/tests/ecc_test.cpp.o.d"
+  "ecc_test"
+  "ecc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_system_exploration.dir/examples/hybrid_system_exploration.cpp.o"
+  "CMakeFiles/example_hybrid_system_exploration.dir/examples/hybrid_system_exploration.cpp.o.d"
+  "example_hybrid_system_exploration"
+  "example_hybrid_system_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_system_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_iot_sensor_node.dir/examples/iot_sensor_node.cpp.o"
+  "CMakeFiles/example_iot_sensor_node.dir/examples/iot_sensor_node.cpp.o.d"
+  "example_iot_sensor_node"
+  "example_iot_sensor_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_iot_sensor_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_iot_sensor_node.
+# This may be replaced when dependencies are built.

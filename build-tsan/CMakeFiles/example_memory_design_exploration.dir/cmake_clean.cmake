@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_memory_design_exploration.dir/examples/memory_design_exploration.cpp.o"
+  "CMakeFiles/example_memory_design_exploration.dir/examples/memory_design_exploration.cpp.o.d"
+  "example_memory_design_exploration"
+  "example_memory_design_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_memory_design_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nonvolatile_logic.dir/examples/nonvolatile_logic.cpp.o"
+  "CMakeFiles/example_nonvolatile_logic.dir/examples/nonvolatile_logic.cpp.o.d"
+  "example_nonvolatile_logic"
+  "example_nonvolatile_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nonvolatile_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magpie_cache_test.dir/tests/magpie_cache_test.cpp.o"
+  "CMakeFiles/magpie_cache_test.dir/tests/magpie_cache_test.cpp.o.d"
+  "magpie_cache_test"
+  "magpie_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magpie_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magpie_mcu_test.dir/tests/magpie_mcu_test.cpp.o"
+  "CMakeFiles/magpie_mcu_test.dir/tests/magpie_mcu_test.cpp.o.d"
+  "magpie_mcu_test"
+  "magpie_mcu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magpie_mcu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

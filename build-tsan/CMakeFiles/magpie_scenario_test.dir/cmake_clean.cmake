@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magpie_scenario_test.dir/tests/magpie_scenario_test.cpp.o"
+  "CMakeFiles/magpie_scenario_test.dir/tests/magpie_scenario_test.cpp.o.d"
+  "magpie_scenario_test"
+  "magpie_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magpie_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

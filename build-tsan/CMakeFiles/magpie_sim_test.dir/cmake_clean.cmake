@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magpie_sim_test.dir/tests/magpie_sim_test.cpp.o"
+  "CMakeFiles/magpie_sim_test.dir/tests/magpie_sim_test.cpp.o.d"
+  "magpie_sim_test"
+  "magpie_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magpie_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magpie_workload_test.dir/tests/magpie_workload_test.cpp.o"
+  "CMakeFiles/magpie_workload_test.dir/tests/magpie_workload_test.cpp.o.d"
+  "magpie_workload_test"
+  "magpie_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magpie_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

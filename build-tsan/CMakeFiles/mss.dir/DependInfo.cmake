@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/bitcell.cpp" "CMakeFiles/mss.dir/src/cells/bitcell.cpp.o" "gcc" "CMakeFiles/mss.dir/src/cells/bitcell.cpp.o.d"
+  "/root/repo/src/cells/characterization.cpp" "CMakeFiles/mss.dir/src/cells/characterization.cpp.o" "gcc" "CMakeFiles/mss.dir/src/cells/characterization.cpp.o.d"
+  "/root/repo/src/cells/current_source.cpp" "CMakeFiles/mss.dir/src/cells/current_source.cpp.o" "gcc" "CMakeFiles/mss.dir/src/cells/current_source.cpp.o.d"
+  "/root/repo/src/cells/nvff.cpp" "CMakeFiles/mss.dir/src/cells/nvff.cpp.o" "gcc" "CMakeFiles/mss.dir/src/cells/nvff.cpp.o.d"
+  "/root/repo/src/cells/sense_amp.cpp" "CMakeFiles/mss.dir/src/cells/sense_amp.cpp.o" "gcc" "CMakeFiles/mss.dir/src/cells/sense_amp.cpp.o.d"
+  "/root/repo/src/cells/write_driver.cpp" "CMakeFiles/mss.dir/src/cells/write_driver.cpp.o" "gcc" "CMakeFiles/mss.dir/src/cells/write_driver.cpp.o.d"
+  "/root/repo/src/core/compact_model.cpp" "CMakeFiles/mss.dir/src/core/compact_model.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/compact_model.cpp.o.d"
+  "/root/repo/src/core/mss_stack.cpp" "CMakeFiles/mss.dir/src/core/mss_stack.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/mss_stack.cpp.o.d"
+  "/root/repo/src/core/mtj_params.cpp" "CMakeFiles/mss.dir/src/core/mtj_params.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/mtj_params.cpp.o.d"
+  "/root/repo/src/core/pdk.cpp" "CMakeFiles/mss.dir/src/core/pdk.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/pdk.cpp.o.d"
+  "/root/repo/src/core/retention.cpp" "CMakeFiles/mss.dir/src/core/retention.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/retention.cpp.o.d"
+  "/root/repo/src/core/sensor_model.cpp" "CMakeFiles/mss.dir/src/core/sensor_model.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/sensor_model.cpp.o.d"
+  "/root/repo/src/core/sto_model.cpp" "CMakeFiles/mss.dir/src/core/sto_model.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/sto_model.cpp.o.d"
+  "/root/repo/src/core/thermal_corner.cpp" "CMakeFiles/mss.dir/src/core/thermal_corner.cpp.o" "gcc" "CMakeFiles/mss.dir/src/core/thermal_corner.cpp.o.d"
+  "/root/repo/src/magpie/cache.cpp" "CMakeFiles/mss.dir/src/magpie/cache.cpp.o" "gcc" "CMakeFiles/mss.dir/src/magpie/cache.cpp.o.d"
+  "/root/repo/src/magpie/mcpat.cpp" "CMakeFiles/mss.dir/src/magpie/mcpat.cpp.o" "gcc" "CMakeFiles/mss.dir/src/magpie/mcpat.cpp.o.d"
+  "/root/repo/src/magpie/mcu.cpp" "CMakeFiles/mss.dir/src/magpie/mcu.cpp.o" "gcc" "CMakeFiles/mss.dir/src/magpie/mcu.cpp.o.d"
+  "/root/repo/src/magpie/scenario.cpp" "CMakeFiles/mss.dir/src/magpie/scenario.cpp.o" "gcc" "CMakeFiles/mss.dir/src/magpie/scenario.cpp.o.d"
+  "/root/repo/src/magpie/sim.cpp" "CMakeFiles/mss.dir/src/magpie/sim.cpp.o" "gcc" "CMakeFiles/mss.dir/src/magpie/sim.cpp.o.d"
+  "/root/repo/src/magpie/workload.cpp" "CMakeFiles/mss.dir/src/magpie/workload.cpp.o" "gcc" "CMakeFiles/mss.dir/src/magpie/workload.cpp.o.d"
+  "/root/repo/src/nvsim/array_model.cpp" "CMakeFiles/mss.dir/src/nvsim/array_model.cpp.o" "gcc" "CMakeFiles/mss.dir/src/nvsim/array_model.cpp.o.d"
+  "/root/repo/src/nvsim/cache_model.cpp" "CMakeFiles/mss.dir/src/nvsim/cache_model.cpp.o" "gcc" "CMakeFiles/mss.dir/src/nvsim/cache_model.cpp.o.d"
+  "/root/repo/src/nvsim/optimizer.cpp" "CMakeFiles/mss.dir/src/nvsim/optimizer.cpp.o" "gcc" "CMakeFiles/mss.dir/src/nvsim/optimizer.cpp.o.d"
+  "/root/repo/src/physics/llg.cpp" "CMakeFiles/mss.dir/src/physics/llg.cpp.o" "gcc" "CMakeFiles/mss.dir/src/physics/llg.cpp.o.d"
+  "/root/repo/src/physics/thermal.cpp" "CMakeFiles/mss.dir/src/physics/thermal.cpp.o" "gcc" "CMakeFiles/mss.dir/src/physics/thermal.cpp.o.d"
+  "/root/repo/src/spice/ac.cpp" "CMakeFiles/mss.dir/src/spice/ac.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/ac.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "CMakeFiles/mss.dir/src/spice/circuit.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/circuit.cpp.o.d"
+  "/root/repo/src/spice/controlled.cpp" "CMakeFiles/mss.dir/src/spice/controlled.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/controlled.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "CMakeFiles/mss.dir/src/spice/elements.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/elements.cpp.o.d"
+  "/root/repo/src/spice/engine.cpp" "CMakeFiles/mss.dir/src/spice/engine.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/engine.cpp.o.d"
+  "/root/repo/src/spice/matrix.cpp" "CMakeFiles/mss.dir/src/spice/matrix.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/matrix.cpp.o.d"
+  "/root/repo/src/spice/mdl.cpp" "CMakeFiles/mss.dir/src/spice/mdl.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/mdl.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "CMakeFiles/mss.dir/src/spice/mosfet.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/mosfet.cpp.o.d"
+  "/root/repo/src/spice/mtj_element.cpp" "CMakeFiles/mss.dir/src/spice/mtj_element.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/mtj_element.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "CMakeFiles/mss.dir/src/spice/waveform.cpp.o" "gcc" "CMakeFiles/mss.dir/src/spice/waveform.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/mss.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/mss.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "CMakeFiles/mss.dir/src/util/math.cpp.o" "gcc" "CMakeFiles/mss.dir/src/util/math.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "CMakeFiles/mss.dir/src/util/parallel.cpp.o" "gcc" "CMakeFiles/mss.dir/src/util/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/mss.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/mss.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/mss.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/mss.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/mss.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/mss.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/vaet/ecc.cpp" "CMakeFiles/mss.dir/src/vaet/ecc.cpp.o" "gcc" "CMakeFiles/mss.dir/src/vaet/ecc.cpp.o.d"
+  "/root/repo/src/vaet/estimator.cpp" "CMakeFiles/mss.dir/src/vaet/estimator.cpp.o" "gcc" "CMakeFiles/mss.dir/src/vaet/estimator.cpp.o.d"
+  "/root/repo/src/vaet/reliability_opt.cpp" "CMakeFiles/mss.dir/src/vaet/reliability_opt.cpp.o" "gcc" "CMakeFiles/mss.dir/src/vaet/reliability_opt.cpp.o.d"
+  "/root/repo/src/vaet/write_verify.cpp" "CMakeFiles/mss.dir/src/vaet/write_verify.cpp.o" "gcc" "CMakeFiles/mss.dir/src/vaet/write_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

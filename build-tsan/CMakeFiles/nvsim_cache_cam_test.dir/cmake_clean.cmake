@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_cache_cam_test.dir/tests/nvsim_cache_cam_test.cpp.o"
+  "CMakeFiles/nvsim_cache_cam_test.dir/tests/nvsim_cache_cam_test.cpp.o.d"
+  "nvsim_cache_cam_test"
+  "nvsim_cache_cam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_cache_cam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

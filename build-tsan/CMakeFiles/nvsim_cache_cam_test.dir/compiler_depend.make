@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nvsim_cache_cam_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_test.dir/tests/nvsim_test.cpp.o"
+  "CMakeFiles/nvsim_test.dir/tests/nvsim_test.cpp.o.d"
+  "nvsim_test"
+  "nvsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

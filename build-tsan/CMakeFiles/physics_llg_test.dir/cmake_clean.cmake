@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_llg_test.dir/tests/physics_llg_test.cpp.o"
+  "CMakeFiles/physics_llg_test.dir/tests/physics_llg_test.cpp.o.d"
+  "physics_llg_test"
+  "physics_llg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_llg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

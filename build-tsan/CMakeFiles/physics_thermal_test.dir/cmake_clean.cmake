@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_thermal_test.dir/tests/physics_thermal_test.cpp.o"
+  "CMakeFiles/physics_thermal_test.dir/tests/physics_thermal_test.cpp.o.d"
+  "physics_thermal_test"
+  "physics_thermal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_thermal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

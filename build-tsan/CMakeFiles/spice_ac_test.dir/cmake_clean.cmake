@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_ac_test.dir/tests/spice_ac_test.cpp.o"
+  "CMakeFiles/spice_ac_test.dir/tests/spice_ac_test.cpp.o.d"
+  "spice_ac_test"
+  "spice_ac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_ac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

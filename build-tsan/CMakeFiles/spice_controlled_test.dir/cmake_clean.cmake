@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_controlled_test.dir/tests/spice_controlled_test.cpp.o"
+  "CMakeFiles/spice_controlled_test.dir/tests/spice_controlled_test.cpp.o.d"
+  "spice_controlled_test"
+  "spice_controlled_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_controlled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

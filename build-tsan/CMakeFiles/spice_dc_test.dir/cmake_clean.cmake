@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_dc_test.dir/tests/spice_dc_test.cpp.o"
+  "CMakeFiles/spice_dc_test.dir/tests/spice_dc_test.cpp.o.d"
+  "spice_dc_test"
+  "spice_dc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_dc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

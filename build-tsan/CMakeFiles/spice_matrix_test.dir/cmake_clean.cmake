@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_matrix_test.dir/tests/spice_matrix_test.cpp.o"
+  "CMakeFiles/spice_matrix_test.dir/tests/spice_matrix_test.cpp.o.d"
+  "spice_matrix_test"
+  "spice_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_mdl_test.dir/tests/spice_mdl_test.cpp.o"
+  "CMakeFiles/spice_mdl_test.dir/tests/spice_mdl_test.cpp.o.d"
+  "spice_mdl_test"
+  "spice_mdl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_mdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_transient_test.dir/tests/spice_transient_test.cpp.o"
+  "CMakeFiles/spice_transient_test.dir/tests/spice_transient_test.cpp.o.d"
+  "spice_transient_test"
+  "spice_transient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_waveform_test.dir/tests/spice_waveform_test.cpp.o"
+  "CMakeFiles/spice_waveform_test.dir/tests/spice_waveform_test.cpp.o.d"
+  "spice_waveform_test"
+  "spice_waveform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_waveform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaet_parallel_test.dir/tests/vaet_parallel_test.cpp.o"
+  "CMakeFiles/vaet_parallel_test.dir/tests/vaet_parallel_test.cpp.o.d"
+  "vaet_parallel_test"
+  "vaet_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaet_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaet_reliability_opt_test.dir/tests/vaet_reliability_opt_test.cpp.o"
+  "CMakeFiles/vaet_reliability_opt_test.dir/tests/vaet_reliability_opt_test.cpp.o.d"
+  "vaet_reliability_opt_test"
+  "vaet_reliability_opt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaet_reliability_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaet_test.dir/tests/vaet_test.cpp.o"
+  "CMakeFiles/vaet_test.dir/tests/vaet_test.cpp.o.d"
+  "vaet_test"
+  "vaet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

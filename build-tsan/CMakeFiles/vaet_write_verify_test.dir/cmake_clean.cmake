@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaet_write_verify_test.dir/tests/vaet_write_verify_test.cpp.o"
+  "CMakeFiles/vaet_write_verify_test.dir/tests/vaet_write_verify_test.cpp.o.d"
+  "vaet_write_verify_test"
+  "vaet_write_verify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaet_write_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,10 +10,17 @@
 // Thread scaling of the parallel kernels is the `/threads:N` suffix of
 // BM_VaetMonteCarlo and BM_LlgThermalEnsemble (real_time is the metric that
 // must shrink with N; both report identical statistics for every N).
+// MNA backend scaling is the `/dim:N` suffix of BM_SpiceSparseTransient /
+// BM_SpiceDenseTransient: per-step real_time over the matrix dimension
+// (sparse must scale sub-quadratically, dense goes quadratic once past the
+// factorization cache), plus BM_SpiceArrayWrite for the nonlinear
+// array-characterisation path.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
+#include "cells/characterization.hpp"
 #include "core/compact_model.hpp"
 #include "core/pdk.hpp"
 #include "magpie/cache.hpp"
@@ -83,6 +90,78 @@ void BM_SpiceRcTransient(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000); // steps per run
 }
 BENCHMARK(BM_SpiceRcTransient);
+
+/// RC ladder of `dim` nodes: a linear transient whose per-step cost is one
+/// back-substitution against the cached factorization. The sparse backend
+/// must hold per-step real_time sub-quadratic in the dimension (ladder
+/// nnz(LU) is O(dim)); the dense path is the quadratic baseline.
+void spice_ladder_transient(benchmark::State& state,
+                            mss::spice::SolverKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mss::spice::Circuit ckt;
+  int prev = ckt.node("n0");
+  ckt.add(std::make_unique<mss::spice::VoltageSource>(
+      "vin", prev, mss::spice::kGround,
+      std::make_unique<mss::spice::PulseWave>(0.0, 1.0, 1e-10, 1e-11, 1e-11,
+                                              5e-9)));
+  for (std::size_t k = 1; k < n; ++k) {
+    const int cur = ckt.node("n" + std::to_string(k));
+    ckt.add(std::make_unique<mss::spice::Resistor>("r" + std::to_string(k),
+                                                   prev, cur, 100.0));
+    ckt.add(std::make_unique<mss::spice::Capacitor>(
+        "c" + std::to_string(k), cur, mss::spice::kGround, 0.1e-12));
+    prev = cur;
+  }
+  mss::spice::EngineOptions opt;
+  opt.solver = kind;
+  mss::spice::Engine eng(ckt, opt);
+  constexpr double kDt = 10e-12;
+  constexpr double kStop = 2e-9; // 200 steps per run
+  const std::string far_node = "n" + std::to_string(n - 1);
+  for (auto _ : state) {
+    const auto tr = eng.transient(kStop, kDt);
+    benchmark::DoNotOptimize(tr.v(far_node, tr.size() - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 200); // steps per run
+  state.counters["dim"] = double(n + 1);
+}
+
+void BM_SpiceSparseTransient(benchmark::State& state) {
+  spice_ladder_transient(state, mss::spice::SolverKind::Sparse);
+}
+BENCHMARK(BM_SpiceSparseTransient)
+    ->ArgName("dim")
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+
+void BM_SpiceDenseTransient(benchmark::State& state) {
+  spice_ladder_transient(state, mss::spice::SolverKind::Dense);
+}
+BENCHMARK(BM_SpiceDenseTransient)
+    ->ArgName("dim")
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024);
+
+/// Nonlinear array-characterisation path: rows x rows bit-cell array write
+/// (access MOSFET + MTJ per selected-row cell, distributed WL/BL RC),
+/// Newton refactoring the sparse system every iteration.
+void BM_SpiceArrayWrite(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const mss::core::Pdk pdk;
+  mss::cells::ArrayNetlistOptions o;
+  o.rows = rows;
+  o.cols = rows;
+  for (auto _ : state) {
+    const auto wr = mss::cells::characterize_array_write(
+        pdk, o, mss::core::WriteDirection::ToAntiparallel, 5e-9);
+    benchmark::DoNotOptimize(wr.t_switch);
+  }
+}
+BENCHMARK(BM_SpiceArrayWrite)->ArgName("rows")->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_VaetMonteCarloAccess(benchmark::State& state) {
   const auto pdk = mss::core::Pdk::mss45();

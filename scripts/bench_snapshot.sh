@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Records a google-benchmark JSON snapshot of bench_perf_micro for the
+# current revision:
+#   scripts/bench_snapshot.sh              # all benchmarks
+#   scripts/bench_snapshot.sh BM_Spice     # filtered
+# Writes BENCH_<shortrev>.json in the repo root (gitignored scratch; copy a
+# snapshot into bench/baselines/ to commit it as the revision's baseline)
+# and prints the path. Diff real_time across revisions to track the perf
+# trajectory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j"${JOBS}" --target bench_perf_micro >/dev/null
+
+REV="$(git rev-parse --short HEAD)"
+OUT="BENCH_${REV}.json"
+ARGS=(--benchmark_format=json)
+if [[ -n "${FILTER}" ]]; then
+  ARGS+=("--benchmark_filter=${FILTER}")
+fi
+./build/bench_perf_micro "${ARGS[@]}" > "${OUT}"
+echo "${OUT}"

@@ -1,5 +1,7 @@
 #include "cells/characterization.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace mss::cells {
@@ -49,6 +51,78 @@ std::map<std::string, double> run_mdl_pipeline(
   const auto results = script.evaluate(tr);
   const std::string file = spice::mdl::write_measure_file(results);
   return spice::mdl::parse_measure_file(file);
+}
+
+ArrayWriteResult characterize_array_write(const core::Pdk& pdk,
+                                          const ArrayNetlistOptions& opt,
+                                          core::WriteDirection dir,
+                                          double pulse_width,
+                                          spice::SolverKind solver) {
+  const double t_start = 0.5e-9;
+  const double t_stop = t_start + pulse_width + 1.0e-9;
+  auto net = build_array_write_netlist(pdk, opt, dir, pulse_width);
+
+  spice::EngineOptions eopt;
+  eopt.solver = solver;
+  spice::Engine engine(net.circuit, eopt);
+  const auto tr = engine.transient(t_stop, opt.sim_dt);
+
+  const bool to_p = dir == core::WriteDirection::ToParallel;
+  ArrayWriteResult out;
+  out.converged = tr.converged();
+  out.dim = net.dim;
+  out.backend = engine.solver_backend();
+  out.switched = net.target_mtj->state() ==
+                 (to_p ? core::MtjState::Parallel
+                       : core::MtjState::Antiparallel);
+  if (!net.target_mtj->flip_times().empty()) {
+    out.t_switch = net.target_mtj->flip_times().front() - t_start;
+  }
+  out.energy = source_energy(tr, to_p ? net.v_bitline : net.v_sourceline,
+                             to_p ? net.bl_drive_node : net.sl_drive_node);
+  for (const auto& [t, i] : net.target_mtj->current_trace()) {
+    out.i_peak = std::max(out.i_peak, std::abs(i));
+    if (net.target_mtj->flip_times().empty() ||
+        t < net.target_mtj->flip_times().front()) {
+      out.i_settled = std::abs(i);
+    }
+  }
+  return out;
+}
+
+ArrayReadResult characterize_array_read(const core::Pdk& pdk,
+                                        const ArrayNetlistOptions& opt,
+                                        double t_read,
+                                        spice::SolverKind solver) {
+  const double t_start = 0.5e-9;
+  ArrayReadResult out;
+  for (const core::MtjState st :
+       {core::MtjState::Parallel, core::MtjState::Antiparallel}) {
+    auto net = build_array_read_netlist(pdk, opt, st, t_read);
+    spice::EngineOptions eopt;
+    eopt.solver = solver;
+    spice::Engine engine(net.circuit, eopt);
+    const auto tr = engine.transient(t_start + t_read + 0.3e-9, opt.sim_dt);
+
+    // MDL pipeline: settled bitline-source current during the pulse.
+    const double t_lo = t_start + 0.6 * t_read;
+    const double t_hi = t_start + 0.95 * t_read;
+    const std::string mdl = "meas iread avg i(" + net.v_bitline +
+                            ") from=" + mdl_num(t_lo) +
+                            " to=" + mdl_num(t_hi) + "\n";
+    const auto meas = run_mdl_pipeline(tr, mdl);
+    const double i_cell = std::abs(meas.at("iread"));
+    out.dim = net.dim;
+    out.backend = engine.solver_backend();
+    if (st == core::MtjState::Parallel) {
+      out.i_cell_p = i_cell;
+      out.energy_read = source_energy(tr, net.v_bitline, net.bl_drive_node);
+    } else {
+      out.i_cell_ap = i_cell;
+    }
+  }
+  out.delta_i = out.i_cell_p - out.i_cell_ap;
+  return out;
 }
 
 } // namespace mss::cells

@@ -1,12 +1,16 @@
 // Shared helpers for SPICE-based standard-cell characterisation: PDK ->
-// transistor model cards, waveform energy integration, and the
+// transistor model cards, waveform energy integration, the
 // template-netlist -> transient -> MDL -> parse pipeline of the paper's
-// Fig. 10 circuit level.
+// Fig. 10 circuit level, and the array-scale characterisation drivers
+// (rows x cols bit-cell blocks with wordline/bitline parasitics, solved
+// through the sparse MNA backend).
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 
+#include "cells/array_netlist.hpp"
 #include "core/pdk.hpp"
 #include "spice/engine.hpp"
 #include "spice/mdl.hpp"
@@ -46,5 +50,44 @@ struct DeviceCards {
 /// describes.
 [[nodiscard]] std::map<std::string, double> run_mdl_pipeline(
     const spice::TransientResult& tr, const std::string& mdl_script_text);
+
+/// Outcome of an array-scale write characterisation.
+struct ArrayWriteResult {
+  bool switched = false;   ///< target cell reached the written state
+  bool converged = false;  ///< every transient step converged
+  double t_switch = 0.0;   ///< data-pulse start to state-flip delay [s]
+  double energy = 0.0;     ///< energy delivered by the driving source [J]
+  double i_peak = 0.0;     ///< peak target-cell stack current [A]
+  double i_settled = 0.0;  ///< stack current just before the flip [A]
+  std::size_t dim = 0;     ///< MNA unknowns of the array system
+  std::string backend;     ///< linear-solver backend that ran ("sparse"...)
+};
+
+/// Outcome of an array-scale read characterisation (both states simulated).
+struct ArrayReadResult {
+  double i_cell_p = 0.0;   ///< settled read current, parallel state [A]
+  double i_cell_ap = 0.0;  ///< settled read current, antiparallel state [A]
+  double delta_i = 0.0;    ///< read margin current [A]
+  double energy_read = 0.0;///< read energy per access (parallel state) [J]
+  std::size_t dim = 0;
+  std::string backend;
+};
+
+/// Write characterisation of a full rows x cols array: builds the netlist
+/// (array_netlist.hpp), runs the transient on the selected backend, and
+/// extracts switching delay / energy / currents. A 64 x 64 build routes
+/// through the sparse solver under SolverKind::Auto.
+[[nodiscard]] ArrayWriteResult characterize_array_write(
+    const core::Pdk& pdk, const ArrayNetlistOptions& opt,
+    core::WriteDirection dir, double pulse_width,
+    spice::SolverKind solver = spice::SolverKind::Auto);
+
+/// Read characterisation of the array: two transients (P / AP target
+/// state), settled current via the MDL measurement pipeline, margin as the
+/// difference — the paper's netlist -> transient -> MDL -> parse flow at
+/// array scale.
+[[nodiscard]] ArrayReadResult characterize_array_read(
+    const core::Pdk& pdk, const ArrayNetlistOptions& opt, double t_read,
+    spice::SolverKind solver = spice::SolverKind::Auto);
 
 } // namespace mss::cells

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "physics/constants.hpp"
+#include "util/parallel.hpp"
 
 namespace mss::core {
 
@@ -144,12 +145,25 @@ WriteOutcome MtjCompactModel::llgs_write(WriteDirection dir, double i_write,
 double MtjCompactModel::llgs_switch_probability(WriteDirection dir,
                                                 double i_write, double t_pulse,
                                                 std::size_t n,
-                                                mss::util::Rng& rng) const {
+                                                mss::util::Rng& rng,
+                                                std::size_t threads) const {
   if (n == 0) throw std::invalid_argument("llgs_switch_probability: n == 0");
-  std::size_t hits = 0;
-  for (std::size_t k = 0; k < n; ++k) {
-    if (llgs_write(dir, i_write, t_pulse, rng).switched) ++hits;
-  }
+  // Small chunks: one LLGS transient integrates thousands of picosecond
+  // steps, so load-balancing matters more than chunk overhead.
+  constexpr std::size_t kChunk = 4;
+  const std::vector<mss::util::Rng> streams =
+      rng.jump_substreams(mss::util::ThreadPool::chunk_count(n, kChunk));
+  const std::size_t hits = mss::util::ThreadPool::reduce_with<std::size_t>(
+      threads, n, kChunk, 0,
+      [&](std::size_t c, std::size_t begin, std::size_t end) {
+        mss::util::Rng r = streams[c];
+        std::size_t h = 0;
+        for (std::size_t k = begin; k < end; ++k) {
+          if (llgs_write(dir, i_write, t_pulse, r).switched) ++h;
+        }
+        return h;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
   return double(hits) / double(n);
 }
 

@@ -110,11 +110,17 @@ class MtjCompactModel {
                                         double t_pulse, mss::util::Rng& rng,
                                         double dt = 1e-12) const;
 
-  /// Monte-Carlo switching probability from `n` LLGS transients.
+  /// Monte-Carlo switching probability from `n` LLGS transients, sharded
+  /// across the shared thread pool (`threads`: 0 = the global pool, 1 =
+  /// serial inline, N = a pool of that size). Each chunk of transients
+  /// draws from its own jump substream keyed by chunk index, so the result
+  /// and the post-call state of `rng` are bit-identical for any thread
+  /// count.
   [[nodiscard]] double llgs_switch_probability(WriteDirection dir,
                                                double i_write, double t_pulse,
                                                std::size_t n,
-                                               mss::util::Rng& rng) const;
+                                               mss::util::Rng& rng,
+                                               std::size_t threads = 0) const;
 
   /// Analytic switching parameters handed to the physics layer (exposed for
   /// the variability analysis, which perturbs them per sampled device).

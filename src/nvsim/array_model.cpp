@@ -1,5 +1,7 @@
 #include "nvsim/array_model.hpp"
 
+#include "cells/characterization.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -150,6 +152,34 @@ MemoryEstimate ArrayModel::estimate_with(double t_mtj_switch, double i_write,
   const double col_area = double(org_.cols) * (kCellWidthF * f) * (60.0 * f);
   est.area = cell_area + (decoder_area + col_area) * (1.0 + kPeripheryOverhead);
   return est;
+}
+
+MemoryEstimate ArrayModel::estimate_spice(std::size_t max_rows,
+                                          std::size_t max_cols) const {
+  cells::ArrayNetlistOptions o;
+  o.rows = std::min(org_.rows, max_rows);
+  o.cols = std::min(org_.cols, max_cols);
+  o.target_row = o.rows - 1; // far end of the bitline: worst-case RC
+  o.cell_width_f = kCellWidthF;
+  o.cell_height_f = kCellHeightF;
+  o.c_cell_drain = kCellDrainCapF;
+  o.c_cell_gate = kCellGateCapF;
+
+  // Worse (P -> AP) direction write; generous pulse so the flip is
+  // observed rather than assumed.
+  const double pulse = std::max(3.0 * cell_.t_switch, 2e-9);
+  const auto wr = cells::characterize_array_write(
+      pdk_, o, core::WriteDirection::ToAntiparallel, pulse);
+  const auto rd = cells::characterize_array_read(pdk_, o, 2e-9);
+
+  const double t_sw = wr.switched ? wr.t_switch : cell_.t_switch;
+  // Only trust the extracted current when the flip happened: on a failed
+  // write i_settled degenerates to post-pulse leakage, not a write current.
+  const double i_w =
+      wr.switched && wr.i_settled > 0.0 ? wr.i_settled : cell_.i_write;
+  const double di = rd.delta_i > 0.0 ? rd.delta_i
+                                     : (cell_.i_read_p - cell_.i_read_ap);
+  return estimate_with(t_sw, i_w, di, sense_margin());
 }
 
 } // namespace mss::nvsim

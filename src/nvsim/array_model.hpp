@@ -108,6 +108,15 @@ class ArrayModel {
                                              double delta_i_sense,
                                              double sense_margin_v) const;
 
+  /// SPICE-calibrated estimate: runs array-scale write and read transients
+  /// (cells::characterize_array_*, sparse MNA backend) on this organisation
+  /// — clamped to `max_rows` x `max_cols` cells to bound simulation cost —
+  /// and replaces the analytic switching time, write current, and read
+  /// margin with the extracted values. The wordline/bitline RC the analytic
+  /// Elmore terms approximate is simulated explicitly in the netlist.
+  [[nodiscard]] MemoryEstimate estimate_spice(std::size_t max_rows = 64,
+                                              std::size_t max_cols = 64) const;
+
   /// Derived geometry/RC view.
   [[nodiscard]] const ArrayGeometry& geometry() const { return geom_; }
   /// The cell parameters in use.

@@ -81,11 +81,14 @@ bool lu_solve_complex(std::vector<std::complex<double>>& a,
   return true;
 }
 
-AcResult ac_analysis(Circuit& circuit, const std::vector<double>& freqs) {
+AcResult ac_analysis(Circuit& circuit, const std::vector<double>& freqs,
+                     SolverKind solver) {
   if (freqs.empty()) {
     throw std::invalid_argument("ac_analysis: empty frequency list");
   }
-  Engine engine(circuit);
+  EngineOptions dc_opt;
+  dc_opt.solver = solver;
+  Engine engine(circuit, dc_opt);
   const auto dc = engine.dc();
   if (!dc.converged) {
     throw std::runtime_error("ac_analysis: DC operating point did not converge");
@@ -100,23 +103,27 @@ AcResult ac_analysis(Circuit& circuit, const std::vector<double>& freqs) {
     res.node_index_.emplace(circuit.node_name(k), k);
   }
 
-  std::vector<std::complex<double>> y(dim * dim);
+  // Same assembly protocol as the transient engine, complex-valued: the
+  // admittances move with omega, so the solver's value compare refactors
+  // once per sweep point while the symbolic structure is reused throughout.
+  const auto ac_solver = make_ac_solver(solver, dim);
   std::vector<std::complex<double>> rhs(dim);
+  std::vector<std::complex<double>> xout(dim);
   for (double f : freqs) {
     const double omega = 2.0 * M_PI * f;
-    std::fill(y.begin(), y.end(), std::complex<double>{});
+    ac_solver->begin(dim);
     std::fill(rhs.begin(), rhs.end(), std::complex<double>{});
-    AcStamper st(y, rhs, dim);
-    for (const auto& e : circuit.elements()) e->stamp_ac(st, op, omega);
+    AcSystem sys(*ac_solver, rhs);
+    circuit.stamp_all_ac(sys, op, omega);
     for (std::size_t k = 0; k < n_nodes; ++k) {
-      y[k * dim + k] += 1e-12; // gmin
+      sys.add_g(static_cast<int>(k), static_cast<int>(k), 1e-12); // gmin
     }
-    if (!lu_solve_complex(y, rhs, dim)) {
+    if (!ac_solver->solve(rhs, xout)) {
       res.converged_ = false;
-      rhs.assign(dim, std::complex<double>{});
+      xout.assign(dim, std::complex<double>{});
     }
     res.freqs_.push_back(f);
-    res.samples_.push_back(rhs);
+    res.samples_.push_back(xout);
   }
   return res;
 }

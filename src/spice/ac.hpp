@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/solver.hpp"
 
 namespace mss::spice {
 
@@ -41,7 +42,8 @@ class AcResult {
   [[nodiscard]] bool converged() const { return converged_; }
 
  private:
-  friend AcResult ac_analysis(Circuit&, const std::vector<double>&);
+  friend AcResult ac_analysis(Circuit&, const std::vector<double>&,
+                              SolverKind);
   std::vector<double> freqs_;
   std::vector<std::vector<std::complex<double>>> samples_;
   std::unordered_map<std::string, std::size_t> node_index_;
@@ -55,9 +57,12 @@ class AcResult {
 
 /// Runs the AC analysis over `freqs`. Computes the DC operating point
 /// first (throws std::runtime_error if it does not converge), then solves
-/// the complex linearised system per frequency.
+/// the complex linearised system per frequency through the selected
+/// linear-solver backend (Auto: dense below kSparseAutoThreshold unknowns,
+/// sparse at array scale).
 [[nodiscard]] AcResult ac_analysis(Circuit& circuit,
-                                   const std::vector<double>& freqs);
+                                   const std::vector<double>& freqs,
+                                   SolverKind solver = SolverKind::Auto);
 
 /// Solves the dense complex system A x = b in place (LU, partial pivot).
 /// Exposed for tests. Returns false on a singular matrix.

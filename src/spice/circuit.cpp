@@ -4,34 +4,6 @@
 
 namespace mss::spice {
 
-Stamper::Stamper(std::vector<double>& g_flat, std::vector<double>& rhs,
-                 std::size_t dim)
-    : g_(g_flat), rhs_(rhs), dim_(dim) {}
-
-void Stamper::add_g(int i, int j, double g) {
-  if (i == kGround || j == kGround) return;
-  g_[static_cast<std::size_t>(i) * dim_ + static_cast<std::size_t>(j)] += g;
-}
-
-void Stamper::add_rhs(int i, double v) {
-  if (i == kGround) return;
-  rhs_[static_cast<std::size_t>(i)] += v;
-}
-
-AcStamper::AcStamper(std::vector<std::complex<double>>& y_flat,
-                     std::vector<std::complex<double>>& rhs, std::size_t dim)
-    : y_(y_flat), rhs_(rhs), dim_(dim) {}
-
-void AcStamper::add_y(int i, int j, std::complex<double> y) {
-  if (i == kGround || j == kGround) return;
-  y_[static_cast<std::size_t>(i) * dim_ + static_cast<std::size_t>(j)] += y;
-}
-
-void AcStamper::add_rhs(int i, std::complex<double> v) {
-  if (i == kGround) return;
-  rhs_[static_cast<std::size_t>(i)] += v;
-}
-
 int Circuit::node(const std::string& name) {
   if (name == "0" || name == "gnd" || name == "GND") return kGround;
   auto it = index_.find(name);
@@ -61,6 +33,23 @@ std::size_t Circuit::assign_unknowns() {
     }
   }
   return next;
+}
+
+void Circuit::stamp_all(MnaSystem& st, const Solution& x,
+                        const StampContext& ctx) const {
+  for (const auto& e : elements_) e->stamp(st, x, ctx);
+}
+
+void Circuit::stamp_all_ac(AcSystem& st, const Solution& op,
+                           double omega) const {
+  for (const auto& e : elements_) e->stamp_ac(st, op, omega);
+}
+
+bool Circuit::any_nonlinear() const {
+  for (const auto& e : elements_) {
+    if (e->nonlinear()) return true;
+  }
+  return false;
 }
 
 } // namespace mss::spice

@@ -3,6 +3,11 @@
 // Unknown vector layout: x = [v(1..N-1 nodes, ground excluded), i(branches)].
 // Elements register nodes by name through the Circuit and may claim branch
 // unknowns (voltage sources, inductor-like elements).
+//
+// Elements stamp into an `MnaSystem` (real) or `AcSystem` (complex), which
+// drop ground rows/columns and forward matrix coefficients to the pluggable
+// LinearSolver backend (solver.hpp) — elements never see whether the system
+// is assembled densely or sparsely.
 #pragma once
 
 #include <complex>
@@ -11,6 +16,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "spice/solver.hpp"
 
 namespace mss::spice {
 
@@ -33,43 +40,38 @@ struct StampContext {
   bool first_step = false; ///< transient: first step after DC (use BE)
 };
 
-/// Accumulates MNA stamps. Node index kGround is silently dropped.
-class Stamper {
+/// The MNA system elements stamp into: matrix coefficients go to the linear
+/// solver backend, RHS terms to the analysis-owned right-hand-side vector.
+/// Node index kGround is silently dropped. Instantiated for double
+/// (DC/transient conductances) and std::complex<double> (AC admittances).
+template <typename T>
+class MnaSystemT {
  public:
-  Stamper(std::vector<double>& g_flat, std::vector<double>& rhs,
-          std::size_t dim);
+  MnaSystemT(LinearSolverT<T>& solver, std::vector<T>& rhs)
+      : solver_(solver), rhs_(rhs) {}
 
-  /// Adds g to G[i][j].
-  void add_g(int i, int j, double g);
+  /// Adds g to A[i][j] (conductance / admittance).
+  void add_g(int i, int j, T g) {
+    if (i == kGround || j == kGround) return;
+    solver_.add(static_cast<std::size_t>(i), static_cast<std::size_t>(j), g);
+  }
   /// Adds value to RHS[i] (current injected *into* node i).
-  void add_rhs(int i, double v);
+  void add_rhs(int i, T v) {
+    if (i == kGround) return;
+    rhs_[static_cast<std::size_t>(i)] += v;
+  }
   /// System dimension.
-  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t dim() const { return rhs_.size(); }
+  /// The backend assembling this system.
+  [[nodiscard]] const LinearSolverT<T>& solver() const { return solver_; }
 
  private:
-  std::vector<double>& g_;
-  std::vector<double>& rhs_;
-  std::size_t dim_;
+  LinearSolverT<T>& solver_;
+  std::vector<T>& rhs_;
 };
 
-/// Accumulates complex admittance stamps for the AC analysis.
-class AcStamper {
- public:
-  AcStamper(std::vector<std::complex<double>>& y_flat,
-            std::vector<std::complex<double>>& rhs, std::size_t dim);
-
-  /// Adds y to Y[i][j] (ground rows/columns dropped).
-  void add_y(int i, int j, std::complex<double> y);
-  /// Adds a stimulus term to the RHS.
-  void add_rhs(int i, std::complex<double> v);
-  /// System dimension.
-  [[nodiscard]] std::size_t dim() const { return dim_; }
-
- private:
-  std::vector<std::complex<double>>& y_;
-  std::vector<std::complex<double>>& rhs_;
-  std::size_t dim_;
-};
+using MnaSystem = MnaSystemT<double>;
+using AcSystem = MnaSystemT<std::complex<double>>;
 
 /// Read access to the present Newton iterate / last accepted solution.
 class Solution {
@@ -109,13 +111,13 @@ class Element {
   [[nodiscard]] virtual bool nonlinear() const { return false; }
 
   /// Adds the element's contribution for the current iterate `x`.
-  virtual void stamp(Stamper& st, const Solution& x,
+  virtual void stamp(MnaSystem& st, const Solution& x,
                      const StampContext& ctx) const = 0;
 
   /// Adds the element's *small-signal* contribution, linearised at the DC
   /// operating point `op`, for angular frequency `omega`. The default is a
   /// no-op (element invisible to AC: ideal current sources, open elements).
-  virtual void stamp_ac(AcStamper& /*st*/, const Solution& /*op*/,
+  virtual void stamp_ac(AcSystem& /*st*/, const Solution& /*op*/,
                         double /*omega*/) const {}
 
   /// Accepts the converged step (update internal state: capacitor history,
@@ -167,6 +169,17 @@ class Circuit {
   /// Assigns branch indices; returns total unknown count. Called by the
   /// engine before an analysis.
   std::size_t assign_unknowns();
+
+  /// Stamps every element for the given iterate/context — the one assembly
+  /// path all real-valued analyses share.
+  void stamp_all(MnaSystem& st, const Solution& x,
+                 const StampContext& ctx) const;
+
+  /// Stamps every element's small-signal contribution at `omega`.
+  void stamp_all_ac(AcSystem& st, const Solution& op, double omega) const;
+
+  /// True when any element's stamps depend on the iterate (forces Newton).
+  [[nodiscard]] bool any_nonlinear() const;
 
  private:
   std::unordered_map<std::string, int> index_;

@@ -9,7 +9,7 @@ namespace mss::spice {
 Vcvs::Vcvs(std::string name, int p, int n, int cp, int cn, double gain)
     : Element(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
 
-void Vcvs::stamp(Stamper& st, const Solution&, const StampContext&) const {
+void Vcvs::stamp(MnaSystem& st, const Solution&, const StampContext&) const {
   const int br = static_cast<int>(branch_);
   st.add_g(p_, br, 1.0);
   st.add_g(n_, br, -1.0);
@@ -23,7 +23,7 @@ void Vcvs::stamp(Stamper& st, const Solution&, const StampContext&) const {
 Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
     : Element(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(gm) {}
 
-void Vccs::stamp(Stamper& st, const Solution&, const StampContext&) const {
+void Vccs::stamp(MnaSystem& st, const Solution&, const StampContext&) const {
   // Current gm*(v(cp)-v(cn)) flows out of p into n.
   st.add_g(p_, cp_, gm_);
   st.add_g(p_, cn_, -gm_);
@@ -47,7 +47,7 @@ double Diode::current(double v) const {
   return i_s_ * std::expm1(x);
 }
 
-void Diode::stamp(Stamper& st, const Solution& x,
+void Diode::stamp(MnaSystem& st, const Solution& x,
                   const StampContext&) const {
   const double v = x.v(a_) - x.v(c_);
   const double vl = std::min(v / vt_n_, 80.0);
@@ -74,7 +74,7 @@ void Inductor::reset() {
   v_prev_ = 0.0;
 }
 
-void Inductor::stamp(Stamper& st, const Solution&,
+void Inductor::stamp(MnaSystem& st, const Solution&,
                      const StampContext& ctx) const {
   const int br = static_cast<int>(branch_);
   // KCL: branch current flows a -> b.
@@ -106,42 +106,42 @@ void Inductor::commit(const Solution& x, const StampContext& ctx) {
   }
 }
 
-void Vcvs::stamp_ac(AcStamper& st, const Solution&, double) const {
+void Vcvs::stamp_ac(AcSystem& st, const Solution&, double) const {
   const int br = static_cast<int>(branch_);
-  st.add_y(p_, br, 1.0);
-  st.add_y(n_, br, -1.0);
-  st.add_y(br, p_, 1.0);
-  st.add_y(br, n_, -1.0);
-  st.add_y(br, cp_, -gain_);
-  st.add_y(br, cn_, gain_);
+  st.add_g(p_, br, 1.0);
+  st.add_g(n_, br, -1.0);
+  st.add_g(br, p_, 1.0);
+  st.add_g(br, n_, -1.0);
+  st.add_g(br, cp_, -gain_);
+  st.add_g(br, cn_, gain_);
 }
 
-void Vccs::stamp_ac(AcStamper& st, const Solution&, double) const {
-  st.add_y(p_, cp_, gm_);
-  st.add_y(p_, cn_, -gm_);
-  st.add_y(n_, cp_, -gm_);
-  st.add_y(n_, cn_, gm_);
+void Vccs::stamp_ac(AcSystem& st, const Solution&, double) const {
+  st.add_g(p_, cp_, gm_);
+  st.add_g(p_, cn_, -gm_);
+  st.add_g(n_, cp_, -gm_);
+  st.add_g(n_, cn_, gm_);
 }
 
-void Diode::stamp_ac(AcStamper& st, const Solution& op, double) const {
+void Diode::stamp_ac(AcSystem& st, const Solution& op, double) const {
   const double v = op.v(a_) - op.v(c_);
   const double vl = std::min(v / vt_n_, 80.0);
   const std::complex<double> g(
       std::max(1e-12, i_s_ * std::exp(vl) / vt_n_), 0.0);
-  st.add_y(a_, a_, g);
-  st.add_y(c_, c_, g);
-  st.add_y(a_, c_, -g);
-  st.add_y(c_, a_, -g);
+  st.add_g(a_, a_, g);
+  st.add_g(c_, c_, g);
+  st.add_g(a_, c_, -g);
+  st.add_g(c_, a_, -g);
 }
 
-void Inductor::stamp_ac(AcStamper& st, const Solution&, double omega) const {
+void Inductor::stamp_ac(AcSystem& st, const Solution&, double omega) const {
   const int br = static_cast<int>(branch_);
-  st.add_y(a_, br, 1.0);
-  st.add_y(b_, br, -1.0);
+  st.add_g(a_, br, 1.0);
+  st.add_g(b_, br, -1.0);
   // Branch row: v(a) - v(b) - j*omega*L * i = 0.
-  st.add_y(br, a_, 1.0);
-  st.add_y(br, b_, -1.0);
-  st.add_y(br, br, std::complex<double>(0.0, -omega * l_));
+  st.add_g(br, a_, 1.0);
+  st.add_g(br, b_, -1.0);
+  st.add_g(br, br, std::complex<double>(0.0, -omega * l_));
 }
 
 } // namespace mss::spice

@@ -14,11 +14,11 @@ class Vcvs final : public Element {
   Vcvs(std::string name, int p, int n, int cp, int cn, double gain);
   [[nodiscard]] int branch_count() const override { return 1; }
   void set_branch_base(std::size_t base) override { branch_ = base; }
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
   /// Branch-current unknown index.
   [[nodiscard]] std::size_t branch_index() const { return branch_; }
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
 
  private:
@@ -32,9 +32,9 @@ class Vcvs final : public Element {
 class Vccs final : public Element {
  public:
   Vccs(std::string name, int p, int n, int cp, int cn, double gm);
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
 
  private:
@@ -51,11 +51,11 @@ class Diode final : public Element {
   Diode(std::string name, int anode, int cathode, double i_s = 1e-14,
         double n_ideality = 1.0);
   [[nodiscard]] bool nonlinear() const override { return true; }
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
   /// Diode current at a junction voltage.
   [[nodiscard]] double current(double v) const;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
 
  private:
@@ -72,9 +72,9 @@ class Inductor final : public Element {
            double i_initial = 0.0);
   [[nodiscard]] int branch_count() const override { return 1; }
   void set_branch_base(std::size_t base) override { branch_ = base; }
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
   void commit(const Solution& x, const StampContext& ctx) override;
   void reset() override;

@@ -9,7 +9,7 @@ Resistor::Resistor(std::string name, int a, int b, double ohms)
   if (r_ <= 0.0) throw std::invalid_argument("Resistor: non-positive value");
 }
 
-void Resistor::stamp(Stamper& st, const Solution&, const StampContext&) const {
+void Resistor::stamp(MnaSystem& st, const Solution&, const StampContext&) const {
   const double g = 1.0 / r_;
   st.add_g(a_, a_, g);
   st.add_g(b_, b_, g);
@@ -17,12 +17,12 @@ void Resistor::stamp(Stamper& st, const Solution&, const StampContext&) const {
   st.add_g(b_, a_, -g);
 }
 
-void Resistor::stamp_ac(AcStamper& st, const Solution&, double) const {
+void Resistor::stamp_ac(AcSystem& st, const Solution&, double) const {
   const std::complex<double> g(1.0 / r_, 0.0);
-  st.add_y(a_, a_, g);
-  st.add_y(b_, b_, g);
-  st.add_y(a_, b_, -g);
-  st.add_y(b_, a_, -g);
+  st.add_g(a_, a_, g);
+  st.add_g(b_, b_, g);
+  st.add_g(a_, b_, -g);
+  st.add_g(b_, a_, -g);
 }
 
 Capacitor::Capacitor(std::string name, int a, int b, double farads,
@@ -37,7 +37,7 @@ void Capacitor::reset() {
   i_prev_ = 0.0;
 }
 
-void Capacitor::stamp(Stamper& st, const Solution&,
+void Capacitor::stamp(MnaSystem& st, const Solution&,
                       const StampContext& ctx) const {
   if (ctx.kind == AnalysisKind::Dc || ctx.dt <= 0.0) return; // open in DC
   const bool trap =
@@ -67,13 +67,13 @@ void Capacitor::commit(const Solution& x, const StampContext& ctx) {
   v_prev_ = v_now;
 }
 
-void Capacitor::stamp_ac(AcStamper& st, const Solution&,
+void Capacitor::stamp_ac(AcSystem& st, const Solution&,
                          double omega) const {
   const std::complex<double> y(0.0, omega * c_);
-  st.add_y(a_, a_, y);
-  st.add_y(b_, b_, y);
-  st.add_y(a_, b_, -y);
-  st.add_y(b_, a_, -y);
+  st.add_g(a_, a_, y);
+  st.add_g(b_, b_, y);
+  st.add_g(a_, b_, -y);
+  st.add_g(b_, a_, -y);
 }
 
 VoltageSource::VoltageSource(std::string name, int plus, int minus,
@@ -83,7 +83,7 @@ VoltageSource::VoltageSource(std::string name, int plus, int minus,
   if (!wave_) throw std::invalid_argument("VoltageSource: null waveform");
 }
 
-void VoltageSource::stamp(Stamper& st, const Solution&,
+void VoltageSource::stamp(MnaSystem& st, const Solution&,
                           const StampContext& ctx) const {
   const int br = static_cast<int>(branch_);
   // KCL rows: current leaves + node, enters - node.
@@ -95,13 +95,13 @@ void VoltageSource::stamp(Stamper& st, const Solution&,
   st.add_rhs(br, wave_->value(ctx.t));
 }
 
-void VoltageSource::stamp_ac(AcStamper& st, const Solution&,
+void VoltageSource::stamp_ac(AcSystem& st, const Solution&,
                              double) const {
   const int br = static_cast<int>(branch_);
-  st.add_y(plus_, br, 1.0);
-  st.add_y(minus_, br, -1.0);
-  st.add_y(br, plus_, 1.0);
-  st.add_y(br, minus_, -1.0);
+  st.add_g(plus_, br, 1.0);
+  st.add_g(minus_, br, -1.0);
+  st.add_g(br, plus_, 1.0);
+  st.add_g(br, minus_, -1.0);
   st.add_rhs(br, std::complex<double>(ac_mag_, 0.0));
 }
 
@@ -112,7 +112,7 @@ CurrentSource::CurrentSource(std::string name, int plus, int minus,
   if (!wave_) throw std::invalid_argument("CurrentSource: null waveform");
 }
 
-void CurrentSource::stamp(Stamper& st, const Solution&,
+void CurrentSource::stamp(MnaSystem& st, const Solution&,
                           const StampContext& ctx) const {
   const double i = wave_->value(ctx.t);
   // Positive current flows + -> (through source) -> -: leaves node +,
@@ -130,7 +130,7 @@ Switch::Switch(std::string name, int a, int b, int ctrl_p, int ctrl_n,
   }
 }
 
-void Switch::stamp(Stamper& st, const Solution& x,
+void Switch::stamp(MnaSystem& st, const Solution& x,
                    const StampContext&) const {
   const double vc = x.v(cp_) - x.v(cn_);
   const double g = vc > vth_ ? 1.0 / r_on_ : 1.0 / r_off_;
@@ -140,13 +140,13 @@ void Switch::stamp(Stamper& st, const Solution& x,
   st.add_g(b_, a_, -g);
 }
 
-void Switch::stamp_ac(AcStamper& st, const Solution& op, double) const {
+void Switch::stamp_ac(AcSystem& st, const Solution& op, double) const {
   const double vc = op.v(cp_) - op.v(cn_);
   const std::complex<double> g(vc > vth_ ? 1.0 / r_on_ : 1.0 / r_off_, 0.0);
-  st.add_y(a_, a_, g);
-  st.add_y(b_, b_, g);
-  st.add_y(a_, b_, -g);
-  st.add_y(b_, a_, -g);
+  st.add_g(a_, a_, g);
+  st.add_g(b_, b_, g);
+  st.add_g(a_, b_, -g);
+  st.add_g(b_, a_, -g);
 }
 
 } // namespace mss::spice

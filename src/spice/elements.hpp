@@ -14,9 +14,9 @@ namespace mss::spice {
 class Resistor final : public Element {
  public:
   Resistor(std::string name, int a, int b, double ohms);
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
   /// Resistance value [Ohm].
   [[nodiscard]] double ohms() const { return r_; }
@@ -31,9 +31,9 @@ class Capacitor final : public Element {
  public:
   Capacitor(std::string name, int a, int b, double farads,
             double v_initial = 0.0);
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
   void commit(const Solution& x, const StampContext& ctx) override;
   void reset() override;
@@ -53,7 +53,7 @@ class VoltageSource final : public Element {
                 std::unique_ptr<Waveform> wave);
   [[nodiscard]] int branch_count() const override { return 1; }
   void set_branch_base(std::size_t base) override { branch_ = base; }
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
   /// Index of the branch-current unknown (valid after assign_unknowns).
   [[nodiscard]] std::size_t branch_index() const { return branch_; }
@@ -62,7 +62,7 @@ class VoltageSource final : public Element {
   /// Marks this source as the AC stimulus with the given magnitude
   /// (SPICE's "AC 1" specification). Zero (default) makes it an AC short.
   void set_ac(double magnitude) { ac_mag_ = magnitude; }
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
 
  private:
@@ -79,7 +79,7 @@ class CurrentSource final : public Element {
  public:
   CurrentSource(std::string name, int plus, int minus,
                 std::unique_ptr<Waveform> wave);
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
 
  private:
@@ -96,9 +96,9 @@ class Switch final : public Element {
   Switch(std::string name, int a, int b, int ctrl_p, int ctrl_n,
          double threshold, double r_on = 1.0, double r_off = 1e9);
   [[nodiscard]] bool nonlinear() const override { return true; }
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
 
  private:

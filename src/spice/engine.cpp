@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "spice/elements.hpp"
-#include "spice/matrix.hpp"
 
 namespace mss::spice {
 
@@ -62,14 +61,10 @@ Engine::Engine(Circuit& circuit, EngineOptions options)
     : ckt_(circuit), opt_(options) {}
 
 void Engine::ensure_workspace(std::size_t dim) {
-  if (ws_dim_ == dim) return;
-  a_.resize(dim, dim);
-  g_flat_.assign(dim * dim, 0.0);
+  if (ws_dim_ == dim && solver_) return;
+  solver_ = make_solver(opt_.solver, dim);
   rhs_.assign(dim, 0.0);
   x_new_.assign(dim, 0.0);
-  pivots_.assign(dim, 0);
-  g_cached_.assign(dim * dim, 0.0);
-  lu_valid_ = false;
   ws_dim_ = dim;
 }
 
@@ -79,52 +74,30 @@ bool Engine::solve(std::vector<double>& x, const StampContext& ctx,
   ensure_workspace(dim);
   // Scanned every solve (allocation-free) so element-set changes between
   // analyses cannot leave a stale linearity assumption.
-  bool any_nonlinear = false;
-  for (const auto& e : ckt_.elements()) {
-    if (e->nonlinear()) {
-      any_nonlinear = true;
-      break;
-    }
-  }
+  const bool any_nonlinear = ckt_.any_nonlinear();
   const int iters = any_nonlinear ? opt_.max_newton : 1;
 
   for (int it = 0; it < iters; ++it) {
-    std::fill(g_flat_.begin(), g_flat_.end(), 0.0);
+    solver_->begin(dim);
     std::fill(rhs_.begin(), rhs_.end(), 0.0);
-    Stamper st(g_flat_, rhs_, dim);
+    MnaSystem sys(*solver_, rhs_);
     const Solution sol(x);
-    for (const auto& e : ckt_.elements()) e->stamp(st, sol, ctx);
+    ckt_.stamp_all(sys, sol, ctx);
     // gmin to ground on every node row keeps floating nodes solvable.
     for (std::size_t k = 0; k < n_nodes; ++k) {
-      g_flat_[k * dim + k] += opt_.gmin;
+      sys.add_g(static_cast<int>(k), static_cast<int>(k), opt_.gmin);
     }
+
+    // The solver's dirty-stamp cache handles both regimes: a linear circuit
+    // restamps identical values on every step (only sources and companion
+    // histories move the RHS) and back-substitutes against the cached
+    // factorization; nonlinear stamps change per iteration and refactor.
+    if (!solver_->solve(rhs_, x_new_)) return false;
 
     if (!any_nonlinear) {
-      // Dirty-stamp fast path: a linear circuit restamps the same matrix on
-      // every step (only sources and companion histories move the RHS), so
-      // compare the stamps against the factored copy and skip the O(dim^3)
-      // refactor when they are unchanged.
-      if (!lu_valid_ || g_flat_ != g_cached_) {
-        // Invalidate first: lu_factor clobbers a_ even when it fails, and a
-        // failure must not leave the old g_cached_ paired with garbage.
-        lu_valid_ = false;
-        std::copy(g_flat_.begin(), g_flat_.end(), a_.data());
-        if (!lu_factor(a_, pivots_)) return false;
-        std::copy(g_flat_.begin(), g_flat_.end(), g_cached_.begin());
-        lu_valid_ = true;
-      }
-      x = rhs_;
-      lu_substitute(a_, pivots_, x);
+      x = x_new_;
       return true;
     }
-
-    // Nonlinear: stamps depend on the iterate, factor fresh each iteration.
-    // This clobbers a_, so any cached linear factorization dies with it.
-    lu_valid_ = false;
-    std::copy(g_flat_.begin(), g_flat_.end(), a_.data());
-    x_new_ = rhs_;
-    if (!lu_factor(a_, pivots_)) return false;
-    lu_substitute(a_, pivots_, x_new_);
 
     // Damped update + convergence check.
     double worst = 0.0;

@@ -1,13 +1,17 @@
 // DC operating-point (Newton-Raphson) and transient analysis over a
-// Circuit, with trapezoidal or backward-Euler integration.
+// Circuit, with trapezoidal or backward-Euler integration. The linear
+// algebra runs through the pluggable solver layer (solver.hpp): dense LU
+// for cell-level netlists, sparse LU for array-level ones, selected
+// automatically from the system dimension unless pinned by the options.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "spice/circuit.hpp"
-#include "spice/matrix.hpp"
+#include "spice/solver.hpp"
 
 namespace mss::spice {
 
@@ -18,6 +22,7 @@ struct EngineOptions {
   double gmin = 1e-12;     ///< node-to-ground shunt conductance
   double damping = 0.6;    ///< max voltage change per Newton step [V]
   Integrator method = Integrator::Trapezoidal;
+  SolverKind solver = SolverKind::Auto; ///< linear-solver backend choice
 };
 
 /// DC solve outcome.
@@ -77,29 +82,34 @@ class Engine {
   [[nodiscard]] TransientResult transient(double t_stop, double dt,
                                           bool use_initial_conditions = false);
 
+  /// Name of the linear-solver backend in use ("dense" / "sparse";
+  /// "unresolved" before the first solve when the options say Auto).
+  [[nodiscard]] const char* solver_backend() const {
+    return solver_ ? solver_->name() : "unresolved";
+  }
+
+  /// Numeric factorizations performed so far — the dirty-stamp cache
+  /// observable (a linear fixed-step transient settles at two: the first
+  /// backward-Euler step and the steady trapezoidal pattern).
+  [[nodiscard]] std::size_t factor_count() const {
+    return solver_ ? solver_->factor_count() : 0;
+  }
+
  private:
   Circuit& ckt_;
   EngineOptions opt_;
 
-  // Persistent solve workspace, sized once per dimension and reused across
+  // Persistent solve state, sized once per dimension and reused across
   // every timestep and Newton iteration: the transient hot loop performs no
-  // heap allocation after the first step.
-  Matrix a_;                         ///< LU scratch / factorization
-  std::vector<double> g_flat_;       ///< stamped conductance matrix
+  // heap allocation after the first step. The solver owns the assembled
+  // matrix, its factorization, and the dirty-stamp refactor cache.
+  std::unique_ptr<LinearSolver> solver_;
   std::vector<double> rhs_;          ///< stamped right-hand side
   std::vector<double> x_new_;        ///< solve output buffer
-  std::vector<std::size_t> pivots_;  ///< LU pivot rows
   std::size_t ws_dim_ = 0;           ///< dimension the workspace is sized for
 
-  // Dirty-stamp fast path for linear circuits: keep the last stamped matrix
-  // next to its factorization and refactor only when the stamps change
-  // (an O(dim^2) compare instead of the O(dim^3) factorization). Sources
-  // only move the RHS, so a fixed-step linear transient factors twice —
-  // the first (backward-Euler) step and the trapezoidal steady pattern.
-  std::vector<double> g_cached_;
-  bool lu_valid_ = false;
-
-  /// (Re)sizes the workspace for `dim` unknowns; invalidates the LU cache.
+  /// (Re)sizes the workspace for `dim` unknowns, creating the backend the
+  /// options select for that dimension.
   void ensure_workspace(std::size_t dim);
 
   /// One Newton solve at the given context; x is in/out. Returns converged.

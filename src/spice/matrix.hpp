@@ -1,7 +1,8 @@
-// Dense linear algebra for the MNA system. Circuit matrices in this library
-// are small (bit cells, flip-flops, sense amplifiers: tens of unknowns), so
-// a dense LU with partial pivoting is simpler and faster than a sparse
-// solver at this scale.
+// Dense linear algebra primitives: row-major Matrix plus LU factor /
+// substitute free functions. The MNA engine reaches these through the
+// pluggable solver layer (solver.hpp), which pairs this dense path — still
+// the fastest choice for cell-level netlists of tens of unknowns — with
+// the sparse backend (sparse.hpp) used at array scale.
 #pragma once
 
 #include <cstddef>

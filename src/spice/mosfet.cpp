@@ -79,7 +79,7 @@ double Mosfet::ids(double vgs, double vds) const {
   return sign * i_internal;
 }
 
-void Mosfet::stamp(Stamper& st, const Solution& x,
+void Mosfet::stamp(MnaSystem& st, const Solution& x,
                    const StampContext&) const {
   // Work in the NMOS-referred frame: negate voltages for PMOS, swap
   // drain/source so vds >= 0. In that frame the drain current is
@@ -128,7 +128,7 @@ void Mosfet::stamp(Stamper& st, const Solution& x,
   st.add_g(s_, d_, -kGmin);
 }
 
-void Mosfet::stamp_ac(AcStamper& st, const Solution& op, double) const {
+void Mosfet::stamp_ac(AcSystem& st, const Solution& op, double) const {
   // Small-signal conductances at the DC operating point; same frame
   // normalisation as the large-signal stamp.
   double vd = op.v(d_);
@@ -147,12 +147,12 @@ void Mosfet::stamp_ac(AcStamper& st, const Solution& op, double) const {
   double id, gm, gds;
   eval(vg - vs, vd - vs, id, gm, gds);
   (void)id;
-  st.add_y(nd, g_, gm);
-  st.add_y(nd, ns, -(gm + gds + kGmin));
-  st.add_y(nd, nd, gds + kGmin);
-  st.add_y(ns, g_, -gm);
-  st.add_y(ns, ns, gm + gds + kGmin);
-  st.add_y(ns, nd, -(gds + kGmin));
+  st.add_g(nd, g_, gm);
+  st.add_g(nd, ns, -(gm + gds + kGmin));
+  st.add_g(nd, nd, gds + kGmin);
+  st.add_g(ns, g_, -gm);
+  st.add_g(ns, ns, gm + gds + kGmin);
+  st.add_g(ns, nd, -(gds + kGmin));
 }
 
 } // namespace mss::spice

@@ -34,9 +34,9 @@ class Mosfet final : public Element {
          double width_m, double length_m);
 
   [[nodiscard]] bool nonlinear() const override { return true; }
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
 
   /// Drain current for the given terminal voltages (exposed for tests).

@@ -23,7 +23,7 @@ double MtjDevice::current(double v_ab) const {
   return v_ab / model_.resistance(state_, std::abs(v_ab));
 }
 
-void MtjDevice::stamp(Stamper& st, const Solution& x,
+void MtjDevice::stamp(MnaSystem& st, const Solution& x,
                       const StampContext&) const {
   const double v0 = x.v(a_) - x.v(b_);
   // Numeric linearisation around the iterate (the AP branch resistance
@@ -75,16 +75,16 @@ void MtjDevice::commit(const Solution& x, const StampContext& ctx) {
   }
 }
 
-void MtjDevice::stamp_ac(AcStamper& st, const Solution& op, double) const {
+void MtjDevice::stamp_ac(AcSystem& st, const Solution& op, double) const {
   // Small-signal conductance at the operating point (state held fixed).
   const double v0 = op.v(a_) - op.v(b_);
   const double dv = 1e-3;
   const std::complex<double> g(
       (current(v0 + dv) - current(v0 - dv)) / (2.0 * dv), 0.0);
-  st.add_y(a_, a_, g);
-  st.add_y(b_, b_, g);
-  st.add_y(a_, b_, -g);
-  st.add_y(b_, a_, -g);
+  st.add_g(a_, a_, g);
+  st.add_g(b_, b_, g);
+  st.add_g(a_, b_, -g);
+  st.add_g(b_, a_, -g);
 }
 
 } // namespace mss::spice

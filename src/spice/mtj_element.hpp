@@ -31,9 +31,9 @@ class MtjDevice final : public Element {
             core::MtjState initial = core::MtjState::Parallel);
 
   [[nodiscard]] bool nonlinear() const override { return true; }
-  void stamp(Stamper& st, const Solution& x,
+  void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
-  void stamp_ac(AcStamper& st, const Solution& op,
+  void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
   void commit(const Solution& x, const StampContext& ctx) override;
   void reset() override;

@@ -1,0 +1,86 @@
+// Pluggable linear-solver layer of the MNA engine.
+//
+// Every analysis (DC Newton, transient stepping, AC sweep) assembles the
+// system matrix through the same assembly interface — `begin` / `add` /
+// `solve` — and never sees the storage format. Two backends implement it:
+//
+//  * a dense LU with partial pivoting (matrix.hpp's scheme, templated over
+//    the scalar so the AC sweep shares it) — fastest for the cell-level
+//    netlists of tens of unknowns;
+//  * a sparse LU (sparse.hpp: triplet assembly -> CSC, reverse-Cuthill-McKee
+//    column ordering, left-looking factorization with threshold partial
+//    pivoting) — the array-scale path, sub-quadratic per transient step.
+//
+// Both backends keep the stamped values next to their factorization and
+// refactor only when the values change (the dirty-stamp cache the dense
+// engine path gained in PR 1, now a property of the solver layer): a linear
+// transient factors twice (first backward-Euler step + the steady
+// trapezoidal pattern) and back-substitutes every step after that.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace mss::spice {
+
+/// Backend selection. `Auto` picks dense below `kSparseAutoThreshold`
+/// unknowns and sparse at or above it.
+enum class SolverKind { Auto, Dense, Sparse };
+
+/// Dimension at which `Auto` switches from the dense to the sparse backend.
+/// Cell-level netlists (bit cells, flip-flops, sense amps) stay dense;
+/// array-level netlists go sparse.
+inline constexpr std::size_t kSparseAutoThreshold = 96;
+
+/// Resolves `Auto` against a system dimension.
+[[nodiscard]] SolverKind resolve_solver(SolverKind kind, std::size_t dim);
+
+/// The solver abstraction all analyses stamp into.
+///
+/// Protocol per solve: `begin(dim)` clears the accumulated values (cheap —
+/// symbolic state and factorization caches survive), elements `add`
+/// coefficient contributions, then `solve` factors (only if the stamped
+/// values differ from the factored copy) and back-substitutes.
+template <typename T>
+class LinearSolverT {
+ public:
+  virtual ~LinearSolverT() = default;
+
+  /// Starts a stamping pass for an n x n system. Changing `dim` resets the
+  /// backend completely; re-using the same `dim` only zeroes the values.
+  virtual void begin(std::size_t dim) = 0;
+
+  /// Accumulates A[i][j] += v. Valid between `begin` and `solve`.
+  virtual void add(std::size_t i, std::size_t j, T v) = 0;
+
+  /// Solves A x = b for the stamped A. `x` is resized by the call. Returns
+  /// false when the matrix is numerically singular (the factorization cache
+  /// is invalidated so the next solve retries from scratch).
+  [[nodiscard]] virtual bool solve(const std::vector<T>& b,
+                                   std::vector<T>& x) = 0;
+
+  /// Dimension of the last `begin`.
+  [[nodiscard]] virtual std::size_t dim() const = 0;
+
+  /// Number of numeric factorizations performed so far — the observable of
+  /// the dirty-stamp cache (a linear transient stays at 2 forever).
+  [[nodiscard]] virtual std::size_t factor_count() const = 0;
+
+  /// Backend name for diagnostics ("dense" / "sparse").
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+using LinearSolver = LinearSolverT<double>;
+using AcLinearSolver = LinearSolverT<std::complex<double>>;
+
+/// Creates the real-valued solver for a backend choice and dimension.
+[[nodiscard]] std::unique_ptr<LinearSolver> make_solver(SolverKind kind,
+                                                        std::size_t dim);
+
+/// Creates the complex-valued solver (AC sweep) for a backend choice.
+[[nodiscard]] std::unique_ptr<AcLinearSolver> make_ac_solver(SolverKind kind,
+                                                             std::size_t dim);
+
+} // namespace mss::spice

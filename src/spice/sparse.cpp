@@ -1,0 +1,365 @@
+#include "spice/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mss::spice {
+
+// ---------------------------------------------------------------------------
+// Reverse-Cuthill-McKee ordering
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> rcm_order(std::size_t dim,
+                                     const std::vector<std::uint32_t>& col_ptr,
+                                     const std::vector<std::uint32_t>& row_ind) {
+  if (col_ptr.size() != dim + 1) {
+    throw std::invalid_argument("rcm_order: bad column pointer array");
+  }
+  const auto n = static_cast<std::uint32_t>(dim);
+
+  // Symmetrised adjacency in CSR form: each structural (r, c) contributes
+  // both r -> c and c -> r, duplicates removed per vertex.
+  std::vector<std::uint32_t> deg(dim, 0);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    for (std::uint32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+      const std::uint32_t r = row_ind[p];
+      if (r == c) continue;
+      ++deg[r];
+      ++deg[c];
+    }
+  }
+  std::vector<std::uint32_t> adj_ptr(dim + 1, 0);
+  for (std::size_t v = 0; v < dim; ++v) adj_ptr[v + 1] = adj_ptr[v] + deg[v];
+  std::vector<std::uint32_t> adj(adj_ptr[dim]);
+  {
+    std::vector<std::uint32_t> fill = adj_ptr;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      for (std::uint32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+        const std::uint32_t r = row_ind[p];
+        if (r == c) continue;
+        adj[fill[r]++] = c;
+        adj[fill[c]++] = r;
+      }
+    }
+  }
+  for (std::size_t v = 0; v < dim; ++v) {
+    const auto b = adj.begin() + adj_ptr[v];
+    const auto e = adj.begin() + adj_ptr[v] + deg[v];
+    std::sort(b, e);
+    const auto last = std::unique(b, e);
+    deg[v] = static_cast<std::uint32_t>(last - b);
+  }
+
+  std::vector<std::uint8_t> visited(dim, 0);
+  std::vector<std::uint32_t> order;
+  order.reserve(dim);
+  std::vector<std::uint32_t> frontier, next;
+
+  // Plain BFS used both for the pseudo-peripheral search and the CM sweep.
+  const auto bfs = [&](std::uint32_t seed, bool record) -> std::uint32_t {
+    std::vector<std::uint8_t> seen(dim, 0);
+    seen[seed] = 1;
+    frontier.assign(1, seed);
+    std::uint32_t last_min_deg = seed;
+    while (!frontier.empty()) {
+      next.clear();
+      for (const std::uint32_t v : frontier) {
+        if (record) order.push_back(v);
+        // Neighbours in ascending-degree order — the Cuthill-McKee rule.
+        const std::uint32_t b = adj_ptr[v];
+        std::vector<std::uint32_t> nbrs(adj.begin() + b,
+                                        adj.begin() + b + deg[v]);
+        std::sort(nbrs.begin(), nbrs.end(),
+                  [&](std::uint32_t x, std::uint32_t y) {
+                    return deg[x] != deg[y] ? deg[x] < deg[y] : x < y;
+                  });
+        for (const std::uint32_t w : nbrs) {
+          if (!seen[w]) {
+            seen[w] = 1;
+            next.push_back(w);
+          }
+        }
+      }
+      if (!next.empty()) {
+        last_min_deg = *std::min_element(
+            next.begin(), next.end(), [&](std::uint32_t x, std::uint32_t y) {
+              return deg[x] != deg[y] ? deg[x] < deg[y] : x < y;
+            });
+      }
+      frontier.swap(next);
+    }
+    if (record) {
+      for (const std::uint32_t v : order) visited[v] = 1;
+    }
+    return last_min_deg;
+  };
+
+  for (std::uint32_t v0 = 0; v0 < n; ++v0) {
+    if (visited[v0]) continue;
+    // Pseudo-peripheral seed: two BFS hops towards an eccentric vertex.
+    std::uint32_t seed = v0;
+    seed = bfs(seed, /*record=*/false);
+    seed = bfs(seed, /*record=*/false);
+    const std::size_t before = order.size();
+    bfs(seed, /*record=*/true);
+    // BFS from a seed only covers the seed's component; mark what it did.
+    (void)before;
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// SparseSolverT
+// ---------------------------------------------------------------------------
+
+template <typename T>
+SparseSolverT<T>::SparseSolverT(double pivot_tol) : tol_(pivot_tol) {
+  if (tol_ <= 0.0 || tol_ > 1.0) {
+    throw std::invalid_argument("SparseSolverT: pivot_tol must be in (0, 1]");
+  }
+}
+
+template <typename T>
+void SparseSolverT<T>::begin(std::size_t dim) {
+  if (dim != dim_) {
+    dim_ = dim;
+    slot_of_.clear();
+    slot_row_.clear();
+    slot_col_.clear();
+    vals_.clear();
+    pattern_dirty_ = true;
+    factor_valid_ = false;
+  }
+  std::fill(vals_.begin(), vals_.end(), T{});
+}
+
+template <typename T>
+void SparseSolverT<T>::add(std::size_t i, std::size_t j, T v) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) |
+                            static_cast<std::uint64_t>(j);
+  const auto [it, inserted] =
+      slot_of_.try_emplace(key, static_cast<std::uint32_t>(slot_row_.size()));
+  if (inserted) {
+    slot_row_.push_back(static_cast<std::uint32_t>(i));
+    slot_col_.push_back(static_cast<std::uint32_t>(j));
+    vals_.push_back(v);
+    pattern_dirty_ = true;
+  } else {
+    vals_[it->second] += v;
+  }
+}
+
+template <typename T>
+void SparseSolverT<T>::rebuild_symbolic() {
+  const std::size_t nnz = slot_row_.size();
+  // Sort slots by (col, row) to obtain the CSC layout and the slot -> CSC
+  // scatter map used by every later gather.
+  std::vector<std::uint32_t> perm(nnz);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return slot_col_[a] != slot_col_[b] ? slot_col_[a] < slot_col_[b]
+                                        : slot_row_[a] < slot_row_[b];
+  });
+  col_ptr_.assign(dim_ + 1, 0);
+  for (std::size_t s = 0; s < nnz; ++s) ++col_ptr_[slot_col_[s] + 1];
+  for (std::size_t c = 0; c < dim_; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  row_ind_.resize(nnz);
+  csc_of_slot_.resize(nnz);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    const std::uint32_t s = perm[k];
+    row_ind_[k] = slot_row_[s];
+    csc_of_slot_[s] = static_cast<std::uint32_t>(k);
+  }
+
+  q_ = rcm_order(dim_, col_ptr_, row_ind_);
+
+  csc_vals_.assign(nnz, T{});
+  cached_vals_.assign(nnz, T{});
+  work_.assign(dim_, T{});
+  mark_.assign(dim_, 0);
+  pinv_.assign(dim_, -1);
+  prow_.assign(dim_, 0);
+  diag_.assign(dim_, T{});
+  sol_.assign(dim_, T{});
+  heap_.clear();
+  unassigned_.clear();
+  pattern_dirty_ = false;
+  factor_valid_ = false;
+}
+
+template <typename T>
+std::size_t SparseSolverT<T>::factor_nnz() const {
+  return l_rows_.size() + u_rows_.size() + dim_; // + unit/diag entries
+}
+
+template <typename T>
+bool SparseSolverT<T>::factor() {
+  const std::size_t n = dim_;
+  l_ptr_.assign(1, 0);
+  l_rows_.clear();
+  l_vals_.clear();
+  u_ptr_.assign(1, 0);
+  u_rows_.clear();
+  u_vals_.clear();
+  std::fill(pinv_.begin(), pinv_.end(), -1);
+
+  const auto heap_cmp = std::greater<std::uint32_t>();
+  bool singular = false;
+
+  for (std::size_t k = 0; k < n && !singular; ++k) {
+    const std::uint32_t col = q_[k];
+    heap_.clear();
+    unassigned_.clear();
+    u_scratch_rows_.clear();
+    u_scratch_vals_.clear();
+    touched_.clear();
+
+    // Scatter A(:, col). The assembled pattern has unique positions, so a
+    // plain store per row suffices.
+    for (std::uint32_t p = col_ptr_[col]; p < col_ptr_[col + 1]; ++p) {
+      const std::uint32_t r = row_ind_[p];
+      work_[r] = csc_vals_[p];
+      mark_[r] = 1;
+      touched_.push_back(r);
+      if (pinv_[r] >= 0) {
+        heap_.push_back(static_cast<std::uint32_t>(pinv_[r]));
+        std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+      } else {
+        unassigned_.push_back(r);
+      }
+    }
+
+    // Left-looking update: apply earlier pivot columns in ascending pivot
+    // order. Fill introduced by column t is always assigned to a pivot
+    // later than t (or unassigned), so the min-heap pops monotonically and
+    // each pivot is pushed at most once (rows are marked on first touch).
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+      const std::uint32_t t = heap_.back();
+      heap_.pop_back();
+      const T ut = work_[prow_[t]];
+      if (ut == T{}) continue; // exact numeric zero: no U entry, no update
+      u_scratch_rows_.push_back(t);
+      u_scratch_vals_.push_back(ut);
+      for (std::uint32_t p = l_ptr_[t]; p < l_ptr_[t + 1]; ++p) {
+        const std::uint32_t r = l_rows_[p];
+        const T delta = l_vals_[p] * ut;
+        if (!mark_[r]) {
+          mark_[r] = 1;
+          touched_.push_back(r);
+          work_[r] = -delta;
+          if (pinv_[r] >= 0) {
+            heap_.push_back(static_cast<std::uint32_t>(pinv_[r]));
+            std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+          } else {
+            unassigned_.push_back(r);
+          }
+        } else {
+          work_[r] -= delta;
+        }
+      }
+    }
+
+    // Threshold partial pivoting among the not-yet-pivotal rows; the
+    // diagonal row wins when within tol_ of the column maximum (keeps the
+    // RCM profile), otherwise the max-magnitude row (handles the
+    // zero-diagonal branch rows of voltage sources).
+    double best = 0.0;
+    std::uint32_t pr = 0;
+    bool have = false;
+    for (const std::uint32_t r : unassigned_) {
+      const double m = std::abs(work_[r]);
+      if (!have || m > best) {
+        best = m;
+        pr = r;
+        have = true;
+      }
+    }
+    if (!have || best < 1e-300) {
+      singular = true;
+    } else {
+      if (col < n && pinv_[col] < 0 && mark_[col]) {
+        const double dmag = std::abs(work_[col]);
+        if (dmag > 0.0 && dmag >= tol_ * best) pr = col;
+      }
+      const T piv = work_[pr];
+      pinv_[pr] = static_cast<std::int32_t>(k);
+      prow_[k] = pr;
+      diag_[k] = piv;
+
+      u_rows_.insert(u_rows_.end(), u_scratch_rows_.begin(),
+                     u_scratch_rows_.end());
+      u_vals_.insert(u_vals_.end(), u_scratch_vals_.begin(),
+                     u_scratch_vals_.end());
+      u_ptr_.push_back(static_cast<std::uint32_t>(u_rows_.size()));
+
+      for (const std::uint32_t r : unassigned_) {
+        if (r == pr) continue;
+        const T lv = work_[r] / piv;
+        if (lv == T{}) continue;
+        l_rows_.push_back(r);
+        l_vals_.push_back(lv);
+      }
+      l_ptr_.push_back(static_cast<std::uint32_t>(l_rows_.size()));
+    }
+
+    for (const std::uint32_t r : touched_) {
+      mark_[r] = 0;
+      work_[r] = T{};
+    }
+  }
+  return !singular;
+}
+
+template <typename T>
+bool SparseSolverT<T>::solve(const std::vector<T>& b, std::vector<T>& x) {
+  if (b.size() != dim_) {
+    throw std::invalid_argument("SparseSolverT: rhs dimension mismatch");
+  }
+  if (pattern_dirty_) rebuild_symbolic();
+
+  // Gather the slot-ordered accumulation into CSC order. Slots not stamped
+  // in this pass hold zero, which keeps the pattern stable across passes.
+  for (std::size_t s = 0; s < csc_of_slot_.size(); ++s) {
+    csc_vals_[csc_of_slot_[s]] = vals_[s];
+  }
+  if (!factor_valid_ || csc_vals_ != cached_vals_) {
+    factor_valid_ = false;
+    if (!factor()) return false;
+    cached_vals_ = csc_vals_;
+    factor_valid_ = true;
+    ++factor_count_;
+  }
+
+  const std::size_t n = dim_;
+  x = b;
+  // Forward solve through unit-diagonal L: columns in pivot order only ever
+  // update rows with later pivot order.
+  for (std::size_t t = 0; t < n; ++t) {
+    const T ct = x[prow_[t]];
+    if (ct == T{}) continue;
+    for (std::uint32_t p = l_ptr_[t]; p < l_ptr_[t + 1]; ++p) {
+      x[l_rows_[p]] -= l_vals_[p] * ct;
+    }
+  }
+  // Column-sweep back substitution through U.
+  for (std::size_t k = n; k-- > 0;) {
+    const T w = x[prow_[k]] / diag_[k];
+    sol_[k] = w;
+    if (w == T{}) continue;
+    for (std::uint32_t p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p) {
+      x[prow_[u_rows_[p]]] -= u_vals_[p] * w;
+    }
+  }
+  // Undo the column permutation: position q_[k] of the solution is sol_[k].
+  for (std::size_t k = 0; k < n; ++k) x[q_[k]] = sol_[k];
+  return true;
+}
+
+template class SparseSolverT<double>;
+template class SparseSolverT<std::complex<double>>;
+
+} // namespace mss::spice

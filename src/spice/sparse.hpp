@@ -1,0 +1,124 @@
+// Sparse MNA backend: triplet assembly -> compressed-sparse-column pattern,
+// reverse-Cuthill-McKee fill-reducing column ordering, and a left-looking
+// (Gilbert-Peierls-style) sparse LU with threshold partial pivoting.
+//
+// Assembly model. MNA stamps are position-stable but *value*-varying: every
+// Newton iteration re-stamps the same (i, j) set with new linearisations,
+// and nonlinear elements may emit the entries of that set in a different
+// order (the MOSFET swaps drain/source rows with the bias polarity). The
+// solver therefore keys accumulation slots off an (i, j) hash map whose
+// union pattern grows monotonically; the CSC structure, the column
+// ordering, and the slot -> CSC scatter map are rebuilt only when a
+// never-seen position appears, which for a fixed netlist happens exactly
+// once. Per-pass cost after that is O(nnz) accumulate + gather.
+//
+// Factorization. For each column (in RCM order) the not-yet-factored column
+// of A is scattered into a dense work vector, updates from earlier pivot
+// columns are applied in ascending pivot order via a min-heap worklist
+// (entries only ever introduce later pivots, so the heap pops
+// monotonically), and the pivot row is chosen by threshold partial
+// pivoting: the diagonal row wins whenever it is within `pivot_tol` of the
+// column maximum, preserving the RCM profile; otherwise the max row wins,
+// which is what makes the zero-diagonal branch rows of voltage sources
+// solvable. L and U are stored column-wise in flat arrays reused across
+// refactors.
+//
+// The dirty-value cache compares the gathered CSC values against the
+// factored copy and skips the numeric factorization when unchanged, so a
+// linear transient pays one back-substitution — O(nnz(L) + nnz(U)) — per
+// step. That is the super-dense scaling BM_SpiceSparseTransient measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/solver.hpp"
+
+namespace mss::spice {
+
+/// Reverse-Cuthill-McKee ordering of a sparse pattern given in CSC form
+/// (the pattern is symmetrised internally; every component is seeded from a
+/// pseudo-peripheral vertex). Returns `order` with order[k] = the original
+/// index placed at position k. Exposed for tests.
+[[nodiscard]] std::vector<std::uint32_t> rcm_order(
+    std::size_t dim, const std::vector<std::uint32_t>& col_ptr,
+    const std::vector<std::uint32_t>& row_ind);
+
+/// The sparse backend. Instantiated for double (DC/transient) and
+/// std::complex<double> (AC).
+template <typename T>
+class SparseSolverT final : public LinearSolverT<T> {
+ public:
+  /// `pivot_tol` in (0, 1]: the diagonal is kept as pivot when its
+  /// magnitude is >= pivot_tol * (column max); 1.0 degenerates to exact
+  /// partial pivoting, small values favour sparsity.
+  explicit SparseSolverT(double pivot_tol = 0.1);
+
+  void begin(std::size_t dim) override;
+  void add(std::size_t i, std::size_t j, T v) override;
+  [[nodiscard]] bool solve(const std::vector<T>& b,
+                           std::vector<T>& x) override;
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] std::size_t factor_count() const override {
+    return factor_count_;
+  }
+  [[nodiscard]] const char* name() const override { return "sparse"; }
+
+  /// Structural nonzeros of the assembled pattern.
+  [[nodiscard]] std::size_t nnz() const { return slot_row_.size(); }
+  /// nnz(L) + nnz(U) of the last factorization (diagonals included).
+  [[nodiscard]] std::size_t factor_nnz() const;
+
+ private:
+  std::size_t dim_ = 0;
+  double tol_;
+  std::size_t factor_count_ = 0;
+
+  // --- assembly: union pattern keyed by (i, j) ---
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_of_;
+  std::vector<std::uint32_t> slot_row_, slot_col_;
+  std::vector<T> vals_; ///< accumulation, indexed by slot
+  bool pattern_dirty_ = true;
+
+  // --- symbolic state (rebuilt when the pattern grows) ---
+  std::vector<std::uint32_t> col_ptr_, row_ind_; ///< CSC pattern
+  std::vector<std::uint32_t> csc_of_slot_;       ///< slot -> CSC position
+  std::vector<std::uint32_t> q_;                 ///< column order (RCM)
+
+  // --- numeric values + dirty-value factorization cache ---
+  std::vector<T> csc_vals_;    ///< gathered values in CSC order
+  std::vector<T> cached_vals_; ///< values the current factorization is of
+  bool factor_valid_ = false;
+
+  // --- factors: L (unit diagonal implicit) and U, column-wise ---
+  std::vector<std::uint32_t> l_ptr_, l_rows_; ///< L rows are original rows
+  std::vector<T> l_vals_;
+  std::vector<std::uint32_t> u_ptr_, u_rows_; ///< U rows are pivot orders
+  std::vector<T> u_vals_;
+  std::vector<T> diag_;                  ///< U diagonal, by pivot order
+  std::vector<std::int32_t> pinv_;       ///< original row -> pivot order
+  std::vector<std::uint32_t> prow_;      ///< pivot order -> original row
+
+  // --- scratch (persistent, allocation-free in steady state) ---
+  std::vector<T> work_;                  ///< dense column accumulator
+  std::vector<std::uint8_t> mark_;       ///< row-touched flags
+  std::vector<std::uint32_t> heap_;      ///< pending pivot updates
+  std::vector<std::uint32_t> unassigned_; ///< pivot candidates of the column
+  std::vector<std::uint32_t> touched_;   ///< rows to unmark after a column
+  std::vector<std::uint32_t> u_scratch_rows_;
+  std::vector<T> u_scratch_vals_;
+  std::vector<T> sol_;                   ///< solution by pivot order
+
+  void rebuild_symbolic();
+  [[nodiscard]] bool factor();
+};
+
+extern template class SparseSolverT<double>;
+extern template class SparseSolverT<std::complex<double>>;
+
+using SparseSolver = SparseSolverT<double>;
+using AcSparseSolver = SparseSolverT<std::complex<double>>;
+
+} // namespace mss::spice

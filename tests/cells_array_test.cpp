@@ -1,0 +1,151 @@
+// Array-scale characterisation through the sparse MNA backend: netlist
+// builder invariants, dense-vs-sparse equivalence on a small array, the
+// 64 x 64 write/read acceptance runs, and the nvsim SPICE calibration.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "cells/array_netlist.hpp"
+#include "cells/characterization.hpp"
+#include "core/pdk.hpp"
+#include "nvsim/array_model.hpp"
+#include "spice/engine.hpp"
+
+namespace mc = mss::core;
+namespace ms = mss::spice;
+using mss::cells::ArrayNetlistOptions;
+
+namespace {
+
+ArrayNetlistOptions small_opt() {
+  ArrayNetlistOptions o;
+  o.rows = 8;
+  o.cols = 8;
+  o.segments = 4;
+  return o;
+}
+
+} // namespace
+
+TEST(ArrayNetlist, BuildShape) {
+  const mc::Pdk pdk;
+  auto o = small_opt();
+  auto net = mss::cells::build_array_write_netlist(
+      pdk, o, mc::WriteDirection::ToAntiparallel, 5e-9);
+  ASSERT_NE(net.target_mtj, nullptr);
+  EXPECT_EQ(net.row_mtjs.size(), o.cols);
+  // One device cell per column on the selected row.
+  for (const auto* m : net.row_mtjs) EXPECT_NE(m, nullptr);
+  // Unknowns: cols bitlines * segments+1 nodes, wordline chain, internal +
+  // SL nodes, and the three source branches.
+  EXPECT_GT(net.dim, o.cols * o.segments);
+  // The write must flip P -> AP, so the target starts parallel.
+  EXPECT_EQ(net.target_mtj->state(), mc::MtjState::Parallel);
+}
+
+TEST(ArrayNetlist, RejectsBadOrganisation) {
+  const mc::Pdk pdk;
+  ArrayNetlistOptions o;
+  o.rows = 0;
+  EXPECT_THROW((void)mss::cells::build_array_write_netlist(
+                   pdk, o, mc::WriteDirection::ToParallel, 1e-9),
+               std::invalid_argument);
+  o = small_opt();
+  o.target_col = o.cols;
+  EXPECT_THROW((void)mss::cells::build_array_read_netlist(
+                   pdk, o, mc::MtjState::Parallel, 1e-9),
+               std::invalid_argument);
+}
+
+TEST(ArrayCharacterization, SmallArrayDenseSparseAgree) {
+  const mc::Pdk pdk;
+  const auto o = small_opt();
+  const auto wd = mss::cells::characterize_array_write(
+      pdk, o, mc::WriteDirection::ToAntiparallel, 5e-9,
+      ms::SolverKind::Dense);
+  const auto ws = mss::cells::characterize_array_write(
+      pdk, o, mc::WriteDirection::ToAntiparallel, 5e-9,
+      ms::SolverKind::Sparse);
+  ASSERT_TRUE(wd.converged);
+  ASSERT_TRUE(ws.converged);
+  EXPECT_EQ(wd.backend, "dense");
+  EXPECT_EQ(ws.backend, "sparse");
+  EXPECT_EQ(wd.switched, ws.switched);
+  EXPECT_NEAR(wd.t_switch, ws.t_switch, 1e-12);
+  EXPECT_NEAR(wd.energy, ws.energy, 1e-9 * std::abs(wd.energy) + 1e-18);
+  EXPECT_NEAR(wd.i_peak, ws.i_peak, 1e-9);
+}
+
+TEST(ArrayCharacterization, SixtyFourBySixtyFourWriteSwitchesSparse) {
+  // The acceptance-scale run: a 64 x 64 bitcell array write transient
+  // through the sparse backend (Auto resolves sparse far past the
+  // threshold at this dimension).
+  const mc::Pdk pdk;
+  ArrayNetlistOptions o; // defaults: 64 x 64, 8 RC segments per line
+  const auto wr = mss::cells::characterize_array_write(
+      pdk, o, mc::WriteDirection::ToAntiparallel, 6e-9);
+  ASSERT_TRUE(wr.converged);
+  EXPECT_EQ(wr.backend, "sparse");
+  EXPECT_GT(wr.dim, mss::spice::kSparseAutoThreshold);
+  EXPECT_TRUE(wr.switched);
+  EXPECT_GT(wr.t_switch, 0.0);
+  EXPECT_GT(wr.energy, 0.0);
+  EXPECT_GT(wr.i_peak, 10e-6); // MTJ write currents are tens of uA
+}
+
+TEST(ArrayCharacterization, SixtyFourFullFidelityBitlineGrid) {
+  // Full fidelity: one RC segment per cell -> ~4.3k unknowns, a system
+  // the dense backend cannot practically factor per Newton iteration.
+  const mc::Pdk pdk;
+  ArrayNetlistOptions o;
+  o.segments = 0;
+  const auto wr = mss::cells::characterize_array_write(
+      pdk, o, mc::WriteDirection::ToAntiparallel, 6e-9);
+  ASSERT_TRUE(wr.converged);
+  EXPECT_EQ(wr.backend, "sparse");
+  EXPECT_GT(wr.dim, 4000u);
+  EXPECT_TRUE(wr.switched);
+}
+
+TEST(ArrayCharacterization, ReadMarginPositiveAtArrayScale) {
+  const mc::Pdk pdk;
+  ArrayNetlistOptions o; // 64 x 64
+  const auto rd = mss::cells::characterize_array_read(pdk, o, 2e-9);
+  EXPECT_EQ(rd.backend, "sparse");
+  EXPECT_GT(rd.i_cell_p, rd.i_cell_ap); // P reads more current than AP
+  EXPECT_GT(rd.delta_i, 1e-6);          // margin above a uA
+  EXPECT_GT(rd.energy_read, 0.0);
+}
+
+TEST(ArrayCharacterization, FarRowSwitchesNoFasterThanNearRow) {
+  // Bitline RC to the far row can only slow the write down.
+  const mc::Pdk pdk;
+  ArrayNetlistOptions near = small_opt(), far = small_opt();
+  near.rows = 32;
+  far.rows = 32;
+  near.target_row = 0;
+  far.target_row = 31;
+  const auto wn = mss::cells::characterize_array_write(
+      pdk, near, mc::WriteDirection::ToAntiparallel, 6e-9);
+  const auto wf = mss::cells::characterize_array_write(
+      pdk, far, mc::WriteDirection::ToAntiparallel, 6e-9);
+  ASSERT_TRUE(wn.switched);
+  ASSERT_TRUE(wf.switched);
+  EXPECT_GE(wf.t_switch, wn.t_switch - 1e-12);
+}
+
+TEST(NvsimSpiceCalibration, AgreesWithAnalyticWithinFactorTwo) {
+  const mc::Pdk pdk;
+  mss::nvsim::ArrayOrg org;
+  org.rows = 64;
+  org.cols = 64;
+  org.word_bits = 32;
+  const mss::nvsim::ArrayModel am(pdk, org);
+  const auto analytic = am.estimate();
+  const auto spice = am.estimate_spice();
+  EXPECT_GT(spice.write_latency, 0.5 * analytic.write_latency);
+  EXPECT_LT(spice.write_latency, 2.0 * analytic.write_latency);
+  EXPECT_GT(spice.read_latency, 0.5 * analytic.read_latency);
+  EXPECT_LT(spice.read_latency, 2.0 * analytic.read_latency);
+  // The SPICE-extracted switching time replaces the analytic one.
+  EXPECT_GT(spice.t_mtj_switch, 0.0);
+}

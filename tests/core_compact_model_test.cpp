@@ -123,6 +123,29 @@ TEST(CompactModel, LlgsAgreesWithBehaviouralProbability) {
   EXPECT_LT(p_short, 0.5);
 }
 
+TEST(CompactModel, LlgsSwitchProbabilityThreadInvariant) {
+  // The thread-pool sharded Monte-Carlo must be bit-identical for any
+  // thread count: chunk-keyed jump substreams make each transient's draws
+  // independent of scheduling, and the caller's RNG advances identically.
+  const auto m = model();
+  const double ic = m.critical_current(mc::WriteDirection::ToAntiparallel);
+  const double i = 2.0 * ic;
+  const double t = 2e-9;
+  mss::util::Rng r1(123), r3(123), r8(123);
+  const double p1 = m.llgs_switch_probability(
+      mc::WriteDirection::ToAntiparallel, i, t, 18, r1, 1);
+  const double p3 = m.llgs_switch_probability(
+      mc::WriteDirection::ToAntiparallel, i, t, 18, r3, 3);
+  const double p8 = m.llgs_switch_probability(
+      mc::WriteDirection::ToAntiparallel, i, t, 18, r8, 8);
+  EXPECT_EQ(p1, p3);
+  EXPECT_EQ(p1, p8);
+  // Post-call RNG state is part of the contract.
+  const double d1 = r1.uniform(), d3 = r3.uniform(), d8 = r8.uniform();
+  EXPECT_EQ(d1, d3);
+  EXPECT_EQ(d1, d8);
+}
+
 TEST(CompactModel, LlgsRejectsZeroSamples) {
   const auto m = model();
   mss::util::Rng rng(1);

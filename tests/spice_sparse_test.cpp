@@ -1,0 +1,353 @@
+// Sparse MNA backend validation: solver-level unit tests, RCM ordering,
+// the dirty-stamp factorization cache, and randomized sparse-vs-dense
+// equivalence over RLC + nonlinear (MOSFET/diode/switch/MTJ) netlists in
+// DC, transient, and AC.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <functional>
+#include <memory>
+#include <random>
+
+#include "core/pdk.hpp"
+#include "spice/ac.hpp"
+#include "spice/controlled.hpp"
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/mtj_element.hpp"
+#include "spice/sparse.hpp"
+#include "spice/solver.hpp"
+
+namespace ms = mss::spice;
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Random RLC ladder with cross-coupling resistors and a pulse source —
+/// linear, always solvable, topology a pure function of the seed.
+ms::Circuit random_rlc(std::uint32_t seed, std::size_t n_nodes) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> ur(100.0, 10e3);
+  std::uniform_real_distribution<double> uc(0.1e-12, 2e-12);
+
+  ms::Circuit ckt;
+  std::vector<int> nodes;
+  for (std::size_t k = 0; k < n_nodes; ++k) {
+    nodes.push_back(ckt.node("n" + std::to_string(k)));
+  }
+  ckt.add(std::make_unique<ms::VoltageSource>(
+      "vin", nodes[0], ms::kGround,
+      std::make_unique<ms::PulseWave>(0.0, 1.0, 0.2e-9, 20e-12, 20e-12,
+                                      50e-9)));
+  for (std::size_t k = 0; k + 1 < n_nodes; ++k) {
+    ckt.add(std::make_unique<ms::Resistor>("r" + std::to_string(k), nodes[k],
+                                           nodes[k + 1], ur(gen)));
+    ckt.add(std::make_unique<ms::Capacitor>("c" + std::to_string(k),
+                                            nodes[k + 1], ms::kGround,
+                                            uc(gen)));
+  }
+  // A few random cross links + one inductor for a branch unknown.
+  for (int x = 0; x < 4; ++x) {
+    const std::size_t a = gen() % n_nodes;
+    const std::size_t b = gen() % n_nodes;
+    if (a == b) continue;
+    ckt.add(std::make_unique<ms::Resistor>("rx" + std::to_string(x), nodes[a],
+                                           nodes[b], ur(gen)));
+  }
+  ckt.add(std::make_unique<ms::Inductor>("l0", nodes[n_nodes / 2],
+                                         ms::kGround, 10e-9));
+  return ckt;
+}
+
+/// Bit-cell-flavoured nonlinear netlist: MTJ + access MOSFET + diode clamp
+/// + enable switch behind an RC-loaded driver.
+ms::Circuit nonlinear_cell(std::uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> ur(500.0, 3e3);
+  const mss::core::Pdk pdk;
+
+  ms::Circuit ckt;
+  const int bl = ckt.node("bl");
+  const int wl = ckt.node("wl");
+  const int n1 = ckt.node("n1");
+  const int n2 = ckt.node("n2");
+  ckt.add(std::make_unique<ms::VoltageSource>(
+      "vbl", bl, ms::kGround,
+      std::make_unique<ms::PulseWave>(0.0, 1.1, 0.3e-9, 50e-12, 50e-12,
+                                      4e-9)));
+  ckt.add(std::make_unique<ms::VoltageSource>(
+      "vwl", wl, ms::kGround,
+      std::make_unique<ms::PulseWave>(0.0, 1.1, 0.1e-9, 50e-12, 50e-12,
+                                      4.4e-9)));
+  ckt.add(std::make_unique<ms::MtjDevice>("xmtj", bl, n1, pdk.mtj,
+                                          mss::core::MtjState::Parallel));
+  ckt.add(std::make_unique<ms::Mosfet>("macc", n1, wl, n2,
+                                       ms::MosModel::nmos(), 720e-9, 45e-9));
+  ckt.add(std::make_unique<ms::Resistor>("rs", n2, ms::kGround, ur(gen)));
+  ckt.add(std::make_unique<ms::Diode>("dclamp", n2, ms::kGround));
+  ckt.add(std::make_unique<ms::Switch>("sen", n1, ms::kGround, wl,
+                                       ms::kGround, 0.55, 10e3, 1e9));
+  ckt.add(std::make_unique<ms::Capacitor>("cbl", bl, ms::kGround, 40e-15));
+  return ckt;
+}
+
+/// Runs a transient on both backends (fresh circuit instances from the
+/// same builder) and asserts identical node voltages within kTol.
+void expect_transient_equivalence(
+    const std::function<ms::Circuit(std::uint32_t)>& build,
+    std::uint32_t seed, double t_stop, double dt) {
+  auto dense_ckt = build(seed);
+  auto sparse_ckt = build(seed);
+  ms::EngineOptions dopt, sopt;
+  dopt.solver = ms::SolverKind::Dense;
+  sopt.solver = ms::SolverKind::Sparse;
+  ms::Engine de(dense_ckt, dopt), se(sparse_ckt, sopt);
+  const auto dtr = de.transient(t_stop, dt);
+  const auto str = se.transient(t_stop, dt);
+  ASSERT_TRUE(dtr.converged());
+  ASSERT_TRUE(str.converged());
+  EXPECT_STREQ(de.solver_backend(), "dense");
+  EXPECT_STREQ(se.solver_backend(), "sparse");
+  ASSERT_EQ(dtr.size(), str.size());
+  for (std::size_t n = 0; n < dense_ckt.node_count(); ++n) {
+    const auto& name = dense_ckt.node_name(n);
+    for (std::size_t k = 0; k < dtr.size(); ++k) {
+      ASSERT_NEAR(dtr.v(name, k), str.v(name, k), kTol)
+          << "node " << name << " step " << k << " seed " << seed;
+    }
+  }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Solver-level unit tests
+// ---------------------------------------------------------------------------
+
+TEST(SparseSolver, SolvesKnownSystem) {
+  ms::SparseSolver s;
+  s.begin(3);
+  // [[2,-1,0],[-1,2,-1],[0,-1,2]] x = [1,0,0] -> x = [3/4, 1/2, 1/4].
+  s.add(0, 0, 2.0);
+  s.add(0, 1, -1.0);
+  s.add(1, 0, -1.0);
+  s.add(1, 1, 2.0);
+  s.add(1, 2, -1.0);
+  s.add(2, 1, -1.0);
+  s.add(2, 2, 2.0);
+  std::vector<double> b{1.0, 0.0, 0.0}, x;
+  ASSERT_TRUE(s.solve(b, x));
+  EXPECT_NEAR(x[0], 0.75, 1e-12);
+  EXPECT_NEAR(x[1], 0.50, 1e-12);
+  EXPECT_NEAR(x[2], 0.25, 1e-12);
+}
+
+TEST(SparseSolver, HandlesZeroDiagonalViaPivoting) {
+  // MNA shape of an ideal voltage source: zero diagonal on the branch row.
+  ms::SparseSolver s;
+  s.begin(2);
+  s.add(0, 1, 1.0); // KCL: branch current into node row
+  s.add(1, 0, 1.0); // branch row: v = rhs
+  std::vector<double> b{0.0, 5.0}, x;
+  ASSERT_TRUE(s.solve(b, x));
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(SparseSolver, DetectsSingular) {
+  ms::SparseSolver s;
+  s.begin(2);
+  s.add(0, 0, 1.0);
+  s.add(1, 0, 1.0); // second column structurally empty
+  std::vector<double> b{1.0, 1.0}, x;
+  EXPECT_FALSE(s.solve(b, x));
+  // A later well-posed pass must recover.
+  s.begin(2);
+  s.add(0, 0, 1.0);
+  s.add(1, 0, 1.0);
+  s.add(1, 1, 1.0);
+  ASSERT_TRUE(s.solve(b, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(SparseSolver, DirtyValueCacheSkipsRefactor) {
+  ms::SparseSolver s;
+  const auto stamp = [&](double g) {
+    s.begin(2);
+    s.add(0, 0, 1.0 + g);
+    s.add(0, 1, -g);
+    s.add(1, 0, -g);
+    s.add(1, 1, 1.0 + g);
+  };
+  std::vector<double> b{1.0, 0.0}, x;
+  stamp(2.0);
+  ASSERT_TRUE(s.solve(b, x));
+  stamp(2.0);
+  ASSERT_TRUE(s.solve(b, x));
+  stamp(2.0);
+  ASSERT_TRUE(s.solve(b, x));
+  EXPECT_EQ(s.factor_count(), 1u);
+  stamp(3.0);
+  ASSERT_TRUE(s.solve(b, x));
+  EXPECT_EQ(s.factor_count(), 2u);
+}
+
+TEST(SparseSolver, PatternGrowthRebuildsSymbolic) {
+  ms::SparseSolver s;
+  s.begin(3);
+  s.add(0, 0, 1.0);
+  s.add(1, 1, 1.0);
+  s.add(2, 2, 1.0);
+  std::vector<double> b{1.0, 2.0, 3.0}, x;
+  ASSERT_TRUE(s.solve(b, x));
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  // New structural position mid-life: coupling 0 <-> 2.
+  s.begin(3);
+  s.add(0, 0, 2.0);
+  s.add(0, 2, -1.0);
+  s.add(2, 0, -1.0);
+  s.add(1, 1, 1.0);
+  s.add(2, 2, 2.0);
+  ASSERT_TRUE(s.solve(b, x));
+  // [[2,0,-1],[0,1,0],[-1,0,2]] x = [1,2,3] -> x0 = 5/3, x2 = 7/3.
+  EXPECT_NEAR(x[0], 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(x[2], 7.0 / 3.0, 1e-12);
+}
+
+TEST(SparseSolver, RcmOrderIsPermutation) {
+  // 1D chain pattern: RCM must return a valid permutation.
+  const std::size_t n = 12;
+  std::vector<std::uint32_t> col_ptr(n + 1, 0), row_ind;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (c > 0) row_ind.push_back(static_cast<std::uint32_t>(c - 1));
+    row_ind.push_back(static_cast<std::uint32_t>(c));
+    if (c + 1 < n) row_ind.push_back(static_cast<std::uint32_t>(c + 1));
+    col_ptr[c + 1] = static_cast<std::uint32_t>(row_ind.size());
+  }
+  const auto order = ms::rcm_order(n, col_ptr, row_ind);
+  ASSERT_EQ(order.size(), n);
+  std::vector<bool> seen(n, false);
+  for (const auto v : order) {
+    ASSERT_LT(v, n);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level equivalence
+// ---------------------------------------------------------------------------
+
+TEST(SparseEquivalence, RandomRlcDc) {
+  for (std::uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    auto dense_ckt = random_rlc(seed, 12 + seed);
+    auto sparse_ckt = random_rlc(seed, 12 + seed);
+    ms::EngineOptions dopt, sopt;
+    dopt.solver = ms::SolverKind::Dense;
+    sopt.solver = ms::SolverKind::Sparse;
+    ms::Engine de(dense_ckt, dopt), se(sparse_ckt, sopt);
+    const auto dd = de.dc();
+    const auto sd = se.dc();
+    ASSERT_TRUE(dd.converged);
+    ASSERT_TRUE(sd.converged);
+    ASSERT_EQ(dd.x.size(), sd.x.size());
+    for (std::size_t k = 0; k < dd.x.size(); ++k) {
+      ASSERT_NEAR(dd.x[k], sd.x[k], kTol) << "unknown " << k << " seed "
+                                          << seed;
+    }
+  }
+}
+
+TEST(SparseEquivalence, RandomRlcTransient) {
+  for (std::uint32_t seed : {11u, 12u, 13u}) {
+    expect_transient_equivalence(
+        [](std::uint32_t s) { return random_rlc(s, 16); }, seed, 3e-9,
+        10e-12);
+  }
+}
+
+TEST(SparseEquivalence, NonlinearMtjCellTransient) {
+  for (std::uint32_t seed : {21u, 22u, 23u}) {
+    expect_transient_equivalence(nonlinear_cell, seed, 5e-9, 10e-12);
+  }
+}
+
+TEST(SparseEquivalence, MtjStateAgreesAcrossBackends) {
+  // The state machine (flip times) must follow the identical waveforms.
+  auto dense_ckt = nonlinear_cell(33);
+  auto sparse_ckt = nonlinear_cell(33);
+  ms::EngineOptions dopt, sopt;
+  dopt.solver = ms::SolverKind::Dense;
+  sopt.solver = ms::SolverKind::Sparse;
+  auto* dmtj = dynamic_cast<ms::MtjDevice*>(dense_ckt.elements()[2].get());
+  auto* smtj = dynamic_cast<ms::MtjDevice*>(sparse_ckt.elements()[2].get());
+  ASSERT_NE(dmtj, nullptr);
+  ASSERT_NE(smtj, nullptr);
+  ms::Engine de(dense_ckt, dopt), se(sparse_ckt, sopt);
+  (void)de.transient(6e-9, 10e-12);
+  (void)se.transient(6e-9, 10e-12);
+  EXPECT_EQ(dmtj->state(), smtj->state());
+  ASSERT_EQ(dmtj->flip_times().size(), smtj->flip_times().size());
+  for (std::size_t k = 0; k < dmtj->flip_times().size(); ++k) {
+    EXPECT_NEAR(dmtj->flip_times()[k], smtj->flip_times()[k], 1e-12);
+  }
+}
+
+TEST(SparseEquivalence, AcSweep) {
+  for (std::uint32_t seed : {41u, 42u}) {
+    auto dense_ckt = random_rlc(seed, 14);
+    auto sparse_ckt = random_rlc(seed, 14);
+    // Flag the input source as the AC stimulus in both instances.
+    dynamic_cast<ms::VoltageSource*>(dense_ckt.elements()[0].get())
+        ->set_ac(1.0);
+    dynamic_cast<ms::VoltageSource*>(sparse_ckt.elements()[0].get())
+        ->set_ac(1.0);
+    const auto freqs = ms::log_sweep(1e6, 1e10, 5);
+    const auto da = ms::ac_analysis(dense_ckt, freqs, ms::SolverKind::Dense);
+    const auto sa = ms::ac_analysis(sparse_ckt, freqs, ms::SolverKind::Sparse);
+    ASSERT_TRUE(da.converged());
+    ASSERT_TRUE(sa.converged());
+    for (std::size_t k = 0; k < freqs.size(); ++k) {
+      for (std::size_t n = 0; n < dense_ckt.node_count(); ++n) {
+        const auto& name = dense_ckt.node_name(n);
+        const auto dv = da.v(name, k);
+        const auto sv = sa.v(name, k);
+        ASSERT_NEAR(dv.real(), sv.real(), kTol) << name << " @f" << k;
+        ASSERT_NEAR(dv.imag(), sv.imag(), kTol) << name << " @f" << k;
+      }
+    }
+  }
+}
+
+TEST(SparseEquivalence, LinearTransientFactorsThrice) {
+  // The dirty-stamp cache contract, now held by the solver layer: a linear
+  // fixed-step transient factors for the DC operating point, the first
+  // backward-Euler step, and the steady trapezoidal pattern — then
+  // back-substitutes only, on both backends.
+  for (const auto kind : {ms::SolverKind::Dense, ms::SolverKind::Sparse}) {
+    auto ckt = random_rlc(7, 20);
+    ms::EngineOptions opt;
+    opt.solver = kind;
+    ms::Engine eng(ckt, opt);
+    const auto tr = eng.transient(5e-9, 10e-12);
+    ASSERT_TRUE(tr.converged());
+    EXPECT_EQ(eng.factor_count(), 3u)
+        << "backend " << eng.solver_backend();
+  }
+}
+
+TEST(SparseEquivalence, AutoSelectsByDimension) {
+  auto small = random_rlc(3, 8);
+  ms::Engine se(small);
+  (void)se.dc();
+  EXPECT_STREQ(se.solver_backend(), "dense");
+
+  auto big = random_rlc(3, ms::kSparseAutoThreshold + 8);
+  ms::Engine be(big);
+  (void)be.dc();
+  EXPECT_STREQ(be.solver_backend(), "sparse");
+}

@@ -2,61 +2,55 @@
 // bodytrack kernel on big.LITTLE architecture".
 //
 // Four scenarios: Full-SRAM (reference), LITTLE-L2-STT-MRAM,
-// big-L2-STT-MRAM, Full-L2-STT-MRAM. For each we print the per-component
-// energies (cores, L1, L2, interconnect, DRAM+MC) and an ASCII bar chart of
+// big-L2-STT-MRAM, Full-L2-STT-MRAM — one scenario sweep through
+// sweep::Runner. For each we emit the per-component energies (cores, L1,
+// L2, interconnect, DRAM+MC) as a ResultTable and an ASCII bar chart of
 // the totals.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "magpie/scenario.hpp"
-#include "util/csv.hpp"
 #include "util/table.hpp"
-#include "util/units.hpp"
 
 int main() {
   using namespace mss;
-  using util::TextTable;
 
   std::printf("=== Fig. 11: energy breakdown by component, bodytrack on "
               "big.LITTLE ===\n\n");
 
   const auto pdk = core::Pdk::mss45();
-  auto kernel = magpie::kernel_by_name("bodytrack");
-  const auto runs = magpie::run_kernel_all_scenarios(kernel, pdk);
+  const auto runs = magpie::run_scenario_sweep(
+      {magpie::kernel_by_name("bodytrack")}, pdk);
 
-  // Component columns (fixed order across scenarios).
+  // Component rows (fixed order across scenarios).
   const std::vector<std::string> comps = {
       "LITTLE cores", "LITTLE L1",          "LITTLE L2",
       "LITTLE interconnect", "big cores",   "big L1",
       "big L2",       "big interconnect",   "DRAM + MC"};
 
-  TextTable table({"component", "Full-SRAM (uJ)", "LITTLE-L2-STT (uJ)",
-                   "big-L2-STT (uJ)", "Full-L2-STT (uJ)"});
-  mss::util::CsvWriter csv({"component", "full_sram_uJ", "little_l2_stt_uJ",
+  sweep::ResultTable table({"component", "full_sram_uJ", "little_l2_stt_uJ",
                             "big_l2_stt_uJ", "full_l2_stt_uJ"});
-
   for (const auto& comp : comps) {
-    std::vector<std::string> row{comp};
+    std::vector<sweep::Value> row{comp};
     for (const auto& run : runs) {
       // L2 component names embed the technology; match by prefix.
       double value = 0.0;
       for (const auto& c : run.energy.components) {
         if (c.name.rfind(comp, 0) == 0) value += c.total();
       }
-      row.push_back(TextTable::num(value / 1e-6, 2));
+      row.emplace_back(value / 1e-6);
     }
     table.add_row(row);
-    csv.add_row(row);
   }
-  std::vector<std::string> totals{"TOTAL"};
-  for (const auto& run : runs) {
-    totals.push_back(TextTable::num(run.energy.total() / 1e-6, 2));
-  }
+  std::vector<sweep::Value> totals{std::string("TOTAL")};
+  for (const auto& run : runs) totals.emplace_back(run.energy.total() / 1e-6);
   table.add_row(totals);
-  csv.add_row(totals);
 
-  std::printf("%s\n", table.str().c_str());
-  if (csv.write_file("fig11_breakdown.csv")) {
-    std::printf("(series written to fig11_breakdown.csv)\n");
+  std::printf("%s\n", table.str(4).c_str());
+  if (table.write_csv("fig11_breakdown.csv") &&
+      table.write_json("fig11_breakdown.json")) {
+    std::printf("(series written to fig11_breakdown.{csv,json})\n");
   }
 
   std::printf("\nTotal energy by scenario:\n");

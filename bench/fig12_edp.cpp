@@ -1,55 +1,46 @@
 // Fig. 12 reproduction: "Energy Delay Product merit" — for each Parsec-like
 // kernel, execution time, energy, and EDP of the three STT-MRAM scenarios
 // normalised to the Full-SRAM reference (45 nm, as in the paper).
+//
+// The kernel x scenario grid is one crossed sweep evaluated in parallel
+// through sweep::Runner; the figure is the normalized ResultTable.
+#include <algorithm>
 #include <cstdio>
 
 #include "magpie/scenario.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
 
 int main() {
   using namespace mss;
-  using util::TextTable;
 
   std::printf("=== Fig. 12: exec time / energy / EDP vs Full-SRAM "
               "(45 nm) ===\n\n");
 
   const auto pdk = core::Pdk::mss45();
-  const auto kernels = magpie::parsec_kernels();
+  const auto runs =
+      magpie::run_scenario_sweep(magpie::parsec_kernels(), pdk);
+  const auto table = magpie::normalized_table(runs);
 
-  TextTable table({"kernel", "scenario", "time ratio", "energy ratio",
-                   "EDP ratio"});
-  mss::util::CsvWriter csv({"kernel", "scenario", "time_ratio",
-                            "energy_ratio", "edp_ratio"});
-
-  double best_time = 1.0;
-  double worst_energy = 0.0;
-  std::string best_time_kernel;
-
-  for (const auto& kernel : kernels) {
-    const auto runs = magpie::run_kernel_all_scenarios(kernel, pdk);
-    for (std::size_t i = 1; i < runs.size(); ++i) {
-      const auto m = magpie::normalize(runs[0], runs[i]);
-      table.add_row({kernel.name, magpie::to_string(m.scenario),
-                     TextTable::num(m.exec_time_ratio, 3),
-                     TextTable::num(m.energy_ratio, 3),
-                     TextTable::num(m.edp_ratio, 3)});
-      csv.add_row({kernel.name, magpie::to_string(m.scenario),
-                   TextTable::num(m.exec_time_ratio, 4),
-                   TextTable::num(m.energy_ratio, 4),
-                   TextTable::num(m.edp_ratio, 4)});
-      if (m.scenario == magpie::Scenario::LittleL2Stt &&
-          m.exec_time_ratio < best_time) {
-        best_time = m.exec_time_ratio;
-        best_time_kernel = kernel.name;
-      }
-      worst_energy = std::max(worst_energy, m.energy_ratio);
-    }
+  std::printf("%s\n", table.str(4).c_str());
+  if (table.write_csv("fig12_edp.csv") && table.write_json("fig12_edp.json")) {
+    std::printf("(series written to fig12_edp.{csv,json})\n");
   }
 
-  std::printf("%s\n", table.str().c_str());
-  if (csv.write_file("fig12_edp.csv")) {
-    std::printf("(series written to fig12_edp.csv)\n");
+  // Headline rows straight off the table.
+  const auto little = table.filter([](const sweep::ResultTable& t,
+                                      std::size_t r) {
+    return std::get<std::string>(t.at(r, "scenario")) == "LITTLE-L2-STT-MRAM";
+  });
+  double best_time = 1.0;
+  std::string best_time_kernel;
+  for (std::size_t r = 0; r < little.rows(); ++r) {
+    if (little.number(r, "time_ratio") < best_time) {
+      best_time = little.number(r, "time_ratio");
+      best_time_kernel = std::get<std::string>(little.at(r, "kernel"));
+    }
+  }
+  double worst_energy = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    worst_energy = std::max(worst_energy, table.number(r, "energy_ratio"));
   }
 
   std::printf("\nHeadline numbers:\n");

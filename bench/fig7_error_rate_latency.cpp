@@ -4,56 +4,60 @@
 // The paper sweeps the target Read Error Rate (RER) and Write Error Rate
 // (WER) from 1e-5 down to 1e-15 and shows the overall latency the memory
 // must budget: the lower the target error rate, the higher the timing
-// margin. We print both series for the 45 nm corner (the node used in the
-// paper's illustration) plus the 65 nm corner for completeness.
+// margin. The sweep is one declarative node x error-rate space evaluated
+// through sweep::Runner, emitted as a ResultTable (console + CSV + JSON).
 #include <cstdio>
-#include <string>
 
-#include "util/csv.hpp"
-#include "util/table.hpp"
+#include "sweep/experiment.hpp"
 #include "util/units.hpp"
 #include "vaet/estimator.hpp"
 
+namespace {
+
+struct Margins {
+  double write_latency = 0.0;
+  double read_latency = 0.0;
+};
+
+} // namespace
+
 int main() {
-  using mss::util::TextTable;
-  using mss::util::kNs;
+  using namespace mss;
+  using util::kNs;
 
   std::printf("=== Fig. 7: overall read & write latency vs target error "
               "rate ===\n\n");
 
-  for (const auto node : {mss::core::TechNode::N45, mss::core::TechNode::N65}) {
-    const auto pdk = mss::core::Pdk::for_node(node);
-    mss::nvsim::ArrayOrg org;
-    org.rows = 1024;
-    org.cols = 1024;
-    org.word_bits = 256;
-    const mss::vaet::VaetStt vaet(pdk, org);
-    const auto nominal = vaet.array().estimate();
+  const auto space =
+      sweep::ParamSpace()
+          .cross(sweep::Axis::list("node", {std::string("45nm"), "65nm"}))
+          .cross(sweep::Axis::log("error_rate", 1e-5, 1e-15, 6));
 
-    std::printf("--- %s (nominal write %.2f ns, read %.2f ns) ---\n",
-                to_string(node), nominal.write_latency / kNs,
-                nominal.read_latency / kNs);
+  const auto exp = sweep::make_experiment(
+      "fig7-margins", [](const sweep::Point& p, util::Rng&) -> Margins {
+        const auto node = core::node_from_string(p.str("node"));
+        const vaet::VaetStt vaet(core::Pdk::for_node(node),
+                                 nvsim::ArrayOrg{1024, 1024, 256});
+        const double target = p.number("error_rate");
+        return {vaet.write_latency_for_wer(target),
+                vaet.read_latency_for_rer(target)};
+      });
 
-    TextTable table({"target error rate", "write latency (ns)",
-                     "read latency (ns)"});
-    mss::util::CsvWriter csv({"error_rate", "write_latency_ns",
-                              "read_latency_ns"});
-    for (double target : {1e-5, 1e-7, 1e-9, 1e-11, 1e-13, 1e-15}) {
-      const double t_wr = vaet.write_latency_for_wer(target);
-      const double t_rd = vaet.read_latency_for_rer(target);
-      table.add_row({TextTable::sci(target, 0),
-                     TextTable::num(t_wr / kNs, 2),
-                     TextTable::num(t_rd / kNs, 2)});
-      csv.add_row({TextTable::sci(target, 3), TextTable::num(t_wr / kNs, 4),
-                   TextTable::num(t_rd / kNs, 4)});
-    }
-    std::printf("%s\n", table.str().c_str());
-    const std::string path =
-        std::string("fig7_") + to_string(node) + ".csv";
-    if (csv.write_file(path)) std::printf("(series written to %s)\n", path.c_str());
-    std::printf("\n");
+  const auto table = sweep::Runner().table(
+      space, exp,
+      {"node", "error_rate", "write_latency_ns", "read_latency_ns"},
+      [&](const sweep::Point& p, const Margins& m) {
+        return std::vector<sweep::Value>{p.str("node"), p.number("error_rate"),
+                                         m.write_latency / kNs,
+                                         m.read_latency / kNs};
+      });
+
+  std::printf("%s\n", table.str(4).c_str());
+  if (table.write_csv("fig7_error_rate_latency.csv") &&
+      table.write_json("fig7_error_rate_latency.json")) {
+    std::printf("(series written to fig7_error_rate_latency.{csv,json})\n");
   }
-  std::printf("Shape check (paper): \"for lower values of target error "
+  std::printf("\nShape check (paper): \"for lower values of target error "
               "rates, high timing margins are required\" — both series "
               "increase monotonically as the target tightens.\n");
   return 0;

@@ -8,8 +8,11 @@
 // snapshot —
 //   ./bench_perf_micro --benchmark_format=json > BENCH_$(git rev-parse --short HEAD).json
 // Thread scaling of the parallel kernels is the `/threads:N` suffix of
-// BM_VaetMonteCarlo and BM_LlgThermalEnsemble (real_time is the metric that
-// must shrink with N; both report identical statistics for every N).
+// BM_VaetMonteCarlo, BM_LlgThermalEnsemble, BM_NvsimExplore (the
+// SPICE-calibrated organisation sweep through sweep::Runner) and
+// BM_MagpieScenarioSweep (the kernel x scenario crossed sweep); real_time
+// is the metric that must shrink with N, and every N reports bit-identical
+// results.
 // MNA backend scaling is the `/dim:N` suffix of BM_SpiceSparseTransient /
 // BM_SpiceDenseTransient: per-step real_time over the matrix dimension
 // (sparse must scale sub-quadratically, dense goes quadratic once past the
@@ -24,7 +27,9 @@
 #include "core/compact_model.hpp"
 #include "core/pdk.hpp"
 #include "magpie/cache.hpp"
+#include "magpie/scenario.hpp"
 #include "magpie/workload.hpp"
+#include "nvsim/optimizer.hpp"
 #include "physics/llg.hpp"
 #include "spice/elements.hpp"
 #include "spice/engine.hpp"
@@ -227,6 +232,63 @@ BENCHMARK(BM_LlgThermalEnsemble)
     ->Arg(0)
     ->ArgName("threads")
     ->UseRealTime();
+
+// SPICE-calibrated organisation exploration through sweep::Runner at an
+// explicit thread count: ~18 (mats, rows) candidates, each an array-scale
+// write+read characterisation on the sparse MNA backend. The /threads:1
+// row is the serial baseline of the speedup criterion; every row returns
+// bit-identical candidate lists.
+void BM_NvsimExplore(benchmark::State& state) {
+  const auto pdk = mss::core::Pdk::mss45();
+  mss::nvsim::ExploreOptions opt;
+  opt.mats = {1, 2, 4, 8, 16};
+  opt.spice_calibrate = true;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto cands = mss::nvsim::explore(pdk, 1u << 20, 512,
+                                           mss::nvsim::Goal::ReadLatency, opt);
+    benchmark::DoNotOptimize(cands.front().objective);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(
+          mss::nvsim::organisation_space(1u << 20, 512, opt.mats).size()));
+}
+BENCHMARK(BM_NvsimExplore)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(0) // 0 = all hardware threads (shared pool)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The MAGPIE kernel x scenario crossed sweep (6 kernels x 4 scenarios)
+// through sweep::Runner; per-point work is the trace-driven big.LITTLE
+// simulation. Scenario platforms are derived once per explore call.
+void BM_MagpieScenarioSweep(benchmark::State& state) {
+  const auto pdk = mss::core::Pdk::mss45();
+  auto kernels = mss::magpie::parsec_kernels();
+  for (auto& k : kernels) k.instructions = 20'000;
+  mss::magpie::SweepOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto runs = mss::magpie::run_scenario_sweep(kernels, pdk, opt);
+    benchmark::DoNotOptimize(runs.front().activity.exec_time);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kernels.size() * 4));
+}
+BENCHMARK(BM_MagpieScenarioSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GaussHermiteMargin(benchmark::State& state) {
   const auto pdk = mss::core::Pdk::mss45();

@@ -3,19 +3,21 @@
 // switching current according to the specified retention."
 //
 // This bench sweeps retention targets from scratchpad-grade (hours) to
-// storage-grade (10 years) and prints the designed pillar diameter,
-// thermal stability, critical current, switching time and write energy —
-// the MSS retention/write-cost trade-off curve.
+// storage-grade (10 years) through the parallel RetentionDesigner sweep
+// and emits the designed pillar diameter, thermal stability, critical
+// current, switching time and write energy — the MSS retention/write-cost
+// trade-off curve — as a ResultTable (console + CSV + JSON).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/pdk.hpp"
 #include "core/retention.hpp"
-#include "util/table.hpp"
+#include "sweep/result_table.hpp"
 #include "util/units.hpp"
 
 int main() {
   using namespace mss;
-  using util::TextTable;
 
   std::printf("=== MSS retention vs write-cost trade-off (adjustable "
               "diameter) ===\n\n");
@@ -23,34 +25,32 @@ int main() {
   const auto pdk = core::Pdk::mss45();
   const core::RetentionDesigner designer(pdk.mtj, pdk.write_overdrive);
 
-  TextTable table({"retention", "Delta", "diameter (nm)", "Ic0 (uA)",
-                   "I_write (uA)", "t_switch (ns)", "E_write (fJ)"});
+  const std::vector<std::string> labels = {"1 hour", "1 day", "1 month",
+                                           "1 year", "10 years"};
+  const std::vector<double> years = {1.0 / (365.25 * 24.0), 1.0 / 365.25,
+                                     1.0 / 12.0, 1.0, 10.0};
+  const auto designs = designer.sweep(years);
 
-  struct Point {
-    const char* label;
-    double years;
-  };
-  const Point points[] = {
-      {"1 hour", 1.0 / (365.25 * 24.0)}, {"1 day", 1.0 / 365.25},
-      {"1 month", 1.0 / 12.0},           {"1 year", 1.0},
-      {"10 years", 10.0},
-  };
-
-  double first_iw = 0.0;
-  double last_iw = 0.0;
-  for (const auto& pt : points) {
-    const auto d = designer.design(pt.years);
-    if (first_iw == 0.0) first_iw = d.write_current;
-    last_iw = d.write_current;
-    table.add_row({pt.label, TextTable::num(d.required_delta, 1),
-                   TextTable::num(d.diameter / util::kNm, 1),
-                   TextTable::num(d.ic0 / util::kUa, 1),
-                   TextTable::num(d.write_current / util::kUa, 1),
-                   TextTable::num(d.switching_time / util::kNs, 2),
-                   TextTable::num(d.write_energy / util::kFj, 0)});
+  sweep::ResultTable table({"retention", "years", "delta", "diameter_nm",
+                            "ic0_uA", "i_write_uA", "t_switch_ns",
+                            "e_write_fJ"});
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const auto& d = designs[i];
+    table.add_row({labels[i], d.retention_years, d.required_delta,
+                   d.diameter / util::kNm, d.ic0 / util::kUa,
+                   d.write_current / util::kUa, d.switching_time / util::kNs,
+                   d.write_energy / util::kFj});
   }
-  std::printf("%s\n", table.str().c_str());
-  std::printf("Relaxing retention from 10 years to 1 hour cuts the write "
+
+  std::printf("%s\n", table.str(4).c_str());
+  if (table.write_csv("retention_tradeoff.csv") &&
+      table.write_json("retention_tradeoff.json")) {
+    std::printf("(series written to retention_tradeoff.{csv,json})\n");
+  }
+
+  const double first_iw = designs.front().write_current;
+  const double last_iw = designs.back().write_current;
+  std::printf("\nRelaxing retention from 10 years to 1 hour cuts the write "
               "current by %.0f%% on the same baseline stack — the knob that "
               "lets one MSS recipe serve caches and storage alike.\n",
               100.0 * (1.0 - first_iw / last_iw));

@@ -2,9 +2,10 @@
 //
 // Question: should an IoT gateway SoC (big.LITTLE) move its L2 caches to
 // MSS STT-MRAM? The example runs a custom kernel mix through all four
-// scenarios and prints the recommendation with the supporting numbers —
-// exactly the "script-oriented" design-space exploration the paper
-// describes MAGPIE providing.
+// scenarios — one kernel x scenario crossed sweep, evaluated in parallel
+// by sweep::Runner — and prints the recommendation with the supporting
+// numbers — exactly the "script-oriented" design-space exploration the
+// paper describes MAGPIE providing.
 //
 //   $ ./hybrid_system_exploration
 #include <cstdio>
@@ -24,26 +25,34 @@ int main() {
   const auto pdk = core::Pdk::mss45();
   // Gateway mix: sensing preprocessing (streaming), local inference
   // (capacity hungry), video encode (write heavy).
-  const std::vector<std::string> mix = {"streamcluster", "bodytrack", "x264"};
+  std::vector<magpie::KernelParams> mix;
+  for (const char* name : {"streamcluster", "bodytrack", "x264"}) {
+    mix.push_back(magpie::kernel_by_name(name));
+  }
+
+  // The whole mix is one crossed sweep: results are kernel-major with the
+  // four scenarios in presentation order.
+  const auto runs = magpie::run_scenario_sweep(mix, pdk);
+  const auto scenarios = magpie::all_scenarios();
 
   struct Tally {
     double time = 0.0;
     double energy = 0.0;
   };
-  std::vector<Tally> tally(magpie::all_scenarios().size());
+  std::vector<Tally> tally(scenarios.size());
 
   TextTable per_kernel({"kernel", "scenario", "exec (ms)", "energy (mJ)",
                         "EDP ratio vs SRAM"});
-  for (const auto& name : mix) {
-    const auto kernel = magpie::kernel_by_name(name);
-    const auto runs = magpie::run_kernel_all_scenarios(kernel, pdk);
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      tally[i].time += runs[i].activity.exec_time;
-      tally[i].energy += runs[i].energy.total();
-      const auto m = magpie::normalize(runs[0], runs[i]);
-      per_kernel.add_row({name, magpie::to_string(runs[i].scenario),
-                          TextTable::num(runs[i].activity.exec_time / 1e-3, 3),
-                          TextTable::num(runs[i].energy.total() / 1e-3, 3),
+  for (std::size_t k = 0; k < mix.size(); ++k) {
+    const auto* base = &runs[k * scenarios.size()];
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const auto& run = base[i];
+      tally[i].time += run.activity.exec_time;
+      tally[i].energy += run.energy.total();
+      const auto m = magpie::normalize(base[0], run);
+      per_kernel.add_row({mix[k].name, magpie::to_string(run.scenario),
+                          TextTable::num(run.activity.exec_time / 1e-3, 3),
+                          TextTable::num(run.energy.total() / 1e-3, 3),
                           TextTable::num(m.edp_ratio, 3)});
     }
   }
@@ -55,7 +64,6 @@ int main() {
   const double ref_edp = tally[0].time * tally[0].energy;
   std::size_t best = 0;
   double best_edp = 1e300;
-  const auto scenarios = magpie::all_scenarios();
   for (std::size_t i = 0; i < tally.size(); ++i) {
     const double edp = tally[i].time * tally[i].energy;
     if (edp < best_edp) {

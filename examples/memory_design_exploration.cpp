@@ -31,18 +31,21 @@ int main() {
   std::printf("=== Designing a 4 Mb MSS scratchpad (45 nm, %g error "
               "budget) ===\n\n", kErrorBudget);
 
-  // [1] organisation exploration under a read-latency constraint.
-  nvsim::Constraints constraints;
-  constraints.max_read_latency = 3.0 * 1e-9;
+  // [1] organisation exploration under a read-latency constraint — a
+  // declarative sweep evaluated in parallel through sweep::Runner.
+  nvsim::ExploreOptions eopt;
+  eopt.constraints.max_read_latency = 3.0 * 1e-9;
+  eopt.mats = {1, 2, 4};
   const auto candidates = nvsim::explore(pdk, kCapacityBits, kWordBits,
-                                         nvsim::Goal::ReadEdp, constraints);
+                                         nvsim::Goal::ReadEdp, eopt);
   std::printf("[1] %zu feasible organisations; top three by read EDP:\n",
               candidates.size());
-  TextTable orgs({"rows x cols", "read (ns)", "write (ns)", "area (mm2)",
-                  "leakage (mW)"});
+  TextTable orgs({"mats x rows x cols", "read (ns)", "write (ns)",
+                  "area (mm2)", "leakage (mW)"});
   for (std::size_t i = 0; i < candidates.size() && i < 3; ++i) {
     const auto& c = candidates[i];
-    orgs.add_row({std::to_string(c.org.rows) + "x" + std::to_string(c.org.cols),
+    orgs.add_row({std::to_string(c.mats) + "x" + std::to_string(c.org.rows) +
+                      "x" + std::to_string(c.org.cols),
                   TextTable::num(c.estimate.read_latency / kNs, 2),
                   TextTable::num(c.estimate.write_latency / kNs, 2),
                   TextTable::num(c.estimate.area / util::kMm2, 3),
@@ -82,9 +85,10 @@ int main() {
   // [4] ECC trade-off.
   std::printf("[4] ECC alternative:\n");
   TextTable t2({"scheme", "write latency (ns)", "storage overhead"});
+  const auto word_bits = static_cast<unsigned>(best.org.word_bits);
   for (unsigned t = 0; t <= 3; ++t) {
     vaet::EccScheme scheme;
-    scheme.data_bits = kWordBits;
+    scheme.data_bits = word_bits;
     scheme.t_correct = t;
     const double lat = vaet.write_latency_with_ecc(kErrorBudget, t);
     t2.add_row({t == 0 ? "no ECC" : ("BCH t=" + std::to_string(t)),
@@ -96,7 +100,7 @@ int main() {
   std::printf("-> single-error correction buys %.0f%% write-latency "
               "reduction for %.1f%% extra bits.\n\n",
               100.0 * (1.0 - t_ecc1 / t_raw),
-              100.0 * vaet::EccScheme{kWordBits, 1}.overhead());
+              100.0 * vaet::EccScheme{word_bits, 1}.overhead());
 
   // [5] read-disturb check of the margined read period.
   const double t_read = vaet.read_latency_for_rer(kErrorBudget);

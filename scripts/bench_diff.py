@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON snapshots and fail on regressions.
+
+    scripts/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
+                          [--families /dim: /threads:]
+
+Compares `real_time` of every benchmark present in both snapshots whose
+name contains one of the family markers (default: the /dim:N and
+/threads:N families). Exits 1 when any matched benchmark regressed by
+more than the tolerance (relative to the baseline), 0 otherwise.
+Benchmarks only present on one side are reported but never fail the run
+(families evolve across revisions). Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+# real_time is normalised to nanoseconds so a revision that changes a
+# benchmark's display unit cannot fake a six-orders-of-magnitude delta.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        if unit not in _UNIT_NS:
+            raise SystemExit(f"{path}: unknown time_unit '{unit}' "
+                             f"for {bench['name']}")
+        out[bench["name"]] = float(bench["real_time"]) * _UNIT_NS[unit]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max allowed relative real_time growth (default 0.25)")
+    ap.add_argument("--families", nargs="*", default=["/dim:", "/threads:"],
+                    help="benchmark-name substrings to compare")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    def in_family(name):
+        return any(f in name for f in args.families)
+
+    matched = sorted(n for n in base if n in cur and in_family(n))
+    only_base = sorted(n for n in base if n not in cur and in_family(n))
+    only_cur = sorted(n for n in cur if n not in base and in_family(n))
+
+    regressions = []
+    print(f"{'benchmark':60s} {'baseline':>14s} {'current':>14s} {'delta':>8s}")
+    for name in matched:
+        b = base[name]
+        c = cur[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = " <-- REGRESSION" if delta > args.tolerance else ""
+        print(f"{name:60s} {b:14.1f} {c:14.1f} {delta:+7.1%}{flag}  [ns]")
+        if delta > args.tolerance:
+            regressions.append((name, delta))
+
+    for name in only_base:
+        print(f"{name:60s} (baseline only — skipped)")
+    for name in only_cur:
+        print(f"{name:60s} (current only — no baseline yet)")
+
+    if not matched:
+        print("warning: no benchmarks matched both snapshots", file=sys.stderr)
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no real_time regression beyond {args.tolerance:.0%} "
+          f"across {len(matched)} matched benchmark(s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/units.hpp"
 
@@ -14,6 +15,12 @@ const char* to_string(TechNode node) {
     case TechNode::N65: return "65nm";
   }
   return "?";
+}
+
+TechNode node_from_string(const std::string& name) {
+  if (name == "45nm") return TechNode::N45;
+  if (name == "65nm") return TechNode::N65;
+  throw std::invalid_argument("node_from_string: unknown node '" + name + "'");
 }
 
 Pdk Pdk::mss45() {

@@ -24,6 +24,10 @@ enum class TechNode { N45, N65 };
 /// Node name, e.g. "45nm".
 [[nodiscard]] const char* to_string(TechNode node);
 
+/// Inverse of to_string; throws std::invalid_argument on unknown names
+/// (the sweep drivers parse node axes with this — no silent fallback).
+[[nodiscard]] TechNode node_from_string(const std::string& name);
+
 /// CMOS front-end + interconnect parameters of a node.
 struct CmosTech {
   double feature_m = 45e-9;     ///< feature size F [m]

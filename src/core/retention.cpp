@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/compact_model.hpp"
+#include "sweep/experiment.hpp"
 #include "util/math.hpp"
 
 namespace mss::core {
@@ -74,11 +75,18 @@ RetentionDesign RetentionDesigner::design(double years, double fail_prob,
 
 std::vector<RetentionDesign> RetentionDesigner::sweep(
     const std::vector<double>& years_list, double fail_prob,
-    std::size_t array_bits) const {
-  std::vector<RetentionDesign> out;
-  out.reserve(years_list.size());
-  for (double y : years_list) out.push_back(design(y, fail_prob, array_bits));
-  return out;
+    std::size_t array_bits, std::size_t threads) const {
+  namespace sw = mss::sweep;
+  sw::ParamSpace space;
+  space.cross(sw::Axis::list("years", years_list));
+  const auto exp = sw::make_experiment(
+      "retention-design",
+      [&](const sw::Point& p, util::Rng&) {
+        return design(p.number("years"), fail_prob, array_bits);
+      });
+  const sw::Runner runner({.threads = threads, .chunk_size = 1, .seed = 0,
+                           .memoize = false});
+  return runner.run(space, exp);
 }
 
 } // namespace mss::core

@@ -51,10 +51,13 @@ class RetentionDesigner {
   [[nodiscard]] RetentionDesign design(double years, double fail_prob = 1e-4,
                                        std::size_t array_bits = 1u << 20) const;
 
-  /// Sweep over a list of retention targets (the paper's trade-off curve).
+  /// Sweep over a list of retention targets (the paper's trade-off
+  /// curve), evaluated through sweep::Runner. `threads` is the shared
+  /// thread policy (0 = global pool, 1 = serial, N = pool of N); the
+  /// designs are bit-identical for every setting.
   [[nodiscard]] std::vector<RetentionDesign> sweep(
       const std::vector<double>& years_list, double fail_prob = 1e-4,
-      std::size_t array_bits = 1u << 20) const;
+      std::size_t array_bits = 1u << 20, std::size_t threads = 0) const;
 
  private:
   MtjParams base_;

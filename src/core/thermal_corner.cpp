@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/compact_model.hpp"
+#include "sweep/experiment.hpp"
 
 namespace mss::core {
 
@@ -49,13 +50,19 @@ TempCorner evaluate_corner(const MtjParams& base, double t_k, double v_read,
 std::vector<TempCorner> temperature_sweep(const MtjParams& base,
                                           const std::vector<double>& temps_k,
                                           double v_read,
-                                          const ThermalScaling& law) {
-  std::vector<TempCorner> out;
-  out.reserve(temps_k.size());
-  for (double t : temps_k) {
-    out.push_back(evaluate_corner(base, t, v_read, law));
-  }
-  return out;
+                                          const ThermalScaling& law,
+                                          std::size_t threads) {
+  namespace sw = mss::sweep;
+  sw::ParamSpace space;
+  space.cross(sw::Axis::list("temperature_k", temps_k));
+  const auto exp = sw::make_experiment(
+      "thermal-corner",
+      [&](const sw::Point& p, util::Rng&) {
+        return evaluate_corner(base, p.number("temperature_k"), v_read, law);
+      });
+  const sw::Runner runner({.threads = threads, .chunk_size = 1, .seed = 0,
+                           .memoize = false});
+  return runner.run(space, exp);
 }
 
 } // namespace mss::core

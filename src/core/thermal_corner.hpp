@@ -47,11 +47,15 @@ struct TempCorner {
                                          double v_read = 0.1,
                                          const ThermalScaling& law = {});
 
-/// Sweeps a list of temperatures (defaults to the IoT corner set).
+/// Sweeps a list of temperatures (defaults to the IoT corner set),
+/// evaluated through sweep::Runner. `threads` is the shared thread policy
+/// (0 = global pool, 1 = serial, N = pool of N); the corners are
+/// bit-identical for every setting.
 [[nodiscard]] std::vector<TempCorner> temperature_sweep(
     const MtjParams& base,
     const std::vector<double>& temps_k = {233.15, 273.15, 300.0, 333.15,
                                           358.15, 398.15},
-    double v_read = 0.1, const ThermalScaling& law = {});
+    double v_read = 0.1, const ThermalScaling& law = {},
+    std::size_t threads = 0);
 
 } // namespace mss::core

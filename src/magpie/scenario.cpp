@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nvsim/optimizer.hpp"
+#include "sweep/experiment.hpp"
 #include "vaet/estimator.hpp"
 
 namespace mss::magpie {
@@ -141,19 +142,88 @@ SystemConfig make_scenario(Scenario s, const core::Pdk& pdk,
   return sys;
 }
 
+sweep::ParamSpace scenario_space(const std::vector<KernelParams>& kernels) {
+  std::vector<std::int64_t> kernel_idx;
+  std::vector<std::string> kernel_names;
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    kernel_idx.push_back(std::int64_t(k));
+    kernel_names.push_back(kernels[k].name);
+  }
+  // scenario_index is the *position* in all_scenarios() (like
+  // kernel_index), not the enum value — the sweep indexes the derived
+  // platform list with it.
+  std::vector<std::int64_t> scenario_idx;
+  std::vector<std::string> scenario_names;
+  const auto scenarios = all_scenarios();
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    scenario_idx.push_back(std::int64_t(s));
+    scenario_names.push_back(to_string(scenarios[s]));
+  }
+  sweep::ParamSpace space;
+  space
+      .zip({sweep::Axis::list("kernel_index", std::move(kernel_idx)),
+            sweep::Axis::list("kernel", std::move(kernel_names))})
+      .zip({sweep::Axis::list("scenario_index", std::move(scenario_idx)),
+            sweep::Axis::list("scenario", std::move(scenario_names))});
+  return space;
+}
+
+std::vector<ScenarioRun> run_scenario_sweep(
+    const std::vector<KernelParams>& kernels, const core::Pdk& pdk,
+    const SweepOptions& options) {
+  // Derive the four platforms once — the NVSim/VAET cross-layer hand-off
+  // is per scenario, not per point.
+  const auto scenarios = all_scenarios();
+  std::vector<SystemConfig> systems;
+  systems.reserve(scenarios.size());
+  for (const Scenario s : scenarios) {
+    systems.push_back(make_scenario(s, pdk, options.iso_area_factor));
+  }
+
+  const auto exp = sweep::make_experiment(
+      "magpie-scenarios",
+      [&](const sweep::Point& p, util::Rng&) -> ScenarioRun {
+        const auto ki = std::size_t(p.integer("kernel_index"));
+        const auto si = std::size_t(p.integer("scenario_index"));
+        ScenarioRun run;
+        run.scenario = scenarios[si];
+        run.activity = simulate(systems[si], kernels[ki], options.seed);
+        run.energy = energy_rollup(systems[si], run.activity);
+        return run;
+      });
+
+  const sweep::Runner runner({.threads = options.threads, .chunk_size = 1,
+                              .seed = options.seed, .memoize = false});
+  return runner.run(scenario_space(kernels), exp);
+}
+
 std::vector<ScenarioRun> run_kernel_all_scenarios(const KernelParams& kernel,
                                                   const core::Pdk& pdk,
                                                   std::uint64_t seed) {
-  std::vector<ScenarioRun> out;
-  for (Scenario s : all_scenarios()) {
-    const SystemConfig sys = make_scenario(s, pdk);
-    ScenarioRun run;
-    run.scenario = s;
-    run.activity = simulate(sys, kernel, seed);
-    run.energy = energy_rollup(sys, run.activity);
-    out.push_back(std::move(run));
+  SweepOptions options;
+  options.seed = seed;
+  return run_scenario_sweep({kernel}, pdk, options);
+}
+
+sweep::ResultTable normalized_table(const std::vector<ScenarioRun>& runs) {
+  sweep::ResultTable t(
+      {"kernel", "scenario", "time_ratio", "energy_ratio", "edp_ratio"});
+  for (const auto& run : runs) {
+    if (run.scenario == Scenario::FullSram) continue;
+    const ScenarioRun* ref = nullptr;
+    for (const auto& cand : runs) {
+      if (cand.scenario == Scenario::FullSram &&
+          cand.activity.kernel == run.activity.kernel) {
+        ref = &cand;
+        break;
+      }
+    }
+    if (!ref) continue;
+    const NormalizedMetrics m = normalize(*ref, run);
+    t.add_row({m.kernel, std::string(to_string(m.scenario)),
+               m.exec_time_ratio, m.energy_ratio, m.edp_ratio});
   }
-  return out;
+  return t;
 }
 
 NormalizedMetrics normalize(const ScenarioRun& reference,

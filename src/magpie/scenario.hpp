@@ -17,6 +17,7 @@
 // the point of the MAGPIE flow.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "magpie/mcpat.hpp"
 #include "magpie/sim.hpp"
 #include "magpie/workload.hpp"
+#include "sweep/param_space.hpp"
+#include "sweep/result_table.hpp"
 
 namespace mss::magpie {
 
@@ -61,7 +64,33 @@ struct ScenarioRun {
   EnergyBreakdown energy;
 };
 
-/// Runs one kernel across all four scenarios.
+/// Options of the declarative scenario x workload sweep.
+struct SweepOptions {
+  std::uint64_t seed = 0xC0FFEE;
+  double iso_area_factor = 4.0;
+  /// sweep::Runner thread policy: 0 = shared global pool, 1 = serial,
+  /// N = a shared pool of N threads. Results are bit-identical for every
+  /// setting.
+  std::size_t threads = 0;
+};
+
+/// The kernels x scenarios crossed ParamSpace the sweep evaluates: a
+/// zipped ("kernel_index", "kernel") pair crossed with a zipped
+/// ("scenario_index", "scenario") pair — kernel-major, scenarios in
+/// presentation order.
+[[nodiscard]] sweep::ParamSpace scenario_space(
+    const std::vector<KernelParams>& kernels);
+
+/// Runs every kernel x scenario point through sweep::Runner: the four
+/// scenario platforms are derived once (the cross-layer NVSim/VAET hand-
+/// off), then the points are simulated in parallel across the thread
+/// pool. Result i corresponds to scenario_space(kernels).at(i) —
+/// kernel-major, scenarios in presentation order.
+[[nodiscard]] std::vector<ScenarioRun> run_scenario_sweep(
+    const std::vector<KernelParams>& kernels, const core::Pdk& pdk,
+    const SweepOptions& options = {});
+
+/// Runs one kernel across all four scenarios (a one-kernel sweep).
 [[nodiscard]] std::vector<ScenarioRun> run_kernel_all_scenarios(
     const KernelParams& kernel, const core::Pdk& pdk,
     std::uint64_t seed = 0xC0FFEE);
@@ -79,5 +108,13 @@ struct NormalizedMetrics {
 /// Normalises a scenario run against the reference run.
 [[nodiscard]] NormalizedMetrics normalize(const ScenarioRun& reference,
                                           const ScenarioRun& scenario);
+
+/// Fig. 12 table from a sweep's results: one row per kernel x STT
+/// scenario with exec-time / energy / EDP ratios against that kernel's
+/// Full-SRAM run (columns kernel, scenario, time_ratio, energy_ratio,
+/// edp_ratio). Runs are grouped by kernel name; kernels without a
+/// Full-SRAM run are skipped.
+[[nodiscard]] sweep::ResultTable normalized_table(
+    const std::vector<ScenarioRun>& runs);
 
 } // namespace mss::magpie

@@ -1,0 +1,167 @@
+// Declarative experiments over a ParamSpace, executed by a deterministic
+// parallel Runner.
+//
+// An Experiment<Result> is a named, pure evaluation: given a Point (and a
+// per-point RNG stream for stochastic models), produce a Result. The
+// Runner chunks the space's flat index range over the PR-1 thread pool
+// and writes each result into its point-indexed slot, so the output
+// vector is bit-identical for any thread count.
+//
+// Determinism contract (shared with the Monte-Carlo kernels):
+//  * the chunk layout is a pure function of (space size, chunk_size),
+//    never of the thread count;
+//  * chunk c draws from jump substream c of a base stream seeded with
+//    RunOptions::seed, and the point at in-chunk offset j forks that
+//    substream with label j — so the RNG a point sees is a pure function
+//    of (seed, chunk_size, point index);
+//  * with memoize = true, repeated points (same Point::key()) are
+//    evaluated once — at the RNG position of their *first* occurrence —
+//    and the result is copied to every duplicate slot. For deterministic
+//    evaluations memoisation is invisible; for stochastic ones the
+//    duplicates inherit the first draw instead of re-sampling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sweep/param_space.hpp"
+#include "sweep/result_table.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace mss::sweep {
+
+/// A declarative unit of work: evaluate one Point into a Result. Results
+/// must be default-constructible (the Runner pre-sizes the output vector)
+/// and copyable (memoised duplicates are copies).
+template <typename Result>
+struct Experiment {
+  std::string name;
+  std::function<Result(const Point&, util::Rng&)> evaluate;
+};
+
+/// Deduces the Result type from the callable.
+template <typename Fn>
+[[nodiscard]] auto make_experiment(std::string name, Fn fn) {
+  using Result = decltype(fn(std::declval<const Point&>(),
+                             std::declval<util::Rng&>()));
+  return Experiment<Result>{std::move(name), std::move(fn)};
+}
+
+/// Execution knobs.
+struct RunOptions {
+  /// Thread policy shared with every parallel kernel: 0 = the shared
+  /// global pool, 1 = serial inline, N = a shared pool of N threads.
+  std::size_t threads = 0;
+  /// Points per chunk (the unit of work stealing *and* of RNG keying —
+  /// changing it changes stochastic draws, not determinism).
+  std::size_t chunk_size = 1;
+  /// Base seed of the per-point RNG streams.
+  std::uint64_t seed = 0x5EEDC0DEull;
+  /// Evaluate repeated points once (keyed on Point::key()).
+  bool memoize = false;
+};
+
+/// What a run did (memoisation accounting for tests/telemetry).
+struct RunStats {
+  std::size_t points = 0;    ///< space size
+  std::size_t evaluated = 0; ///< evaluate() calls actually made
+  std::size_t memo_hits = 0; ///< points served from a repeated key
+};
+
+/// Executes experiments over spaces. Stateless apart from its options, so
+/// one Runner can serve many runs.
+class Runner {
+ public:
+  Runner() = default;
+  explicit Runner(RunOptions opt) : opt_(opt) {}
+
+  [[nodiscard]] const RunOptions& options() const { return opt_; }
+
+  /// Evaluates `exp` at every point of `space`; result i corresponds to
+  /// `space.at(i)`. Bit-identical for any `threads` setting.
+  template <typename Result>
+  [[nodiscard]] std::vector<Result> run(const ParamSpace& space,
+                                        const Experiment<Result>& exp,
+                                        RunStats* stats = nullptr) const {
+    const std::size_t n = space.size();
+    const std::size_t chunk = opt_.chunk_size == 0 ? 1 : opt_.chunk_size;
+    std::vector<Result> results(n);
+    RunStats st;
+    st.points = n;
+    if (n == 0) {
+      if (stats) *stats = st;
+      return results;
+    }
+
+    // Chunk-keyed substreams: layout depends only on (n, chunk).
+    util::Rng base(opt_.seed);
+    const auto streams =
+        base.jump_substreams(util::ThreadPool::chunk_count(n, chunk));
+    const auto eval_at = [&](std::size_t i) {
+      util::Rng rng = streams[i / chunk].fork(std::uint64_t(i % chunk));
+      results[i] = exp.evaluate(space.at(i), rng);
+    };
+
+    if (!opt_.memoize) {
+      util::ThreadPool::run_with(
+          opt_.threads, n, chunk,
+          [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) eval_at(i);
+          });
+      st.evaluated = n;
+      if (stats) *stats = st;
+      return results;
+    }
+
+    // Memoised: find the first occurrence of every distinct key serially
+    // (cheap — no evaluation), evaluate only those in parallel (each at
+    // its canonical RNG position), then copy results to the duplicates.
+    std::unordered_map<std::string, std::size_t> first_of;
+    std::vector<std::size_t> owner(n);
+    std::vector<std::size_t> firsts;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] = first_of.try_emplace(space.at(i).key(), i);
+      owner[i] = it->second;
+      if (inserted) firsts.push_back(i);
+    }
+    util::ThreadPool::run_with(
+        opt_.threads, firsts.size(), chunk,
+        [&](std::size_t, std::size_t b, std::size_t e) {
+          for (std::size_t k = b; k < e; ++k) eval_at(firsts[k]);
+        });
+    for (std::size_t i = 0; i < n; ++i) {
+      if (owner[i] != i) results[i] = results[owner[i]];
+    }
+    st.evaluated = firsts.size();
+    st.memo_hits = n - firsts.size();
+    if (stats) *stats = st;
+    return results;
+  }
+
+  /// run() + row assembly: `row_of(point, result)` produces the cells of
+  /// each table row, in space order.
+  template <typename Result, typename RowFn>
+  [[nodiscard]] ResultTable table(const ParamSpace& space,
+                                  const Experiment<Result>& exp,
+                                  std::vector<std::string> columns,
+                                  RowFn row_of,
+                                  RunStats* stats = nullptr) const {
+    const auto results = run(space, exp, stats);
+    ResultTable t(std::move(columns));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      t.add_row(row_of(space.at(i), results[i]));
+    }
+    return t;
+  }
+
+ private:
+  RunOptions opt_;
+};
+
+} // namespace mss::sweep

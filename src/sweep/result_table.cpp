@@ -1,0 +1,193 @@
+#include "sweep/result_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mss::sweep {
+
+namespace {
+
+bool is_numeric(const Value& v) {
+  return !std::holds_alternative<std::string>(v);
+}
+
+std::string format_real(double d, const char* fmt) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, fmt, d);
+  return buf;
+}
+
+/// Cell text for human/CSV emission.
+std::string cell_text(const Value& v, int precision) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    char fmt[8];
+    std::snprintf(fmt, sizeof fmt, "%%.%dg", precision);
+    return format_real(*d, fmt);
+  }
+  return std::get<std::string>(v);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_cell(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    if (!std::isfinite(*d)) return "null"; // JSON has no inf/nan
+    return format_real(*d, "%.12g");
+  }
+  return '"' + json_escape(std::get<std::string>(v)) + '"';
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  return bool(out);
+}
+
+} // namespace
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("ResultTable: no columns");
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < columns_.size(); ++j) {
+      if (columns_[i] == columns_[j]) {
+        throw std::invalid_argument("ResultTable: duplicate column '" +
+                                    columns_[i] + "'");
+      }
+    }
+  }
+}
+
+void ResultTable::add_row(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument(
+        "ResultTable::add_row: " + std::to_string(row.size()) +
+        " cells for " + std::to_string(columns_.size()) + " columns");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::size_t ResultTable::col_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  throw std::out_of_range("ResultTable: no column named '" + name + "'");
+}
+
+const Value& ResultTable::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+const Value& ResultTable::at(std::size_t row, const std::string& col) const {
+  return rows_.at(row)[col_index(col)];
+}
+
+double ResultTable::number(std::size_t row, const std::string& col) const {
+  return as_number(at(row, col));
+}
+
+void ResultTable::sort_by(const std::string& col, bool ascending) {
+  const std::size_t c = col_index(col);
+  const bool numeric = std::all_of(
+      rows_.begin(), rows_.end(),
+      [c](const std::vector<Value>& r) { return is_numeric(r[c]); });
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+                     const bool lt =
+                         numeric ? as_number(a[c]) < as_number(b[c])
+                                 : to_string(a[c]) < to_string(b[c]);
+                     const bool gt =
+                         numeric ? as_number(b[c]) < as_number(a[c])
+                                 : to_string(b[c]) < to_string(a[c]);
+                     return ascending ? lt : gt;
+                   });
+}
+
+ResultTable ResultTable::filter(
+    const std::function<bool(const ResultTable&, std::size_t)>& keep) const {
+  ResultTable out(columns_);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (keep(*this, r)) out.rows_.push_back(rows_[r]);
+  }
+  return out;
+}
+
+std::string ResultTable::str(int precision) const {
+  util::TextTable t(columns_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& v : row) cells.push_back(cell_text(v, precision));
+    t.add_row(std::move(cells));
+  }
+  return t.str();
+}
+
+std::string ResultTable::csv() const {
+  util::CsvWriter w(columns_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& v : row) cells.push_back(cell_text(v, 12));
+    w.add_row(std::move(cells));
+  }
+  return w.str();
+}
+
+bool ResultTable::write_csv(const std::string& path) const {
+  return write_text_file(path, csv());
+}
+
+std::string ResultTable::json() const {
+  std::string out = "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c != 0) out += ", ";
+      out += '"' + json_escape(columns_[c]) + "\": " + json_cell(rows_[r][c]);
+    }
+    out += r + 1 == rows_.size() ? "}\n" : "},\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool ResultTable::write_json(const std::string& path) const {
+  return write_text_file(path, json());
+}
+
+} // namespace mss::sweep

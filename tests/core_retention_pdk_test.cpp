@@ -51,6 +51,19 @@ TEST(Retention, SweepIsMonotonicInCurrent) {
   }
 }
 
+TEST(Retention, SweepBitIdenticalForAnyThreadCount) {
+  const mc::RetentionDesigner d{mc::MtjParams{}};
+  const std::vector<double> years = {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0};
+  const auto serial = d.sweep(years, 1e-4, 1u << 20, /*threads=*/1);
+  const auto pooled = d.sweep(years, 1e-4, 1u << 20, /*threads=*/8);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].diameter, pooled[i].diameter);
+    EXPECT_EQ(serial[i].ic0, pooled[i].ic0);
+    EXPECT_EQ(serial[i].write_energy, pooled[i].write_energy);
+  }
+}
+
 TEST(Retention, RejectsBadInputs) {
   EXPECT_THROW(mc::RetentionDesigner(mc::MtjParams{}, 0.5),
                std::invalid_argument);

@@ -5,6 +5,23 @@
 
 namespace mc = mss::core;
 
+TEST(ThermalCorner, SweepBitIdenticalForAnyThreadCount) {
+  const mc::MtjParams base;
+  const std::vector<double> temps = {233.15, 273.15, 300.0, 333.15, 358.15,
+                                     398.15};
+  const auto serial =
+      mc::temperature_sweep(base, temps, 0.1, {}, /*threads=*/1);
+  const auto pooled =
+      mc::temperature_sweep(base, temps, 0.1, {}, /*threads=*/8);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].delta, pooled[i].delta);
+    EXPECT_EQ(serial[i].ic0, pooled[i].ic0);
+    EXPECT_EQ(serial[i].retention_years, pooled[i].retention_years);
+    EXPECT_EQ(serial[i].read_margin_rel, pooled[i].read_margin_rel);
+  }
+}
+
 TEST(ThermalCorner, ReferenceTemperatureIsIdentity) {
   const mc::MtjParams base;
   const auto p = mc::scale_to_temperature(base, 300.0);

@@ -109,6 +109,56 @@ TEST(Scenario, BigL2SttDoesNotSpeedUp) {
   EXPECT_GE(big.exec_time_ratio, 0.999);
 }
 
+TEST(Scenario, SweepIsKernelMajorAndBitIdenticalForAnyThreadCount) {
+  std::vector<mm::KernelParams> kernels = {mm::kernel_by_name("bodytrack"),
+                                           mm::kernel_by_name("x264")};
+  for (auto& k : kernels) k.instructions = 20'000;
+
+  mm::SweepOptions serial;
+  serial.threads = 1;
+  auto pooled = serial;
+  pooled.threads = 8;
+  const auto a = mm::run_scenario_sweep(kernels, pdk45(), serial);
+  const auto b = mm::run_scenario_sweep(kernels, pdk45(), pooled);
+  ASSERT_EQ(a.size(), 8u); // 2 kernels x 4 scenarios
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scenario, b[i].scenario);
+    EXPECT_EQ(a[i].activity.kernel, b[i].activity.kernel);
+    EXPECT_EQ(a[i].activity.exec_time, b[i].activity.exec_time); // bit-equal
+    EXPECT_EQ(a[i].energy.total(), b[i].energy.total());
+  }
+  // Kernel-major with the scenarios in presentation order.
+  EXPECT_EQ(a[0].activity.kernel, "bodytrack");
+  EXPECT_EQ(a[0].scenario, mm::Scenario::FullSram);
+  EXPECT_EQ(a[3].scenario, mm::Scenario::FullL2Stt);
+  EXPECT_EQ(a[4].activity.kernel, "x264");
+
+  // The one-kernel wrapper is a slice of the same sweep.
+  const auto solo = mm::run_kernel_all_scenarios(kernels[0], pdk45());
+  ASSERT_EQ(solo.size(), 4u);
+  EXPECT_EQ(solo[1].activity.exec_time, a[1].activity.exec_time);
+  EXPECT_EQ(solo[1].energy.total(), a[1].energy.total());
+
+  // The crossed space mirrors the result layout.
+  const auto space = mm::scenario_space(kernels);
+  EXPECT_EQ(space.size(), a.size());
+  EXPECT_EQ(space.at(5).str("kernel"), "x264");
+  EXPECT_EQ(space.at(5).str("scenario"), "LITTLE-L2-STT-MRAM");
+}
+
+TEST(Scenario, NormalizedTableHasSttRowsOnly) {
+  auto k = mm::kernel_by_name("bodytrack");
+  k.instructions = 20'000;
+  const auto runs = mm::run_kernel_all_scenarios(k, pdk45());
+  const auto t = mm::normalized_table(runs);
+  ASSERT_EQ(t.rows(), 3u); // three STT scenarios vs the reference
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_EQ(std::get<std::string>(t.at(r, "kernel")), "bodytrack");
+    EXPECT_GT(t.number(r, "energy_ratio"), 0.0);
+    EXPECT_GT(t.number(r, "edp_ratio"), 0.0);
+  }
+}
+
 TEST(Scenario, NamesAreStable) {
   EXPECT_STREQ(mm::to_string(mm::Scenario::FullSram), "Full-SRAM");
   EXPECT_STREQ(mm::to_string(mm::Scenario::LittleL2Stt),

@@ -2,6 +2,9 @@
 #include "nvsim/array_model.hpp"
 #include "nvsim/optimizer.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace mn = mss::nvsim;
@@ -100,17 +103,100 @@ TEST(Optimizer, ReturnsSortedFeasibleCandidates) {
 
 TEST(Optimizer, ConstraintsFilter) {
   const auto pdk = mss::core::Pdk::mss45();
-  mn::Constraints tight;
-  tight.max_read_latency = 1e-12; // impossible
+  mn::ExploreOptions tight;
+  tight.constraints.max_read_latency = 1e-12; // impossible
   EXPECT_FALSE(mn::optimize(pdk, 1u << 20, 256, mn::Goal::ReadLatency, tight)
                    .has_value());
 
-  mn::Constraints loose;
-  loose.max_read_latency = 1e-6;
+  mn::ExploreOptions loose;
+  loose.constraints.max_read_latency = 1e-6;
   const auto best =
       mn::optimize(pdk, 1u << 20, 256, mn::Goal::ReadLatency, loose);
   ASSERT_TRUE(best.has_value());
   EXPECT_LT(best->estimate.read_latency, 1e-6);
+}
+
+// The redesigned explore (mats = {1}, analytic) must reproduce the seed
+// serial nested loop exactly — same organisations, same objectives, same
+// order.
+TEST(Optimizer, ParallelExploreMatchesSerialReference) {
+  const auto pdk = mss::core::Pdk::mss45();
+  constexpr std::size_t kCap = 1u << 20;
+  constexpr std::size_t kWord = 256;
+
+  // The old serial path, replicated verbatim.
+  struct Ref {
+    mn::ArrayOrg org;
+    mn::MemoryEstimate estimate;
+    double objective;
+  };
+  std::vector<Ref> reference;
+  for (std::size_t rows = 64; rows <= 8192; rows *= 2) {
+    if (kCap % rows != 0) continue;
+    const std::size_t cols = kCap / rows;
+    if (cols < kWord || cols > 16384) continue;
+    const double aspect = double(rows) / double(cols);
+    if (aspect > 8.0 || aspect < 1.0 / 8.0) continue;
+    Ref r;
+    r.org = mn::ArrayOrg{rows, cols, kWord};
+    r.estimate = mn::ArrayModel(pdk, r.org).estimate();
+    r.objective = r.estimate.read_latency;
+    reference.push_back(r);
+  }
+  std::sort(reference.begin(), reference.end(),
+            [](const Ref& a, const Ref& b) { return a.objective < b.objective; });
+
+  mn::ExploreOptions opt;
+  opt.threads = 8;
+  const auto cands = mn::explore(pdk, kCap, kWord, mn::Goal::ReadLatency, opt);
+  ASSERT_EQ(cands.size(), reference.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_EQ(cands[i].mats, 1u);
+    EXPECT_EQ(cands[i].org.rows, reference[i].org.rows);
+    EXPECT_EQ(cands[i].org.cols, reference[i].org.cols);
+    EXPECT_EQ(cands[i].objective, reference[i].objective); // bit-identical
+    EXPECT_EQ(cands[i].estimate.read_latency,
+              reference[i].estimate.read_latency);
+    EXPECT_EQ(cands[i].estimate.write_energy,
+              reference[i].estimate.write_energy);
+  }
+}
+
+TEST(Optimizer, ExploreBitIdenticalForAnyThreadCount) {
+  const auto pdk = mss::core::Pdk::mss45();
+  mn::ExploreOptions serial;
+  serial.mats = {1, 2, 4, 8};
+  serial.threads = 1;
+  auto parallel = serial;
+  parallel.threads = 8;
+  const auto a = mn::explore(pdk, 1u << 20, 512, mn::Goal::ReadEdp, serial);
+  const auto b = mn::explore(pdk, 1u << 20, 512, mn::Goal::ReadEdp, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 4u); // mat splitting enlarges the space
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mats, b[i].mats);
+    EXPECT_EQ(a[i].org.rows, b[i].org.rows);
+    EXPECT_EQ(a[i].objective, b[i].objective);
+    EXPECT_EQ(a[i].estimate.area, b[i].estimate.area);
+  }
+}
+
+TEST(Optimizer, MatSplittingKeepsInvariants) {
+  const auto pdk = mss::core::Pdk::mss45();
+  mn::ExploreOptions opt;
+  opt.mats = {1, 2, 4};
+  const auto cands = mn::explore(pdk, 1u << 20, 512, mn::Goal::ReadLatency, opt);
+  bool saw_split = false;
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.mats * c.org.rows * c.org.cols, 1u << 20);
+    EXPECT_EQ(c.mats * c.org.word_bits, 512u);
+    EXPECT_GT(c.estimate.read_latency, 0.0);
+    if (c.mats > 1) saw_split = true;
+  }
+  EXPECT_TRUE(saw_split);
+  // The organisation space is the zipped (mats, rows) pair explore ran.
+  const auto space = mn::organisation_space(1u << 20, 512, opt.mats);
+  EXPECT_EQ(space.size(), cands.size()); // no constraints -> all feasible
 }
 
 TEST(Optimizer, DifferentGoalsPickDifferentShapes) {

@@ -1,0 +1,244 @@
+// Tests of the declarative sweep subsystem: ParamSpace composition
+// (cross/zip sizes, range endpoints), Runner determinism (bit-identical
+// results for 1 vs N threads), memoisation hit counts, and the
+// ResultTable emission formats.
+#include "sweep/experiment.hpp"
+#include "sweep/param_space.hpp"
+#include "sweep/result_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace sw = mss::sweep;
+
+TEST(Axis, LinearEndpointsAndCount) {
+  const auto a = sw::Axis::linear("x", 1.0, 5.0, 5);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(std::get<double>(a.at(0)), 1.0);
+  EXPECT_EQ(std::get<double>(a.at(2)), 3.0);
+  EXPECT_EQ(std::get<double>(a.at(4)), 5.0); // exact endpoint
+
+  const auto one = sw::Axis::linear("x", 2.5, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(std::get<double>(one.at(0)), 2.5);
+}
+
+TEST(Axis, LogEndpointsExactAndGeometric) {
+  const auto a = sw::Axis::log("rate", 1e-5, 1e-15, 6);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(std::get<double>(a.at(0)), 1e-5);  // exact lo
+  EXPECT_EQ(std::get<double>(a.at(5)), 1e-15); // exact hi
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double ratio = std::get<double>(a.at(i)) / std::get<double>(a.at(i - 1));
+    EXPECT_NEAR(ratio, 1e-2, 1e-9);
+  }
+  EXPECT_THROW((void)sw::Axis::log("bad", 0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)sw::Axis::log("bad", -1.0, 1.0, 3),
+               std::invalid_argument);
+}
+
+TEST(ParamSpace, CrossSizesAndOrdering) {
+  const auto space =
+      sw::ParamSpace()
+          .cross(sw::Axis::list("a", std::vector<std::int64_t>{1, 2, 3}))
+          .cross(sw::Axis::list("b", {std::string("x"), "y", "z", "w"}));
+  EXPECT_EQ(space.size(), 12u);
+  EXPECT_EQ(space.dims(), 2u);
+
+  // Row-major: the last axis varies fastest (nested-loop order).
+  EXPECT_EQ(space.at(0).integer("a"), 1);
+  EXPECT_EQ(space.at(0).str("b"), "x");
+  EXPECT_EQ(space.at(1).integer("a"), 1);
+  EXPECT_EQ(space.at(1).str("b"), "y");
+  EXPECT_EQ(space.at(4).integer("a"), 2);
+  EXPECT_EQ(space.at(4).str("b"), "x");
+  EXPECT_EQ(space.at(11).integer("a"), 3);
+  EXPECT_EQ(space.at(11).str("b"), "w");
+  EXPECT_THROW((void)space.at(12), std::out_of_range);
+}
+
+TEST(ParamSpace, ZipAdvancesTogetherAndChecksLengths) {
+  const auto space =
+      sw::ParamSpace()
+          .zip({sw::Axis::list("label", {std::string("lo"), "mid", "hi"}),
+                sw::Axis::list("value", std::vector<double>{0.1, 1.0, 10.0})})
+          .cross(sw::Axis::list("rep", std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(space.size(), 6u); // zip counts once, cross multiplies
+  const auto p = space.at(2); // (label=mid, value=1.0, rep=0)
+  EXPECT_EQ(p.str("label"), "mid");
+  EXPECT_EQ(p.number("value"), 1.0);
+  EXPECT_EQ(p.integer("rep"), 0);
+
+  sw::ParamSpace bad;
+  EXPECT_THROW(bad.zip({sw::Axis::list("a", std::vector<double>{1.0}),
+                        sw::Axis::list("b", std::vector<double>{1.0, 2.0})}),
+               std::invalid_argument);
+}
+
+TEST(ParamSpace, CrossOfSpacesAndDuplicateNames) {
+  auto left = sw::ParamSpace().cross(
+      sw::Axis::list("a", std::vector<std::int64_t>{1, 2}));
+  const auto right = sw::ParamSpace::of(
+      {sw::Axis::list("b", std::vector<std::int64_t>{10, 20, 30})});
+  left.cross(right);
+  EXPECT_EQ(left.size(), 6u);
+  EXPECT_EQ(left.names(), (std::vector<std::string>{"a", "b"}));
+
+  EXPECT_THROW(left.cross(sw::Axis::list("a", std::vector<double>{1.0})),
+               std::invalid_argument);
+}
+
+TEST(ParamSpace, EmptySpaceHasOnePointAndEmptyAxisNone) {
+  EXPECT_EQ(sw::ParamSpace().size(), 1u);
+  EXPECT_EQ(sw::ParamSpace().at(0).size(), 0u);
+  const auto none = sw::ParamSpace().cross(
+      sw::Axis::list("a", std::vector<double>{}));
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(Point, TypedAccessorsAndKey) {
+  const auto space =
+      sw::ParamSpace()
+          .cross(sw::Axis::list("n", std::vector<std::int64_t>{7}))
+          .cross(sw::Axis::list("x", std::vector<double>{2.5}))
+          .cross(sw::Axis::list("s", {std::string("tag")}));
+  const auto p = space.at(0);
+  EXPECT_EQ(p.integer("n"), 7);
+  EXPECT_EQ(p.number("n"), 7.0); // int converts to number
+  EXPECT_EQ(p.number("x"), 2.5);
+  EXPECT_EQ(p.str("s"), "tag");
+  EXPECT_THROW((void)p.number("s"), std::invalid_argument);
+  EXPECT_THROW((void)p.integer("x"), std::invalid_argument);
+  EXPECT_THROW((void)p.at("missing"), std::out_of_range);
+  EXPECT_EQ(p.key(), "n=7;x=2.5;s=tag;");
+}
+
+namespace {
+
+/// A stochastic evaluation: value depends on the point and on RNG draws,
+/// so thread-count invariance is a real statement about the substreams.
+sw::Experiment<double> stochastic_experiment() {
+  return sw::make_experiment("stochastic",
+                             [](const sw::Point& p, mss::util::Rng& rng) {
+                               double acc = p.number("x");
+                               for (int k = 0; k < 16; ++k) acc += rng.normal();
+                               return acc;
+                             });
+}
+
+} // namespace
+
+TEST(Runner, BitIdenticalForAnyThreadCount) {
+  const auto space = sw::ParamSpace().cross(sw::Axis::linear("x", 0.0, 1.0, 97));
+  sw::RunOptions serial;
+  serial.threads = 1;
+  serial.chunk_size = 4;
+  auto pooled = serial;
+  pooled.threads = 8;
+  const auto a = sw::Runner(serial).run(space, stochastic_experiment());
+  const auto b = sw::Runner(pooled).run(space, stochastic_experiment());
+  ASSERT_EQ(a.size(), 97u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "point " << i; // bit-identical doubles
+  }
+}
+
+TEST(Runner, SeedSelectsTheStreams) {
+  const auto space = sw::ParamSpace().cross(sw::Axis::linear("x", 0.0, 1.0, 8));
+  sw::RunOptions one;
+  one.seed = 1;
+  sw::RunOptions two;
+  two.seed = 2;
+  const auto a = sw::Runner(one).run(space, stochastic_experiment());
+  const auto b = sw::Runner(two).run(space, stochastic_experiment());
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_differ |= a[i] != b[i];
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Runner, MemoisationCountsAndCopiesRepeatedPoints) {
+  // 3 distinct values, each repeated 4 times via a crossed "rep" axis that
+  // is *not* part of the key... every coordinate is part of the key, so
+  // repeat the values inside one axis instead.
+  const auto space = sw::ParamSpace().cross(
+      sw::Axis::list("x", std::vector<double>{1.0, 2.0, 1.0, 3.0, 2.0, 1.0}));
+  std::atomic<int> calls{0};
+  const auto exp = sw::make_experiment(
+      "count", [&](const sw::Point& p, mss::util::Rng&) {
+        ++calls;
+        return p.number("x") * 10.0;
+      });
+  sw::RunOptions opt;
+  opt.memoize = true;
+  sw::RunStats stats;
+  const auto out = sw::Runner(opt).run(space, exp, &stats);
+  EXPECT_EQ(stats.points, 6u);
+  EXPECT_EQ(stats.evaluated, 3u);
+  EXPECT_EQ(stats.memo_hits, 3u);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(out, (std::vector<double>{10.0, 20.0, 10.0, 30.0, 20.0, 10.0}));
+}
+
+TEST(Runner, MemoisationInvisibleForDeterministicExperiments) {
+  const auto space = sw::ParamSpace().cross(
+      sw::Axis::list("x", std::vector<double>{1.0, 2.0, 1.0, 2.0}));
+  const auto exp = sw::make_experiment(
+      "det", [](const sw::Point& p, mss::util::Rng&) {
+        return p.number("x") * p.number("x");
+      });
+  sw::RunOptions memo;
+  memo.memoize = true;
+  sw::RunOptions plain;
+  EXPECT_EQ(sw::Runner(memo).run(space, exp),
+            sw::Runner(plain).run(space, exp));
+}
+
+TEST(Runner, TableAssemblesRowsInSpaceOrder) {
+  const auto space = sw::ParamSpace().cross(
+      sw::Axis::list("n", std::vector<std::int64_t>{3, 1, 2}));
+  const auto exp = sw::make_experiment(
+      "sq", [](const sw::Point& p, mss::util::Rng&) {
+        return p.integer("n") * p.integer("n");
+      });
+  auto t = sw::Runner().table(
+      space, exp, {"n", "n_squared"},
+      [](const sw::Point& p, std::int64_t r) {
+        return std::vector<sw::Value>{p.integer("n"), r};
+      });
+  ASSERT_EQ(t.rows(), 3u);
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, "n_squared")), 9);
+  t.sort_by("n");
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, "n")), 1);
+  EXPECT_EQ(std::get<std::int64_t>(t.at(2, "n_squared")), 9);
+}
+
+TEST(ResultTable, SortFilterAndAccessors) {
+  sw::ResultTable t({"name", "v"});
+  t.add_row({std::string("b"), 2.0});
+  t.add_row({std::string("a"), 3.0});
+  t.add_row({std::string("c"), 1.0});
+  t.sort_by("v", /*ascending=*/false);
+  EXPECT_EQ(std::get<std::string>(t.at(0, "name")), "a");
+  const auto big = t.filter([](const sw::ResultTable& tb, std::size_t r) {
+    return tb.number(r, "v") >= 2.0;
+  });
+  EXPECT_EQ(big.rows(), 2u);
+  EXPECT_THROW((void)t.col_index("missing"), std::out_of_range);
+  EXPECT_THROW(t.add_row({std::string("short")}), std::invalid_argument);
+}
+
+TEST(ResultTable, CsvAndJsonEmission) {
+  sw::ResultTable t({"kernel", "ratio", "count"});
+  t.add_row({std::string("body,track"), 0.5, std::int64_t(4)});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("kernel,ratio,count"), std::string::npos);
+  EXPECT_NE(csv.find("\"body,track\""), std::string::npos) << csv;
+  const std::string json = t.json();
+  EXPECT_NE(json.find("\"kernel\": \"body,track\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ratio\": 0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos) << json;
+}

@@ -101,7 +101,8 @@ BENCHMARK(BM_SpiceRcTransient);
 /// must hold per-step real_time sub-quadratic in the dimension (ladder
 /// nnz(LU) is O(dim)); the dense path is the quadratic baseline.
 void spice_ladder_transient(benchmark::State& state,
-                            mss::spice::SolverKind kind) {
+                            mss::spice::SolverKind kind,
+                            bool stamp_cache = true) {
   const auto n = static_cast<std::size_t>(state.range(0));
   mss::spice::Circuit ckt;
   int prev = ckt.node("n0");
@@ -119,6 +120,7 @@ void spice_ladder_transient(benchmark::State& state,
   }
   mss::spice::EngineOptions opt;
   opt.solver = kind;
+  opt.stamp_cache = stamp_cache;
   mss::spice::Engine eng(ckt, opt);
   constexpr double kDt = 10e-12;
   constexpr double kStop = 2e-9; // 200 steps per run
@@ -150,6 +152,18 @@ BENCHMARK(BM_SpiceDenseTransient)
     ->Arg(256)
     ->Arg(1024);
 
+// The same sparse ladder with per-element stamp-slot caching disabled:
+// every restamp pays the (i, j) hash lookup. The gap to
+// BM_SpiceSparseTransient at equal dim is what the slot cache buys.
+void BM_SpiceSparseTransientUncached(benchmark::State& state) {
+  spice_ladder_transient(state, mss::spice::SolverKind::Sparse,
+                         /*stamp_cache=*/false);
+}
+BENCHMARK(BM_SpiceSparseTransientUncached)
+    ->ArgName("dim")
+    ->Arg(1024)
+    ->Arg(4096);
+
 /// Nonlinear array-characterisation path: rows x rows bit-cell array write
 /// (access MOSFET + MTJ per selected-row cell, distributed WL/BL RC),
 /// Newton refactoring the sparse system every iteration.
@@ -166,6 +180,25 @@ void BM_SpiceArrayWrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpiceArrayWrite)->ArgName("rows")->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// The array write under LTE-controlled adaptive stepping: same waveform
+// within tolerance at a fraction of the steps (the golden regression test
+// asserts >= 2x fewer; in practice ~5-10x on the 6.5 ns write window).
+void BM_SpiceArrayWriteAdaptive(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const mss::core::Pdk pdk;
+  mss::cells::ArrayNetlistOptions o;
+  o.rows = rows;
+  o.cols = rows;
+  o.adaptive_step = true;
+  for (auto _ : state) {
+    const auto wr = mss::cells::characterize_array_write(
+        pdk, o, mss::core::WriteDirection::ToAntiparallel, 5e-9);
+    benchmark::DoNotOptimize(wr.t_switch);
+  }
+}
+BENCHMARK(BM_SpiceArrayWriteAdaptive)->ArgName("rows")->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 void BM_VaetMonteCarloAccess(benchmark::State& state) {

@@ -8,8 +8,13 @@ Compares `real_time` of every benchmark present in both snapshots whose
 name contains one of the family markers (default: the /dim:N and
 /threads:N families). Exits 1 when any matched benchmark regressed by
 more than the tolerance (relative to the baseline), 0 otherwise.
-Benchmarks only present on one side are reported but never fail the run
-(families evolve across revisions). Stdlib only.
+
+Individual benchmarks only present on one side are reported but never
+fail the run (families evolve across revisions) — but an entire family
+that exists in the baseline and is missing from the current snapshot
+fails with a clear diagnostic: that shape of diff means the benchmark
+binary dropped (or was built without) a whole scaling family, and a
+silent skip would let the regression gate pass vacuously. Stdlib only.
 """
 
 import argparse
@@ -23,8 +28,13 @@ _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"error: cannot read snapshot '{path}': {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"error: '{path}' is not valid JSON ({e})")
     out = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -37,7 +47,18 @@ def load(path):
     return out
 
 
-def main():
+def missing_families(base, cur, families):
+    """Family markers with baseline benchmarks but no current ones."""
+    missing = []
+    for fam in families:
+        base_n = sum(1 for n in base if fam in n)
+        cur_n = sum(1 for n in cur if fam in n)
+        if base_n > 0 and cur_n == 0:
+            missing.append((fam, base_n))
+    return missing
+
+
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
@@ -45,10 +66,21 @@ def main():
                     help="max allowed relative real_time growth (default 0.25)")
     ap.add_argument("--families", nargs="*", default=["/dim:", "/threads:"],
                     help="benchmark-name substrings to compare")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     base = load(args.baseline)
     cur = load(args.current)
+
+    lost = missing_families(base, cur, args.families)
+    if lost:
+        for fam, count in lost:
+            print(f"error: benchmark family '{fam}' has {count} benchmark(s) "
+                  f"in the baseline but none in the current snapshot.",
+                  file=sys.stderr)
+        print("The benchmark binary dropped an entire scaling family — the "
+              "regression gate cannot run vacuously. Restore the family or "
+              "refresh the committed baseline deliberately.", file=sys.stderr)
+        return 1
 
     def in_family(name):
         return any(f in name for f in args.families)

@@ -1,0 +1,107 @@
+"""Tests for bench_diff.py — runnable with pytest or plain unittest:
+
+    python3 -m pytest scripts/test_bench_diff.py
+    python3 -m unittest discover -s scripts -p 'test_*.py'
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff  # noqa: E402
+
+
+def snapshot(benchmarks):
+    return {"benchmarks": [
+        {"name": name, "real_time": rt, "time_unit": "ns"}
+        for name, rt in benchmarks.items()
+    ]}
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, data):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(data, f)
+        return path
+
+    def run_diff(self, base, cur, extra=()):
+        return bench_diff.main([base, cur, *extra])
+
+    def test_no_regression_passes(self):
+        base = self.write("base.json", snapshot({"BM_X/dim:64": 100.0}))
+        cur = self.write("cur.json", snapshot({"BM_X/dim:64": 110.0}))
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+    def test_regression_fails(self):
+        base = self.write("base.json", snapshot({"BM_X/dim:64": 100.0}))
+        cur = self.write("cur.json", snapshot({"BM_X/dim:64": 200.0}))
+        self.assertEqual(self.run_diff(base, cur), 1)
+
+    def test_individual_missing_benchmark_is_tolerated(self):
+        # One /dim: benchmark disappears but the family survives: families
+        # evolve across revisions, so this stays a pass.
+        base = self.write("base.json", snapshot({
+            "BM_X/dim:64": 100.0, "BM_X/dim:128": 200.0}))
+        cur = self.write("cur.json", snapshot({"BM_X/dim:64": 100.0}))
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+    def test_missing_family_fails_with_clear_message(self):
+        # The whole /dim: family vanishes from the current snapshot: the
+        # gate must fail loudly instead of passing vacuously — and via a
+        # clean exit code, not a traceback.
+        base = self.write("base.json", snapshot({
+            "BM_X/dim:64": 100.0, "BM_Y/threads:2": 50.0}))
+        cur = self.write("cur.json", snapshot({"BM_Y/threads:2": 50.0}))
+        import contextlib
+        import io
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            rc = self.run_diff(base, cur)
+        self.assertEqual(rc, 1)
+        self.assertIn("family '/dim:'", err.getvalue())
+        self.assertIn("none in the current snapshot", err.getvalue())
+
+    def test_family_only_in_current_is_tolerated(self):
+        # A brand-new family has no baseline yet: pass.
+        base = self.write("base.json", snapshot({"BM_Y/threads:2": 50.0}))
+        cur = self.write("cur.json", snapshot({
+            "BM_Y/threads:2": 50.0, "BM_X/dim:64": 100.0}))
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+    def test_unreadable_snapshot_is_a_clean_error(self):
+        base = self.write("base.json", snapshot({"BM_X/dim:64": 100.0}))
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_diff(base, os.path.join(self.tmp.name, "absent.json"))
+        self.assertIn("cannot read snapshot", str(ctx.exception))
+
+    def test_invalid_json_is_a_clean_error(self):
+        base = self.write("base.json", snapshot({"BM_X/dim:64": 100.0}))
+        bad = os.path.join(self.tmp.name, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{not json")
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_diff(base, bad)
+        self.assertIn("not valid JSON", str(ctx.exception))
+
+    def test_unit_normalisation(self):
+        # A unit change must not read as a 1000x regression.
+        base = self.write("base.json", snapshot({"BM_X/dim:64": 100.0}))
+        cur_data = {"benchmarks": [
+            {"name": "BM_X/dim:64", "real_time": 0.1, "time_unit": "us"}]}
+        cur = self.write("cur.json", cur_data)
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -53,6 +53,20 @@ std::map<std::string, double> run_mdl_pipeline(
   return spice::mdl::parse_measure_file(file);
 }
 
+namespace {
+
+/// Fixed or LTE-adaptive transient per the array options — the one place
+/// both characterisation drivers pick their stepping mode.
+[[nodiscard]] spice::TransientResult run_array_transient(
+    spice::Engine& engine, const ArrayNetlistOptions& opt, double t_stop) {
+  if (!opt.adaptive_step) return engine.transient(t_stop, opt.sim_dt);
+  spice::AdaptiveOptions aopt;
+  aopt.ltol_rel = opt.adaptive_ltol;
+  return engine.transient_adaptive(t_stop, opt.sim_dt, aopt);
+}
+
+} // namespace
+
 ArrayWriteResult characterize_array_write(const core::Pdk& pdk,
                                           const ArrayNetlistOptions& opt,
                                           core::WriteDirection dir,
@@ -65,12 +79,13 @@ ArrayWriteResult characterize_array_write(const core::Pdk& pdk,
   spice::EngineOptions eopt;
   eopt.solver = solver;
   spice::Engine engine(net.circuit, eopt);
-  const auto tr = engine.transient(t_stop, opt.sim_dt);
+  const auto tr = run_array_transient(engine, opt, t_stop);
 
   const bool to_p = dir == core::WriteDirection::ToParallel;
   ArrayWriteResult out;
   out.converged = tr.converged();
   out.dim = net.dim;
+  out.steps = tr.accepted_steps();
   out.backend = engine.solver_backend();
   out.switched = net.target_mtj->state() ==
                  (to_p ? core::MtjState::Parallel
@@ -102,7 +117,7 @@ ArrayReadResult characterize_array_read(const core::Pdk& pdk,
     spice::EngineOptions eopt;
     eopt.solver = solver;
     spice::Engine engine(net.circuit, eopt);
-    const auto tr = engine.transient(t_start + t_read + 0.3e-9, opt.sim_dt);
+    const auto tr = run_array_transient(engine, opt, t_start + t_read + 0.3e-9);
 
     // MDL pipeline: settled bitline-source current during the pulse.
     const double t_lo = t_start + 0.6 * t_read;
@@ -113,6 +128,7 @@ ArrayReadResult characterize_array_read(const core::Pdk& pdk,
     const auto meas = run_mdl_pipeline(tr, mdl);
     const double i_cell = std::abs(meas.at("iread"));
     out.dim = net.dim;
+    out.steps = tr.accepted_steps();
     out.backend = engine.solver_backend();
     if (st == core::MtjState::Parallel) {
       out.i_cell_p = i_cell;

@@ -60,6 +60,7 @@ struct ArrayWriteResult {
   double i_peak = 0.0;     ///< peak target-cell stack current [A]
   double i_settled = 0.0;  ///< stack current just before the flip [A]
   std::size_t dim = 0;     ///< MNA unknowns of the array system
+  std::size_t steps = 0;   ///< accepted transient steps (adaptive << fixed)
   std::string backend;     ///< linear-solver backend that ran ("sparse"...)
 };
 
@@ -70,6 +71,7 @@ struct ArrayReadResult {
   double delta_i = 0.0;    ///< read margin current [A]
   double energy_read = 0.0;///< read energy per access (parallel state) [J]
   std::size_t dim = 0;
+  std::size_t steps = 0;   ///< accepted steps of the last transient
   std::string backend;
 };
 

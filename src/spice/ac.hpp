@@ -20,6 +20,13 @@
 
 namespace mss::spice {
 
+/// AC analysis configuration.
+struct AcOptions {
+  SolverKind solver = SolverKind::Auto;
+  Ordering ordering = Ordering::Auto; ///< sparse column-ordering policy
+  bool stamp_cache = true; ///< per-element stamp-slot caching (A/B knob)
+};
+
 /// Frequency-response of one run.
 class AcResult {
  public:
@@ -43,7 +50,7 @@ class AcResult {
 
  private:
   friend AcResult ac_analysis(Circuit&, const std::vector<double>&,
-                              SolverKind);
+                              const AcOptions&);
   std::vector<double> freqs_;
   std::vector<std::vector<std::complex<double>>> samples_;
   std::unordered_map<std::string, std::size_t> node_index_;
@@ -60,6 +67,9 @@ class AcResult {
 /// the complex linearised system per frequency through the selected
 /// linear-solver backend (Auto: dense below kSparseAutoThreshold unknowns,
 /// sparse at array scale).
+[[nodiscard]] AcResult ac_analysis(Circuit& circuit,
+                                   const std::vector<double>& freqs,
+                                   const AcOptions& options);
 [[nodiscard]] AcResult ac_analysis(Circuit& circuit,
                                    const std::vector<double>& freqs,
                                    SolverKind solver = SolverKind::Auto);

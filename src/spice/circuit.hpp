@@ -10,11 +10,14 @@
 // is assembled densely or sparsely.
 #pragma once
 
+#include <array>
 #include <complex>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "spice/solver.hpp"
@@ -40,6 +43,49 @@ struct StampContext {
   bool first_step = false; ///< transient: first step after DC (use BE)
 };
 
+/// Per-element cache of resolved stamp slots for a fixed set of N (i, j)
+/// positions. An element declares one `mutable StampSlots<N>` member per
+/// stamping pattern and accumulates through `MnaSystemT::add_all`, which
+/// re-resolves the handles only when the (solver instance, stamp epoch)
+/// tag no longer matches — i.e. after the engine swapped or reset the
+/// backend. Handles are scalar-agnostic, so the same member serves the
+/// real (transient) and complex (AC) stamping paths; the owner tag keeps
+/// them apart. Not thread-safe per element: a circuit (and therefore its
+/// elements) belongs to one engine at a time.
+template <std::size_t N>
+struct StampSlots {
+  const void* owner = nullptr; ///< solver the handles index into
+  std::uint64_t epoch = 0;     ///< solver stamp epoch at resolve time
+  std::array<std::uint32_t, N> s{};
+};
+
+/// Runtime-sized cache of the per-node diagonal slots the analyses stamp
+/// their gmin ground shunts into — the same (owner, epoch) invalidation
+/// contract as StampSlots, for a slot count only known at analysis time.
+class GminSlotCache {
+ public:
+  /// Accumulates `gmin` on every node diagonal through cached slots,
+  /// re-resolving when the solver instance/epoch/node count changed.
+  template <typename T>
+  void add_all(LinearSolverT<T>& solver, std::size_t n_nodes, T gmin) {
+    if (owner_ != &solver || epoch_ != solver.stamp_epoch() ||
+        slots_.size() != n_nodes) {
+      slots_.resize(n_nodes);
+      for (std::size_t k = 0; k < n_nodes; ++k) slots_[k] = solver.slot(k, k);
+      owner_ = &solver;
+      epoch_ = solver.stamp_epoch();
+    }
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      solver.add_slot(slots_[k], gmin);
+    }
+  }
+
+ private:
+  const void* owner_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint32_t> slots_;
+};
+
 /// The MNA system elements stamp into: matrix coefficients go to the linear
 /// solver backend, RHS terms to the analysis-owned right-hand-side vector.
 /// Node index kGround is silently dropped. Instantiated for double
@@ -47,14 +93,52 @@ struct StampContext {
 template <typename T>
 class MnaSystemT {
  public:
-  MnaSystemT(LinearSolverT<T>& solver, std::vector<T>& rhs)
-      : solver_(solver), rhs_(rhs) {}
+  /// `use_slot_cache` routes `add_all` through cached slot handles; false
+  /// forces the per-position `add_g` path (A/B validation of the cache).
+  MnaSystemT(LinearSolverT<T>& solver, std::vector<T>& rhs,
+             bool use_slot_cache = true)
+      : solver_(solver), rhs_(rhs), cache_(use_slot_cache) {}
 
   /// Adds g to A[i][j] (conductance / admittance).
   void add_g(int i, int j, T g) {
     if (i == kGround || j == kGround) return;
     solver_.add(static_cast<std::size_t>(i), static_cast<std::size_t>(j), g);
   }
+
+  /// Accumulates `vals[k]` at `pos[k]` through the element's slot cache:
+  /// slots are resolved once per (solver, epoch) and every later restamp
+  /// is a direct indexed add, skipping the backend's position lookup.
+  /// Ground positions resolve to kNoSlot and are dropped. Accumulation
+  /// order matches the equivalent add_g sequence exactly, so cached and
+  /// uncached restamps are bit-identical.
+  template <std::size_t N>
+  void add_all(StampSlots<N>& cache,
+               const std::array<std::pair<int, int>, N>& pos,
+               const std::array<T, N>& vals) {
+    if (!cache_) {
+      for (std::size_t k = 0; k < N; ++k) {
+        add_g(pos[k].first, pos[k].second, vals[k]);
+      }
+      return;
+    }
+    if (cache.owner != &solver_ || cache.epoch != solver_.stamp_epoch()) {
+      for (std::size_t k = 0; k < N; ++k) {
+        cache.s[k] =
+            (pos[k].first == kGround || pos[k].second == kGround)
+                ? LinearSolverT<T>::kNoSlot
+                : solver_.slot(static_cast<std::size_t>(pos[k].first),
+                               static_cast<std::size_t>(pos[k].second));
+      }
+      cache.owner = &solver_;
+      cache.epoch = solver_.stamp_epoch();
+    }
+    for (std::size_t k = 0; k < N; ++k) {
+      if (cache.s[k] != LinearSolverT<T>::kNoSlot) {
+        solver_.add_slot(cache.s[k], vals[k]);
+      }
+    }
+  }
+
   /// Adds value to RHS[i] (current injected *into* node i).
   void add_rhs(int i, T v) {
     if (i == kGround) return;
@@ -64,10 +148,13 @@ class MnaSystemT {
   [[nodiscard]] std::size_t dim() const { return rhs_.size(); }
   /// The backend assembling this system.
   [[nodiscard]] const LinearSolverT<T>& solver() const { return solver_; }
+  /// Whether add_all runs through cached slot handles.
+  [[nodiscard]] bool slot_cache_enabled() const { return cache_; }
 
  private:
   LinearSolverT<T>& solver_;
   std::vector<T>& rhs_;
+  bool cache_;
 };
 
 using MnaSystem = MnaSystemT<double>;
@@ -123,6 +210,17 @@ class Element {
   /// Accepts the converged step (update internal state: capacitor history,
   /// MTJ switching phase).
   virtual void commit(const Solution& /*x*/, const StampContext& /*ctx*/) {}
+
+  /// Snapshots the committed internal state so an adaptive trial step can
+  /// be rolled back; `restore_state` reverts to the last save. Default
+  /// no-ops for stateless elements.
+  virtual void save_state() {}
+  virtual void restore_state() {}
+
+  /// Appends the element's hard time points in (0, t_stop) — waveform
+  /// corners the adaptive stepper must land on exactly. Default: none.
+  virtual void append_breakpoints(double /*t_stop*/,
+                                  std::vector<double>& /*out*/) const {}
 
   /// Resets internal state before a new analysis.
   virtual void reset() {}

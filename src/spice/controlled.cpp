@@ -11,13 +11,10 @@ Vcvs::Vcvs(std::string name, int p, int n, int cp, int cn, double gain)
 
 void Vcvs::stamp(MnaSystem& st, const Solution&, const StampContext&) const {
   const int br = static_cast<int>(branch_);
-  st.add_g(p_, br, 1.0);
-  st.add_g(n_, br, -1.0);
-  // Branch row: v(p) - v(n) - gain*(v(cp) - v(cn)) = 0.
-  st.add_g(br, p_, 1.0);
-  st.add_g(br, n_, -1.0);
-  st.add_g(br, cp_, -gain_);
-  st.add_g(br, cn_, gain_);
+  // KCL rows, then the branch row: v(p) - v(n) - gain*(v(cp) - v(cn)) = 0.
+  st.add_all(slots_,
+             {{{p_, br}, {n_, br}, {br, p_}, {br, n_}, {br, cp_}, {br, cn_}}},
+             {1.0, -1.0, 1.0, -1.0, -gain_, gain_});
 }
 
 Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
@@ -25,10 +22,8 @@ Vccs::Vccs(std::string name, int p, int n, int cp, int cn, double gm)
 
 void Vccs::stamp(MnaSystem& st, const Solution&, const StampContext&) const {
   // Current gm*(v(cp)-v(cn)) flows out of p into n.
-  st.add_g(p_, cp_, gm_);
-  st.add_g(p_, cn_, -gm_);
-  st.add_g(n_, cp_, -gm_);
-  st.add_g(n_, cn_, gm_);
+  st.add_all(slots_, {{{p_, cp_}, {p_, cn_}, {n_, cp_}, {n_, cn_}}},
+             {gm_, -gm_, -gm_, gm_});
 }
 
 Diode::Diode(std::string name, int anode, int cathode, double i_s,
@@ -54,10 +49,8 @@ void Diode::stamp(MnaSystem& st, const Solution& x,
   const double g = std::max(1e-12, i_s_ * std::exp(vl) / vt_n_);
   const double i = current(v);
   const double ieq = i - g * v;
-  st.add_g(a_, a_, g);
-  st.add_g(c_, c_, g);
-  st.add_g(a_, c_, -g);
-  st.add_g(c_, a_, -g);
+  st.add_all(slots_, {{{a_, a_}, {c_, c_}, {a_, c_}, {c_, a_}}},
+             {g, g, -g, -g});
   st.add_rhs(a_, -ieq);
   st.add_rhs(c_, ieq);
 }
@@ -74,27 +67,33 @@ void Inductor::reset() {
   v_prev_ = 0.0;
 }
 
+void Inductor::save_state() {
+  saved_i_prev_ = i_prev_;
+  saved_v_prev_ = v_prev_;
+}
+
+void Inductor::restore_state() {
+  i_prev_ = saved_i_prev_;
+  v_prev_ = saved_v_prev_;
+}
+
 void Inductor::stamp(MnaSystem& st, const Solution&,
                      const StampContext& ctx) const {
   const int br = static_cast<int>(branch_);
-  // KCL: branch current flows a -> b.
-  st.add_g(a_, br, 1.0);
-  st.add_g(b_, br, -1.0);
-  if (ctx.kind == AnalysisKind::Dc || ctx.dt <= 0.0) {
-    // DC: short circuit, v(a) - v(b) = 0.
-    st.add_g(br, a_, 1.0);
-    st.add_g(br, b_, -1.0);
-    return;
-  }
-  // v = L di/dt. BE: v_n = (L/dt)(i_n - i_{n-1});
+  const bool dc = ctx.kind == AnalysisKind::Dc || ctx.dt <= 0.0;
+  // KCL: branch current flows a -> b. Branch row: DC short circuit
+  // v(a) - v(b) = 0, or the companion v(a) - v(b) - req * i = rhs.
+  // BE: v_n = (L/dt)(i_n - i_{n-1});
   // trapezoidal: v_n = (2L/dt)(i_n - i_{n-1}) - v_{n-1}.
+  // The (br, br) position is stamped (with 0) in DC too so the sparse
+  // pattern stays stable between the operating point and the transient.
   const bool trap = ctx.method == Integrator::Trapezoidal && !ctx.first_step;
-  const double req = (trap ? 2.0 : 1.0) * l_ / ctx.dt;
-  // Branch row: v(a) - v(b) - req * i = rhs.
-  st.add_g(br, a_, 1.0);
-  st.add_g(br, b_, -1.0);
-  st.add_g(br, br, -req);
-  st.add_rhs(br, trap ? (-req * i_prev_ - v_prev_) : (-req * i_prev_));
+  const double req = dc ? 0.0 : (trap ? 2.0 : 1.0) * l_ / ctx.dt;
+  st.add_all(slots_, {{{a_, br}, {b_, br}, {br, a_}, {br, b_}, {br, br}}},
+             {1.0, -1.0, 1.0, -1.0, -req});
+  if (!dc) {
+    st.add_rhs(br, trap ? (-req * i_prev_ - v_prev_) : (-req * i_prev_));
+  }
 }
 
 void Inductor::commit(const Solution& x, const StampContext& ctx) {
@@ -108,19 +107,16 @@ void Inductor::commit(const Solution& x, const StampContext& ctx) {
 
 void Vcvs::stamp_ac(AcSystem& st, const Solution&, double) const {
   const int br = static_cast<int>(branch_);
-  st.add_g(p_, br, 1.0);
-  st.add_g(n_, br, -1.0);
-  st.add_g(br, p_, 1.0);
-  st.add_g(br, n_, -1.0);
-  st.add_g(br, cp_, -gain_);
-  st.add_g(br, cn_, gain_);
+  using C = std::complex<double>;
+  st.add_all(slots_,
+             {{{p_, br}, {n_, br}, {br, p_}, {br, n_}, {br, cp_}, {br, cn_}}},
+             {C(1.0), C(-1.0), C(1.0), C(-1.0), C(-gain_), C(gain_)});
 }
 
 void Vccs::stamp_ac(AcSystem& st, const Solution&, double) const {
-  st.add_g(p_, cp_, gm_);
-  st.add_g(p_, cn_, -gm_);
-  st.add_g(n_, cp_, -gm_);
-  st.add_g(n_, cn_, gm_);
+  using C = std::complex<double>;
+  st.add_all(slots_, {{{p_, cp_}, {p_, cn_}, {n_, cp_}, {n_, cn_}}},
+             {C(gm_), C(-gm_), C(-gm_), C(gm_)});
 }
 
 void Diode::stamp_ac(AcSystem& st, const Solution& op, double) const {
@@ -128,20 +124,16 @@ void Diode::stamp_ac(AcSystem& st, const Solution& op, double) const {
   const double vl = std::min(v / vt_n_, 80.0);
   const std::complex<double> g(
       std::max(1e-12, i_s_ * std::exp(vl) / vt_n_), 0.0);
-  st.add_g(a_, a_, g);
-  st.add_g(c_, c_, g);
-  st.add_g(a_, c_, -g);
-  st.add_g(c_, a_, -g);
+  st.add_all(slots_, {{{a_, a_}, {c_, c_}, {a_, c_}, {c_, a_}}},
+             {g, g, -g, -g});
 }
 
 void Inductor::stamp_ac(AcSystem& st, const Solution&, double omega) const {
   const int br = static_cast<int>(branch_);
-  st.add_g(a_, br, 1.0);
-  st.add_g(b_, br, -1.0);
+  using C = std::complex<double>;
   // Branch row: v(a) - v(b) - j*omega*L * i = 0.
-  st.add_g(br, a_, 1.0);
-  st.add_g(br, b_, -1.0);
-  st.add_g(br, br, std::complex<double>(0.0, -omega * l_));
+  st.add_all(slots_, {{{a_, br}, {b_, br}, {br, a_}, {br, b_}, {br, br}}},
+             {C(1.0), C(-1.0), C(1.0), C(-1.0), C(0.0, -omega * l_)});
 }
 
 } // namespace mss::spice

@@ -25,6 +25,7 @@ class Vcvs final : public Element {
   int p_, n_, cp_, cn_;
   double gain_;
   std::size_t branch_ = 0;
+  mutable StampSlots<6> slots_;
 };
 
 /// Voltage-controlled current source (G element): i(p->n) =
@@ -40,6 +41,7 @@ class Vccs final : public Element {
  private:
   int p_, n_, cp_, cn_;
   double gm_;
+  mutable StampSlots<4> slots_;
 };
 
 /// Junction diode with the exponential Shockley model, series-limited for
@@ -62,6 +64,7 @@ class Diode final : public Element {
   int a_, c_;
   double i_s_;
   double vt_n_; ///< n * thermal voltage
+  mutable StampSlots<4> slots_;
 };
 
 /// Linear inductor; claims a branch unknown carrying its current.
@@ -77,6 +80,8 @@ class Inductor final : public Element {
   void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
   void commit(const Solution& x, const StampContext& ctx) override;
+  void save_state() override;
+  void restore_state() override;
   void reset() override;
 
  private:
@@ -86,6 +91,9 @@ class Inductor final : public Element {
   std::size_t branch_ = 0;
   double i_prev_ = 0.0;
   double v_prev_ = 0.0;
+  double saved_i_prev_ = 0.0;
+  double saved_v_prev_ = 0.0;
+  mutable StampSlots<5> slots_;
 };
 
 } // namespace mss::spice

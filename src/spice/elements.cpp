@@ -4,6 +4,17 @@
 
 namespace mss::spice {
 
+namespace {
+
+/// The (a,a),(b,b),(a,b),(b,a) position quad every two-terminal
+/// conductance stamps.
+[[nodiscard]] constexpr std::array<std::pair<int, int>, 4> quad_pos(int a,
+                                                                    int b) {
+  return {{{a, a}, {b, b}, {a, b}, {b, a}}};
+}
+
+} // namespace
+
 Resistor::Resistor(std::string name, int a, int b, double ohms)
     : Element(std::move(name)), a_(a), b_(b), r_(ohms) {
   if (r_ <= 0.0) throw std::invalid_argument("Resistor: non-positive value");
@@ -11,18 +22,12 @@ Resistor::Resistor(std::string name, int a, int b, double ohms)
 
 void Resistor::stamp(MnaSystem& st, const Solution&, const StampContext&) const {
   const double g = 1.0 / r_;
-  st.add_g(a_, a_, g);
-  st.add_g(b_, b_, g);
-  st.add_g(a_, b_, -g);
-  st.add_g(b_, a_, -g);
+  st.add_all(slots_, quad_pos(a_, b_), {g, g, -g, -g});
 }
 
 void Resistor::stamp_ac(AcSystem& st, const Solution&, double) const {
   const std::complex<double> g(1.0 / r_, 0.0);
-  st.add_g(a_, a_, g);
-  st.add_g(b_, b_, g);
-  st.add_g(a_, b_, -g);
-  st.add_g(b_, a_, -g);
+  st.add_all(slots_, quad_pos(a_, b_), {g, g, -g, -g});
 }
 
 Capacitor::Capacitor(std::string name, int a, int b, double farads,
@@ -37,6 +42,16 @@ void Capacitor::reset() {
   i_prev_ = 0.0;
 }
 
+void Capacitor::save_state() {
+  saved_v_prev_ = v_prev_;
+  saved_i_prev_ = i_prev_;
+}
+
+void Capacitor::restore_state() {
+  v_prev_ = saved_v_prev_;
+  i_prev_ = saved_i_prev_;
+}
+
 void Capacitor::stamp(MnaSystem& st, const Solution&,
                       const StampContext& ctx) const {
   if (ctx.kind == AnalysisKind::Dc || ctx.dt <= 0.0) return; // open in DC
@@ -44,10 +59,7 @@ void Capacitor::stamp(MnaSystem& st, const Solution&,
       ctx.method == Integrator::Trapezoidal && !ctx.first_step;
   const double geq = trap ? 2.0 * c_ / ctx.dt : c_ / ctx.dt;
   const double ieq = trap ? geq * v_prev_ + i_prev_ : geq * v_prev_;
-  st.add_g(a_, a_, geq);
-  st.add_g(b_, b_, geq);
-  st.add_g(a_, b_, -geq);
-  st.add_g(b_, a_, -geq);
+  st.add_all(slots_, quad_pos(a_, b_), {geq, geq, -geq, -geq});
   st.add_rhs(a_, ieq);
   st.add_rhs(b_, -ieq);
 }
@@ -70,10 +82,7 @@ void Capacitor::commit(const Solution& x, const StampContext& ctx) {
 void Capacitor::stamp_ac(AcSystem& st, const Solution&,
                          double omega) const {
   const std::complex<double> y(0.0, omega * c_);
-  st.add_g(a_, a_, y);
-  st.add_g(b_, b_, y);
-  st.add_g(a_, b_, -y);
-  st.add_g(b_, a_, -y);
+  st.add_all(slots_, quad_pos(a_, b_), {y, y, -y, -y});
 }
 
 VoltageSource::VoltageSource(std::string name, int plus, int minus,
@@ -86,23 +95,27 @@ VoltageSource::VoltageSource(std::string name, int plus, int minus,
 void VoltageSource::stamp(MnaSystem& st, const Solution&,
                           const StampContext& ctx) const {
   const int br = static_cast<int>(branch_);
-  // KCL rows: current leaves + node, enters - node.
-  st.add_g(plus_, br, 1.0);
-  st.add_g(minus_, br, -1.0);
-  // Branch row: v(+) - v(-) = V(t).
-  st.add_g(br, plus_, 1.0);
-  st.add_g(br, minus_, -1.0);
+  // KCL rows: current leaves + node, enters - node; branch row:
+  // v(+) - v(-) = V(t).
+  st.add_all(slots_,
+             {{{plus_, br}, {minus_, br}, {br, plus_}, {br, minus_}}},
+             {1.0, -1.0, 1.0, -1.0});
   st.add_rhs(br, wave_->value(ctx.t));
 }
 
 void VoltageSource::stamp_ac(AcSystem& st, const Solution&,
                              double) const {
   const int br = static_cast<int>(branch_);
-  st.add_g(plus_, br, 1.0);
-  st.add_g(minus_, br, -1.0);
-  st.add_g(br, plus_, 1.0);
-  st.add_g(br, minus_, -1.0);
+  st.add_all(slots_,
+             {{{plus_, br}, {minus_, br}, {br, plus_}, {br, minus_}}},
+             {std::complex<double>(1.0), std::complex<double>(-1.0),
+              std::complex<double>(1.0), std::complex<double>(-1.0)});
   st.add_rhs(br, std::complex<double>(ac_mag_, 0.0));
+}
+
+void VoltageSource::append_breakpoints(double t_stop,
+                                       std::vector<double>& out) const {
+  wave_->breakpoints(t_stop, out);
 }
 
 CurrentSource::CurrentSource(std::string name, int plus, int minus,
@@ -121,6 +134,11 @@ void CurrentSource::stamp(MnaSystem& st, const Solution&,
   st.add_rhs(minus_, i);
 }
 
+void CurrentSource::append_breakpoints(double t_stop,
+                                       std::vector<double>& out) const {
+  wave_->breakpoints(t_stop, out);
+}
+
 Switch::Switch(std::string name, int a, int b, int ctrl_p, int ctrl_n,
                double threshold, double r_on, double r_off)
     : Element(std::move(name)), a_(a), b_(b), cp_(ctrl_p), cn_(ctrl_n),
@@ -134,19 +152,13 @@ void Switch::stamp(MnaSystem& st, const Solution& x,
                    const StampContext&) const {
   const double vc = x.v(cp_) - x.v(cn_);
   const double g = vc > vth_ ? 1.0 / r_on_ : 1.0 / r_off_;
-  st.add_g(a_, a_, g);
-  st.add_g(b_, b_, g);
-  st.add_g(a_, b_, -g);
-  st.add_g(b_, a_, -g);
+  st.add_all(slots_, quad_pos(a_, b_), {g, g, -g, -g});
 }
 
 void Switch::stamp_ac(AcSystem& st, const Solution& op, double) const {
   const double vc = op.v(cp_) - op.v(cn_);
   const std::complex<double> g(vc > vth_ ? 1.0 / r_on_ : 1.0 / r_off_, 0.0);
-  st.add_g(a_, a_, g);
-  st.add_g(b_, b_, g);
-  st.add_g(a_, b_, -g);
-  st.add_g(b_, a_, -g);
+  st.add_all(slots_, quad_pos(a_, b_), {g, g, -g, -g});
 }
 
 } // namespace mss::spice

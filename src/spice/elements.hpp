@@ -24,6 +24,7 @@ class Resistor final : public Element {
  private:
   int a_, b_;
   double r_;
+  mutable StampSlots<4> slots_;
 };
 
 /// Two-terminal linear capacitor (companion model in transient; open in DC).
@@ -36,6 +37,8 @@ class Capacitor final : public Element {
   void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
   void commit(const Solution& x, const StampContext& ctx) override;
+  void save_state() override;
+  void restore_state() override;
   void reset() override;
 
  private:
@@ -44,6 +47,9 @@ class Capacitor final : public Element {
   double v0_;
   double v_prev_ = 0.0;
   double i_prev_ = 0.0;
+  double saved_v_prev_ = 0.0;
+  double saved_i_prev_ = 0.0;
+  mutable StampSlots<4> slots_;
 };
 
 /// Independent voltage source with a waveform; claims one branch unknown.
@@ -64,12 +70,15 @@ class VoltageSource final : public Element {
   void set_ac(double magnitude) { ac_mag_ = magnitude; }
   void stamp_ac(AcSystem& st, const Solution& op,
                 double omega) const override;
+  void append_breakpoints(double t_stop,
+                          std::vector<double>& out) const override;
 
  private:
   int plus_, minus_;
   std::unique_ptr<Waveform> wave_;
   std::size_t branch_ = 0;
   double ac_mag_ = 0.0;
+  mutable StampSlots<4> slots_;
 };
 
 /// Independent current source (flows from plus through the source to minus,
@@ -81,6 +90,8 @@ class CurrentSource final : public Element {
                 std::unique_ptr<Waveform> wave);
   void stamp(MnaSystem& st, const Solution& x,
              const StampContext& ctx) const override;
+  void append_breakpoints(double t_stop,
+                          std::vector<double>& out) const override;
 
  private:
   int plus_, minus_;
@@ -104,6 +115,7 @@ class Switch final : public Element {
  private:
   int a_, b_, cp_, cn_;
   double vth_, r_on_, r_off_;
+  mutable StampSlots<4> slots_;
 };
 
 } // namespace mss::spice

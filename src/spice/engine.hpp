@@ -1,8 +1,11 @@
 // DC operating-point (Newton-Raphson) and transient analysis over a
-// Circuit, with trapezoidal or backward-Euler integration. The linear
-// algebra runs through the pluggable solver layer (solver.hpp): dense LU
-// for cell-level netlists, sparse LU for array-level ones, selected
-// automatically from the system dimension unless pinned by the options.
+// Circuit, with trapezoidal or backward-Euler integration. Fixed-step
+// transient plus an adaptive variant driven by a local-truncation-error
+// step-doubling controller that lands exactly on source-waveform
+// breakpoints. The linear algebra runs through the pluggable solver layer
+// (solver.hpp): dense LU for cell-level netlists, sparse LU for
+// array-level ones, selected automatically from the system dimension
+// unless pinned by the options.
 #pragma once
 
 #include <memory>
@@ -23,6 +26,32 @@ struct EngineOptions {
   double damping = 0.6;    ///< max voltage change per Newton step [V]
   Integrator method = Integrator::Trapezoidal;
   SolverKind solver = SolverKind::Auto; ///< linear-solver backend choice
+  Ordering ordering = Ordering::Auto;   ///< sparse column-ordering policy
+  /// Per-element stamp-slot caching: elements restamp by cached slot
+  /// handle instead of (i, j) lookup. Bit-identical either way; off only
+  /// for A/B validation.
+  bool stamp_cache = true;
+  /// Sparse partial refactorization (restart at the first changed pivot
+  /// position). Bit-identical to full refactors; off only for A/B
+  /// validation.
+  bool partial_refactor = true;
+};
+
+/// Controller knobs of the adaptive transient (Engine::transient_adaptive).
+struct AdaptiveOptions {
+  double ltol_rel = 1e-3;  ///< per-step relative local-truncation tolerance
+  double ltol_abs = 1e-6;  ///< absolute floor of the error weight [V]
+  double dt_min = 0.0;     ///< smallest step; 0 = dt_initial / 1024
+  double dt_max = 0.0;     ///< largest step; 0 = max(dt_initial, t_stop/16)
+  double grow_limit = 2.0; ///< max step growth per accepted step
+  double safety = 0.9;     ///< controller safety factor
+  /// Integrator of the controlled run. Backward Euler by default: it is
+  /// L-stable, so the step-doubling error estimate decays for the stiff
+  /// parasitic modes of array netlists. Trapezoidal rings at dt >> tau
+  /// (amplification factor -> -1), which keeps the estimate above any
+  /// tolerance and pins the controller at dt_min — pick it only for
+  /// mildly stiff circuits where its second order pays off.
+  Integrator method = Integrator::BackwardEuler;
 };
 
 /// DC solve outcome.
@@ -40,6 +69,10 @@ class TransientResult {
 
   /// Voltage of a named node at step k.
   [[nodiscard]] double v(const std::string& node, std::size_t k) const;
+  /// Voltage of a named node at time t, linearly interpolated between the
+  /// stored samples (clamped at the run's ends) — the way to compare
+  /// adaptive-step waveforms against a fixed-step reference grid.
+  [[nodiscard]] double v_at(const std::string& node, double t) const;
   /// Complete voltage waveform of a named node.
   [[nodiscard]] std::vector<double> voltage(const std::string& node) const;
   /// Branch current through a named voltage source at step k
@@ -54,6 +87,12 @@ class TransientResult {
   [[nodiscard]] std::size_t size() const { return times_.size(); }
   /// Whether every step converged.
   [[nodiscard]] bool converged() const { return converged_; }
+  /// Accepted steps (== size() - 1 for both transient flavours).
+  [[nodiscard]] std::size_t accepted_steps() const {
+    return times_.empty() ? 0 : times_.size() - 1;
+  }
+  /// Steps the adaptive controller rejected and retried (0 in fixed-step).
+  [[nodiscard]] std::size_t rejected_steps() const { return rejected_; }
 
  private:
   friend class Engine;
@@ -62,6 +101,7 @@ class TransientResult {
   std::unordered_map<std::string, std::size_t> node_index_;
   std::unordered_map<std::string, std::size_t> source_branch_;
   bool converged_ = true;
+  std::size_t rejected_ = 0;
 
   [[nodiscard]] std::size_t idx_of_node(const std::string& node) const;
   [[nodiscard]] std::size_t idx_of_source(const std::string& vsource) const;
@@ -82,6 +122,16 @@ class Engine {
   [[nodiscard]] TransientResult transient(double t_stop, double dt,
                                           bool use_initial_conditions = false);
 
+  /// Adaptive transient from 0 to `t_stop`, starting at `dt_initial`.
+  /// Local truncation error is estimated by step doubling (one full step
+  /// vs two half steps; the half-step result is kept), steps halve on
+  /// rejection and grow up to `grow_limit` on easy acceptance, and the
+  /// stepper lands exactly on every source-waveform breakpoint (pulse and
+  /// PWL corners) and on `t_stop`, so no stimulus edge is stepped over.
+  [[nodiscard]] TransientResult transient_adaptive(
+      double t_stop, double dt_initial, AdaptiveOptions adaptive = {},
+      bool use_initial_conditions = false);
+
   /// Name of the linear-solver backend in use ("dense" / "sparse";
   /// "unresolved" before the first solve when the options say Auto).
   [[nodiscard]] const char* solver_backend() const {
@@ -89,10 +139,18 @@ class Engine {
   }
 
   /// Numeric factorizations performed so far — the dirty-stamp cache
-  /// observable (a linear fixed-step transient settles at two: the first
-  /// backward-Euler step and the steady trapezoidal pattern).
+  /// observable (a linear fixed-step transient settles at three: DC
+  /// operating point, first backward-Euler step, steady trapezoidal
+  /// pattern).
   [[nodiscard]] std::size_t factor_count() const {
     return solver_ ? solver_->factor_count() : 0;
+  }
+
+  /// Total columns numerically factored — the partial-refactorization
+  /// observable (full refactors contribute `dim` each; sparse partial
+  /// refactors contribute only the recomputed suffix).
+  [[nodiscard]] std::size_t factor_cols_total() const {
+    return solver_ ? solver_->factor_cols_total() : 0;
   }
 
  private:
@@ -108,6 +166,9 @@ class Engine {
   std::vector<double> x_new_;        ///< solve output buffer
   std::size_t ws_dim_ = 0;           ///< dimension the workspace is sized for
 
+  // Cached gmin diagonal slots (invalidated via the solver stamp epoch).
+  GminSlotCache gmin_slots_;
+
   /// (Re)sizes the workspace for `dim` unknowns, creating the backend the
   /// options select for that dimension.
   void ensure_workspace(std::size_t dim);
@@ -115,6 +176,12 @@ class Engine {
   /// One Newton solve at the given context; x is in/out. Returns converged.
   bool solve(std::vector<double>& x, const StampContext& ctx,
              std::size_t dim);
+
+  /// Fills the result's node/source lookup maps.
+  void init_result_maps(TransientResult& res) const;
+
+  /// Commits every element for an accepted step.
+  void commit_all(const std::vector<double>& x, const StampContext& ctx);
 };
 
 } // namespace mss::spice

@@ -99,9 +99,11 @@ void Mosfet::stamp(MnaSystem& st, const Solution& x,
     sign = -1.0;
   }
   int nd = d_, ns = s_;
+  bool swapped = false;
   if (vd < vs) {
     std::swap(vd, vs);
     std::swap(nd, ns);
+    swapped = true;
   }
   const double vgs = vg - vs;
   const double vds = vd - vs;
@@ -109,23 +111,23 @@ void Mosfet::stamp(MnaSystem& st, const Solution& x,
   eval(vgs, vds, id, gm, gds);
   const double ieq = id - gm * vgs - gds * vds;
 
-  // Row nd (current out), row ns (current in).
-  st.add_g(nd, g_, gm);
-  st.add_g(nd, ns, -(gm + gds));
-  st.add_g(nd, nd, gds);
-  st.add_g(ns, g_, -gm);
-  st.add_g(ns, ns, gm + gds);
-  st.add_g(ns, nd, -gds);
+  // Row nd (current out), row ns (current in), with the convergence gmin
+  // across the physical channel folded in. The position set is fixed —
+  // the drain/source swap permutes the *values*, not the slots — so the
+  // per-element slot cache stays valid for any bias polarity.
+  const double g_dd = swapped ? gm + gds + kGmin : gds + kGmin;
+  const double g_dg = swapped ? -gm : gm;
+  const double g_ds = swapped ? -gds - kGmin : -(gm + gds) - kGmin;
+  const double g_ss = swapped ? gds + kGmin : gm + gds + kGmin;
+  const double g_sg = swapped ? gm : -gm;
+  const double g_sd = swapped ? -(gm + gds) - kGmin : -gds - kGmin;
+  st.add_all(slots_,
+             {{{d_, d_}, {d_, g_}, {d_, s_}, {s_, d_}, {s_, g_}, {s_, s_}}},
+             {g_dd, g_dg, g_ds, g_sd, g_sg, g_ss});
   // For NMOS the equivalent source is -ieq at nd / +ieq at ns; for PMOS the
   // physical drain current is the negated internal one, flipping the sign.
   st.add_rhs(nd, -sign * ieq);
   st.add_rhs(ns, sign * ieq);
-
-  // gmin across the physical channel for convergence.
-  st.add_g(d_, d_, kGmin);
-  st.add_g(s_, s_, kGmin);
-  st.add_g(d_, s_, -kGmin);
-  st.add_g(s_, d_, -kGmin);
 }
 
 void Mosfet::stamp_ac(AcSystem& st, const Solution& op, double) const {
@@ -140,19 +142,25 @@ void Mosfet::stamp_ac(AcSystem& st, const Solution& op, double) const {
     vs = -vs;
   }
   int nd = d_, ns = s_;
+  bool swapped = false;
   if (vd < vs) {
     std::swap(vd, vs);
     std::swap(nd, ns);
+    swapped = true;
   }
   double id, gm, gds;
   eval(vg - vs, vd - vs, id, gm, gds);
   (void)id;
-  st.add_g(nd, g_, gm);
-  st.add_g(nd, ns, -(gm + gds + kGmin));
-  st.add_g(nd, nd, gds + kGmin);
-  st.add_g(ns, g_, -gm);
-  st.add_g(ns, ns, gm + gds + kGmin);
-  st.add_g(ns, nd, -(gds + kGmin));
+  using C = std::complex<double>;
+  const double g_dd = swapped ? gm + gds + kGmin : gds + kGmin;
+  const double g_dg = swapped ? -gm : gm;
+  const double g_ds = swapped ? -(gds + kGmin) : -(gm + gds + kGmin);
+  const double g_ss = swapped ? gds + kGmin : gm + gds + kGmin;
+  const double g_sg = swapped ? gm : -gm;
+  const double g_sd = swapped ? -(gm + gds + kGmin) : -(gds + kGmin);
+  st.add_all(slots_,
+             {{{d_, d_}, {d_, g_}, {d_, s_}, {s_, d_}, {s_, g_}, {s_, s_}}},
+             {C(g_dd), C(g_dg), C(g_ds), C(g_sd), C(g_sg), C(g_ss)});
 }
 
 } // namespace mss::spice

@@ -49,6 +49,7 @@ class Mosfet final : public Element {
   int d_, g_, s_;
   MosModel m_;
   double w_, l_;
+  mutable StampSlots<6> slots_;
 
   /// Square-law current + derivatives for an NMOS-referred bias point.
   void eval(double vgs, double vds, double& id, double& gm, double& gds) const;

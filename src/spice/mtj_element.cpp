@@ -19,6 +19,20 @@ void MtjDevice::reset() {
   current_trace_.clear();
 }
 
+void MtjDevice::save_state() {
+  saved_state_ = state_;
+  saved_phase_ = phase_;
+  saved_flips_ = flip_times_.size();
+  saved_trace_ = current_trace_.size();
+}
+
+void MtjDevice::restore_state() {
+  state_ = saved_state_;
+  phase_ = saved_phase_;
+  flip_times_.resize(saved_flips_);
+  current_trace_.resize(saved_trace_);
+}
+
 double MtjDevice::current(double v_ab) const {
   return v_ab / model_.resistance(state_, std::abs(v_ab));
 }
@@ -32,10 +46,8 @@ void MtjDevice::stamp(MnaSystem& st, const Solution& x,
   const double i0 = current(v0);
   const double g = (current(v0 + dv) - current(v0 - dv)) / (2.0 * dv);
   const double ieq = i0 - g * v0;
-  st.add_g(a_, a_, g);
-  st.add_g(b_, b_, g);
-  st.add_g(a_, b_, -g);
-  st.add_g(b_, a_, -g);
+  st.add_all(slots_, {{{a_, a_}, {b_, b_}, {a_, b_}, {b_, a_}}},
+             {g, g, -g, -g});
   st.add_rhs(a_, -ieq);
   st.add_rhs(b_, ieq);
 }
@@ -81,10 +93,8 @@ void MtjDevice::stamp_ac(AcSystem& st, const Solution& op, double) const {
   const double dv = 1e-3;
   const std::complex<double> g(
       (current(v0 + dv) - current(v0 - dv)) / (2.0 * dv), 0.0);
-  st.add_g(a_, a_, g);
-  st.add_g(b_, b_, g);
-  st.add_g(a_, b_, -g);
-  st.add_g(b_, a_, -g);
+  st.add_all(slots_, {{{a_, a_}, {b_, b_}, {a_, b_}, {b_, a_}}},
+             {g, g, -g, -g});
 }
 
 } // namespace mss::spice

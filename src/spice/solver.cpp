@@ -1,6 +1,7 @@
 #include "spice/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -64,7 +65,8 @@ void dense_lu_substitute(const std::vector<T>& lu,
 }
 
 /// Dense backend: flat row-major accumulation with the value-compare
-/// factorization cache.
+/// factorization cache. Slot handles are the flat row-major offsets, valid
+/// for the lifetime of a dimension.
 template <typename T>
 class DenseSolver final : public LinearSolverT<T> {
  public:
@@ -74,6 +76,7 @@ class DenseSolver final : public LinearSolverT<T> {
       g_.assign(dim * dim, T{});
       cached_.assign(dim * dim, T{});
       factor_valid_ = false;
+      this->bump_epoch();
     } else {
       std::fill(g_.begin(), g_.end(), T{});
     }
@@ -82,6 +85,12 @@ class DenseSolver final : public LinearSolverT<T> {
   void add(std::size_t i, std::size_t j, T v) override {
     g_[i * dim_ + j] += v;
   }
+
+  [[nodiscard]] std::uint32_t slot(std::size_t i, std::size_t j) override {
+    return static_cast<std::uint32_t>(i * dim_ + j);
+  }
+
+  void add_slot(std::uint32_t slot, T v) override { g_[slot] += v; }
 
   [[nodiscard]] bool solve(const std::vector<T>& b,
                            std::vector<T>& x) override {
@@ -97,6 +106,7 @@ class DenseSolver final : public LinearSolverT<T> {
       cached_ = g_;
       factor_valid_ = true;
       ++factor_count_;
+      factor_cols_ += dim_;
     }
     x = b;
     dense_lu_substitute(lu_, pivots_, x, dim_);
@@ -107,6 +117,9 @@ class DenseSolver final : public LinearSolverT<T> {
   [[nodiscard]] std::size_t factor_count() const override {
     return factor_count_;
   }
+  [[nodiscard]] std::size_t factor_cols_total() const override {
+    return factor_cols_;
+  }
   [[nodiscard]] const char* name() const override { return "dense"; }
 
  private:
@@ -115,28 +128,61 @@ class DenseSolver final : public LinearSolverT<T> {
   std::vector<std::uint32_t> pivots_;
   bool factor_valid_ = false;
   std::size_t factor_count_ = 0;
+  std::size_t factor_cols_ = 0;
 };
 
 } // namespace
+
+namespace detail {
+
+// Epochs are unique across every solver in the process, so a cached
+// (owner, epoch) pair can never alias a new solver allocated at a recycled
+// address.
+std::uint64_t next_stamp_epoch() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
 
 SolverKind resolve_solver(SolverKind kind, std::size_t dim) {
   if (kind != SolverKind::Auto) return kind;
   return dim >= kSparseAutoThreshold ? SolverKind::Sparse : SolverKind::Dense;
 }
 
-std::unique_ptr<LinearSolver> make_solver(SolverKind kind, std::size_t dim) {
-  if (resolve_solver(kind, dim) == SolverKind::Sparse) {
-    return std::make_unique<SparseSolver>();
+std::unique_ptr<LinearSolver> make_solver(const SolverOptions& options,
+                                          std::size_t dim) {
+  if (resolve_solver(options.kind, dim) == SolverKind::Sparse) {
+    auto s = std::make_unique<SparseSolver>();
+    s->set_ordering(options.ordering);
+    s->set_partial_refactor(options.partial_refactor);
+    return s;
   }
   return std::make_unique<DenseSolver<double>>();
 }
 
-std::unique_ptr<AcLinearSolver> make_ac_solver(SolverKind kind,
+std::unique_ptr<LinearSolver> make_solver(SolverKind kind, std::size_t dim) {
+  SolverOptions o;
+  o.kind = kind;
+  return make_solver(o, dim);
+}
+
+std::unique_ptr<AcLinearSolver> make_ac_solver(const SolverOptions& options,
                                                std::size_t dim) {
-  if (resolve_solver(kind, dim) == SolverKind::Sparse) {
-    return std::make_unique<AcSparseSolver>();
+  if (resolve_solver(options.kind, dim) == SolverKind::Sparse) {
+    auto s = std::make_unique<AcSparseSolver>();
+    s->set_ordering(options.ordering);
+    s->set_partial_refactor(options.partial_refactor);
+    return s;
   }
   return std::make_unique<DenseSolver<std::complex<double>>>();
+}
+
+std::unique_ptr<AcLinearSolver> make_ac_solver(SolverKind kind,
+                                               std::size_t dim) {
+  SolverOptions o;
+  o.kind = kind;
+  return make_ac_solver(o, dim);
 }
 
 } // namespace mss::spice

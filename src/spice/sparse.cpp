@@ -2,10 +2,77 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 namespace mss::spice {
+
+namespace {
+
+/// Symmetrised, deduplicated adjacency (diagonal excluded) of a CSC
+/// pattern, in compact CSR form — the graph all three ordering routines
+/// walk. adj[ptr[v] .. ptr[v] + deg[v]) are the sorted neighbours of v.
+struct SymAdjacency {
+  std::vector<std::uint32_t> ptr;
+  std::vector<std::uint32_t> adj;
+  std::vector<std::uint32_t> deg;
+};
+
+[[nodiscard]] SymAdjacency symmetrized_adjacency(
+    std::size_t dim, const std::vector<std::uint32_t>& col_ptr,
+    const std::vector<std::uint32_t>& row_ind) {
+  if (col_ptr.size() != dim + 1) {
+    throw std::invalid_argument("sparse ordering: bad column pointer array");
+  }
+  const auto n = static_cast<std::uint32_t>(dim);
+  SymAdjacency out;
+  out.deg.assign(dim, 0);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    for (std::uint32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+      const std::uint32_t r = row_ind[p];
+      if (r == c) continue;
+      ++out.deg[r];
+      ++out.deg[c];
+    }
+  }
+  out.ptr.assign(dim + 1, 0);
+  for (std::size_t v = 0; v < dim; ++v) {
+    out.ptr[v + 1] = out.ptr[v] + out.deg[v];
+  }
+  out.adj.resize(out.ptr[dim]);
+  {
+    std::vector<std::uint32_t> fill = out.ptr;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      for (std::uint32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+        const std::uint32_t r = row_ind[p];
+        if (r == c) continue;
+        out.adj[fill[r]++] = c;
+        out.adj[fill[c]++] = r;
+      }
+    }
+  }
+  for (std::size_t v = 0; v < dim; ++v) {
+    const auto b = out.adj.begin() + out.ptr[v];
+    const auto e = out.adj.begin() + out.ptr[v] + out.deg[v];
+    std::sort(b, e);
+    const auto last = std::unique(b, e);
+    out.deg[v] = static_cast<std::uint32_t>(last - b);
+  }
+  return out;
+}
+
+// Internal variants take a prebuilt adjacency so Ordering::Auto can run
+// RCM, AMD, and both fill predictions off one graph construction.
+[[nodiscard]] std::vector<std::uint32_t> rcm_from_adjacency(
+    std::size_t dim, const SymAdjacency& g);
+[[nodiscard]] std::vector<std::uint32_t> amd_from_adjacency(
+    std::size_t dim, const SymAdjacency& g);
+[[nodiscard]] std::size_t fill_from_adjacency(
+    std::size_t dim, const SymAdjacency& g,
+    const std::vector<std::uint32_t>& order);
+
+} // namespace
 
 // ---------------------------------------------------------------------------
 // Reverse-Cuthill-McKee ordering
@@ -14,43 +81,14 @@ namespace mss::spice {
 std::vector<std::uint32_t> rcm_order(std::size_t dim,
                                      const std::vector<std::uint32_t>& col_ptr,
                                      const std::vector<std::uint32_t>& row_ind) {
-  if (col_ptr.size() != dim + 1) {
-    throw std::invalid_argument("rcm_order: bad column pointer array");
-  }
-  const auto n = static_cast<std::uint32_t>(dim);
+  return rcm_from_adjacency(dim, symmetrized_adjacency(dim, col_ptr, row_ind));
+}
 
-  // Symmetrised adjacency in CSR form: each structural (r, c) contributes
-  // both r -> c and c -> r, duplicates removed per vertex.
-  std::vector<std::uint32_t> deg(dim, 0);
-  for (std::uint32_t c = 0; c < n; ++c) {
-    for (std::uint32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
-      const std::uint32_t r = row_ind[p];
-      if (r == c) continue;
-      ++deg[r];
-      ++deg[c];
-    }
-  }
-  std::vector<std::uint32_t> adj_ptr(dim + 1, 0);
-  for (std::size_t v = 0; v < dim; ++v) adj_ptr[v + 1] = adj_ptr[v] + deg[v];
-  std::vector<std::uint32_t> adj(adj_ptr[dim]);
-  {
-    std::vector<std::uint32_t> fill = adj_ptr;
-    for (std::uint32_t c = 0; c < n; ++c) {
-      for (std::uint32_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
-        const std::uint32_t r = row_ind[p];
-        if (r == c) continue;
-        adj[fill[r]++] = c;
-        adj[fill[c]++] = r;
-      }
-    }
-  }
-  for (std::size_t v = 0; v < dim; ++v) {
-    const auto b = adj.begin() + adj_ptr[v];
-    const auto e = adj.begin() + adj_ptr[v] + deg[v];
-    std::sort(b, e);
-    const auto last = std::unique(b, e);
-    deg[v] = static_cast<std::uint32_t>(last - b);
-  }
+namespace {
+
+std::vector<std::uint32_t> rcm_from_adjacency(std::size_t dim,
+                                              const SymAdjacency& g) {
+  const auto n = static_cast<std::uint32_t>(dim);
 
   std::vector<std::uint8_t> visited(dim, 0);
   std::vector<std::uint32_t> order;
@@ -68,12 +106,12 @@ std::vector<std::uint32_t> rcm_order(std::size_t dim,
       for (const std::uint32_t v : frontier) {
         if (record) order.push_back(v);
         // Neighbours in ascending-degree order — the Cuthill-McKee rule.
-        const std::uint32_t b = adj_ptr[v];
-        std::vector<std::uint32_t> nbrs(adj.begin() + b,
-                                        adj.begin() + b + deg[v]);
+        const std::uint32_t b = g.ptr[v];
+        std::vector<std::uint32_t> nbrs(g.adj.begin() + b,
+                                        g.adj.begin() + b + g.deg[v]);
         std::sort(nbrs.begin(), nbrs.end(),
                   [&](std::uint32_t x, std::uint32_t y) {
-                    return deg[x] != deg[y] ? deg[x] < deg[y] : x < y;
+                    return g.deg[x] != g.deg[y] ? g.deg[x] < g.deg[y] : x < y;
                   });
         for (const std::uint32_t w : nbrs) {
           if (!seen[w]) {
@@ -85,7 +123,7 @@ std::vector<std::uint32_t> rcm_order(std::size_t dim,
       if (!next.empty()) {
         last_min_deg = *std::min_element(
             next.begin(), next.end(), [&](std::uint32_t x, std::uint32_t y) {
-              return deg[x] != deg[y] ? deg[x] < deg[y] : x < y;
+              return g.deg[x] != g.deg[y] ? g.deg[x] < g.deg[y] : x < y;
             });
       }
       frontier.swap(next);
@@ -102,14 +140,176 @@ std::vector<std::uint32_t> rcm_order(std::size_t dim,
     std::uint32_t seed = v0;
     seed = bfs(seed, /*record=*/false);
     seed = bfs(seed, /*record=*/false);
-    const std::size_t before = order.size();
     bfs(seed, /*record=*/true);
-    // BFS from a seed only covers the seed's component; mark what it did.
-    (void)before;
   }
   std::reverse(order.begin(), order.end());
   return order;
 }
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Approximate-minimum-degree ordering
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> amd_order(std::size_t dim,
+                                     const std::vector<std::uint32_t>& col_ptr,
+                                     const std::vector<std::uint32_t>& row_ind) {
+  return amd_from_adjacency(dim, symmetrized_adjacency(dim, col_ptr, row_ind));
+}
+
+namespace {
+
+std::vector<std::uint32_t> amd_from_adjacency(std::size_t dim,
+                                              const SymAdjacency& g) {
+  const auto n = static_cast<std::uint32_t>(dim);
+
+  // Quotient-graph state. Eliminating v turns it into an *element* whose
+  // pivot list covers v's live neighbourhood; variables keep a list of
+  // plain variable neighbours (avars) and adjacent elements (aelems).
+  std::vector<std::vector<std::uint32_t>> avars(dim), aelems(dim);
+  std::vector<std::vector<std::uint32_t>> elem_vars; // by element id
+  std::vector<std::uint8_t> absorbed;                // by element id
+  for (std::uint32_t v = 0; v < n; ++v) {
+    avars[v].assign(g.adj.begin() + g.ptr[v],
+                    g.adj.begin() + g.ptr[v] + g.deg[v]);
+  }
+
+  std::vector<std::uint32_t> adeg(dim);
+  for (std::size_t v = 0; v < dim; ++v) adeg[v] = g.deg[v];
+
+  // Lazy min-heap of (degree, vertex); stale entries are skipped on pop.
+  using Entry = std::pair<std::uint32_t, std::uint32_t>;
+  std::vector<Entry> heap;
+  heap.reserve(dim);
+  const auto cmp = std::greater<Entry>();
+  for (std::uint32_t v = 0; v < n; ++v) heap.emplace_back(adeg[v], v);
+  std::make_heap(heap.begin(), heap.end(), cmp);
+
+  std::vector<std::uint8_t> eliminated(dim, 0);
+  std::vector<std::uint32_t> stamp(dim, 0);
+  std::uint32_t stamp_ctr = 0;
+  std::vector<std::uint32_t> order;
+  order.reserve(dim);
+  std::vector<std::uint32_t> lv; // pivot list of the element being formed
+
+  while (order.size() < dim) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [d, v] = heap.back();
+    heap.pop_back();
+    if (eliminated[v] || d != adeg[v]) continue; // stale entry
+
+    // Element list Lv = live neighbourhood of v: plain variable
+    // neighbours plus the members of every adjacent element.
+    ++stamp_ctr;
+    stamp[v] = stamp_ctr;
+    lv.clear();
+    for (const std::uint32_t u : avars[v]) {
+      if (!eliminated[u] && stamp[u] != stamp_ctr) {
+        stamp[u] = stamp_ctr;
+        lv.push_back(u);
+      }
+    }
+    for (const std::uint32_t e : aelems[v]) {
+      for (const std::uint32_t u : elem_vars[e]) {
+        if (!eliminated[u] && u != v && stamp[u] != stamp_ctr) {
+          stamp[u] = stamp_ctr;
+          lv.push_back(u);
+        }
+      }
+    }
+    // Absorb the elements v was attached to — their cliques are subsumed
+    // by the new element.
+    for (const std::uint32_t e : aelems[v]) {
+      absorbed[e] = 1;
+      elem_vars[e].clear();
+      elem_vars[e].shrink_to_fit();
+    }
+    const auto eid = static_cast<std::uint32_t>(elem_vars.size());
+    elem_vars.push_back(lv);
+    absorbed.push_back(0);
+    eliminated[v] = 1;
+    order.push_back(v);
+
+    // Update each member of the new element: prune variable neighbours now
+    // covered by the element (v itself and every other Lv member), drop
+    // absorbed elements, attach the new one, and recompute the
+    // approximate degree |avars| + sum of adjacent element sizes (minus
+    // self per element) — the classic AMD overcount bound.
+    for (const std::uint32_t u : lv) {
+      auto& av = avars[u];
+      av.erase(std::remove_if(av.begin(), av.end(),
+                              [&](std::uint32_t w) {
+                                return eliminated[w] || stamp[w] == stamp_ctr;
+                              }),
+               av.end());
+      auto& ae = aelems[u];
+      ae.erase(std::remove_if(ae.begin(), ae.end(),
+                              [&](std::uint32_t e) { return absorbed[e] != 0; }),
+               ae.end());
+      ae.push_back(eid);
+      std::size_t deg_u = av.size();
+      for (const std::uint32_t e : ae) deg_u += elem_vars[e].size() - 1;
+      adeg[u] = static_cast<std::uint32_t>(
+          std::min<std::size_t>(deg_u, dim == 0 ? 0 : dim - 1));
+      heap.emplace_back(adeg[u], u);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  return order;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Symbolic fill prediction
+// ---------------------------------------------------------------------------
+
+std::size_t symbolic_fill(std::size_t dim,
+                          const std::vector<std::uint32_t>& col_ptr,
+                          const std::vector<std::uint32_t>& row_ind,
+                          const std::vector<std::uint32_t>& order) {
+  if (order.size() != dim) {
+    throw std::invalid_argument("symbolic_fill: order size mismatch");
+  }
+  return fill_from_adjacency(dim, symmetrized_adjacency(dim, col_ptr, row_ind),
+                             order);
+}
+
+namespace {
+
+std::size_t fill_from_adjacency(std::size_t dim, const SymAdjacency& g,
+                                const std::vector<std::uint32_t>& order) {
+  std::vector<std::uint32_t> pos(dim);
+  for (std::uint32_t k = 0; k < dim; ++k) pos[order[k]] = k;
+
+  // George-Liu row-structure walk: row k of L holds the nodes on the
+  // elimination-tree paths from each below-diagonal neighbour up towards
+  // k; the tree is built on the fly (parent set at first discovery).
+  std::vector<std::int32_t> parent(dim, -1);
+  std::vector<std::int32_t> mark(dim, -1);
+  std::size_t nnz_l = dim; // diagonal
+  for (std::uint32_t k = 0; k < dim; ++k) {
+    const std::uint32_t v = order[k];
+    mark[k] = static_cast<std::int32_t>(k);
+    for (std::uint32_t p = g.ptr[v]; p < g.ptr[v] + g.deg[v]; ++p) {
+      std::uint32_t j = pos[g.adj[p]];
+      if (j >= k) continue;
+      while (mark[j] != static_cast<std::int32_t>(k)) {
+        mark[j] = static_cast<std::int32_t>(k);
+        ++nnz_l;
+        if (parent[j] < 0) {
+          parent[j] = static_cast<std::int32_t>(k);
+          break;
+        }
+        j = static_cast<std::uint32_t>(parent[j]);
+      }
+    }
+  }
+  return nnz_l;
+}
+
+} // namespace
 
 // ---------------------------------------------------------------------------
 // SparseSolverT
@@ -123,6 +323,13 @@ SparseSolverT<T>::SparseSolverT(double pivot_tol) : tol_(pivot_tol) {
 }
 
 template <typename T>
+void SparseSolverT<T>::set_ordering(Ordering ordering) {
+  if (ordering == ordering_) return;
+  ordering_ = ordering;
+  pattern_dirty_ = true; // re-run the symbolic phase under the new policy
+}
+
+template <typename T>
 void SparseSolverT<T>::begin(std::size_t dim) {
   if (dim != dim_) {
     dim_ = dim;
@@ -132,12 +339,13 @@ void SparseSolverT<T>::begin(std::size_t dim) {
     vals_.clear();
     pattern_dirty_ = true;
     factor_valid_ = false;
+    this->bump_epoch(); // outstanding slot handles are now meaningless
   }
   std::fill(vals_.begin(), vals_.end(), T{});
 }
 
 template <typename T>
-void SparseSolverT<T>::add(std::size_t i, std::size_t j, T v) {
+std::uint32_t SparseSolverT<T>::slot(std::size_t i, std::size_t j) {
   const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) |
                             static_cast<std::uint64_t>(j);
   const auto [it, inserted] =
@@ -145,11 +353,15 @@ void SparseSolverT<T>::add(std::size_t i, std::size_t j, T v) {
   if (inserted) {
     slot_row_.push_back(static_cast<std::uint32_t>(i));
     slot_col_.push_back(static_cast<std::uint32_t>(j));
-    vals_.push_back(v);
+    vals_.push_back(T{});
     pattern_dirty_ = true;
-  } else {
-    vals_[it->second] += v;
   }
+  return it->second;
+}
+
+template <typename T>
+void SparseSolverT<T>::add(std::size_t i, std::size_t j, T v) {
+  vals_[slot(i, j)] += v;
 }
 
 template <typename T>
@@ -174,7 +386,41 @@ void SparseSolverT<T>::rebuild_symbolic() {
     csc_of_slot_[s] = static_cast<std::uint32_t>(k);
   }
 
-  q_ = rcm_order(dim_, col_ptr_, row_ind_);
+  switch (ordering_) {
+    case Ordering::Natural:
+      q_.resize(dim_);
+      std::iota(q_.begin(), q_.end(), 0u);
+      ordering_used_ = "natural";
+      break;
+    case Ordering::Rcm:
+      q_ = rcm_order(dim_, col_ptr_, row_ind_);
+      ordering_used_ = "rcm";
+      break;
+    case Ordering::Amd:
+      q_ = amd_order(dim_, col_ptr_, row_ind_);
+      ordering_used_ = "amd";
+      break;
+    case Ordering::Auto: {
+      // Profile heuristic vs fill heuristic: predict nnz(L) for both and
+      // keep the winner. One-time cost per pattern, O(nnz(L)) each, off a
+      // single shared adjacency construction.
+      const SymAdjacency g = symmetrized_adjacency(dim_, col_ptr_, row_ind_);
+      auto rcm = rcm_from_adjacency(dim_, g);
+      auto amd = amd_from_adjacency(dim_, g);
+      const std::size_t fill_rcm = fill_from_adjacency(dim_, g, rcm);
+      const std::size_t fill_amd = fill_from_adjacency(dim_, g, amd);
+      if (fill_amd < fill_rcm) {
+        q_ = std::move(amd);
+        ordering_used_ = "amd";
+      } else {
+        q_ = std::move(rcm);
+        ordering_used_ = "rcm";
+      }
+      break;
+    }
+  }
+  qpos_.resize(dim_);
+  for (std::uint32_t k = 0; k < dim_; ++k) qpos_[q_[k]] = k;
 
   csc_vals_.assign(nnz, T{});
   cached_vals_.assign(nnz, T{});
@@ -196,20 +442,35 @@ std::size_t SparseSolverT<T>::factor_nnz() const {
 }
 
 template <typename T>
-bool SparseSolverT<T>::factor() {
+bool SparseSolverT<T>::factor(std::size_t start) {
   const std::size_t n = dim_;
-  l_ptr_.assign(1, 0);
-  l_rows_.clear();
-  l_vals_.clear();
-  u_ptr_.assign(1, 0);
-  u_rows_.clear();
-  u_vals_.clear();
-  std::fill(pinv_.begin(), pinv_.end(), -1);
+  if (start == 0) {
+    l_ptr_.assign(1, 0);
+    l_rows_.clear();
+    l_vals_.clear();
+    u_ptr_.assign(1, 0);
+    u_rows_.clear();
+    u_vals_.clear();
+    std::fill(pinv_.begin(), pinv_.end(), -1);
+  } else {
+    // Keep the factored prefix [0, start); free the pivot assignments of
+    // the recomputed suffix (prow_ is complete — partial restarts only run
+    // on top of a full valid factorization).
+    for (std::size_t k = start; k < n; ++k) pinv_[prow_[k]] = -1;
+    l_rows_.resize(l_ptr_[start]);
+    l_vals_.resize(l_ptr_[start]);
+    l_ptr_.resize(start + 1);
+    u_rows_.resize(u_ptr_[start]);
+    u_vals_.resize(u_ptr_[start]);
+    u_ptr_.resize(start + 1);
+  }
+  last_factor_start_ = start;
+  factor_cols_total_ += n - start;
 
   const auto heap_cmp = std::greater<std::uint32_t>();
   bool singular = false;
 
-  for (std::size_t k = 0; k < n && !singular; ++k) {
+  for (std::size_t k = start; k < n && !singular; ++k) {
     const std::uint32_t col = q_[k];
     heap_.clear();
     unassigned_.clear();
@@ -265,7 +526,7 @@ bool SparseSolverT<T>::factor() {
 
     // Threshold partial pivoting among the not-yet-pivotal rows; the
     // diagonal row wins when within tol_ of the column maximum (keeps the
-    // RCM profile), otherwise the max-magnitude row (handles the
+    // ordering's structure), otherwise the max-magnitude row (handles the
     // zero-diagonal branch rows of voltage sources).
     double best = 0.0;
     std::uint32_t pr = 0;
@@ -326,9 +587,30 @@ bool SparseSolverT<T>::solve(const std::vector<T>& b, std::vector<T>& x) {
   for (std::size_t s = 0; s < csc_of_slot_.size(); ++s) {
     csc_vals_[csc_of_slot_[s]] = vals_[s];
   }
-  if (!factor_valid_ || csc_vals_ != cached_vals_) {
+
+  // Dirty scan, column-wise: the first changed pivot position bounds what
+  // the refactorization must recompute (a left-looking column depends only
+  // on its A column and earlier pivot columns).
+  std::size_t first_dirty = std::numeric_limits<std::size_t>::max();
+  if (factor_valid_) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      if (qpos_[c] >= first_dirty) continue; // cannot lower the bound
+      for (std::uint32_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+        if (csc_vals_[p] != cached_vals_[p]) {
+          first_dirty = qpos_[c];
+          break;
+        }
+      }
+    }
+  } else {
+    first_dirty = 0;
+  }
+
+  if (first_dirty != std::numeric_limits<std::size_t>::max()) {
+    const std::size_t start =
+        (partial_ && factor_valid_) ? first_dirty : std::size_t{0};
     factor_valid_ = false;
-    if (!factor()) return false;
+    if (!factor(start)) return false;
     cached_vals_ = csc_vals_;
     factor_valid_ = true;
     ++factor_count_;

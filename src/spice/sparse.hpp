@@ -1,6 +1,8 @@
 // Sparse MNA backend: triplet assembly -> compressed-sparse-column pattern,
-// reverse-Cuthill-McKee fill-reducing column ordering, and a left-looking
-// (Gilbert-Peierls-style) sparse LU with threshold partial pivoting.
+// a fill-reducing column ordering (reverse-Cuthill-McKee or approximate
+// minimum degree, selected by predicted fill under Ordering::Auto), and a
+// left-looking (Gilbert-Peierls-style) sparse LU with threshold partial
+// pivoting.
 //
 // Assembly model. MNA stamps are position-stable but *value*-varying: every
 // Newton iteration re-stamps the same (i, j) set with new linearisations,
@@ -10,23 +12,38 @@
 // union pattern grows monotonically; the CSC structure, the column
 // ordering, and the slot -> CSC scatter map are rebuilt only when a
 // never-seen position appears, which for a fixed netlist happens exactly
-// once. Per-pass cost after that is O(nnz) accumulate + gather.
+// once. Per-pass cost after that is O(nnz) accumulate + gather. Elements
+// skip even the hash via the slot-handle fast path (`slot`/`add_slot`):
+// slot indices are append-only under a fixed dimension, so cached handles
+// survive pattern growth and are invalidated — via the stamp epoch — only
+// by a dimension reset.
 //
-// Factorization. For each column (in RCM order) the not-yet-factored column
-// of A is scattered into a dense work vector, updates from earlier pivot
-// columns are applied in ascending pivot order via a min-heap worklist
-// (entries only ever introduce later pivots, so the heap pops
+// Ordering. RCM minimises the profile (right for banded ladder/line
+// netlists); AMD greedily minimises fill (right for meshy array cores with
+// periphery cross-coupling). `Ordering::Auto` computes both, predicts
+// nnz(L) for each with an elimination-tree symbolic pass, and keeps the
+// winner — the choice is made once per pattern rebuild.
+//
+// Factorization. For each column (in the chosen order) the not-yet-factored
+// column of A is scattered into a dense work vector, updates from earlier
+// pivot columns are applied in ascending pivot order via a min-heap
+// worklist (entries only ever introduce later pivots, so the heap pops
 // monotonically), and the pivot row is chosen by threshold partial
 // pivoting: the diagonal row wins whenever it is within `pivot_tol` of the
-// column maximum, preserving the RCM profile; otherwise the max row wins,
-// which is what makes the zero-diagonal branch rows of voltage sources
-// solvable. L and U are stored column-wise in flat arrays reused across
-// refactors.
+// column maximum, preserving the ordering's structure; otherwise the max
+// row wins, which is what makes the zero-diagonal branch rows of voltage
+// sources solvable. L and U are stored column-wise in flat arrays reused
+// across refactors.
 //
 // The dirty-value cache compares the gathered CSC values against the
 // factored copy and skips the numeric factorization when unchanged, so a
 // linear transient pays one back-substitution — O(nnz(L) + nnz(U)) — per
-// step. That is the super-dense scaling BM_SpiceSparseTransient measures.
+// step. When values *did* change, the comparison also yields the first
+// changed pivot position: a left-looking column depends only on its own
+// A column and on earlier pivot columns, so every L/U column before that
+// position is still exact and the factorization restarts there (partial
+// refactorization), bit-identical to a full refactor. Newton iterations
+// that only move device rows late in the ordering refactor a short suffix.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +63,26 @@ namespace mss::spice {
     std::size_t dim, const std::vector<std::uint32_t>& col_ptr,
     const std::vector<std::uint32_t>& row_ind);
 
+/// Approximate-minimum-degree ordering of a sparse pattern given in CSC
+/// form (symmetrised internally). Classic quotient-graph elimination:
+/// eliminating a vertex forms an element clique over its neighbours,
+/// absorbed elements are merged, and vertex degrees are approximated as
+/// |variable neighbours| + sum of adjacent element sizes. Ties break
+/// towards the smaller index, so the ordering is deterministic. Exposed
+/// for tests.
+[[nodiscard]] std::vector<std::uint32_t> amd_order(
+    std::size_t dim, const std::vector<std::uint32_t>& col_ptr,
+    const std::vector<std::uint32_t>& row_ind);
+
+/// Predicted nnz(L) (diagonal included) of a Cholesky-style elimination of
+/// the symmetrised pattern under `order` — the fill count Ordering::Auto
+/// compares. Elimination-tree row-structure walk, O(nnz(L)). Exposed for
+/// tests.
+[[nodiscard]] std::size_t symbolic_fill(
+    std::size_t dim, const std::vector<std::uint32_t>& col_ptr,
+    const std::vector<std::uint32_t>& row_ind,
+    const std::vector<std::uint32_t>& order);
+
 /// The sparse backend. Instantiated for double (DC/transient) and
 /// std::complex<double> (AC).
 template <typename T>
@@ -56,13 +93,24 @@ class SparseSolverT final : public LinearSolverT<T> {
   /// partial pivoting, small values favour sparsity.
   explicit SparseSolverT(double pivot_tol = 0.1);
 
+  /// Column-ordering policy; takes effect at the next symbolic rebuild.
+  void set_ordering(Ordering ordering);
+  /// Enables/disables the partial-refactorization fast path (on by
+  /// default; the off state exists for A/B equivalence validation).
+  void set_partial_refactor(bool enabled) { partial_ = enabled; }
+
   void begin(std::size_t dim) override;
   void add(std::size_t i, std::size_t j, T v) override;
+  [[nodiscard]] std::uint32_t slot(std::size_t i, std::size_t j) override;
+  void add_slot(std::uint32_t slot, T v) override { vals_[slot] += v; }
   [[nodiscard]] bool solve(const std::vector<T>& b,
                            std::vector<T>& x) override;
   [[nodiscard]] std::size_t dim() const override { return dim_; }
   [[nodiscard]] std::size_t factor_count() const override {
     return factor_count_;
+  }
+  [[nodiscard]] std::size_t factor_cols_total() const override {
+    return factor_cols_total_;
   }
   [[nodiscard]] const char* name() const override { return "sparse"; }
 
@@ -70,11 +118,24 @@ class SparseSolverT final : public LinearSolverT<T> {
   [[nodiscard]] std::size_t nnz() const { return slot_row_.size(); }
   /// nnz(L) + nnz(U) of the last factorization (diagonals included).
   [[nodiscard]] std::size_t factor_nnz() const;
+  /// Ordering the current symbolic structure uses ("rcm" / "amd" /
+  /// "natural"; "none" before the first rebuild).
+  [[nodiscard]] const char* ordering_used() const { return ordering_used_; }
+  /// Pivot position the last numeric factorization started from (0 = full
+  /// refactor; > 0 = partial, the L/U prefix below it was reused).
+  [[nodiscard]] std::size_t last_factor_start() const {
+    return last_factor_start_;
+  }
 
  private:
   std::size_t dim_ = 0;
   double tol_;
+  Ordering ordering_ = Ordering::Auto;
+  bool partial_ = true;
   std::size_t factor_count_ = 0;
+  std::size_t factor_cols_total_ = 0;
+  std::size_t last_factor_start_ = 0;
+  const char* ordering_used_ = "none";
 
   // --- assembly: union pattern keyed by (i, j) ---
   std::unordered_map<std::uint64_t, std::uint32_t> slot_of_;
@@ -85,7 +146,8 @@ class SparseSolverT final : public LinearSolverT<T> {
   // --- symbolic state (rebuilt when the pattern grows) ---
   std::vector<std::uint32_t> col_ptr_, row_ind_; ///< CSC pattern
   std::vector<std::uint32_t> csc_of_slot_;       ///< slot -> CSC position
-  std::vector<std::uint32_t> q_;                 ///< column order (RCM)
+  std::vector<std::uint32_t> q_;    ///< column order (position -> column)
+  std::vector<std::uint32_t> qpos_; ///< column -> pivot position
 
   // --- numeric values + dirty-value factorization cache ---
   std::vector<T> csc_vals_;    ///< gathered values in CSC order
@@ -112,7 +174,10 @@ class SparseSolverT final : public LinearSolverT<T> {
   std::vector<T> sol_;                   ///< solution by pivot order
 
   void rebuild_symbolic();
-  [[nodiscard]] bool factor();
+  /// Numeric factorization from pivot position `start` (0 = full). Reuses
+  /// the L/U columns below `start`, which requires a complete valid
+  /// factorization when `start > 0`.
+  [[nodiscard]] bool factor(std::size_t start);
 };
 
 extern template class SparseSolverT<double>;

@@ -266,6 +266,59 @@ BENCHMARK(BM_LlgThermalEnsemble)
     ->ArgName("threads")
     ->UseRealTime();
 
+// The per-core SIMD multiplier of the same ensemble: trajectories stepped
+// `width` per lane group (structure-of-arrays Vec3) inside ONE thread, so
+// the /width:N rows isolate the batch-layer speedup from thread scaling.
+// width:1 is the scalar baseline of the >= 1.8x acceptance criterion for
+// width:4; every row produces bit-identical statistics (the {threads} x
+// {width} invariance suite is the correctness side of this contract).
+void BM_LlgThermalEnsembleSimd(benchmark::State& state) {
+  mss::physics::LlgParams p;
+  const mss::physics::LlgSolver solver(p);
+  mss::physics::LlgEnsembleOptions opt;
+  opt.threads = 1;
+  opt.width = static_cast<std::size_t>(state.range(0));
+  mss::util::Rng rng(3);
+  constexpr std::size_t kTrajectories = 64;
+  for (auto _ : state) {
+    const auto ens = solver.integrate_thermal_ensemble(
+        kTrajectories, {0.0, 0.0, -1.0}, 2e-9, 1e-12, 60e-6, rng, opt);
+    benchmark::DoNotOptimize(ens.n_switched);
+  }
+  state.SetItemsProcessed(state.iterations() * kTrajectories * 2000);
+}
+BENCHMARK(BM_LlgThermalEnsembleSimd)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("width")
+    ->UseRealTime();
+
+// The VAET-facing stochastic write Monte-Carlo (the LLGS switch-probability
+// kernel behind the estimator family's physical strategy) on the batched
+// ensemble, single thread, over the SIMD width. Trajectories freeze at
+// their first crossing, so this also exercises the lane-mask drain path.
+void BM_VaetMonteCarloSimd(benchmark::State& state) {
+  const mss::core::MtjCompactModel model{mss::core::MtjParams{}};
+  const double ic =
+      model.critical_current(mss::core::WriteDirection::ToAntiparallel);
+  mss::util::Rng rng(7);
+  const auto width = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRuns = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.llgs_switch_probability(
+        mss::core::WriteDirection::ToAntiparallel, 2.0 * ic, 2e-9, kRuns, rng,
+        /*threads=*/1, width));
+  }
+  state.SetItemsProcessed(state.iterations() * kRuns);
+}
+BENCHMARK(BM_VaetMonteCarloSimd)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("width")
+    ->UseRealTime();
+
 // SPICE-calibrated organisation exploration through sweep::Runner at an
 // explicit thread count: ~18 (mats, rows) candidates, each an array-scale
 // write+read characterisation on the sparse MNA backend. The /threads:1

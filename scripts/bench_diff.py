@@ -2,11 +2,12 @@
 """Diff two google-benchmark JSON snapshots and fail on regressions.
 
     scripts/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
-                          [--families /dim: /threads:]
+                          [--families /dim: /threads: /width:]
 
 Compares `real_time` of every benchmark present in both snapshots whose
-name contains one of the family markers (default: the /dim:N and
-/threads:N families). Exits 1 when any matched benchmark regressed by
+name contains one of the family markers (default: the /dim:N, /threads:N
+and /width:N families — matrix-dimension, thread-count and SIMD-batch-width
+scaling respectively). Exits 1 when any matched benchmark regressed by
 more than the tolerance (relative to the baseline), 0 otherwise.
 
 Individual benchmarks only present on one side are reported but never
@@ -64,7 +65,8 @@ def main(argv=None):
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="max allowed relative real_time growth (default 0.25)")
-    ap.add_argument("--families", nargs="*", default=["/dim:", "/threads:"],
+    ap.add_argument("--families", nargs="*",
+                    default=["/dim:", "/threads:", "/width:"],
                     help="benchmark-name substrings to compare")
     args = ap.parse_args(argv)
 

@@ -72,6 +72,24 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("family '/dim:'", err.getvalue())
         self.assertIn("none in the current snapshot", err.getvalue())
 
+    def test_width_family_is_guarded_by_default(self):
+        # The SIMD batch-width family is part of the default gate: a
+        # regression in /width:N fails without any --families override.
+        base = self.write("base.json", snapshot({
+            "BM_LlgSimd/width:4/real_time": 100.0}))
+        cur = self.write("cur.json", snapshot({
+            "BM_LlgSimd/width:4/real_time": 200.0}))
+        self.assertEqual(self.run_diff(base, cur), 1)
+        # And a vanished /width: family fails loudly like the others.
+        cur2 = self.write("cur2.json", snapshot({"BM_Other": 1.0}))
+        import contextlib
+        import io
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            rc = self.run_diff(base, cur2)
+        self.assertEqual(rc, 1)
+        self.assertIn("family '/width:'", err.getvalue())
+
     def test_family_only_in_current_is_tolerated(self):
         # A brand-new family has no baseline yet: pass.
         base = self.write("base.json", snapshot({"BM_Y/threads:2": 50.0}))

@@ -110,9 +110,7 @@ double MtjCompactModel::write_energy(WriteDirection dir, double i_write,
   return i2 * (0.5 * (r_init + r_final) * t_sw + r_final * (t_pulse - t_sw));
 }
 
-WriteOutcome MtjCompactModel::llgs_write(WriteDirection dir, double i_write,
-                                         double t_pulse, mss::util::Rng& rng,
-                                         double dt) const {
+physics::LlgParams MtjCompactModel::llg_params() const {
   physics::LlgParams lp;
   lp.ms = params_.ms;
   lp.alpha = params_.alpha;
@@ -123,7 +121,12 @@ WriteOutcome MtjCompactModel::llgs_write(WriteDirection dir, double i_write,
   lp.polarization = params_.polarization;
   lp.temperature = params_.temperature;
   lp.polarizer = {0.0, 0.0, 1.0};
+  return lp;
+}
 
+WriteOutcome MtjCompactModel::llgs_write(WriteDirection dir, double i_write,
+                                         double t_pulse, mss::util::Rng& rng,
+                                         double dt) const {
   // ToParallel drives m towards the polariser (+z); start in the opposite
   // basin. The sign convention of the LLGS torque handles the direction.
   const bool start_up = dir == WriteDirection::ToAntiparallel;
@@ -131,7 +134,7 @@ WriteOutcome MtjCompactModel::llgs_write(WriteDirection dir, double i_write,
                              ? -std::abs(i_write)
                              : std::abs(i_write);
 
-  physics::LlgSolver solver(lp);
+  physics::LlgSolver solver(llg_params());
   const physics::Vec3 m0 = solver.thermal_initial_state(start_up, rng);
   const auto run = solver.integrate_thermal(m0, t_pulse, dt, current, rng, 64);
 
@@ -146,25 +149,29 @@ double MtjCompactModel::llgs_switch_probability(WriteDirection dir,
                                                 double i_write, double t_pulse,
                                                 std::size_t n,
                                                 mss::util::Rng& rng,
-                                                std::size_t threads) const {
+                                                std::size_t threads,
+                                                std::size_t width) const {
   if (n == 0) throw std::invalid_argument("llgs_switch_probability: n == 0");
-  // Small chunks: one LLGS transient integrates thousands of picosecond
-  // steps, so load-balancing matters more than chunk overhead.
-  constexpr std::size_t kChunk = 4;
-  const std::vector<mss::util::Rng> streams =
-      rng.jump_substreams(mss::util::ThreadPool::chunk_count(n, kChunk));
-  const std::size_t hits = mss::util::ThreadPool::reduce_with<std::size_t>(
-      threads, n, kChunk, 0,
-      [&](std::size_t c, std::size_t begin, std::size_t end) {
-        mss::util::Rng r = streams[c];
-        std::size_t h = 0;
-        for (std::size_t k = begin; k < end; ++k) {
-          if (llgs_write(dir, i_write, t_pulse, r).switched) ++h;
-        }
-        return h;
-      },
-      [](std::size_t a, std::size_t b) { return a + b; });
-  return double(hits) / double(n);
+  // The n transients are exactly a thermal ensemble from the start basin:
+  // run them through the batched SIMD kernel. Per-trajectory jump
+  // substreams make the probability (and the post-call state of `rng`)
+  // bit-identical for any thread count and any batch width; trajectories
+  // freeze at their first crossing (stop_on_switch) since only the switch
+  // outcome feeds the statistic.
+  const bool start_up = dir == WriteDirection::ToAntiparallel;
+  const double current = dir == WriteDirection::ToAntiparallel
+                             ? -std::abs(i_write)
+                             : std::abs(i_write);
+  const physics::LlgSolver solver(llg_params());
+  physics::LlgEnsembleOptions opt;
+  opt.threads = threads;
+  opt.width = width;
+  opt.thermal_start = true;
+  opt.stop_on_switch = true;
+  const physics::Vec3 m0{0.0, 0.0, start_up ? 1.0 : -1.0};
+  const auto ens = solver.integrate_thermal_ensemble(
+      n, m0, t_pulse, /*dt=*/1e-12, current, rng, opt);
+  return ens.p_switch();
 }
 
 } // namespace mss::core

@@ -110,17 +110,20 @@ class MtjCompactModel {
                                         double t_pulse, mss::util::Rng& rng,
                                         double dt = 1e-12) const;
 
-  /// Monte-Carlo switching probability from `n` LLGS transients, sharded
-  /// across the shared thread pool (`threads`: 0 = the global pool, 1 =
-  /// serial inline, N = a pool of that size). Each chunk of transients
-  /// draws from its own jump substream keyed by chunk index, so the result
-  /// and the post-call state of `rng` are bit-identical for any thread
-  /// count.
+  /// Monte-Carlo switching probability from `n` LLGS transients, run
+  /// through the batched SIMD thermal-ensemble kernel: sharded across the
+  /// shared thread pool (`threads`: 0 = the global pool, 1 = serial inline,
+  /// N = a pool of that size) and stepped `width` trajectories per SIMD
+  /// lane inside each thread (0 = default width; 1/4/8 explicit). Every
+  /// transient draws from its own per-trajectory jump substream, so the
+  /// result and the post-call state of `rng` are bit-identical for any
+  /// thread count and any batch width.
   [[nodiscard]] double llgs_switch_probability(WriteDirection dir,
                                                double i_write, double t_pulse,
                                                std::size_t n,
                                                mss::util::Rng& rng,
-                                               std::size_t threads = 0) const;
+                                               std::size_t threads = 0,
+                                               std::size_t width = 0) const;
 
   /// Analytic switching parameters handed to the physics layer (exposed for
   /// the variability analysis, which perturbs them per sampled device).
@@ -128,6 +131,9 @@ class MtjCompactModel {
       WriteDirection dir) const;
 
  private:
+  /// LLGS free-layer parameters shared by the physical-strategy paths.
+  [[nodiscard]] physics::LlgParams llg_params() const;
+
   MtjParams params_;
 };
 

@@ -1,10 +1,12 @@
 #include "physics/llg.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "physics/constants.hpp"
+#include "physics/vec3_batch.hpp"
 #include "util/parallel.hpp"
 
 namespace mss::physics {
@@ -55,7 +57,9 @@ Vec3 LlgSolver::rhs(const Vec3& m, const Vec3& h, double i_amps) const {
 
 namespace {
 
-Vec3 renormalize(const Vec3& m) { return m.normalized(); }
+// Per-step drift correction; the batched kernel mirrors this expression
+// lane-wise (see Vec3::renormalized and Vec3Batch::normalized).
+Vec3 renormalize(const Vec3& m) { return m.renormalized(); }
 
 } // namespace
 
@@ -139,6 +143,310 @@ LlgRun LlgSolver::integrate_thermal(const Vec3& m0, double duration, double dt,
   return run;
 }
 
+namespace {
+
+/// Lane-uniform coefficients of the batched Heun step, hoisted out of the
+/// hot loop. Each value mirrors the corresponding scalar-path expression
+/// exactly (same order, same association), so batched lanes reproduce the
+/// scalar trajectory bit-for-bit.
+struct BatchCoeffs {
+  std::size_t steps = 0;
+  double dt = 0.0;
+  double sigma_h = 0.0; ///< Brown thermal-field sigma per component
+  double alpha = 0.0;
+  double c_prec = 0.0; ///< -gamma mu0 / (1 + alpha^2)
+  bool stt = false;
+  double c_stt = 0.0; ///< c_prec * a_j
+  Vec3 pol;           ///< polariser direction
+  double hax = 0.0, hay = 0.0, haz = 0.0; ///< applied field (x, y folded)
+  double hk = 0.0;    ///< perpendicular anisotropy field
+  bool stop_on_switch = false;
+};
+
+/// Mirrors LlgSolver::rhs for one lane with the lane-uniform coefficients
+/// prefolded. `STT` is the (lane-uniform) i_amps != 0 branch, lifted to a
+/// template parameter so the lane loop body stays branch-free and
+/// vectorizable.
+template <bool STT>
+[[gnu::always_inline]] inline Vec3 rhs_lane(const BatchCoeffs& c,
+                                            const Vec3& m, const Vec3& h) {
+  const Vec3 m_x_h = m.cross(h);
+  const Vec3 m_x_m_x_h = m.cross(m_x_h);
+  Vec3 dmdt = (m_x_h + c.alpha * m_x_m_x_h) * c.c_prec;
+  if constexpr (STT) {
+    const Vec3 m_x_p = m.cross(c.pol);
+    const Vec3 m_x_m_x_p = m.cross(m_x_p);
+    dmdt += (m_x_m_x_p - c.alpha * m_x_p) * c.c_stt;
+  }
+  return dmdt;
+}
+
+/// One Heun step of all W lanes: a countable loop whose body is the
+/// straight-line scalar step, which is what the loop vectorizer needs (the
+/// register-resident Batch-expression form never vectorized — SLP seeds
+/// from store groups, and there were none). Each lane mirrors the scalar
+/// `integrate_thermal` step expression-for-expression, with
+/// `effective_field(m) + h_th` folded through the prefolded transverse
+/// sums in `BatchCoeffs`.
+template <std::size_t W, bool STT>
+[[gnu::always_inline]] inline void heun_step_lanes(const BatchCoeffs& c,
+                                                   Vec3Batch<W>& m,
+                                                   const Vec3Batch<W>& h_th) {
+  for (std::size_t l = 0; l < W; ++l) {
+    const Vec3 ml{m.x[l], m.y[l], m.z[l]};
+    const Vec3 ht{h_th.x[l], h_th.y[l], h_th.z[l]};
+    const Vec3 h1{c.hax + ht.x, c.hay + ht.y, (ml.z * c.hk + c.haz) + ht.z};
+    const Vec3 f1 = rhs_lane<STT>(c, ml, h1);
+    const Vec3 mp = (ml + f1 * c.dt).renormalized();
+    const Vec3 h2{c.hax + ht.x, c.hay + ht.y, (mp.z * c.hk + c.haz) + ht.z};
+    const Vec3 f2 = rhs_lane<STT>(c, mp, h2);
+    const Vec3 mn = (ml + (f1 + f2) * (0.5 * c.dt)).renormalized();
+    m.x[l] = mn.x;
+    m.y[l] = mn.y;
+    m.z[l] = mn.z;
+  }
+}
+
+/// The Heun step loop over W structure-of-arrays lanes. Marked
+/// always_inline so the MSS_SIMD_CLONES wrappers below compile the whole
+/// body once per ISA; the loop itself contains lane-wise operations only.
+template <std::size_t W>
+[[gnu::always_inline]] inline LlgBatchRun<W> heun_batch_loop(
+    const BatchCoeffs& c, Vec3Batch<W> m, mss::util::Batch<double, W> mz0_sign,
+    std::uint32_t active, mss::util::Rng* lane_rngs) {
+  LlgBatchRun<W> out;
+  // Lanes still integrating. Idle lanes (masked out, or frozen after a
+  // switch under stop_on_switch) draw nothing from their streams and stop
+  // updating results; the arithmetic still runs full-width — per-lane
+  // branches in the SoA loops would cost more than the wasted flops.
+  std::uint32_t run_mask = active;
+  std::uint32_t switched_mask = 0;
+
+  Vec3Batch<W> raw = Vec3Batch<W>::broadcast({0.0, 0.0, 0.0});
+  Vec3Batch<W> h_th;
+  for (std::size_t k = 0; k < c.steps && run_mask != 0; ++k) {
+    const double t = double(k) * c.dt;
+    // Masked per-lane thermal draws: lane l consumes x, y, z from its own
+    // substream (each lane owns a stream, so component-major fill order is
+    // the scalar per-trajectory order); idle lanes draw nothing. Scaling
+    // runs full-width — idle lanes just rescale their stale draw.
+    mss::util::Rng::normal_batch<W>(lane_rngs, raw.x.lane, run_mask);
+    mss::util::Rng::normal_batch<W>(lane_rngs, raw.y.lane, run_mask);
+    mss::util::Rng::normal_batch<W>(lane_rngs, raw.z.lane, run_mask);
+    h_th.x = raw.x * c.sigma_h;
+    h_th.y = raw.y * c.sigma_h;
+    h_th.z = raw.z * c.sigma_h;
+    // Heun predictor-corrector; the thermal field is held fixed across the
+    // two stages (Stratonovich interpretation).
+    if (c.stt) {
+      heun_step_lanes<W, true>(c, m, h_th);
+    } else {
+      heun_step_lanes<W, false>(c, m, h_th);
+    }
+    ++out.steps_run;
+
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::uint32_t bit = 1u << l;
+      if ((run_mask & bit) && !(switched_mask & bit) &&
+          m.z[l] * mz0_sign[l] < 0.0) {
+        switched_mask |= bit;
+        out.switch_time[l] = t + c.dt;
+        if (c.stop_on_switch) {
+          out.m_final[l] = m.lane(l);
+          run_mask &= ~bit;
+        }
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l < W; ++l) {
+    const std::uint32_t bit = 1u << l;
+    if (active & bit) {
+      out.switched[l] = (switched_mask & bit) != 0;
+      // Lanes that ran to the end of the pulse (everyone unless frozen by
+      // stop_on_switch) report the final magnetisation.
+      if (run_mask & bit) out.m_final[l] = m.lane(l);
+    }
+  }
+  return out;
+}
+
+// One ISA-dispatched entry per supported width. The clones change
+// throughput only: with contraction disabled globally every ISA executes
+// the identical IEEE-754 operation sequence per lane.
+MSS_SIMD_CLONES LlgBatchRun<1> heun_batch_w1(const BatchCoeffs& c,
+                                             const Vec3Batch<1>& m,
+                                             mss::util::Batch<double, 1> sign,
+                                             std::uint32_t active,
+                                             mss::util::Rng* rngs) {
+  return heun_batch_loop<1>(c, m, sign, active, rngs);
+}
+MSS_SIMD_CLONES LlgBatchRun<4> heun_batch_w4(const BatchCoeffs& c,
+                                             const Vec3Batch<4>& m,
+                                             mss::util::Batch<double, 4> sign,
+                                             std::uint32_t active,
+                                             mss::util::Rng* rngs) {
+  return heun_batch_loop<4>(c, m, sign, active, rngs);
+}
+MSS_SIMD_CLONES LlgBatchRun<8> heun_batch_w8(const BatchCoeffs& c,
+                                             const Vec3Batch<8>& m,
+                                             mss::util::Batch<double, 8> sign,
+                                             std::uint32_t active,
+                                             mss::util::Rng* rngs) {
+  return heun_batch_loop<8>(c, m, sign, active, rngs);
+}
+
+template <std::size_t W>
+LlgBatchRun<W> heun_batch_dispatch(const BatchCoeffs& c, const Vec3Batch<W>& m,
+                                   mss::util::Batch<double, W> sign,
+                                   std::uint32_t active,
+                                   mss::util::Rng* rngs) {
+  if constexpr (W == 1) return heun_batch_w1(c, m, sign, active, rngs);
+  if constexpr (W == 4) return heun_batch_w4(c, m, sign, active, rngs);
+  if constexpr (W == 8) return heun_batch_w8(c, m, sign, active, rngs);
+}
+
+} // namespace
+
+template <std::size_t W>
+LlgBatchRun<W> LlgSolver::integrate_thermal_batch(
+    const std::array<Vec3, W>& m0, double duration, double dt, double i_amps,
+    mss::util::Rng* lane_rngs, std::uint32_t active_mask,
+    bool stop_on_switch) const {
+  if (dt <= 0.0 || duration <= 0.0) {
+    throw std::invalid_argument(
+        "LlgSolver::integrate_thermal_batch: bad time step");
+  }
+  static_assert(W <= 8, "active_mask packs at most 8 lanes");
+  const std::uint32_t active = active_mask & ((1u << W) - 1u);
+
+  Vec3Batch<W> m = Vec3Batch<W>::broadcast({0.0, 0.0, 1.0});
+  mss::util::Batch<double, W> mz0_sign =
+      mss::util::Batch<double, W>::broadcast(1.0);
+  for (std::size_t l = 0; l < W; ++l) {
+    if (active >> l & 1u) {
+      const Vec3 ml = m0[l].renormalized();
+      m.set_lane(l, ml);
+      mz0_sign[l] = (ml.z >= 0.0) ? 1.0 : -1.0;
+    }
+  }
+
+  BatchCoeffs c;
+  c.steps = static_cast<std::size_t>(std::ceil(duration / dt));
+  c.dt = dt;
+  // Brown thermal-field standard deviation per component for step dt.
+  c.sigma_h =
+      std::sqrt(2.0 * params_.alpha *
+                thermal_energy(params_.temperature) /
+                (kGamma * kMu0 * kMu0 * params_.ms * params_.volume * dt));
+  const double gp = kGamma * kMu0;
+  c.alpha = params_.alpha;
+  const double inv = 1.0 / (1.0 + c.alpha * c.alpha);
+  c.c_prec = -gp * inv;
+  c.stt = i_amps != 0.0;
+  const double aj = c.stt ? params_.stt_field(i_amps) : 0.0;
+  c.c_stt = -gp * inv * aj;
+  c.pol = params_.polarizer;
+  c.hax = 0.0 + params_.h_applied.x;
+  c.hay = 0.0 + params_.h_applied.y;
+  c.haz = params_.h_applied.z;
+  c.hk = params_.hk_eff;
+  c.stop_on_switch = stop_on_switch;
+
+  return heun_batch_dispatch<W>(c, m, mz0_sign, active, lane_rngs);
+}
+
+template LlgBatchRun<1> LlgSolver::integrate_thermal_batch<1>(
+    const std::array<Vec3, 1>&, double, double, double, mss::util::Rng*,
+    std::uint32_t, bool) const;
+template LlgBatchRun<4> LlgSolver::integrate_thermal_batch<4>(
+    const std::array<Vec3, 4>&, double, double, double, mss::util::Rng*,
+    std::uint32_t, bool) const;
+template LlgBatchRun<8> LlgSolver::integrate_thermal_batch<8>(
+    const std::array<Vec3, 8>&, double, double, double, mss::util::Rng*,
+    std::uint32_t, bool) const;
+
+namespace {
+
+/// Chunk size of the trajectory-parallel ensemble, in trajectories. Fixed
+/// (never a function of the thread count) and a common multiple of every
+/// supported SIMD width, so the chunk -> trajectory layout, the lane ->
+/// trajectory layout *and* the scalar accumulation order (strictly
+/// ascending trajectory index, left-to-right within each chunk) are all
+/// identical for any (threads, width) combination — which is what makes
+/// the reduced statistics bit-identical across the whole matrix.
+constexpr std::size_t kChunkTrajectories = 8;
+
+struct EnsembleChunkStats {
+  std::size_t switched = 0;
+  mss::util::RunningStats switch_time;
+  double mz_final_sum = 0.0;
+};
+
+template <std::size_t W>
+LlgEnsembleResult ensemble_run(const LlgSolver& solver, std::size_t n,
+                               const Vec3& m0, double duration, double dt,
+                               double i_amps,
+                               const std::vector<mss::util::Rng>& streams,
+                               const LlgEnsembleOptions& options) {
+  const bool start_up = m0.z >= 0.0;
+  const auto map_chunk = [&](std::size_t, std::size_t begin,
+                             std::size_t end) {
+    EnsembleChunkStats st;
+    for (std::size_t b = begin; b < end; b += W) {
+      const std::size_t lanes = std::min(W, end - b);
+      std::array<mss::util::Rng, W> lane_rngs;
+      std::array<Vec3, W> starts;
+      starts.fill(Vec3{0.0, 0.0, 1.0});
+      std::uint32_t mask = 0;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        // Lane l steps trajectory b + l on that trajectory's own stream;
+        // the start draw comes from the same stream, exactly like the
+        // scalar reference.
+        lane_rngs[l] = streams[b + l];
+        starts[l] = options.thermal_start
+                        ? solver.thermal_initial_state(start_up, lane_rngs[l])
+                        : m0;
+        mask |= 1u << l;
+      }
+      const auto run = solver.integrate_thermal_batch<W>(
+          starts, duration, dt, i_amps, lane_rngs.data(), mask,
+          options.stop_on_switch);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (run.switched[l]) {
+          ++st.switched;
+          st.switch_time.add(run.switch_time[l]);
+        }
+        st.mz_final_sum += run.m_final[l].z;
+      }
+    }
+    return st;
+  };
+  // parallel_reduce combines in chunk order — RunningStats::merge is
+  // order-sensitive at the bit level, so the fixed order is what makes the
+  // reduction thread-count invariant.
+  const auto combine = [](EnsembleChunkStats acc, EnsembleChunkStats part) {
+    acc.switched += part.switched;
+    acc.switch_time.merge(part.switch_time);
+    acc.mz_final_sum += part.mz_final_sum;
+    return acc;
+  };
+
+  const EnsembleChunkStats total =
+      mss::util::ThreadPool::reduce_with<EnsembleChunkStats>(
+          options.threads, n, kChunkTrajectories, EnsembleChunkStats{},
+          map_chunk, combine);
+
+  LlgEnsembleResult out;
+  out.n_trajectories = n;
+  out.n_switched = total.switched;
+  out.switch_time = total.switch_time;
+  out.mean_mz_final = total.mz_final_sum / double(n);
+  return out;
+}
+
+} // namespace
+
 LlgEnsembleResult LlgSolver::integrate_thermal_ensemble(
     std::size_t n_trajectories, const Vec3& m0, double duration, double dt,
     double i_amps, mss::util::Rng& rng,
@@ -147,63 +455,34 @@ LlgEnsembleResult LlgSolver::integrate_thermal_ensemble(
     throw std::invalid_argument(
         "LlgSolver::integrate_thermal_ensemble: bad time step");
   }
+  const std::size_t width = options.width == 0 ? kDefaultWidth : options.width;
+  if (width != 1 && width != 4 && width != 8) {
+    throw std::invalid_argument(
+        "LlgSolver::integrate_thermal_ensemble: width must be 0, 1, 4 or 8");
+  }
 
   LlgEnsembleResult out;
   out.n_trajectories = n_trajectories;
   if (n_trajectories == 0) return out;
 
-  // Trajectories are long (thousands of steps), so chunks are small: enough
-  // to amortise the pool handoff, small enough to load-balance. Fixed —
-  // never a function of the thread count — to keep the chunk -> substream
-  // mapping, and therefore every statistic, thread-count invariant.
-  constexpr std::size_t kChunkTrajectories = 4;
-  const std::size_t n_chunks =
-      mss::util::ThreadPool::chunk_count(n_trajectories, kChunkTrajectories);
+  // One jump substream per *trajectory* (not per chunk): trajectory k's
+  // draws are a pure function of (rng state on entry, k), so lane k of any
+  // batch and any worker thread replay the same sequence. The caller's rng
+  // advances once, identically for every (threads, width).
+  const std::vector<mss::util::Rng> streams =
+      rng.jump_substreams(n_trajectories);
 
-  const std::vector<mss::util::Rng> streams = rng.jump_substreams(n_chunks);
-
-  struct ChunkStats {
-    std::size_t switched = 0;
-    mss::util::RunningStats switch_time;
-    double mz_final_sum = 0.0;
-  };
-
-  const bool start_up = m0.z >= 0.0;
-  const auto map_chunk = [&](std::size_t c, std::size_t begin,
-                             std::size_t end) {
-    mss::util::Rng r = streams[c];
-    ChunkStats st;
-    for (std::size_t k = begin; k < end; ++k) {
-      const Vec3 start =
-          options.thermal_start ? thermal_initial_state(start_up, r) : m0;
-      const LlgRun run = integrate_thermal(start, duration, dt, i_amps, r,
-                                           /*record_stride=*/0);
-      if (run.switched) {
-        ++st.switched;
-        st.switch_time.add(run.switch_time);
-      }
-      st.mz_final_sum += run.m_final.z;
-    }
-    return st;
-  };
-  // parallel_reduce combines in chunk order — RunningStats::merge is
-  // order-sensitive at the bit level, so the fixed order is what makes the
-  // reduction thread-count invariant.
-  const auto combine = [](ChunkStats acc, ChunkStats part) {
-    acc.switched += part.switched;
-    acc.switch_time.merge(part.switch_time);
-    acc.mz_final_sum += part.mz_final_sum;
-    return acc;
-  };
-
-  const ChunkStats total = mss::util::ThreadPool::reduce_with<ChunkStats>(
-      options.threads, n_trajectories, kChunkTrajectories, ChunkStats{},
-      map_chunk, combine);
-
-  out.n_switched = total.switched;
-  out.switch_time = total.switch_time;
-  out.mean_mz_final = total.mz_final_sum / double(n_trajectories);
-  return out;
+  switch (width) {
+    case 1:
+      return ensemble_run<1>(*this, n_trajectories, m0, duration, dt, i_amps,
+                             streams, options);
+    case 4:
+      return ensemble_run<4>(*this, n_trajectories, m0, duration, dt, i_amps,
+                             streams, options);
+    default:
+      return ensemble_run<8>(*this, n_trajectories, m0, duration, dt, i_amps,
+                             streams, options);
+  }
 }
 
 Vec3 LlgSolver::thermal_initial_state(bool up, mss::util::Rng& rng) const {

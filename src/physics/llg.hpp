@@ -14,11 +14,14 @@
 //    direction p (i.e. favours the parallel state for p = +z).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "physics/vec3.hpp"
+#include "physics/vec3_batch.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -80,10 +83,37 @@ struct LlgEnsembleOptions {
   /// Worker threads: 0 = all hardware threads (shared pool), 1 = serial,
   /// N = dedicated pool of N. Statistics are bit-identical for any value.
   std::size_t threads = 0;
+  /// SIMD batch width: trajectories stepped per lane group inside one
+  /// thread (structure-of-arrays Vec3). 0 = the default width
+  /// (`kDefaultWidth`); supported explicit widths are 1, 4 and 8. Because
+  /// every trajectory draws from its own jump substream and lane
+  /// operations are strictly lane-wise, statistics are bit-identical for
+  /// any supported width — width is a pure performance knob, exactly like
+  /// `threads`.
+  std::size_t width = 0;
   /// Draw each trajectory's start from the thermal equilibrium cone around
   /// the basin of `m0` (the physical write-error setup). When false every
   /// trajectory starts exactly at `m0`.
   bool thermal_start = true;
+  /// Freeze a lane the step it first crosses m_z = 0: its result (switch
+  /// time, m at the crossing) is recorded and the lane idles — it draws no
+  /// further thermal field — until the whole batch drains, at which point
+  /// the batch exits early. Cheaper when only switching statistics matter,
+  /// but `m_final`/`mean_mz_final` then reflect the crossing instead of the
+  /// end of the pulse, so the default keeps the full-duration integration.
+  /// Deterministic per trajectory, hence invariant to width and threads.
+  bool stop_on_switch = false;
+};
+
+/// Per-lane outcome of one `LlgSolver::integrate_thermal_batch` call.
+/// Lanes excluded by the active mask report `switched = false`,
+/// `switch_time = 0` and a default `m_final`.
+template <std::size_t W>
+struct LlgBatchRun {
+  std::array<bool, W> switched{};     ///< lane crossed m_z = 0
+  std::array<double, W> switch_time{}; ///< first crossing time [s]
+  std::array<Vec3, W> m_final{};      ///< magnetisation when the lane froze
+  std::size_t steps_run = 0; ///< integration steps before the batch drained
 };
 
 /// Macrospin integrator. Deterministic runs use classic RK4; finite
@@ -117,14 +147,38 @@ class LlgSolver {
 
   /// Runs `n_trajectories` thermal trajectories (same start basin, pulse
   /// and step as a single `integrate_thermal` call) across the thread pool
-  /// and reduces them to switching-time statistics without recording any
-  /// trajectory. Trajectories are keyed to Xoshiro jump substreams in
-  /// fixed-size chunks, so the statistics are bit-identical for any thread
-  /// count; `rng` is advanced once to derive the streams.
+  /// and, inside each thread, `options.width` SIMD lanes at a time, and
+  /// reduces them to switching-time statistics without recording any
+  /// trajectory. Every trajectory is keyed to its own Xoshiro jump
+  /// substream (per-trajectory, not per-chunk), so the statistics are
+  /// bit-identical for any thread count *and* any batch width; `rng` is
+  /// advanced once to derive the streams. Trajectory k's result is exactly
+  /// the scalar reference `integrate_thermal(thermal_initial_state(...),
+  /// ..., streams[k], 0)`.
   [[nodiscard]] LlgEnsembleResult integrate_thermal_ensemble(
       std::size_t n_trajectories, const Vec3& m0, double duration, double dt,
       double i_amps, mss::util::Rng& rng,
       const LlgEnsembleOptions& options = {}) const;
+
+  /// Default SIMD width of the ensemble (`LlgEnsembleOptions::width == 0`).
+  static constexpr std::size_t kDefaultWidth = 4;
+
+  /// Steps W independent thermal trajectories per SIMD lane with the
+  /// stochastic Heun scheme. Lane k starts at `m0[k]` and draws its
+  /// thermal field from `lane_rngs[k]` — per-lane streams, so lane k's
+  /// trajectory is bit-identical to a scalar `integrate_thermal` run on
+  /// (m0[k], lane_rngs[k]) regardless of W or of the other lanes. Lanes
+  /// with a clear bit in `active_mask` are idle: they draw nothing and
+  /// report empty results (how a partial tail batch rides in a full-width
+  /// kernel). With `stop_on_switch`, a lane that crosses m_z = 0 records
+  /// its result, stops drawing, and the kernel returns early once every
+  /// active lane has finished or switched (`steps_run` reports the drain
+  /// point). Instantiated for W in {1, 4, 8}.
+  template <std::size_t W>
+  [[nodiscard]] LlgBatchRun<W> integrate_thermal_batch(
+      const std::array<Vec3, W>& m0, double duration, double dt,
+      double i_amps, mss::util::Rng* lane_rngs, std::uint32_t active_mask,
+      bool stop_on_switch = false) const;
 
   /// Effective field (anisotropy + applied) at magnetisation m, in A/m.
   [[nodiscard]] Vec3 effective_field(const Vec3& m) const;

@@ -26,6 +26,18 @@ struct Vec3 {
     z += o.z;
     return *this;
   }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
 
   /// Dot product.
   [[nodiscard]] constexpr double dot(const Vec3& o) const {
@@ -39,6 +51,12 @@ struct Vec3 {
   [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
   /// Unit vector in the same direction (caller ensures non-zero norm).
   [[nodiscard]] Vec3 normalized() const { return *this / norm(); }
+  /// Per-step drift correction of the LLG integrators: projects a
+  /// magnetisation that numerical integration nudged off the unit sphere
+  /// back onto it. Same computation as `normalized()` under a name that
+  /// states the intent — the batched kernel mirrors this exact expression
+  /// (component / sqrt(dot)), so scalar and SoA paths stay bit-identical.
+  [[nodiscard]] Vec3 renormalized() const { return normalized(); }
 };
 
 constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }

@@ -1,0 +1,90 @@
+// Structure-of-arrays Vec3 batches for the stochastic LLG hot path.
+//
+// `Vec3Batch<W>` holds W independent 3-vectors as three lane batches
+// (x[W], y[W], z[W]) so the integrator steps W trajectories per operation.
+// Every method mirrors the corresponding scalar `Vec3` operation with the
+// *same* per-component expression structure (same order, same association),
+// which is what makes lane k of a batched kernel bit-identical to the
+// scalar kernel run on lane k's inputs — the determinism contract the
+// ensemble invariance tests enforce (see src/physics/README.md).
+#pragma once
+
+#include <cstddef>
+
+#include "physics/vec3.hpp"
+#include "util/simd.hpp"
+
+namespace mss::physics {
+
+/// W independent 3-vectors in structure-of-arrays layout. Lane-wise
+/// operations only; no cross-lane coupling anywhere.
+template <std::size_t W>
+struct Vec3Batch {
+  using B = mss::util::Batch<double, W>;
+
+  B x{}, y{}, z{};
+
+  /// Every lane set to `v`.
+  [[nodiscard]] static constexpr Vec3Batch broadcast(const Vec3& v) {
+    return {B::broadcast(v.x), B::broadcast(v.y), B::broadcast(v.z)};
+  }
+
+  /// Reads lane k back as a scalar Vec3.
+  [[nodiscard]] constexpr Vec3 lane(std::size_t k) const {
+    return {x[k], y[k], z[k]};
+  }
+  /// Writes lane k.
+  constexpr void set_lane(std::size_t k, const Vec3& v) {
+    x[k] = v.x;
+    y[k] = v.y;
+    z[k] = v.z;
+  }
+
+  // Mirrors Vec3::operator+ / operator- / operator* / operator+= lane-wise.
+  friend constexpr Vec3Batch operator+(const Vec3Batch& a, const Vec3Batch& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3Batch operator-(const Vec3Batch& a, const Vec3Batch& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3Batch operator*(const Vec3Batch& a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr Vec3Batch operator*(const Vec3Batch& a, const B& s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  constexpr Vec3Batch& operator+=(const Vec3Batch& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  /// Lane-wise dot product (mirrors Vec3::dot's left-to-right sum).
+  [[nodiscard]] constexpr B dot(const Vec3Batch& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+
+  /// Lane-wise cross product (mirrors Vec3::cross component expressions).
+  [[nodiscard]] constexpr Vec3Batch cross(const Vec3Batch& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  /// Lane-wise unit vectors: each component divided by sqrt(dot), exactly
+  /// the scalar `Vec3::normalized()` evaluation (divide, never multiply by
+  /// a reciprocal — reciprocal-multiply would break bit-identity).
+  [[nodiscard]] Vec3Batch normalized() const {
+    const B n = mss::util::sqrt(dot(*this));
+    return {x / n, y / n, z / n};
+  }
+};
+
+/// Mirrors `operator*(double, Vec3)` — multiplication is IEEE-commutative,
+/// so forwarding keeps lane results bit-identical to the scalar form.
+template <std::size_t W>
+[[nodiscard]] constexpr Vec3Batch<W> operator*(double s,
+                                               const Vec3Batch<W>& v) {
+  return v * s;
+}
+
+} // namespace mss::physics

@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -15,10 +16,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -26,22 +23,6 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& lane : s_) lane = splitmix64(x);
   // Avoid the (astronomically unlikely) all-zero state.
   if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  return double(next_u64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -56,21 +37,63 @@ std::uint64_t Rng::uniform_u64(std::uint64_t n) {
   return static_cast<std::uint64_t>(m >> 64);
 }
 
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
+// See the ZigguratTables declaration in rng.hpp: tables are derived once at
+// load time from the canonical N=256 setup constant r (x_1, the base-strip
+// boundary); the per-layer area v follows from r as r*f(r) + tail. Layer
+// widths X[i] then satisfy f(X[i+1]) = f(X[i]) + v / X[i] with
+// f(x) = exp(-x^2/2), which walks the stack to f -> 1 at the top. All table
+// entries are plain libm doubles, so sequences stay deterministic for a
+// given build like every other Rng transform.
+detail::ZigguratTables::ZigguratTables() {
+  constexpr double kTwo52 = 4503599627370496.0; // 2^52
+  const auto f = [](double x) { return std::exp(-0.5 * x * x); };
+  // Per-layer area: base strip r * f(r) plus the tail beyond r.
+  const double v =
+      kR * f(kR) + std::sqrt(M_PI / 2.0) * std::erfc(kR / std::sqrt(2.0));
+  double x[kLayers + 1];
+  x[0] = v / f(kR); // virtual width of the base strip (holds the tail)
+  x[1] = kR;
+  for (int i = 1; i < kLayers; ++i) {
+    // The canonical r drives f -> 1 exactly at the top layer; the clamp
+    // only absorbs the last-step rounding (a 1+eps argument would NaN).
+    x[i + 1] = std::sqrt(-2.0 * std::log(std::min(1.0, f(x[i]) + v / x[i])));
   }
-  double u, v, s;
-  do {
-    u = 2.0 * uniform() - 1.0;
-    v = 2.0 * uniform() - 1.0;
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double f = std::sqrt(-2.0 * std::log(s) / s);
-  cached_normal_ = v * f;
-  has_cached_normal_ = true;
-  return u * f;
+  for (int i = 0; i < kLayers; ++i) {
+    wi[i] = x[i] / kTwo52;
+    ki[i] = static_cast<std::uint64_t>(kTwo52 * (x[i + 1] / x[i]));
+    fi[i] = f(x[i + 1]);
+  }
+}
+
+// init_priority runs this constructor before every default-priority static
+// initializer in the program, so a normal() draw from another translation
+// unit's static init cannot observe zeroed tables (which would silently
+// return 0.0 draws rather than crash).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((init_priority(101)))
+#endif
+const detail::ZigguratTables detail::kZiggurat{};
+
+double Rng::normal_slow(std::size_t idx, bool negative, double x) {
+  const detail::ZigguratTables& z = detail::kZiggurat;
+  if (idx == 0) {
+    // Base strip overflow: sample the tail beyond r (Marsaglia's
+    // exponential method; 1 - uniform() keeps log1p away from -1).
+    double xx, yy;
+    do {
+      xx = -z.inv_r * std::log1p(-uniform());
+      yy = -std::log1p(-uniform());
+    } while (yy + yy <= xx * xx);
+    return negative ? -(detail::ZigguratTables::kR + xx)
+                    : detail::ZigguratTables::kR + xx;
+  }
+  // Wedge between layer idx and the one below: accept under the curve,
+  // otherwise redraw from scratch.
+  if (z.fi[idx] + uniform() * (z.fi[idx - 1] - z.fi[idx]) <
+      std::exp(-0.5 * x * x)) {
+    return negative ? -x : x;
+  }
+  return normal();
 }
 
 double Rng::normal(double mean, double sigma) {
@@ -115,7 +138,6 @@ void Rng::apply_jump(const std::uint64_t (&poly)[4]) {
     }
   }
   s_ = acc;
-  has_cached_normal_ = false;
 }
 
 void Rng::jump() { apply_jump(kJump); }

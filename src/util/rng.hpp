@@ -13,19 +13,54 @@
 
 namespace mss::util {
 
+namespace detail {
+
+/// 256-layer ziggurat tables for the standard normal (Marsaglia & Tsang
+/// 2000). Built once at load time in rng.cpp; the draw fast path lives in
+/// `Rng::normal` so it inlines into the hot kernels.
+struct ZigguratTables {
+  static constexpr int kLayers = 256;
+  /// x_1, the base-strip boundary of the canonical N=256 construction.
+  static constexpr double kR = 3.6541528853610087963519472518;
+  double inv_r = 1.0 / kR;
+  double wi[kLayers];        ///< x = rabs * wi[idx]
+  std::uint64_t ki[kLayers]; ///< accept when rabs < ki[idx]
+  double fi[kLayers];        ///< f at the upper edge of layer idx
+
+  ZigguratTables();
+};
+
+/// The process-wide tables (plain global: no per-call init guard).
+extern const ZigguratTables kZiggurat;
+
+} // namespace detail
+
 /// Xoshiro256** 1.0 (Blackman & Vigna). Small, fast, and — unlike
 /// std::mt19937 distributions — we own the normal/uniform transforms, so
-/// sequences are stable across standard library implementations.
+/// sequences are stable across standard library implementations. The draw
+/// fast paths are header-inline: they sit three calls deep in every
+/// Monte-Carlo hot loop (3 thermal-field normals per LLG step per
+/// trajectory), where an out-of-line call per draw is measurable.
 class Rng {
  public:
   /// Seeds the four 64-bit lanes from a single seed via SplitMix64.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
 
   /// Next raw 64-bit value.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of randomness.
-  double uniform();
+  double uniform() { return double(next_u64() >> 11) * 0x1.0p-53; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -34,8 +69,21 @@ class Rng {
   /// (tiny bias < 2^-64, irrelevant for simulation use).
   std::uint64_t uniform_u64(std::uint64_t n);
 
-  /// Standard normal via polar Marsaglia (cached second value).
-  double normal();
+  /// Standard normal via the 256-layer ziggurat: one u64 draw (8 bits of
+  /// layer index, 1 sign bit, 52 bits of magnitude), one table compare and
+  /// one multiply on ~99% of calls; wedge and tail rejections take the
+  /// out-of-line slow path.
+  double normal() {
+    const detail::ZigguratTables& z = detail::kZiggurat;
+    const std::uint64_t bits = next_u64();
+    const std::size_t idx = bits & 0xffu;
+    const std::uint64_t rest = bits >> 8;
+    const bool negative = (rest & 1u) != 0;
+    const std::uint64_t rabs = (rest >> 1) & 0xfffffffffffffull;
+    const double x = double(rabs) * z.wi[idx];
+    if (rabs < z.ki[idx]) return negative ? -x : x; // ~99% of draws
+    return normal_slow(idx, negative, x);
+  }
 
   /// Normal with given mean and standard deviation.
   double normal(double mean, double sigma);
@@ -57,7 +105,7 @@ class Rng {
   /// Advances the state by 2^128 steps (standard Xoshiro256** jump
   /// polynomial): from one seed, `jump()` partitions the period into up to
   /// 2^128 provably non-overlapping substreams of 2^128 draws each — one per
-  /// parallel worker. Clears any cached normal so the substream starts clean.
+  /// parallel worker.
   void jump();
 
   /// Advances the state by 2^192 steps (long-jump polynomial): strides for
@@ -65,21 +113,49 @@ class Rng {
   /// for its own workers.
   void long_jump();
 
-  /// Derives `n` independent deterministic substreams for chunked parallel
-  /// work: advances this stream once (so consecutive calls see fresh
-  /// randomness), forks a base stream from the drawn label, and strides it
-  /// with `jump()` — substream c starts 2^128 * c draws into the base.
-  /// Substream c is a pure function of (state on entry, c), never of the
-  /// thread count; both parallel Monte-Carlo kernels derive their chunk
-  /// streams through this single protocol.
+  /// Derives `n` independent deterministic substreams for parallel work:
+  /// advances this stream once (so consecutive calls see fresh randomness),
+  /// forks a base stream from the drawn label, and strides it with `jump()`
+  /// — substream c starts 2^128 * c draws into the base. Substream c is a
+  /// pure function of (state on entry, c), never of the thread count.
+  ///
+  /// Granularity: the Monte-Carlo kernels key substreams **per trajectory /
+  /// per sample** (n = the trajectory count), not per scheduling chunk.
+  /// That makes every statistic a pure function of (seed, n): invariant to
+  /// the thread count, to the chunk size, *and* to the SIMD batch width —
+  /// lane k of a batched kernel simply draws from trajectory k's stream.
   [[nodiscard]] std::vector<Rng> jump_substreams(std::size_t n);
 
+  /// Batched normal draws for the SIMD trajectory kernels: fills `out[k]`
+  /// with the next standard normal of `lanes[k]` for every lane whose bit
+  /// is set in `mask` (lanes with a clear bit draw nothing and keep their
+  /// `out` value). Lane k's sequence is exactly what sequential scalar
+  /// `lanes[k].normal()` calls produce — bit-for-bit — so the batch width
+  /// is statistically invisible. The ziggurat lookup is inherently scalar
+  /// per lane; the vectorization win lives in the integrator arithmetic
+  /// around it.
+  template <std::size_t W>
+  static void normal_batch(Rng* lanes, double* out,
+                           std::uint32_t mask = ~0u) {
+    static_assert(W <= 32, "mask covers at most 32 lanes");
+    for (std::size_t k = 0; k < W; ++k) {
+      if (mask & (1u << k)) out[k] = lanes[k].normal();
+    }
+  }
+
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Ziggurat wedge/tail rejection path (rng.cpp); on a wedge miss it
+  /// redraws via `normal()`, which consumes exactly the same stream
+  /// sequence as the classic retry loop.
+  double normal_slow(std::size_t idx, bool negative, double x);
+
   void apply_jump(const std::uint64_t (&poly)[4]);
 
   std::array<std::uint64_t, 4> s_{};
-  double cached_normal_ = 0.0;
-  bool has_cached_normal_ = false;
 };
 
 } // namespace mss::util

@@ -1,0 +1,131 @@
+// Portable SIMD batch layer: fixed-width lane arrays whose operations are
+// plain elementwise loops, written so the compiler auto-vectorizes them
+// (SLP over the fully unrolled lane loop) without any intrinsics — the code
+// stays portable to every ISA the toolchain targets.
+//
+// Determinism contract: every operation is *lane-wise only*. There are no
+// horizontal reductions and no reassociation — lane k of any expression is
+// exactly the scalar IEEE-754 evaluation of that expression on lane k's
+// inputs, so a kernel templated on the width W produces bit-identical
+// per-lane results for every W (and for W == 1 it *is* the scalar kernel).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+// Runtime ISA dispatch for the SoA hot loops: the annotated function is
+// compiled once per target ("default" is the portable baseline the rest of
+// the library uses) and the dynamic linker picks the widest one the host
+// supports. Combined with -ffp-contract=off (no FMA reassociation — see the
+// top-level CMakeLists) every clone executes the same IEEE-754 operation
+// sequence, so the chosen ISA changes throughput only, never a single bit
+// of any lane. Requires ELF ifunc support; elsewhere the macro is a no-op
+// and the portable code path is the only one. Disabled under sanitizers:
+// the ifunc resolver runs at relocation time, before the sanitizer runtime
+// initialises, and crashes pre-main (the TSAN/ASAN jobs test correctness,
+// not throughput, so the portable path is exactly what they should see).
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) &&  \
+    !defined(__clang__) && !defined(__SANITIZE_THREAD__) &&          \
+    !defined(__SANITIZE_ADDRESS__)
+#define MSS_SIMD_CLONES \
+  __attribute__((target_clones("avx2", "default")))
+#else
+#define MSS_SIMD_CLONES
+#endif
+
+namespace mss::util {
+
+/// Fixed-width batch of `W` lanes of `T`. Plain value type: an aligned
+/// array plus elementwise operators. `W` must be a power of two so the
+/// batch tiles the vector registers of whatever ISA the build targets.
+template <typename T, std::size_t W>
+struct alignas(sizeof(T) * W) Batch {
+  static_assert(W >= 1 && (W & (W - 1)) == 0, "width must be a power of two");
+
+  T lane[W];
+
+  /// All lanes set to `v`.
+  [[nodiscard]] static constexpr Batch broadcast(T v) {
+    Batch b{};
+    for (std::size_t k = 0; k < W; ++k) b.lane[k] = v;
+    return b;
+  }
+
+  constexpr T& operator[](std::size_t k) { return lane[k]; }
+  constexpr const T& operator[](std::size_t k) const { return lane[k]; }
+
+  // --- elementwise batch (.) batch -----------------------------------------
+  friend constexpr Batch operator+(const Batch& a, const Batch& b) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] + b.lane[k];
+    return r;
+  }
+  friend constexpr Batch operator-(const Batch& a, const Batch& b) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] - b.lane[k];
+    return r;
+  }
+  friend constexpr Batch operator*(const Batch& a, const Batch& b) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] * b.lane[k];
+    return r;
+  }
+  friend constexpr Batch operator/(const Batch& a, const Batch& b) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] / b.lane[k];
+    return r;
+  }
+
+  // --- elementwise batch (.) scalar ----------------------------------------
+  friend constexpr Batch operator*(const Batch& a, T s) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] * s;
+    return r;
+  }
+  friend constexpr Batch operator*(T s, const Batch& a) { return a * s; }
+  friend constexpr Batch operator/(const Batch& a, T s) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] / s;
+    return r;
+  }
+  friend constexpr Batch operator+(const Batch& a, T s) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] + s;
+    return r;
+  }
+  friend constexpr Batch operator-(const Batch& a, T s) {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = a.lane[k] - s;
+    return r;
+  }
+
+  constexpr Batch operator-() const {
+    Batch r{};
+    for (std::size_t k = 0; k < W; ++k) r.lane[k] = -lane[k];
+    return r;
+  }
+
+  constexpr Batch& operator+=(const Batch& o) {
+    for (std::size_t k = 0; k < W; ++k) lane[k] += o.lane[k];
+    return *this;
+  }
+  constexpr Batch& operator-=(const Batch& o) {
+    for (std::size_t k = 0; k < W; ++k) lane[k] -= o.lane[k];
+    return *this;
+  }
+  constexpr Batch& operator*=(T s) {
+    for (std::size_t k = 0; k < W; ++k) lane[k] *= s;
+    return *this;
+  }
+};
+
+/// Lane-wise square root (vectorizes with -fno-math-errno; each lane is the
+/// correctly rounded IEEE result, identical to scalar std::sqrt).
+template <typename T, std::size_t W>
+[[nodiscard]] inline Batch<T, W> sqrt(const Batch<T, W>& a) {
+  Batch<T, W> r{};
+  for (std::size_t k = 0; k < W; ++k) r.lane[k] = std::sqrt(a.lane[k]);
+  return r;
+}
+
+} // namespace mss::util

@@ -38,9 +38,10 @@ DistributionSummary VaetStt::summarize(const std::vector<double>& samples,
 
 namespace {
 
-/// Samples per Monte-Carlo chunk. Fixed (never derived from the thread
-/// count) so the chunk -> jump-substream mapping, and therefore every
-/// sampled value, is identical for any pool size.
+/// Samples per Monte-Carlo scheduling chunk. Fixed (never derived from the
+/// thread count) so the chunk layout is identical for any pool size. Pure
+/// scheduling granularity: substreams are keyed per *sample*, so the chunk
+/// size does not touch any sampled value.
 constexpr std::size_t kMcChunkSamples = 32;
 
 } // namespace
@@ -64,10 +65,12 @@ VaetResult VaetStt::monte_carlo(mss::util::Rng& rng) const {
   const std::size_t n = opt_.mc_samples;
   std::vector<double> wr_lat(n), wr_en(n), rd_lat(n), rd_en(n);
 
-  // Every chunk draws from its own jump substream — provably
-  // non-overlapping and a pure function of the incoming RNG state.
-  const std::vector<mss::util::Rng> streams = rng.jump_substreams(
-      mss::util::ThreadPool::chunk_count(n, kMcChunkSamples));
+  // Every *sample* draws from its own jump substream — provably
+  // non-overlapping and a pure function of (incoming RNG state, sample
+  // index). Per-sample (not per-chunk) keying is the same contract the LLG
+  // ensemble uses per trajectory: statistics are invariant to the thread
+  // count, the chunk size, and any future batching of the sample loop.
+  const std::vector<mss::util::Rng> streams = rng.jump_substreams(n);
 
   // One access sample: a single pass over the word samples each device once
   // and derives both the write and the read behaviour from it (the seed
@@ -130,10 +133,12 @@ VaetResult VaetStt::monte_carlo(mss::util::Rng& rng) const {
                word * c_bl * pdk_.v_read * vdd;
   };
 
-  const auto run_chunk = [&](std::size_t c, std::size_t begin,
+  const auto run_chunk = [&](std::size_t, std::size_t begin,
                              std::size_t end) {
-    mss::util::Rng r = streams[c];
-    for (std::size_t s = begin; s < end; ++s) sample_access(s, r);
+    for (std::size_t s = begin; s < end; ++s) {
+      mss::util::Rng r = streams[s];
+      sample_access(s, r);
+    }
   };
 
   // Chunks write disjoint slices of the preallocated sample arrays, so the

@@ -55,8 +55,8 @@ struct VaetOptions {
   double v_resolve = 0.022;
   /// Monte-Carlo worker threads: 0 = all hardware threads (shared pool),
   /// 1 = serial, N = a dedicated pool of N. Results are bit-identical for
-  /// every setting — samples are keyed to RNG jump substreams by chunk
-  /// index, not by thread.
+  /// every setting — each sample is keyed to its own RNG jump substream by
+  /// sample index, never by thread or scheduling chunk.
   std::size_t threads = 0;
 };
 
@@ -72,10 +72,11 @@ class VaetStt {
 
   /// Monte-Carlo variation analysis — produces Table 1 (nominal, mu, sigma
   /// for read/write latency/energy). Samples are sharded across the thread
-  /// pool (`options().threads`) in fixed-size chunks, each chunk drawing
-  /// from its own Xoshiro jump substream: the result is bit-identical for
-  /// any thread count. `rng` is advanced once to derive the sample streams,
-  /// so consecutive calls see fresh randomness.
+  /// pool (`options().threads`) in fixed-size scheduling chunks, and every
+  /// sample draws from its own Xoshiro jump substream keyed by sample
+  /// index: the result is bit-identical for any thread count. `rng` is
+  /// advanced once to derive the sample streams, so consecutive calls see
+  /// fresh randomness.
   [[nodiscard]] VaetResult monte_carlo(mss::util::Rng& rng) const;
 
   // --- reliability-constrained margins (analytic strategy) ---

@@ -1,0 +1,217 @@
+// Unit tests for the Vec3 value type (previously only covered indirectly
+// through the integrator suites) and for the lane-wise bit-identity
+// contract of its structure-of-arrays counterpart Vec3Batch / Batch.
+#include "physics/vec3.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "physics/vec3_batch.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace mp = mss::physics;
+
+TEST(Vec3, ArithmeticOperators) {
+  const mp::Vec3 a{1.0, -2.0, 3.0};
+  const mp::Vec3 b{0.5, 4.0, -1.0};
+  const mp::Vec3 sum = a + b;
+  EXPECT_EQ(sum.x, 1.5);
+  EXPECT_EQ(sum.y, 2.0);
+  EXPECT_EQ(sum.z, 2.0);
+  const mp::Vec3 diff = a - b;
+  EXPECT_EQ(diff.x, 0.5);
+  EXPECT_EQ(diff.y, -6.0);
+  EXPECT_EQ(diff.z, 4.0);
+  const mp::Vec3 scaled = a * 2.0;
+  EXPECT_EQ(scaled.x, 2.0);
+  EXPECT_EQ(scaled.y, -4.0);
+  EXPECT_EQ(scaled.z, 6.0);
+  // s * v must equal v * s bit-for-bit (the batch layer relies on it).
+  const mp::Vec3 scaled2 = 2.0 * a;
+  EXPECT_EQ(scaled.x, scaled2.x);
+  EXPECT_EQ(scaled.y, scaled2.y);
+  EXPECT_EQ(scaled.z, scaled2.z);
+  const mp::Vec3 halved = a / 2.0;
+  EXPECT_EQ(halved.x, 0.5);
+  EXPECT_EQ(halved.y, -1.0);
+  EXPECT_EQ(halved.z, 1.5);
+}
+
+TEST(Vec3, CompoundAssignment) {
+  mp::Vec3 v{1.0, 2.0, 3.0};
+  v += mp::Vec3{1.0, -1.0, 0.5};
+  EXPECT_EQ(v.x, 2.0);
+  EXPECT_EQ(v.y, 1.0);
+  EXPECT_EQ(v.z, 3.5);
+  v -= mp::Vec3{2.0, 1.0, 0.5};
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 3.0);
+  v *= -2.0;
+  EXPECT_EQ(v.x, -0.0);
+  EXPECT_EQ(v.y, -0.0);
+  EXPECT_EQ(v.z, -6.0);
+}
+
+TEST(Vec3, DotAndNorm) {
+  const mp::Vec3 a{3.0, 4.0, 0.0};
+  EXPECT_EQ(a.dot(a), 25.0);
+  EXPECT_EQ(a.norm(), 5.0);
+  const mp::Vec3 b{1.0, 1.0, 1.0};
+  EXPECT_EQ(a.dot(b), 7.0);
+  EXPECT_EQ(b.dot(a), 7.0);
+}
+
+TEST(Vec3, CrossProductIdentities) {
+  const mp::Vec3 ex{1.0, 0.0, 0.0};
+  const mp::Vec3 ey{0.0, 1.0, 0.0};
+  const mp::Vec3 ez{0.0, 0.0, 1.0};
+  const mp::Vec3 xy = ex.cross(ey);
+  EXPECT_EQ(xy.x, ez.x);
+  EXPECT_EQ(xy.y, ez.y);
+  EXPECT_EQ(xy.z, ez.z);
+  // Anti-commutative and orthogonal to both factors.
+  const mp::Vec3 a{0.3, -0.7, 0.2};
+  const mp::Vec3 b{-0.1, 0.4, 0.9};
+  const mp::Vec3 ab = a.cross(b);
+  const mp::Vec3 ba = b.cross(a);
+  EXPECT_EQ(ab.x, -ba.x);
+  EXPECT_EQ(ab.y, -ba.y);
+  EXPECT_EQ(ab.z, -ba.z);
+  EXPECT_NEAR(ab.dot(a), 0.0, 1e-15);
+  EXPECT_NEAR(ab.dot(b), 0.0, 1e-15);
+  // Self cross product vanishes.
+  const mp::Vec3 aa = a.cross(a);
+  EXPECT_EQ(aa.x, 0.0);
+  EXPECT_EQ(aa.y, 0.0);
+  EXPECT_EQ(aa.z, 0.0);
+}
+
+TEST(Vec3, NormalizedAndRenormalized) {
+  const mp::Vec3 v{2.0, -3.0, 6.0}; // norm 7
+  const mp::Vec3 n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-15);
+  EXPECT_EQ(n.x, 2.0 / 7.0);
+  // renormalized() is the integrator's drift correction: the exact same
+  // computation (component / sqrt(dot)) under an intent-revealing name.
+  const mp::Vec3 r = v.renormalized();
+  EXPECT_EQ(r.x, n.x);
+  EXPECT_EQ(r.y, n.y);
+  EXPECT_EQ(r.z, n.z);
+  // A slightly drifted unit vector is pulled back onto the sphere.
+  const mp::Vec3 drifted = n * (1.0 + 1e-9);
+  EXPECT_NEAR(drifted.renormalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3, DefaultIsZero) {
+  const mp::Vec3 z;
+  EXPECT_EQ(z.x, 0.0);
+  EXPECT_EQ(z.y, 0.0);
+  EXPECT_EQ(z.z, 0.0);
+  EXPECT_EQ(z.dot(z), 0.0);
+}
+
+// ----------------------------------------------- SoA batch layer contract
+
+namespace {
+
+constexpr std::size_t kW = 4;
+
+mp::Vec3Batch<kW> random_batch(mss::util::Rng& rng) {
+  mp::Vec3Batch<kW> b;
+  for (std::size_t l = 0; l < kW; ++l) {
+    b.set_lane(l, {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+                   rng.uniform(-2.0, 2.0)});
+  }
+  return b;
+}
+
+void expect_lanes_equal(const mp::Vec3Batch<kW>& got, std::size_t l,
+                        const mp::Vec3& want) {
+  EXPECT_EQ(got.x[l], want.x) << "lane " << l;
+  EXPECT_EQ(got.y[l], want.y) << "lane " << l;
+  EXPECT_EQ(got.z[l], want.z) << "lane " << l;
+}
+
+} // namespace
+
+// Every Vec3Batch operation must equal the scalar Vec3 operation applied
+// lane by lane, bit-for-bit — the contract that lets a batched kernel
+// replace a scalar one without changing any result.
+TEST(Vec3Batch, MirrorsScalarOperationsBitForBit) {
+  mss::util::Rng rng(91);
+  for (int round = 0; round < 50; ++round) {
+    const auto a = random_batch(rng);
+    const auto b = random_batch(rng);
+    const double s = rng.uniform(-3.0, 3.0);
+
+    const auto sum = a + b;
+    const auto diff = a - b;
+    const auto scaled = a * s;
+    const auto scaled2 = s * a;
+    const auto crossed = a.cross(b);
+    const auto dots = a.dot(b);
+    const auto normed = a.normalized();
+    auto acc = a;
+    acc += b;
+
+    mss::util::Batch<double, kW> lane_scale{};
+    for (std::size_t l = 0; l < kW; ++l) lane_scale[l] = 0.5 + 0.25 * l;
+    const auto lane_scaled = a * lane_scale;
+
+    for (std::size_t l = 0; l < kW; ++l) {
+      const mp::Vec3 al = a.lane(l), bl = b.lane(l);
+      expect_lanes_equal(sum, l, al + bl);
+      expect_lanes_equal(diff, l, al - bl);
+      expect_lanes_equal(scaled, l, al * s);
+      expect_lanes_equal(scaled2, l, s * al);
+      expect_lanes_equal(crossed, l, al.cross(bl));
+      EXPECT_EQ(dots[l], al.dot(bl));
+      expect_lanes_equal(normed, l, al.normalized());
+      mp::Vec3 accl = al;
+      accl += bl;
+      expect_lanes_equal(acc, l, accl);
+      expect_lanes_equal(lane_scaled, l, al * lane_scale[l]);
+    }
+  }
+}
+
+TEST(BatchDouble, ElementwiseOpsMirrorScalars) {
+  using B = mss::util::Batch<double, kW>;
+  mss::util::Rng rng(93);
+  for (int round = 0; round < 50; ++round) {
+    B a{}, b{};
+    for (std::size_t l = 0; l < kW; ++l) {
+      a[l] = rng.uniform(0.1, 4.0);
+      b[l] = rng.uniform(0.1, 4.0);
+    }
+    const double s = rng.uniform(0.5, 2.0);
+    const B sum = a + b, diff = a - b, prod = a * b, quot = a / b;
+    const B ss = a * s, sq = a / s, sa = a + s, sm = a - s;
+    const B neg = -a, root = mss::util::sqrt(a);
+    B acc = a;
+    acc += b;
+    B acc2 = a;
+    acc2 -= b;
+    B acc3 = a;
+    acc3 *= s;
+    for (std::size_t l = 0; l < kW; ++l) {
+      EXPECT_EQ(sum[l], a[l] + b[l]);
+      EXPECT_EQ(diff[l], a[l] - b[l]);
+      EXPECT_EQ(prod[l], a[l] * b[l]);
+      EXPECT_EQ(quot[l], a[l] / b[l]);
+      EXPECT_EQ(ss[l], a[l] * s);
+      EXPECT_EQ(sq[l], a[l] / s);
+      EXPECT_EQ(sa[l], a[l] + s);
+      EXPECT_EQ(sm[l], a[l] - s);
+      EXPECT_EQ(neg[l], -a[l]);
+      EXPECT_EQ(root[l], std::sqrt(a[l]));
+      EXPECT_EQ(acc[l], a[l] + b[l]);
+      EXPECT_EQ(acc2[l], a[l] - b[l]);
+      EXPECT_EQ(acc3[l], a[l] * s);
+    }
+  }
+  const B bc = B::broadcast(1.5);
+  for (std::size_t l = 0; l < kW; ++l) EXPECT_EQ(bc[l], 1.5);
+}

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <vector>
 
 namespace mu = mss::util;
 
@@ -93,6 +96,113 @@ TEST(Rng, ExponentialMean) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
   EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalTailProbabilities) {
+  // The ziggurat's wedge and tail branches must produce the right mass:
+  // check P(|z| > t) against the normal survival function.
+  mu::Rng rng(29);
+  const int n = 400000;
+  int over1 = 0, over2 = 0, over3 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double a = std::abs(rng.normal());
+    over1 += a > 1.0;
+    over2 += a > 2.0;
+    over3 += a > 3.0;
+  }
+  EXPECT_NEAR(double(over1) / n, 0.3173, 0.005);
+  EXPECT_NEAR(double(over2) / n, 0.0455, 0.002);
+  EXPECT_NEAR(double(over3) / n, 0.0027, 0.0006);
+}
+
+// --------------------------------------------------------- batched draws
+
+TEST(Rng, NormalBatchMatchesScalarDrawsPerLane) {
+  // Lane k of normal_batch must reproduce trajectory k's sequential scalar
+  // normal() sequence bit-for-bit — the contract that makes the SIMD batch
+  // width statistically invisible.
+  constexpr std::size_t kW = 4;
+  mu::Rng root(61);
+  const std::vector<mu::Rng> streams = root.jump_substreams(kW);
+
+  std::array<mu::Rng, kW> lanes;
+  for (std::size_t k = 0; k < kW; ++k) lanes[k] = streams[k];
+  std::array<mu::Rng, kW> scalar;
+  for (std::size_t k = 0; k < kW; ++k) scalar[k] = streams[k];
+
+  double out[kW];
+  for (int round = 0; round < 200; ++round) {
+    mu::Rng::normal_batch<kW>(lanes.data(), out);
+    for (std::size_t k = 0; k < kW; ++k) {
+      ASSERT_EQ(out[k], scalar[k].normal())
+          << "lane " << k << " round " << round;
+    }
+  }
+}
+
+TEST(Rng, NormalBatchMaskSkipsIdleLanes) {
+  constexpr std::size_t kW = 4;
+  mu::Rng root(62);
+  const std::vector<mu::Rng> streams = root.jump_substreams(kW);
+  std::array<mu::Rng, kW> lanes;
+  for (std::size_t k = 0; k < kW; ++k) lanes[k] = streams[k];
+
+  double out[kW] = {-1.0, -1.0, -1.0, -1.0};
+  mu::Rng::normal_batch<kW>(lanes.data(), out, 0b0101u);
+  // Masked lanes kept their value and consumed nothing from their streams.
+  EXPECT_EQ(out[1], -1.0);
+  EXPECT_EQ(out[3], -1.0);
+  mu::Rng untouched1 = streams[1], untouched3 = streams[3];
+  EXPECT_EQ(lanes[1].next_u64(), untouched1.next_u64());
+  EXPECT_EQ(lanes[3].next_u64(), untouched3.next_u64());
+  // Active lanes drew exactly one normal each.
+  mu::Rng active0 = streams[0];
+  EXPECT_EQ(out[0], active0.normal());
+  EXPECT_EQ(lanes[0].next_u64(), active0.next_u64());
+}
+
+// ----------------------------------------- per-trajectory substream keying
+
+TEST(Rng, TrajectorySubstreamsAreDeterministicAndDistinct) {
+  // jump_substreams at per-trajectory granularity: the stream list is a
+  // pure function of the entry state, streams are pairwise distinct, and
+  // the caller advances identically regardless of n.
+  mu::Rng a(123), b(123);
+  const auto sa = a.jump_substreams(64);
+  const auto sb = b.jump_substreams(64);
+  ASSERT_EQ(sa.size(), 64u);
+  for (std::size_t k = 0; k < sa.size(); ++k) {
+    mu::Rng x = sa[k], y = sb[k];
+    EXPECT_EQ(x.next_u64(), y.next_u64()) << "stream " << k;
+  }
+  // Distinctness: first draws of all 64 streams never collide.
+  std::vector<std::uint64_t> firsts;
+  for (const auto& s : sa) {
+    mu::Rng copy = s;
+    firsts.push_back(copy.next_u64());
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(std::adjacent_find(firsts.begin(), firsts.end()), firsts.end());
+  // Caller state after deriving n streams is independent of n.
+  mu::Rng c(123), d(123);
+  (void)c.jump_substreams(1);
+  (void)d.jump_substreams(1000);
+  EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(Rng, TrajectorySubstreamNormalsAreUncorrelated) {
+  // Jump-independence at trajectory granularity: consecutive per-trajectory
+  // substreams must show no cross-correlation in their normal draws (the
+  // draws the LLG thermal field consumes).
+  mu::Rng root(77);
+  const auto streams = root.jump_substreams(8);
+  const int n = 20000;
+  for (std::size_t s = 0; s + 1 < streams.size(); ++s) {
+    mu::Rng a = streams[s], b = streams[s + 1];
+    double sum_ab = 0.0;
+    for (int i = 0; i < n; ++i) sum_ab += a.normal() * b.normal();
+    EXPECT_NEAR(sum_ab / n, 0.0, 0.03) << "streams " << s << "," << s + 1;
+  }
 }
 
 TEST(Rng, ForkIsDeterministicAndIndependent) {

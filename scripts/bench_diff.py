@@ -3,11 +3,19 @@
 
     scripts/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
                           [--families /dim: /threads: /width:]
+                          [--min-speedup SLOW FAST RATIO]
 
 Compares `real_time` of every benchmark present in both snapshots whose
 name contains one of the family markers (default: the /dim:N, /threads:N
 and /width:N families — matrix-dimension, thread-count and SIMD-batch-width
-scaling respectively). Exits 1 when any matched benchmark regressed by
+scaling respectively).
+
+`--min-speedup SLOW FAST RATIO` (repeatable) additionally asserts an
+*intra-snapshot* ratio on the current snapshot:
+current[SLOW] / current[FAST] >= RATIO. This is how absolute acceptance
+criteria (e.g. "the SIMD width:4 kernel is >= 1.8x the width:1 kernel")
+stay enforced on hardware whose absolute numbers differ from the committed
+baseline's. Exits 1 when any matched benchmark regressed by
 more than the tolerance (relative to the baseline), 0 otherwise.
 
 Individual benchmarks only present on one side are reported but never
@@ -68,6 +76,9 @@ def main(argv=None):
     ap.add_argument("--families", nargs="*",
                     default=["/dim:", "/threads:", "/width:"],
                     help="benchmark-name substrings to compare")
+    ap.add_argument("--min-speedup", nargs=3, action="append", default=[],
+                    metavar=("SLOW", "FAST", "RATIO"),
+                    help="require current[SLOW]/current[FAST] >= RATIO")
     args = ap.parse_args(argv)
 
     base = load(args.baseline)
@@ -107,8 +118,28 @@ def main(argv=None):
     for name in only_cur:
         print(f"{name:60s} (current only — no baseline yet)")
 
+    speedup_failures = []
+    for slow, fast, ratio in args.min_speedup:
+        want = float(ratio)
+        missing = [n for n in (slow, fast) if n not in cur]
+        if missing:
+            print(f"error: --min-speedup benchmark(s) missing from the "
+                  f"current snapshot: {', '.join(missing)}", file=sys.stderr)
+            return 1
+        got = cur[slow] / cur[fast] if cur[fast] > 0 else 0.0
+        flag = "" if got >= want else " <-- BELOW REQUIRED"
+        print(f"speedup {slow} / {fast}: {got:.2f}x "
+              f"(required >= {want:.2f}x){flag}")
+        if got < want:
+            speedup_failures.append((slow, fast, got, want))
+
     if not matched:
         print("warning: no benchmarks matched both snapshots", file=sys.stderr)
+    if speedup_failures:
+        for slow, fast, got, want in speedup_failures:
+            print(f"error: {slow} is only {got:.2f}x {fast} "
+                  f"(required >= {want:.2f}x)", file=sys.stderr)
+        return 1
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{args.tolerance:.0%}:", file=sys.stderr)

@@ -40,11 +40,17 @@ FLAGS_BT="$(cache_var "CMAKE_CXX_FLAGS_$(echo "${BUILD_TYPE}" | tr '[:lower:]' '
 FLAGS_DIR="$(cache_var MSS_EFFECTIVE_CXX_OPTIONS)"
 NATIVE="$(cache_var MSS_NATIVE)"
 
+# google-benchmark's --benchmark_context parser rejects values containing
+# '=' (e.g. -ffp-contract=off), so flag values spell it ':'; also squeeze
+# the whitespace the empty CMAKE_CXX_FLAGS slot leaves behind.
+FLAGS_ALL="$(echo "${FLAGS} ${FLAGS_BT} ${FLAGS_DIR}" | xargs)"
+FLAGS_ALL="${FLAGS_ALL//=/:}"
+
 REV="$(git rev-parse --short HEAD)"
 OUT="BENCH_${REV}.json"
 ARGS=(--benchmark_format=json
-      "--benchmark_context=compiler=${COMPILER}"
-      "--benchmark_context=cxx_flags=${FLAGS} ${FLAGS_BT} ${FLAGS_DIR}"
+      "--benchmark_context=compiler=${COMPILER//=/:}"
+      "--benchmark_context=cxx_flags=${FLAGS_ALL}"
       "--benchmark_context=mss_native=${NATIVE:-OFF}")
 if [[ -n "${FILTER}" ]]; then
   ARGS+=("--benchmark_filter=${FILTER}")

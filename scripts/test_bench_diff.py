@@ -90,6 +90,27 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(rc, 1)
         self.assertIn("family '/width:'", err.getvalue())
 
+    def test_min_speedup_gate(self):
+        # The intra-snapshot ratio assertion: width:4 must be >= RATIO
+        # faster than width:1 in the *current* snapshot (hardware-neutral,
+        # unlike absolute baseline numbers).
+        base = self.write("base.json", snapshot({
+            "BM_L/width:1": 100.0, "BM_L/width:4": 50.0}))
+        ok = self.write("ok.json", snapshot({
+            "BM_L/width:1": 100.0, "BM_L/width:4": 50.0}))
+        self.assertEqual(self.run_diff(base, ok, extra=(
+            "--min-speedup", "BM_L/width:1", "BM_L/width:4", "1.8")), 0)
+        # Speedup collapsed to 1.25x: fails even though no per-benchmark
+        # regression beyond tolerance occurred (width:1 also got slower).
+        bad = self.write("bad.json", snapshot({
+            "BM_L/width:1": 100.0, "BM_L/width:4": 80.0}))
+        self.assertEqual(self.run_diff(base, bad, extra=(
+            "--min-speedup", "BM_L/width:1", "BM_L/width:4", "1.8")), 1)
+        # A named benchmark missing from the snapshot is a hard error, not
+        # a silent pass.
+        self.assertEqual(self.run_diff(base, ok, extra=(
+            "--min-speedup", "BM_L/width:1", "BM_Missing", "1.8")), 1)
+
     def test_family_only_in_current_is_tolerated(self):
         # A brand-new family has no baseline yet: pass.
         base = self.write("base.json", snapshot({"BM_Y/threads:2": 50.0}))

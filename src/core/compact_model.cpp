@@ -124,15 +124,20 @@ physics::LlgParams MtjCompactModel::llg_params() const {
   return lp;
 }
 
+MtjCompactModel::LlgsDrive MtjCompactModel::llgs_drive(WriteDirection dir,
+                                                       double i_write) {
+  // ToParallel drives m towards the polariser (+z); start in the opposite
+  // basin. The sign convention of the LLGS torque handles the direction.
+  return {/*start_up=*/dir == WriteDirection::ToAntiparallel,
+          /*current=*/dir == WriteDirection::ToAntiparallel
+              ? -std::abs(i_write)
+              : std::abs(i_write)};
+}
+
 WriteOutcome MtjCompactModel::llgs_write(WriteDirection dir, double i_write,
                                          double t_pulse, mss::util::Rng& rng,
                                          double dt) const {
-  // ToParallel drives m towards the polariser (+z); start in the opposite
-  // basin. The sign convention of the LLGS torque handles the direction.
-  const bool start_up = dir == WriteDirection::ToAntiparallel;
-  const double current = dir == WriteDirection::ToAntiparallel
-                             ? -std::abs(i_write)
-                             : std::abs(i_write);
+  const auto [start_up, current] = llgs_drive(dir, i_write);
 
   physics::LlgSolver solver(llg_params());
   const physics::Vec3 m0 = solver.thermal_initial_state(start_up, rng);
@@ -158,10 +163,7 @@ double MtjCompactModel::llgs_switch_probability(WriteDirection dir,
   // bit-identical for any thread count and any batch width; trajectories
   // freeze at their first crossing (stop_on_switch) since only the switch
   // outcome feeds the statistic.
-  const bool start_up = dir == WriteDirection::ToAntiparallel;
-  const double current = dir == WriteDirection::ToAntiparallel
-                             ? -std::abs(i_write)
-                             : std::abs(i_write);
+  const auto [start_up, current] = llgs_drive(dir, i_write);
   const physics::LlgSolver solver(llg_params());
   physics::LlgEnsembleOptions opt;
   opt.threads = threads;

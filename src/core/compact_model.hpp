@@ -134,6 +134,16 @@ class MtjCompactModel {
   /// LLGS free-layer parameters shared by the physical-strategy paths.
   [[nodiscard]] physics::LlgParams llg_params() const;
 
+  /// Start basin and signed stack current of an LLGS write — the one place
+  /// the torque sign convention is encoded for both physical-strategy
+  /// entry points (`llgs_write`, `llgs_switch_probability`).
+  struct LlgsDrive {
+    bool start_up;
+    double current;
+  };
+  [[nodiscard]] static LlgsDrive llgs_drive(WriteDirection dir,
+                                            double i_write);
+
   MtjParams params_;
 };
 

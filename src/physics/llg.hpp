@@ -21,7 +21,6 @@
 #include <vector>
 
 #include "physics/vec3.hpp"
-#include "physics/vec3_batch.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 

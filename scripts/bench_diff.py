@@ -2,21 +2,25 @@
 """Diff two google-benchmark JSON snapshots and fail on regressions.
 
     scripts/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
-                          [--families /dim: /threads: /width:]
+                          [--families /dim: /threads: /width: /rows:]
                           [--min-speedup SLOW FAST RATIO]
+                          [--max-ratio A B RATIO]
 
 Compares `real_time` of every benchmark present in both snapshots whose
-name contains one of the family markers (default: the /dim:N, /threads:N
-and /width:N families — matrix-dimension, thread-count and SIMD-batch-width
-scaling respectively).
+name contains one of the family markers (default: the /dim:N, /threads:N,
+/width:N and /rows:N families — matrix-dimension, thread-count, SIMD-batch
+-width and array-row scaling respectively).
 
 `--min-speedup SLOW FAST RATIO` (repeatable) additionally asserts an
 *intra-snapshot* ratio on the current snapshot:
 current[SLOW] / current[FAST] >= RATIO. This is how absolute acceptance
 criteria (e.g. "the SIMD width:4 kernel is >= 1.8x the width:1 kernel")
 stay enforced on hardware whose absolute numbers differ from the committed
-baseline's. Exits 1 when any matched benchmark regressed by
-more than the tolerance (relative to the baseline), 0 otherwise.
+baseline's. `--max-ratio A B RATIO` (repeatable) is the scaling-cost dual:
+current[A] / current[B] <= RATIO, bounding how much more a larger problem
+instance may cost than a smaller one (e.g. "the rows:256 array write stays
+within 4.5x the rows:64 one"). Exits 1 when any matched benchmark regressed
+by more than the tolerance (relative to the baseline), 0 otherwise.
 
 Individual benchmarks only present on one side are reported but never
 fail the run (families evolve across revisions) — but an entire family
@@ -74,11 +78,14 @@ def main(argv=None):
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="max allowed relative real_time growth (default 0.25)")
     ap.add_argument("--families", nargs="*",
-                    default=["/dim:", "/threads:", "/width:"],
+                    default=["/dim:", "/threads:", "/width:", "/rows:"],
                     help="benchmark-name substrings to compare")
     ap.add_argument("--min-speedup", nargs=3, action="append", default=[],
                     metavar=("SLOW", "FAST", "RATIO"),
                     help="require current[SLOW]/current[FAST] >= RATIO")
+    ap.add_argument("--max-ratio", nargs=3, action="append", default=[],
+                    metavar=("A", "B", "RATIO"),
+                    help="require current[A]/current[B] <= RATIO")
     args = ap.parse_args(argv)
 
     base = load(args.baseline)
@@ -133,12 +140,32 @@ def main(argv=None):
         if got < want:
             speedup_failures.append((slow, fast, got, want))
 
+    ratio_failures = []
+    for a, b, ratio in args.max_ratio:
+        want = float(ratio)
+        missing = [n for n in (a, b) if n not in cur]
+        if missing:
+            print(f"error: --max-ratio benchmark(s) missing from the "
+                  f"current snapshot: {', '.join(missing)}", file=sys.stderr)
+            return 1
+        got = cur[a] / cur[b] if cur[b] > 0 else float("inf")
+        flag = "" if got <= want else " <-- ABOVE ALLOWED"
+        print(f"ratio {a} / {b}: {got:.2f}x "
+              f"(allowed <= {want:.2f}x){flag}")
+        if got > want:
+            ratio_failures.append((a, b, got, want))
+
     if not matched:
         print("warning: no benchmarks matched both snapshots", file=sys.stderr)
     if speedup_failures:
         for slow, fast, got, want in speedup_failures:
             print(f"error: {slow} is only {got:.2f}x {fast} "
                   f"(required >= {want:.2f}x)", file=sys.stderr)
+        return 1
+    if ratio_failures:
+        for a, b, got, want in ratio_failures:
+            print(f"error: {a} costs {got:.2f}x {b} "
+                  f"(allowed <= {want:.2f}x)", file=sys.stderr)
         return 1
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "

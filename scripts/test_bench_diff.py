@@ -111,6 +111,35 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(self.run_diff(base, ok, extra=(
             "--min-speedup", "BM_L/width:1", "BM_Missing", "1.8")), 1)
 
+    def test_max_ratio_gate(self):
+        # The scaling-cost dual of --min-speedup: the larger instance may
+        # cost at most RATIO x the smaller one in the current snapshot.
+        base = self.write("base.json", snapshot({
+            "BM_W/rows:64": 100.0, "BM_W/rows:256": 400.0}))
+        ok = self.write("ok.json", snapshot({
+            "BM_W/rows:64": 100.0, "BM_W/rows:256": 400.0}))
+        self.assertEqual(self.run_diff(base, ok, extra=(
+            "--max-ratio", "BM_W/rows:256", "BM_W/rows:64", "4.5")), 0)
+        # Scaling blew up to 6x: fails on the ratio alone — the tolerance
+        # is widened so neither benchmark trips the per-benchmark gate.
+        bad = self.write("bad.json", snapshot({
+            "BM_W/rows:64": 110.0, "BM_W/rows:256": 660.0}))
+        self.assertEqual(self.run_diff(base, bad, extra=(
+            "--tolerance", "0.8",
+            "--max-ratio", "BM_W/rows:256", "BM_W/rows:64", "4.5")), 1)
+        # A named benchmark missing from the snapshot is a hard error.
+        self.assertEqual(self.run_diff(base, ok, extra=(
+            "--max-ratio", "BM_W/rows:256", "BM_Missing", "4.5")), 1)
+        # /rows: is a default family: a vanished family still fails loudly.
+        cur2 = self.write("cur2.json", snapshot({"BM_Other": 1.0}))
+        import contextlib
+        import io
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            rc = self.run_diff(base, cur2)
+        self.assertEqual(rc, 1)
+        self.assertIn("family '/rows:'", err.getvalue())
+
     def test_family_only_in_current_is_tolerated(self):
         # A brand-new family has no baseline yet: pass.
         base = self.write("base.json", snapshot({"BM_Y/threads:2": 50.0}))

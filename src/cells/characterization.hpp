@@ -62,6 +62,12 @@ struct ArrayWriteResult {
   std::size_t dim = 0;     ///< MNA unknowns of the array system
   std::size_t steps = 0;   ///< accepted transient steps (adaptive << fixed)
   std::string backend;     ///< linear-solver backend that ran ("sparse"...)
+  /// Total columns numerically factored over the run (the
+  /// partial-refactorization observable, aggregated over Schur blocks
+  /// when partitioned).
+  std::size_t factor_cols = 0;
+  std::size_t supernodes = 0;     ///< supernodal panels (width >= 2)
+  std::size_t supernode_cols = 0; ///< columns covered by those panels
 };
 
 /// Outcome of an array-scale read characterisation (both states simulated).
@@ -73,6 +79,9 @@ struct ArrayReadResult {
   std::size_t dim = 0;
   std::size_t steps = 0;   ///< accepted steps of the last transient
   std::string backend;
+  std::size_t factor_cols = 0;    ///< factored columns, both runs combined
+  std::size_t supernodes = 0;     ///< supernodal panels of the last run
+  std::size_t supernode_cols = 0; ///< columns covered by those panels
 };
 
 /// Write characterisation of a full rows x cols array: builds the netlist

@@ -1,0 +1,466 @@
+#include "spice/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/parallel.hpp"
+
+namespace mss::spice {
+
+namespace {
+
+// Local dense LU with partial pivoting for the interface system (the
+// solver.cpp dense backend keeps its own copy in its anonymous namespace).
+[[nodiscard]] bool lu_factor(std::vector<double>& a,
+                             std::vector<std::uint32_t>& pivots,
+                             std::size_t n) {
+  pivots.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(a[k * n + k]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(a[r * n + k]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    pivots[k] = static_cast<std::uint32_t>(piv);
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[k * n + c], a[piv * n + c]);
+      }
+    }
+    const double inv_pivot = 1.0 / a[k * n + k];
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = a[r * n + k] * inv_pivot;
+      a[r * n + k] = f;
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) a[r * n + c] -= f * a[k * n + c];
+    }
+  }
+  return true;
+}
+
+void lu_substitute(const std::vector<double>& lu,
+                   const std::vector<std::uint32_t>& pivots,
+                   std::vector<double>& b, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
+    double acc = b[k];
+    for (std::size_t c = 0; c < k; ++c) acc -= lu[k * n + c] * b[c];
+    b[k] = acc;
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu[ri * n + c] * b[c];
+    b[ri] = acc / lu[ri * n + ri];
+  }
+}
+
+[[nodiscard]] std::uint64_t slot_key(std::size_t i, std::size_t j) {
+  return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+}
+
+} // namespace
+
+SchurSolver::SchurSolver(std::vector<std::int32_t> partition,
+                         SolverOptions block_options)
+    : partition_(std::move(partition)), opts_(block_options) {}
+
+std::vector<std::int32_t> SchurSolver::chunk_partition(std::size_t dim,
+                                                       std::size_t block_size) {
+  if (block_size == 0) block_size = 1;
+  std::vector<std::int32_t> map(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    map[i] = static_cast<std::int32_t>(i / block_size);
+  }
+  return map;
+}
+
+void SchurSolver::begin(std::size_t dim) {
+  if (dim != dim_) {
+    dim_ = dim;
+    slot_of_.clear();
+    slot_row_.clear();
+    slot_col_.clear();
+    vals_.clear();
+    pattern_dirty_ = true;
+    reset_structure();
+    fallback_ = dim != partition_.size();
+    flat_.reset();
+    this->bump_epoch();
+  }
+  std::fill(vals_.begin(), vals_.end(), 0.0);
+}
+
+std::uint32_t SchurSolver::slot(std::size_t i, std::size_t j) {
+  const auto [it, inserted] = slot_of_.try_emplace(
+      slot_key(i, j), static_cast<std::uint32_t>(slot_row_.size()));
+  if (inserted) {
+    slot_row_.push_back(static_cast<std::uint32_t>(i));
+    slot_col_.push_back(static_cast<std::uint32_t>(j));
+    vals_.push_back(0.0);
+    pattern_dirty_ = true;
+  }
+  return it->second;
+}
+
+void SchurSolver::add(std::size_t i, std::size_t j, double v) {
+  vals_[slot(i, j)] += v;
+}
+
+std::uint32_t SchurSolver::find_slot(std::size_t i, std::size_t j) const {
+  const auto it = slot_of_.find(slot_key(i, j));
+  return it == slot_of_.end() ? kNoSlot : it->second;
+}
+
+void SchurSolver::reset_structure() {
+  cls_.clear();
+  loc_.clear();
+  blocks_.clear();
+  live_blocks_ = 0;
+  ns_ = 0;
+  sglob_.clear();
+  ss_.clear();
+  ss_cached_.clear();
+  s_mat_.clear();
+  s_lu_.clear();
+  s_valid_ = false;
+}
+
+bool SchurSolver::build_structure() {
+  reset_structure();
+  const std::size_t n = dim_;
+  const std::size_t nnz = slot_row_.size();
+
+  // Classify: start from the caller's map, then legalise cross-block
+  // entries by demoting the larger-index endpoint to the interface. A
+  // demotion can only turn violating entries into block-interface
+  // couplings, never create a new violation, so one pass suffices.
+  cls_ = partition_;
+  for (std::size_t s = 0; s < nnz; ++s) {
+    const std::uint32_t i = slot_row_[s], j = slot_col_[s];
+    if (cls_[i] >= 0 && cls_[j] >= 0 && cls_[i] != cls_[j]) {
+      cls_[std::max(i, j)] = -1;
+    }
+  }
+
+  std::int32_t max_block = -1;
+  for (std::size_t i = 0; i < n; ++i) max_block = std::max(max_block, cls_[i]);
+  blocks_.resize(static_cast<std::size_t>(max_block + 1));
+
+  // Local / interface numbering in ascending global order.
+  loc_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cls_[i] < 0) {
+      loc_[i] = static_cast<std::uint32_t>(ns_++);
+      sglob_.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      Block& blk = blocks_[static_cast<std::size_t>(cls_[i])];
+      loc_[i] = static_cast<std::uint32_t>(blk.nloc++);
+      blk.gidx.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Compressed interface columns/rows each block touches (sorted unique,
+  // discovered in slot order).
+  std::vector<std::vector<std::uint32_t>> bs_raw(blocks_.size()),
+      sb_raw(blocks_.size());
+  for (std::size_t s = 0; s < nnz; ++s) {
+    const std::uint32_t i = slot_row_[s], j = slot_col_[s];
+    const std::int32_t bi = cls_[i], bj = cls_[j];
+    if (bi >= 0 && bj < 0) {
+      bs_raw[static_cast<std::size_t>(bi)].push_back(loc_[j]);
+    } else if (bi < 0 && bj >= 0) {
+      sb_raw[static_cast<std::size_t>(bj)].push_back(loc_[i]);
+    }
+  }
+  auto uniq = [](std::vector<std::uint32_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    uniq(bs_raw[b]);
+    uniq(sb_raw[b]);
+    blocks_[b].scols = std::move(bs_raw[b]);
+    blocks_[b].srows = std::move(sb_raw[b]);
+  }
+
+  // Slot routing. Interior entries resolve their block-solver slot handle
+  // once here; the handles stay valid because later begins reuse the
+  // block dimension (same epoch).
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> ccol(
+      blocks_.size()),
+      crow(blocks_.size());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    Block& blk = blocks_[b];
+    for (std::uint32_t c = 0; c < blk.scols.size(); ++c) {
+      ccol[b].emplace(blk.scols[c], c);
+    }
+    for (std::uint32_t r = 0; r < blk.srows.size(); ++r) {
+      crow[b].emplace(blk.srows[r], r);
+    }
+    if (blk.nloc > 0) {
+      blk.solver = std::make_unique<SparseSolver>();
+      blk.solver->set_ordering(opts_.ordering);
+      blk.solver->set_partial_refactor(opts_.partial_refactor);
+      blk.solver->set_supernodal(opts_.supernodal);
+      blk.solver->begin(blk.nloc);
+      ++live_blocks_;
+    }
+  }
+  for (std::size_t s = 0; s < nnz; ++s) {
+    const std::uint32_t i = slot_row_[s], j = slot_col_[s];
+    const std::int32_t bi = cls_[i], bj = cls_[j];
+    const auto gs = static_cast<std::uint32_t>(s);
+    if (bi < 0 && bj < 0) {
+      ss_.push_back({loc_[i], loc_[j], gs});
+    } else if (bi >= 0 && bj >= 0) {
+      // Same block (cross-block entries were demoted away above).
+      Block& blk = blocks_[static_cast<std::size_t>(bi)];
+      blk.interior.push_back({blk.solver->slot(loc_[i], loc_[j]), 0, gs});
+    } else if (bi >= 0) {
+      Block& blk = blocks_[static_cast<std::size_t>(bi)];
+      blk.bs.push_back({loc_[i], ccol[static_cast<std::size_t>(bi)][loc_[j]],
+                        gs});
+    } else {
+      Block& blk = blocks_[static_cast<std::size_t>(bj)];
+      blk.sb.push_back({crow[static_cast<std::size_t>(bj)][loc_[i]], loc_[j],
+                        gs});
+    }
+  }
+
+  for (Block& blk : blocks_) {
+    blk.cached.clear(); // force the first stamping pass
+    blk.ready = false;
+    blk.bb.assign(blk.nloc, 0.0);
+    blk.zb.assign(blk.nloc, 0.0);
+  }
+  s_mat_.assign(ns_ * ns_, 0.0);
+  ss_cached_.clear();
+  s_valid_ = false;
+  pattern_dirty_ = false;
+  return true;
+}
+
+bool SchurSolver::solve_flat(const std::vector<double>& b,
+                             std::vector<double>& x) {
+  if (!flat_) {
+    flat_ = std::make_unique<SparseSolver>();
+    flat_->set_ordering(opts_.ordering);
+    flat_->set_partial_refactor(opts_.partial_refactor);
+    flat_->set_supernodal(opts_.supernodal);
+  }
+  flat_->begin(dim_);
+  for (std::size_t s = 0; s < slot_row_.size(); ++s) {
+    flat_->add(slot_row_[s], slot_col_[s], vals_[s]);
+  }
+  return flat_->solve(b, x);
+}
+
+bool SchurSolver::solve(const std::vector<double>& b, std::vector<double>& x) {
+  if (fallback_) return solve_flat(b, x);
+  if (pattern_dirty_ && !build_structure()) {
+    fallback_ = true;
+    return solve_flat(b, x);
+  }
+
+  // Restamp and refresh W_b / the S contribution of every block whose
+  // values moved; untouched blocks keep their factorization and caches.
+  // Blocks are mutually independent (disjoint state, vals_ read-only
+  // here), so the phase fans out across the pool; per-block results land
+  // in block-indexed slots, keeping the outcome thread-count invariant.
+  const std::size_t nblk = blocks_.size();
+  blk_dirty_.assign(nblk, 0);
+  blk_fail_.assign(nblk, 0);
+  util::ThreadPool::run_with(
+      threads_ < 0 ? 1 : std::size_t(threads_), nblk, 1,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t bi = lo; bi < hi; ++bi) {
+          Block& blk = blocks_[bi];
+          if (blk.nloc == 0) continue;
+          const std::size_t nv =
+              blk.interior.size() + blk.bs.size() + blk.sb.size();
+          blk.col.resize(std::max(blk.col.size(), nv)); // the gather buffer
+          double* cur = blk.col.data();
+          std::size_t p = 0;
+          for (const auto& r : blk.interior) cur[p++] = vals_[r.gslot];
+          for (const auto& r : blk.bs) cur[p++] = vals_[r.gslot];
+          for (const auto& r : blk.sb) cur[p++] = vals_[r.gslot];
+          const bool dirty =
+              !blk.ready || blk.cached.size() != nv ||
+              !std::equal(cur, cur + nv, blk.cached.begin());
+          if (!dirty) continue;
+
+          blk.cached.assign(cur, cur + nv);
+          blk.solver->begin(blk.nloc);
+          for (const auto& r : blk.interior) {
+            blk.solver->add_slot(r.a, vals_[r.gslot]);
+          }
+          // W_b = A_bb^-1 A_bS, one sparse solve per touched interface
+          // column.
+          const std::size_t nc = blk.scols.size();
+          blk.w.assign(blk.nloc * nc, 0.0);
+          for (std::size_t c = 0; c < nc; ++c) {
+            std::fill(blk.bb.begin(), blk.bb.end(), 0.0);
+            for (const auto& r : blk.bs) {
+              if (r.b == c) blk.bb[r.a] += vals_[r.gslot];
+            }
+            if (!blk.solver->solve(blk.bb, blk.zb)) {
+              blk_fail_[bi] = 1; // singular interior
+              break;
+            }
+            for (std::size_t l = 0; l < blk.nloc; ++l) {
+              blk.w[l * nc + c] = blk.zb[l];
+            }
+          }
+          if (blk_fail_[bi] != 0) continue;
+          // Contribution A_Sb W_b on the block's touched interface
+          // rows/cols.
+          blk.contrib.assign(blk.srows.size() * nc, 0.0);
+          for (const auto& r : blk.sb) {
+            const double a = vals_[r.gslot];
+            if (a == 0.0) continue;
+            const double* wrow = blk.w.data() + r.b * nc;
+            double* crow_out = blk.contrib.data() + r.a * nc;
+            for (std::size_t c = 0; c < nc; ++c) crow_out[c] += a * wrow[c];
+          }
+          blk.ready = true;
+          blk_dirty_[bi] = 1;
+        }
+      });
+  for (std::size_t bi = 0; bi < nblk; ++bi) {
+    if (blk_fail_[bi] != 0) {
+      fallback_ = true; // the flat pivoting may cope with the singularity
+      return solve_flat(b, x);
+    }
+  }
+  bool s_dirty = !s_valid_;
+  for (std::size_t bi = 0; bi < nblk; ++bi) s_dirty |= blk_dirty_[bi] != 0;
+
+  // Interface system S = A_SS - sum_b A_Sb W_b (skipped entirely while no
+  // block or A_SS value moved).
+  if (ns_ > 0) {
+    std::vector<double> ss_cur(ss_.size());
+    for (std::size_t k = 0; k < ss_.size(); ++k) {
+      ss_cur[k] = vals_[ss_[k].gslot];
+    }
+    if (ss_cur != ss_cached_) {
+      ss_cached_ = std::move(ss_cur);
+      s_dirty = true;
+    }
+    if (s_dirty) {
+      std::fill(s_mat_.begin(), s_mat_.end(), 0.0);
+      for (std::size_t k = 0; k < ss_.size(); ++k) {
+        s_mat_[ss_[k].a * ns_ + ss_[k].b] += ss_cached_[k];
+      }
+      for (const Block& blk : blocks_) {
+        const std::size_t nc = blk.scols.size();
+        for (std::size_t r = 0; r < blk.srows.size(); ++r) {
+          double* srow = s_mat_.data() + blk.srows[r] * ns_;
+          const double* crow_in = blk.contrib.data() + r * nc;
+          for (std::size_t c = 0; c < nc; ++c) {
+            srow[blk.scols[c]] -= crow_in[c];
+          }
+        }
+      }
+      s_lu_ = s_mat_;
+      if (!lu_factor(s_lu_, s_piv_, ns_)) {
+        s_valid_ = false;
+        fallback_ = true;
+        return solve_flat(b, x);
+      }
+      ++s_factor_count_;
+      s_factor_cols_ += ns_;
+    }
+  }
+  s_valid_ = true;
+
+  // Forward: interior solves (block-parallel, disjoint scratch), then the
+  // interface right-hand side.
+  util::ThreadPool::run_with(
+      threads_ < 0 ? 1 : std::size_t(threads_), nblk, 1,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t bi = lo; bi < hi; ++bi) {
+          Block& blk = blocks_[bi];
+          if (blk.nloc == 0) continue;
+          for (std::size_t l = 0; l < blk.nloc; ++l) {
+            blk.bb[l] = b[blk.gidx[l]];
+          }
+          if (!blk.solver->solve(blk.bb, blk.zb)) blk_fail_[bi] = 1;
+        }
+      });
+  for (std::size_t bi = 0; bi < nblk; ++bi) {
+    if (blk_fail_[bi] != 0) {
+      fallback_ = true;
+      return solve_flat(b, x);
+    }
+  }
+  ys_.assign(ns_, 0.0);
+  for (std::size_t si = 0; si < ns_; ++si) ys_[si] = b[sglob_[si]];
+  for (const Block& blk : blocks_) {
+    for (const auto& r : blk.sb) {
+      ys_[blk.srows[r.a]] -= vals_[r.gslot] * blk.zb[r.b];
+    }
+  }
+  xs_ = ys_;
+  if (ns_ > 0) lu_substitute(s_lu_, s_piv_, xs_, ns_);
+
+  // Back-substitute the interface solution into the blocks (disjoint
+  // x ranges per block).
+  x.assign(dim_, 0.0);
+  for (std::size_t si = 0; si < ns_; ++si) x[sglob_[si]] = xs_[si];
+  util::ThreadPool::run_with(
+      threads_ < 0 ? 1 : std::size_t(threads_), nblk, 1,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t bi = lo; bi < hi; ++bi) {
+          const Block& blk = blocks_[bi];
+          const std::size_t nc = blk.scols.size();
+          for (std::size_t l = 0; l < blk.nloc; ++l) {
+            double acc = blk.zb[l];
+            const double* wrow = blk.w.data() + l * nc;
+            for (std::size_t c = 0; c < nc; ++c) {
+              acc -= wrow[c] * xs_[blk.scols[c]];
+            }
+            x[blk.gidx[l]] = acc;
+          }
+        }
+      });
+  return true;
+}
+
+std::size_t SchurSolver::factor_count() const {
+  std::size_t total = s_factor_count_ + (flat_ ? flat_->factor_count() : 0);
+  for (const Block& blk : blocks_) {
+    if (blk.solver) total += blk.solver->factor_count();
+  }
+  return total;
+}
+
+std::size_t SchurSolver::factor_cols_total() const {
+  std::size_t total = s_factor_cols_ + (flat_ ? flat_->factor_cols_total() : 0);
+  for (const Block& blk : blocks_) {
+    if (blk.solver) total += blk.solver->factor_cols_total();
+  }
+  return total;
+}
+
+std::size_t SchurSolver::supernode_count() const {
+  std::size_t total = flat_ ? flat_->supernode_count() : 0;
+  for (const Block& blk : blocks_) {
+    if (blk.solver) total += blk.solver->supernode_count();
+  }
+  return total;
+}
+
+std::size_t SchurSolver::supernode_cols() const {
+  std::size_t total = flat_ ? flat_->supernode_cols() : 0;
+  for (const Block& blk : blocks_) {
+    if (blk.solver) total += blk.solver->supernode_cols();
+  }
+  return total;
+}
+
+} // namespace mss::spice

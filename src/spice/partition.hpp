@@ -1,0 +1,167 @@
+// Hierarchical Schur-complement solver for partitioned array netlists.
+//
+// A megabit 1T-1MTJ array is a mesh of nearly independent column circuits
+// coupled only through the shared word-line rows: map each column's
+// unknowns to a block and the shared unknowns to the interface, and the
+// system becomes block-bordered-diagonal,
+//
+//   [ A_11            A_1S ] [x_1]   [b_1]
+//   [       ...       ...  ] [...] = [...]
+//   [            A_BB A_BS ] [x_B]   [b_B]
+//   [ A_S1  ...  A_SB A_SS ] [x_S]   [b_S]
+//
+// Each interior solve A_bb z_b = b_b runs independently through its own
+// sparse LU (supernodal panels, partial refactorization — the full
+// sparse.hpp machinery at block scale), and the blocks couple through the
+// dense interface system
+//
+//   S x_S = b_S - sum_b A_Sb z_b,   S = A_SS - sum_b A_Sb (A_bb^-1 A_bS),
+//
+// after which x_b = z_b - W_b x_S with the cached W_b = A_bb^-1 A_bS.
+// W_b and the block's S contribution are recomputed only when that
+// block's stamped values change (per-block value compare), so a linear
+// transient factors each interior once and back-substitutes after that.
+//
+// Contract of the block map: any map is *valid*. Entries coupling two
+// different blocks are legalised by demoting one endpoint to the
+// interface when the pattern is classified, so a wrong (or deliberately
+// arbitrary, e.g. chunked) map only grows the interface, never produces a
+// wrong answer. If a block interior turns out singular under its own
+// pivoting — the overall matrix may still be fine — the solver falls back
+// permanently to a flat sparse solve of the same assembled values.
+//
+// Numerics: the partitioned solve agrees with the flat sparse solve to
+// rounding (different elimination order), not bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/solver.hpp"
+#include "spice/sparse.hpp"
+
+namespace mss::spice {
+
+/// Schur-complement backend over a caller-supplied unknown -> block map.
+class SchurSolver final : public LinearSolver {
+ public:
+  /// `partition[i]` is the block of unknown i (>= 0) or -1 for the
+  /// interface. `block_options` configures the per-block sparse solvers
+  /// (ordering, supernodal, partial refactorization) and the flat
+  /// fallback.
+  explicit SchurSolver(std::vector<std::int32_t> partition,
+                       SolverOptions block_options = {});
+
+  /// Trivial chunked map: unknown i -> block i / block_size. Exercises
+  /// the demotion path on arbitrary matrices (tests).
+  [[nodiscard]] static std::vector<std::int32_t> chunk_partition(
+      std::size_t dim, std::size_t block_size);
+
+  void begin(std::size_t dim) override;
+  void add(std::size_t i, std::size_t j, double v) override;
+  [[nodiscard]] std::uint32_t slot(std::size_t i, std::size_t j) override;
+  void add_slot(std::uint32_t slot, double v) override { vals_[slot] += v; }
+  [[nodiscard]] std::uint32_t find_slot(std::size_t i,
+                                        std::size_t j) const override;
+  [[nodiscard]] bool solve(const std::vector<double>& b,
+                           std::vector<double>& x) override;
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] std::size_t factor_count() const override;
+  [[nodiscard]] std::size_t factor_cols_total() const override;
+  [[nodiscard]] const char* name() const override { return "schur"; }
+  [[nodiscard]] std::size_t slot_count() const override {
+    return vals_.size();
+  }
+  [[nodiscard]] const std::vector<double>* assembled_values() const override {
+    return &vals_;
+  }
+  [[nodiscard]] std::size_t supernode_count() const override;
+  [[nodiscard]] std::size_t supernode_cols() const override;
+
+  /// Blocks with at least one interior unknown (after demotion); 0 before
+  /// the first solve.
+  [[nodiscard]] std::size_t block_count() const { return live_blocks_; }
+  /// Interface unknowns (after demotion); 0 before the first solve.
+  [[nodiscard]] std::size_t interface_dim() const { return ns_; }
+  /// True once the solver has permanently fallen back to the flat sparse
+  /// path (singular interior or a map/dimension mismatch).
+  [[nodiscard]] bool flat_fallback() const { return fallback_; }
+
+  /// Concurrency of the per-block phases (restamp/factor/W, forward
+  /// solves, back-substitution): 0 = the global pool's width, 1 = serial,
+  /// N = N threads. Blocks are computed independently and combined in
+  /// block order, so the result is bit-identical for every setting.
+  void set_threads(int threads) { threads_ = threads; }
+
+ private:
+  /// One interior block: its sparse solver, the slot routing that carries
+  /// the globally assembled values into it, the cached W_b = A_bb^-1 A_bS
+  /// and the block's dense contribution A_Sb W_b to the interface system.
+  struct Block {
+    std::unique_ptr<SparseSolver> solver;
+    std::size_t nloc = 0;
+    std::vector<std::uint32_t> gidx;  ///< local index -> global unknown
+    std::vector<std::uint32_t> scols; ///< compressed col -> interface index
+    std::vector<std::uint32_t> srows; ///< compressed row -> interface index
+    struct Route {
+      std::uint32_t a, b, gslot;
+    };
+    std::vector<Route> interior; ///< (block slot handle, -, global slot)
+    std::vector<Route> bs;       ///< (local row, compressed col, global slot)
+    std::vector<Route> sb;       ///< (compressed row, local col, global slot)
+    std::vector<double> w;       ///< nloc x scols.size(), row-major
+    std::vector<double> contrib; ///< srows.size() x scols.size(), row-major
+    std::vector<double> cached;  ///< last stamped values (interior|bs|sb)
+    std::vector<double> bb, zb, col; ///< solve scratch
+    bool ready = false;              ///< w/contrib match cached
+  };
+
+  void reset_structure();
+  /// Classifies unknowns, builds the per-block routing, allocates the
+  /// block solvers. Returns false when the structure cannot be built (the
+  /// caller falls back flat).
+  [[nodiscard]] bool build_structure();
+  [[nodiscard]] bool solve_flat(const std::vector<double>& b,
+                                std::vector<double>& x);
+
+  std::vector<std::int32_t> partition_;
+  SolverOptions opts_;
+
+  // Assembly storage (the same slot scheme as the sparse backend: handles
+  // densely index vals_).
+  std::size_t dim_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_of_;
+  std::vector<std::uint32_t> slot_row_, slot_col_;
+  std::vector<double> vals_;
+  bool pattern_dirty_ = true;
+
+  // Partitioned structure (valid while !pattern_dirty_ && !fallback_).
+  std::vector<std::int32_t> cls_; ///< unknown -> block after demotion / -1
+  std::vector<std::uint32_t> loc_; ///< unknown -> local / interface index
+  std::vector<Block> blocks_;
+  std::size_t live_blocks_ = 0;
+  std::size_t ns_ = 0;
+  std::vector<std::uint32_t> sglob_; ///< interface index -> global unknown
+  std::vector<Block::Route> ss_;     ///< (s row, s col, global slot)
+  std::vector<double> ss_cached_;
+  std::vector<double> s_mat_, s_lu_; ///< dense ns x ns interface system
+  std::vector<std::uint32_t> s_piv_;
+  std::vector<double> ys_, xs_;
+  bool s_valid_ = false;
+  std::size_t s_factor_count_ = 0;
+  std::size_t s_factor_cols_ = 0;
+
+  // Sticky flat fallback.
+  bool fallback_ = false;
+  std::unique_ptr<SparseSolver> flat_;
+
+  // Per-block phase concurrency (thread-policy semantics of
+  // util::ThreadPool::shared_for) and per-solve flags, block-indexed so
+  // parallel chunks never share a cache line's worth of control state.
+  int threads_ = 0;
+  std::vector<char> blk_dirty_, blk_fail_;
+};
+
+} // namespace mss::spice

@@ -156,6 +156,8 @@ std::unique_ptr<LinearSolver> make_solver(const SolverOptions& options,
     auto s = std::make_unique<SparseSolver>();
     s->set_ordering(options.ordering);
     s->set_partial_refactor(options.partial_refactor);
+    s->set_supernodal(options.supernodal);
+    s->set_markowitz(options.markowitz);
     return s;
   }
   return std::make_unique<DenseSolver<double>>();
@@ -173,6 +175,8 @@ std::unique_ptr<AcLinearSolver> make_ac_solver(const SolverOptions& options,
     auto s = std::make_unique<AcSparseSolver>();
     s->set_ordering(options.ordering);
     s->set_partial_refactor(options.partial_refactor);
+    s->set_supernodal(options.supernodal);
+    s->set_markowitz(options.markowitz);
     return s;
   }
   return std::make_unique<DenseSolver<std::complex<double>>>();

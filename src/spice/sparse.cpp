@@ -661,80 +661,7 @@ bool SparseSolverT<T>::factor(std::size_t start) {
         const std::uint32_t panel = sn_of_col_[t];
         if (sn_done_[panel] == sn_col_stamp_) continue;
         sn_done_[panel] = sn_col_stamp_;
-        const std::uint32_t w = sn_width_[panel];
-        const std::uint32_t s = sn_start_[panel];
-        const std::uint32_t rb = sn_rows_ptr_[panel];
-        const std::uint32_t nb = sn_rows_ptr_[panel + 1] - rb;
-        const std::size_t len = w + nb;
-        const T* panelv = sn_panel_vals_.data() + sn_panel_ptr_[panel];
-        // Gather the raw pivot-row values; the dense unit-lower solve
-        // applies the intra-panel updates (external updates from pivots
-        // before the panel are complete — the heap pops ascending).
-        if (sn_u_.size() < w) sn_u_.resize(w);
-        for (std::uint32_t j = 0; j < w; ++j) {
-          const std::uint32_t r = prow_[s + j];
-          sn_u_[j] = mark_[r] ? work_[r] : T{};
-        }
-        for (std::uint32_t i = 0; i + 1 < w; ++i) {
-          const T ui = sn_u_[i];
-          if (ui == T{}) continue;
-          const T* colv = panelv + i * len;
-          for (std::uint32_t j = i + 1; j < w; ++j) sn_u_[j] -= colv[j] * ui;
-        }
-        for (std::uint32_t j = 0; j < w; ++j) {
-          if (sn_u_[j] == T{}) continue;
-          u_scratch_rows_.push_back(s + j);
-          u_scratch_vals_.push_back(sn_u_[j]);
-        }
-        if (nb != 0) {
-          // Rank-w update of the shared below-block: compress the nonzero
-          // u's, accumulate densely (rank-4 fused SIMD passes, rank-1
-          // remainder), scatter-subtract once. The rank-4 fusion quarters
-          // the accumulator traffic per flop; per element the additions
-          // keep the sequential rank-1 order, so the blocking is
-          // bit-neutral.
-          if (sn_acc_.size() < nb) sn_acc_.resize(nb);
-          std::fill_n(sn_acc_.begin(), nb, T{});
-          const T* ucols[kMaxPanelWidth];
-          T uvals[kMaxPanelWidth];
-          std::uint32_t m = 0;
-          for (std::uint32_t i = 0; i < w; ++i) {
-            const T ui = sn_u_[i];
-            if (ui == T{}) continue;
-            ucols[m] = panelv + i * len + w;
-            uvals[m] = ui;
-            ++m;
-          }
-          std::uint32_t i4 = 0;
-          for (; i4 + 4 <= m; i4 += 4) {
-            panel_axpy4(sn_acc_.data(), ucols + i4, uvals + i4, nb);
-          }
-          for (; i4 < m; ++i4) {
-            panel_axpy(sn_acc_.data(), ucols[i4], uvals[i4], nb);
-          }
-          const bool any = m != 0;
-          if (any) {
-            const std::uint32_t* rows = sn_rows_.data() + rb;
-            for (std::uint32_t idx = 0; idx < nb; ++idx) {
-              const T d = sn_acc_[idx];
-              if (d == T{}) continue;
-              const std::uint32_t r = rows[idx];
-              if (!mark_[r]) {
-                mark_[r] = 1;
-                touched_.push_back(r);
-                work_[r] = -d;
-                if (pinv_[r] >= 0) {
-                  heap_.push_back(static_cast<std::uint32_t>(pinv_[r]));
-                  std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
-                } else {
-                  unassigned_.push_back(r);
-                }
-              } else {
-                work_[r] -= d;
-              }
-            }
-          }
-        }
+        apply_closed_panel(panel, static_cast<std::int32_t>(k));
         continue;
       }
       const T ut = work_[prow_[t]];
@@ -881,6 +808,285 @@ void SparseSolverT<T>::close_panel(std::size_t s, std::size_t e) {
   }
   ++sn_panels_multi_;
   sn_cols_multi_ += w;
+}
+
+template <typename T>
+void SparseSolverT<T>::apply_closed_panel(std::uint32_t panel,
+                                          std::int32_t pivotal_bound) {
+  const auto heap_cmp = std::greater<std::uint32_t>();
+  const std::uint32_t w = sn_width_[panel];
+  const std::uint32_t s = sn_start_[panel];
+  const std::uint32_t rb = sn_rows_ptr_[panel];
+  const std::uint32_t nb = sn_rows_ptr_[panel + 1] - rb;
+  const std::size_t len = w + nb;
+  const T* panelv = sn_panel_vals_.data() + sn_panel_ptr_[panel];
+  // Gather the raw pivot-row values; the dense unit-lower solve
+  // applies the intra-panel updates (external updates from pivots
+  // before the panel are complete — the heap pops ascending).
+  if (sn_u_.size() < w) sn_u_.resize(w);
+  for (std::uint32_t j = 0; j < w; ++j) {
+    const std::uint32_t r = prow_[s + j];
+    sn_u_[j] = mark_[r] ? work_[r] : T{};
+  }
+  for (std::uint32_t i = 0; i + 1 < w; ++i) {
+    const T ui = sn_u_[i];
+    if (ui == T{}) continue;
+    const T* colv = panelv + i * len;
+    for (std::uint32_t j = i + 1; j < w; ++j) sn_u_[j] -= colv[j] * ui;
+  }
+  for (std::uint32_t j = 0; j < w; ++j) {
+    if (sn_u_[j] == T{}) continue;
+    u_scratch_rows_.push_back(s + j);
+    u_scratch_vals_.push_back(sn_u_[j]);
+  }
+  if (nb != 0) {
+    // Rank-w update of the shared below-block: compress the nonzero
+    // u's, accumulate densely (rank-4 fused SIMD passes, rank-1
+    // remainder), scatter-subtract once. The rank-4 fusion quarters
+    // the accumulator traffic per flop; per element the additions
+    // keep the sequential rank-1 order, so the blocking is
+    // bit-neutral.
+    if (sn_acc_.size() < nb) sn_acc_.resize(nb);
+    std::fill_n(sn_acc_.begin(), nb, T{});
+    const T* ucols[kMaxPanelWidth];
+    T uvals[kMaxPanelWidth];
+    std::uint32_t m = 0;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      const T ui = sn_u_[i];
+      if (ui == T{}) continue;
+      ucols[m] = panelv + i * len + w;
+      uvals[m] = ui;
+      ++m;
+    }
+    std::uint32_t i4 = 0;
+    for (; i4 + 4 <= m; i4 += 4) {
+      panel_axpy4(sn_acc_.data(), ucols + i4, uvals + i4, nb);
+    }
+    for (; i4 < m; ++i4) {
+      panel_axpy(sn_acc_.data(), ucols[i4], uvals[i4], nb);
+    }
+    const bool any = m != 0;
+    if (any) {
+      const std::uint32_t* rows = sn_rows_.data() + rb;
+      for (std::uint32_t idx = 0; idx < nb; ++idx) {
+        const T d = sn_acc_[idx];
+        if (d == T{}) continue;
+        const std::uint32_t r = rows[idx];
+        if (!mark_[r]) {
+          mark_[r] = 1;
+          touched_.push_back(r);
+          work_[r] = -d;
+          if (pinv_[r] >= 0 && pinv_[r] < pivotal_bound) {
+            heap_.push_back(static_cast<std::uint32_t>(pinv_[r]));
+            std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+          } else {
+            unassigned_.push_back(r);
+          }
+        } else {
+          work_[r] -= d;
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+bool SparseSolverT<T>::replay_column(std::size_t k) {
+  const std::uint32_t col = q_[k];
+  const auto kb = static_cast<std::int32_t>(k);
+  const auto heap_cmp = std::greater<std::uint32_t>();
+  ++sn_col_stamp_; // new target column: every panel is unapplied again
+  heap_.clear();
+  unassigned_.clear();
+  u_scratch_rows_.clear();
+  u_scratch_vals_.clear();
+  l_scratch_vals_.clear();
+  touched_.clear();
+
+  const auto finish = [this](bool ok) {
+    for (const std::uint32_t r : touched_) {
+      mark_[r] = 0;
+      work_[r] = T{};
+    }
+    return ok;
+  };
+
+  // Scatter A(:, col). Rows pivotal before position k push their pivot;
+  // rows assigned at or after k were still pivot candidates when k was
+  // first factored, so they stay candidates in the replay.
+  for (std::uint32_t p = col_ptr_[col]; p < col_ptr_[col + 1]; ++p) {
+    const std::uint32_t r = row_ind_[p];
+    work_[r] = csc_vals_[p];
+    mark_[r] = 1;
+    touched_.push_back(r);
+    if (pinv_[r] >= 0 && pinv_[r] < kb) {
+      heap_.push_back(static_cast<std::uint32_t>(pinv_[r]));
+      std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+    } else {
+      unassigned_.push_back(r);
+    }
+  }
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+    const std::uint32_t t = heap_.back();
+    heap_.pop_back();
+    if (supernodal_ && !sn_start_.empty()) {
+      // A panel was *closed* while column k was originally factored iff it
+      // ends strictly before k (the panel ending exactly at k was still
+      // open — its close decision was made by k itself). Those pop through
+      // the dense path; the trailing open panel's members stay scalar,
+      // which replays the original trace bit-for-bit.
+      const std::uint32_t panel = sn_of_col_[t];
+      if (sn_width_[panel] >= 2 &&
+          sn_start_[panel] + sn_width_[panel] < static_cast<std::uint32_t>(k)) {
+        if (sn_done_[panel] == sn_col_stamp_) continue;
+        sn_done_[panel] = sn_col_stamp_;
+        apply_closed_panel(panel, kb);
+        continue;
+      }
+    }
+    const T ut = work_[prow_[t]];
+    if (ut == T{}) continue; // exact numeric zero: no U entry, no update
+    u_scratch_rows_.push_back(t);
+    u_scratch_vals_.push_back(ut);
+    for (std::uint32_t p = l_ptr_[t]; p < l_ptr_[t + 1]; ++p) {
+      const std::uint32_t r = l_rows_[p];
+      const T delta = l_vals_[p] * ut;
+      if (!mark_[r]) {
+        mark_[r] = 1;
+        touched_.push_back(r);
+        work_[r] = -delta;
+        if (pinv_[r] >= 0 && pinv_[r] < kb) {
+          heap_.push_back(static_cast<std::uint32_t>(pinv_[r]));
+          std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+        } else {
+          unassigned_.push_back(r);
+        }
+      } else {
+        work_[r] -= delta;
+      }
+    }
+  }
+
+  // The same threshold-pivoting rule as factor(); the replay only commits
+  // when it lands on the row the stored factorization chose.
+  double best = 0.0;
+  std::uint32_t pr = 0;
+  bool have = false;
+  for (const std::uint32_t r : unassigned_) {
+    const double m = std::abs(work_[r]);
+    if (!have || m > best) {
+      best = m;
+      pr = r;
+      have = true;
+    }
+  }
+  if (!have || best < 1e-300) return finish(false);
+  if (col < dim_ && (pinv_[col] < 0 || pinv_[col] >= kb) && mark_[col]) {
+    const double dmag = std::abs(work_[col]);
+    if (dmag > 0.0 && dmag >= tol_ * best) pr = col;
+  }
+  if (pr != prow_[k]) return finish(false);
+
+  // U must replay the stored trace exactly (same rows, same order).
+  const std::uint32_t ub = u_ptr_[k];
+  const std::uint32_t ue = u_ptr_[k + 1];
+  if (ue - ub != u_scratch_rows_.size()) return finish(false);
+  for (std::uint32_t i = 0; i < ue - ub; ++i) {
+    if (u_rows_[ub + i] != u_scratch_rows_[i]) return finish(false);
+  }
+
+  // L likewise: candidates in insertion order, exact zeros dropped, must
+  // reproduce the stored row sequence.
+  const T piv = work_[pr];
+  const std::uint32_t lb = l_ptr_[k];
+  const std::uint32_t le = l_ptr_[k + 1];
+  std::uint32_t li = 0;
+  for (const std::uint32_t r : unassigned_) {
+    if (r == pr) continue;
+    const T lv = work_[r] / piv;
+    if (lv == T{}) continue;
+    if (li >= le - lb || l_rows_[lb + li] != r) return finish(false);
+    l_scratch_vals_.push_back(lv);
+    ++li;
+  }
+  if (li != le - lb) return finish(false);
+
+  diag_[k] = piv;
+  std::copy(u_scratch_vals_.begin(), u_scratch_vals_.end(),
+            u_vals_.begin() + ub);
+  std::copy(l_scratch_vals_.begin(), l_scratch_vals_.end(),
+            l_vals_.begin() + lb);
+  return finish(true);
+}
+
+template <typename T>
+bool SparseSolverT<T>::refactor_scattered(std::size_t first_dirty,
+                                          bool& engaged) {
+  engaged = false;
+  const std::size_t n = dim_;
+  // Propagate dirtiness through the stored U structure: a clean column
+  // whose U column references a dirty earlier pivot sees different
+  // updates and must be recomputed; everything else replays identically
+  // and keeps its stored L/U column. The walk stops at the first dirty
+  // position inside a width >= 2 panel — panel dense values are only
+  // rebuilt by close_panel(), so from that panel's start the classic
+  // suffix restart takes over.
+  std::size_t cutoff = n;
+  for (std::size_t k = first_dirty; k < n; ++k) {
+    if (!dirty_pos_[k]) {
+      for (std::uint32_t p = u_ptr_[k]; p < u_ptr_[k + 1]; ++p) {
+        if (dirty_pos_[u_rows_[p]]) {
+          dirty_pos_[k] = 1;
+          break;
+        }
+      }
+    }
+    if (dirty_pos_[k] && supernodal_ && !sn_start_.empty() &&
+        sn_width_[sn_of_col_[k]] >= 2) {
+      cutoff = sn_start_[sn_of_col_[k]];
+      break;
+    }
+  }
+  std::size_t scattered = 0;
+  for (std::size_t k = first_dirty; k < cutoff; ++k) scattered += dirty_pos_[k];
+
+  // Engage only when skipping clean columns buys enough over the suffix
+  // restart (which has no per-column replay checks): at least a quarter
+  // of the suffix must be skippable.
+  std::size_t suffix_start = first_dirty;
+  if (suffix_start > 0 && supernodal_ && !sn_start_.empty()) {
+    suffix_start = sn_start_[sn_of_col_[suffix_start - 1]];
+  }
+  if (scattered + (n - cutoff) >= ((n - suffix_start) * 3) / 4) return true;
+  engaged = true;
+
+  // Suffix restart from position s, with the same panel snap solve()
+  // applies: the column at s may have a different L pattern under the new
+  // values, which can change the extend/close decision of the panel
+  // containing s-1 — re-running that panel re-makes the decision exactly
+  // the way a from-scratch factorization would.
+  const auto suffix_from = [&](std::size_t s) {
+    if (s > 0 && supernodal_ && !sn_start_.empty()) {
+      s = sn_start_[sn_of_col_[s - 1]];
+    }
+    const bool ok = factor(s);
+    if (ok) last_factor_start_ = std::min(last_factor_start_, first_dirty);
+    return ok;
+  };
+
+  for (std::size_t k = first_dirty; k < cutoff; ++k) {
+    if (!dirty_pos_[k]) continue;
+    // Values drifted past a pivot choice, a pattern row, or an exact-zero
+    // drop: finish with the suffix path from here.
+    if (!replay_column(k)) return suffix_from(k);
+    ++factor_cols_total_;
+    ++scattered_cols_total_;
+  }
+  if (cutoff < n) return suffix_from(cutoff);
+  last_factor_start_ = first_dirty;
+  return true;
 }
 
 template <typename T>
@@ -1033,14 +1239,17 @@ bool SparseSolverT<T>::solve(const std::vector<T>& b, std::vector<T>& x) {
 
   // Dirty scan, column-wise: the first changed pivot position bounds what
   // the refactorization must recompute (a left-looking column depends only
-  // on its A column and earlier pivot columns).
+  // on its A column and earlier pivot columns). The same pass marks every
+  // own-dirty pivot position so the scattered refactorization can skip the
+  // clean columns inside the suffix without rescanning the values.
   std::size_t first_dirty = std::numeric_limits<std::size_t>::max();
   if (factor_valid_) {
+    dirty_pos_.assign(dim_, 0);
     for (std::size_t c = 0; c < dim_; ++c) {
-      if (qpos_[c] >= first_dirty) continue; // cannot lower the bound
       for (std::uint32_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
         if (csc_vals_[p] != cached_vals_[p]) {
-          first_dirty = qpos_[c];
+          dirty_pos_[qpos_[c]] = 1;
+          if (qpos_[c] < first_dirty) first_dirty = qpos_[c];
           break;
         }
       }
@@ -1050,18 +1259,25 @@ bool SparseSolverT<T>::solve(const std::vector<T>& b, std::vector<T>& x) {
   }
 
   if (first_dirty != std::numeric_limits<std::size_t>::max()) {
-    std::size_t start =
-        (partial_ && factor_valid_ && !markowitz_) ? first_dirty
-                                                   : std::size_t{0};
-    if (start > 0 && supernodal_ && !sn_start_.empty()) {
-      // Snap to the panel containing position start-1: a full refactor
-      // reaches the first dirty position with that panel still *open*
-      // (the close decision is made by the dirty column itself), so the
-      // restart must re-run it to keep partial == full bit-for-bit.
-      start = sn_start_[sn_of_col_[start - 1]];
-    }
+    const bool scatter_eligible = partial_ && factor_valid_ && !markowitz_;
     factor_valid_ = false;
-    if (markowitz_ ? !factor_markowitz() : !factor(start)) return false;
+    bool engaged = false;
+    bool ok = false;
+    if (scatter_eligible) {
+      ok = refactor_scattered(first_dirty, engaged);
+    }
+    if (!engaged) {
+      std::size_t start = scatter_eligible ? first_dirty : std::size_t{0};
+      if (start > 0 && supernodal_ && !sn_start_.empty()) {
+        // Snap to the panel containing position start-1: a full refactor
+        // reaches the first dirty position with that panel still *open*
+        // (the close decision is made by the dirty column itself), so the
+        // restart must re-run it to keep partial == full bit-for-bit.
+        start = sn_start_[sn_of_col_[start - 1]];
+      }
+      ok = markowitz_ ? factor_markowitz() : factor(start);
+    }
+    if (!ok) return false;
     cached_vals_ = csc_vals_;
     factor_valid_ = true;
     ++factor_count_;

@@ -178,6 +178,13 @@ class SparseSolverT final : public LinearSolverT<T> {
   [[nodiscard]] std::size_t last_factor_start() const {
     return last_factor_start_;
   }
+  /// Columns recomputed by the scattered (dirty-set) refactorization path
+  /// over the solver's lifetime — the clean columns it skipped *inside*
+  /// the refactor suffix are the difference to a first-dirty-pivot
+  /// restart. 0 until a solve engages the scattered path.
+  [[nodiscard]] std::size_t scattered_cols_total() const {
+    return scattered_cols_total_;
+  }
 
  private:
   std::size_t dim_ = 0;
@@ -188,6 +195,7 @@ class SparseSolverT final : public LinearSolverT<T> {
   bool markowitz_ = false;
   std::size_t factor_count_ = 0;
   std::size_t factor_cols_total_ = 0;
+  std::size_t scattered_cols_total_ = 0;
   std::size_t last_factor_start_ = 0;
   const char* ordering_used_ = "none";
 
@@ -225,6 +233,8 @@ class SparseSolverT final : public LinearSolverT<T> {
   std::vector<std::uint32_t> touched_;   ///< rows to unmark after a column
   std::vector<std::uint32_t> u_scratch_rows_;
   std::vector<T> u_scratch_vals_;
+  std::vector<T> l_scratch_vals_;        ///< replayed L values before commit
+  std::vector<std::uint8_t> dirty_pos_;  ///< pivot position -> stamps changed
   std::vector<T> sol_;                   ///< solution by pivot order
 
   // --- supernodal panels (contiguous pivot runs with identical below-
@@ -255,6 +265,26 @@ class SparseSolverT final : public LinearSolverT<T> {
   /// Closes the open detection panel [s, e) and records it (dense copy
   /// for width >= 2).
   void close_panel(std::size_t s, std::size_t e);
+  /// Scattered (dirty-set) refactorization: recompute only the columns
+  /// whose stamp values changed plus their dependents through the stored
+  /// U structure, rewriting L/U values in place (the static pattern keeps
+  /// per-column storage offsets stable). `dirty_pos_` must hold the
+  /// own-dirty flags for positions >= `first_dirty`. Sets `engaged` false
+  /// (and returns true) when the classic suffix restart is at least as
+  /// cheap; falls back to `factor()` itself on any replay deviation.
+  [[nodiscard]] bool refactor_scattered(std::size_t first_dirty,
+                                        bool& engaged);
+  /// Replays the numeric computation of pivot position `k` against the
+  /// stored symbolic trace. Returns true and commits the new values when
+  /// the pivot row and the L/U patterns replay exactly; returns false
+  /// (storage untouched) when the replay deviates — values drifted enough
+  /// to change a pivot choice or an exact-zero drop.
+  [[nodiscard]] bool replay_column(std::size_t k);
+  /// Dense application of closed panel `panel` to the column accumulator
+  /// (`work_`/`mark_`/`heap_`/`unassigned_` state). Rows pivotal at a
+  /// position >= `pivotal_bound` count as unassigned — the bound is the
+  /// position of the column being computed.
+  void apply_closed_panel(std::uint32_t panel, std::int32_t pivotal_bound);
 };
 
 extern template class SparseSolverT<double>;

@@ -20,6 +20,7 @@
 // array-characterisation path.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -469,6 +470,93 @@ void BM_TraceGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceGeneration);
+
+// --- the /wer: family: rare-event write-error engines -------------------
+// The `wer` argument is the tail depth (-log10 WER) the operating point
+// targets; CI guards the family like /dim:/threads:/width: (bench_diff.py
+// fails if the whole family vanishes from a snapshot).
+
+// Analytic deep-tail closed form: invert pulse width for a target WER
+// through the math::special erfcx/log_erfc path. Pure closed-form — this
+// is the per-point cost the WerScenario sweep pays with trajectories = 0.
+void BM_WerAnalyticPulseInversion(benchmark::State& state) {
+  const mss::core::MtjCompactModel model{mss::core::MtjParams{}};
+  const auto dir = mss::core::WriteDirection::ToAntiparallel;
+  const double i = 1.5 * model.critical_current(dir);
+  const double target = std::pow(10.0, -double(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.pulse_width_for_wer_ic_spread(dir, i, target, 0.05));
+  }
+}
+BENCHMARK(BM_WerAnalyticPulseInversion)
+    ->ArgName("wer")
+    ->Arg(9)
+    ->Arg(12)
+    ->Arg(15);
+
+// Importance-sampled LLGS estimator in the overlap regime (WER ~ 4e-3,
+// auto proposal + defensive mixture) over the SIMD width — the /width:
+// rows isolate the batch-layer speedup of the weighted estimator exactly
+// like BM_LlgThermalEnsembleSimd does for the plain ensemble.
+void BM_WerImportanceSampledOverlap(benchmark::State& state) {
+  mss::core::MtjParams p;
+  p.alpha = 0.1;
+  const mss::core::MtjCompactModel model(p);
+  const auto dir = mss::core::WriteDirection::ToAntiparallel;
+  const double i = 1.2 * model.critical_current(dir);
+  mss::core::WerEstimateOptions opt;
+  opt.ic_sigma_rel = 0.2;
+  opt.threads = 1;
+  opt.width = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kTrajectories = 512;
+  mss::util::Rng rng(9);
+  for (auto _ : state) {
+    const auto est =
+        model.llgs_write_error_rate(dir, i, 4e-9, kTrajectories, rng, opt);
+    benchmark::DoNotOptimize(est.wer);
+  }
+  state.SetItemsProcessed(state.iterations() * kTrajectories);
+}
+BENCHMARK(BM_WerImportanceSampledOverlap)
+    ->ArgNames({"wer", "width"})
+    ->Args({2, 1})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->UseRealTime();
+
+// The deep-tail acceptance point (WER ~ 5e-14, Delta = 292, pinned N(7,1)
+// threshold proposal): per-trajectory cost of reaching 13 decades below
+// what brute force can resolve. Throughput = trajectories/s; the WER test
+// suite owns the statistical acceptance criteria at the same point.
+void BM_WerImportanceSampledDeepTail(benchmark::State& state) {
+  mss::core::MtjParams p;
+  p.diameter = 60e-9;
+  p.temperature = 100.0;
+  p.alpha = 0.2;
+  const mss::core::MtjCompactModel model(p);
+  const auto dir = mss::core::WriteDirection::ToAntiparallel;
+  const double i = 2.25 * model.critical_current(dir);
+  mss::core::WerEstimateOptions opt;
+  opt.ic_sigma_rel = 0.25;
+  opt.ic_shift = 7.0;
+  opt.ic_proposal_sd = 1.0;
+  opt.ic_defensive = 0.0;
+  opt.threads = 1;
+  constexpr std::size_t kTrajectories = 1024;
+  mss::util::Rng rng(42);
+  for (auto _ : state) {
+    const auto est =
+        model.llgs_write_error_rate(dir, i, 12e-9, kTrajectories, rng, opt);
+    benchmark::DoNotOptimize(est.wer);
+  }
+  state.SetItemsProcessed(state.iterations() * kTrajectories);
+}
+BENCHMARK(BM_WerImportanceSampledDeepTail)
+    ->ArgName("wer")
+    ->Arg(13)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_NormalIsfDeepTail(benchmark::State& state) {
   double q = 1e-20;

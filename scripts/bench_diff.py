@@ -8,8 +8,18 @@
 
 Compares `real_time` of every benchmark present in both snapshots whose
 name contains one of the family markers (default: the /dim:N, /threads:N,
-/width:N and /rows:N families — matrix-dimension, thread-count, SIMD-batch
--width and array-row scaling respectively).
+/width:N, /rows:N and /wer: families — matrix-dimension, thread-count,
+SIMD-batch-width, array-row and write-error-rate scaling respectively).
+
+Benchmark names are canonicalised before any matching: google-benchmark
+appends *run options* to the name (`/min_time:2.000`, `/real_time`,
+`/iterations:N`, ...), so re-tuning a benchmark's MinTime silently
+renames it — and a rename across snapshots would drop it from the
+comparison and let the regression gate pass vacuously. Run-option
+segments are stripped from snapshot keys and from --min-speedup /
+--max-ratio gate names alike, so both `BM_X/rows:64` and
+`BM_X/rows:64/min_time:2.000` address the same benchmark. Argument
+families (`/threads:N`, `/rows:N`, ...) are never stripped.
 
 `--min-speedup SLOW FAST RATIO` (repeatable) additionally asserts an
 *intra-snapshot* ratio on the current snapshot:
@@ -39,6 +49,23 @@ import sys
 # benchmark's display unit cannot fake a six-orders-of-magnitude delta.
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# Run-option name segments appended by google-benchmark. `key:value`
+# options carry a colon and a value; the timing-source markers are bare
+# segments. `/threads:N` is deliberately NOT here: in this suite it is an
+# Args()-encoded scaling family, and stripping it would fold a whole
+# family onto one key.
+_RUN_OPTION_PREFIXES = ("min_time:", "min_warmup_time:", "iterations:",
+                        "repeats:", "repetitions:")
+_RUN_OPTION_SEGMENTS = {"real_time", "process_time", "manual_time"}
+
+
+def canonical(name):
+    """Benchmark name with google-benchmark run-option suffixes removed."""
+    return "/".join(
+        seg for seg in name.split("/")
+        if seg not in _RUN_OPTION_SEGMENTS
+        and not seg.startswith(_RUN_OPTION_PREFIXES))
+
 
 def load(path):
     try:
@@ -56,7 +83,8 @@ def load(path):
         if unit not in _UNIT_NS:
             raise SystemExit(f"{path}: unknown time_unit '{unit}' "
                              f"for {bench['name']}")
-        out[bench["name"]] = float(bench["real_time"]) * _UNIT_NS[unit]
+        out[canonical(bench["name"])] = \
+            float(bench["real_time"]) * _UNIT_NS[unit]
     return out
 
 
@@ -78,7 +106,8 @@ def main(argv=None):
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="max allowed relative real_time growth (default 0.25)")
     ap.add_argument("--families", nargs="*",
-                    default=["/dim:", "/threads:", "/width:", "/rows:"],
+                    default=["/dim:", "/threads:", "/width:", "/rows:",
+                             "/wer:"],
                     help="benchmark-name substrings to compare")
     ap.add_argument("--min-speedup", nargs=3, action="append", default=[],
                     metavar=("SLOW", "FAST", "RATIO"),
@@ -127,6 +156,7 @@ def main(argv=None):
 
     speedup_failures = []
     for slow, fast, ratio in args.min_speedup:
+        slow, fast = canonical(slow), canonical(fast)
         want = float(ratio)
         missing = [n for n in (slow, fast) if n not in cur]
         if missing:
@@ -142,6 +172,7 @@ def main(argv=None):
 
     ratio_failures = []
     for a, b, ratio in args.max_ratio:
+        a, b = canonical(a), canonical(b)
         want = float(ratio)
         missing = [n for n in (a, b) if n not in cur]
         if missing:

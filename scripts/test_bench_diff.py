@@ -162,6 +162,61 @@ class BenchDiffTest(unittest.TestCase):
             self.run_diff(base, bad)
         self.assertIn("not valid JSON", str(ctx.exception))
 
+    def test_canonical_strips_run_options_only(self):
+        # Run options go; the benchmark identity (including Args()-encoded
+        # families like /threads:N) stays.
+        self.assertEqual(
+            bench_diff.canonical("BM_X/rows:64/min_time:2.000"),
+            "BM_X/rows:64")
+        self.assertEqual(
+            bench_diff.canonical("BM_L/width:4/real_time"), "BM_L/width:4")
+        self.assertEqual(
+            bench_diff.canonical(
+                "BM_Y/threads:2/iterations:50/manual_time"),
+            "BM_Y/threads:2")
+        self.assertEqual(
+            bench_diff.canonical("BM_Z/wer:12/min_warmup_time:0.5"),
+            "BM_Z/wer:12")
+        self.assertEqual(bench_diff.canonical("BM_Plain"), "BM_Plain")
+
+    def test_min_time_retune_does_not_drop_the_comparison(self):
+        # Raising a benchmark's MinTime renames it in the raw JSON
+        # (/min_time:2.000 appears); the canonicalised diff still matches
+        # the baseline entry and still catches the regression.
+        base = self.write("base.json", snapshot({"BM_W/rows:64": 100.0}))
+        cur = self.write("cur.json", snapshot({
+            "BM_W/rows:64/min_time:2.000": 200.0}))
+        self.assertEqual(self.run_diff(base, cur), 1)
+        # And the reverse direction (baseline carries the suffix).
+        base2 = self.write("base2.json", snapshot({
+            "BM_W/rows:64/min_time:2.000": 100.0}))
+        cur2 = self.write("cur2.json", snapshot({"BM_W/rows:64": 105.0}))
+        self.assertEqual(self.run_diff(base2, cur2), 0)
+
+    def test_gate_names_are_canonicalised(self):
+        # --min-speedup / --max-ratio names match regardless of whether the
+        # caller or the snapshot carries run-option suffixes.
+        base = self.write("base.json", snapshot({
+            "BM_L/width:1/real_time": 100.0,
+            "BM_L/width:4/real_time": 50.0}))
+        cur = self.write("cur.json", snapshot({
+            "BM_L/width:1/real_time": 100.0,
+            "BM_L/width:4/real_time": 50.0}))
+        self.assertEqual(self.run_diff(base, cur, extra=(
+            "--min-speedup", "BM_L/width:1/min_time:1.000",
+            "BM_L/width:4/real_time", "1.8")), 0)
+        self.assertEqual(self.run_diff(base, cur, extra=(
+            "--max-ratio", "BM_L/width:1", "BM_L/width:4/real_time",
+            "2.5")), 0)
+
+    def test_wer_family_is_guarded_by_default(self):
+        # The write-error-rate family joins the default gate.
+        base = self.write("base.json", snapshot({
+            "BM_Wer/wer:12/real_time": 100.0}))
+        cur = self.write("cur.json", snapshot({
+            "BM_Wer/wer:12/real_time": 200.0}))
+        self.assertEqual(self.run_diff(base, cur), 1)
+
     def test_unit_normalisation(self):
         # A unit change must not read as a 1000x regression.
         base = self.write("base.json", snapshot({"BM_X/dim:64": 100.0}))

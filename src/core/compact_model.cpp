@@ -1,5 +1,6 @@
 #include "core/compact_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -79,6 +80,32 @@ double MtjCompactModel::pulse_width_for_wer(WriteDirection dir, double i_write,
                                             double target_wer) const {
   const auto sp = switching_params(dir);
   return physics::pulse_width_for_wer(sp, i_write / sp.ic0, target_wer);
+}
+
+double MtjCompactModel::log_write_error_rate_ic_spread(
+    WriteDirection dir, double i_write, double t_pulse,
+    double sigma_rel) const {
+  const auto sp = switching_params(dir);
+  return physics::log_write_error_rate_ic_spread(sp, i_write / sp.ic0, t_pulse,
+                                                 sigma_rel);
+}
+
+double MtjCompactModel::write_error_rate_ic_spread(WriteDirection dir,
+                                                   double i_write,
+                                                   double t_pulse,
+                                                   double sigma_rel) const {
+  const auto sp = switching_params(dir);
+  return physics::write_error_rate_ic_spread(sp, i_write / sp.ic0, t_pulse,
+                                             sigma_rel);
+}
+
+double MtjCompactModel::pulse_width_for_wer_ic_spread(WriteDirection dir,
+                                                      double i_write,
+                                                      double target_wer,
+                                                      double sigma_rel) const {
+  const auto sp = switching_params(dir);
+  return physics::pulse_width_for_wer_ic_spread(sp, i_write / sp.ic0,
+                                                target_wer, sigma_rel);
 }
 
 double MtjCompactModel::read_disturb_probability(double i_read,
@@ -174,6 +201,72 @@ double MtjCompactModel::llgs_switch_probability(WriteDirection dir,
   const auto ens = solver.integrate_thermal_ensemble(
       n, m0, t_pulse, /*dt=*/1e-12, current, rng, opt);
   return ens.p_switch();
+}
+
+WerEstimate MtjCompactModel::llgs_write_error_rate(
+    WriteDirection dir, double i_write, double t_pulse, std::size_t n,
+    mss::util::Rng& rng, const WerEstimateOptions& options) const {
+  if (n == 0) throw std::invalid_argument("llgs_write_error_rate: n == 0");
+  const auto [start_up, current] = llgs_drive(dir, i_write);
+  const physics::LlgSolver solver(llg_params());
+
+  physics::LlgWerOptions wopt;
+  wopt.threads = options.threads;
+  wopt.width = options.width;
+  wopt.tilt = options.tilt;
+  // Forwarded unconditionally so an explicit (invalid) defensive fraction
+  // without a threshold spread still trips the physics-layer validation.
+  wopt.ic_defensive = options.ic_defensive;
+  if (options.ic_sigma_rel > 0.0) {
+    // Switching-threshold spread mode: the deep tail is carried by the 1-D
+    // threshold tilt, so the cone stays untilted unless explicitly pinned.
+    wopt.ic_sigma_rel = options.ic_sigma_rel;
+    if (options.ic_shift >= 0.0) {
+      wopt.ic_shift = options.ic_shift;
+      wopt.ic_proposal_sd = options.ic_proposal_sd;
+    } else {
+      // Auto-proposal from the analytic transition band. Failures turn on
+      // where the residual barrier Delta (1 - i/Ic(z))^2 crosses the
+      // ln(t/tau0) attempt budget, but the turn-on is smeared over several
+      // z-units (the barrier grows only quadratically past the boundary),
+      // so the proposal is centred on the band [z(L - 2), z(L + 3)]
+      // (L = ln(t/tau0), z(B) = the deviate whose residual barrier is B)
+      // and widened to cover it. The analytic band is approximate, but a
+      // proposal only needs to blanket the dominant failure region — the
+      // likelihood ratios absorb the rest.
+      const auto sp = switching_params(dir);
+      // Attempt time for the band: the LLGS trajectories attempt escape on
+      // the damping-relaxation scale (1 + alpha^2) / (alpha gamma mu0 Hk),
+      // which at high damping is much shorter than the conventional 1 ns
+      // tau0 used by the closed forms — the measured failure boundary sits
+      // correspondingly deeper than the tau0-based analytic one.
+      const double tau_relax = (1.0 + sp.alpha * sp.alpha) /
+                               (sp.alpha * physics::kGamma * physics::kMu0 *
+                                sp.hk_eff);
+      const double ln_t =
+          std::log(t_pulse / std::min(sp.tau0, tau_relax));
+      const double i_over = std::abs(i_write) / sp.ic0;
+      const auto z_at_barrier = [&](double barrier) {
+        const double frac = std::clamp(barrier / sp.delta, 0.0, 0.96);
+        return (i_over / (1.0 - std::sqrt(frac)) - 1.0) /
+               options.ic_sigma_rel;
+      };
+      const double z_lo = z_at_barrier(std::max(ln_t - 2.0, 0.0));
+      const double z_hi = z_at_barrier(std::max(ln_t + 3.0, 1.0));
+      wopt.ic_shift = std::clamp(0.5 * (z_lo + z_hi), 0.0, 38.0);
+      wopt.ic_proposal_sd = options.ic_proposal_sd >= 1.0
+                                ? options.ic_proposal_sd
+                                : std::max(1.0, (z_hi - z_lo) / 3.0);
+    }
+  } else if (options.tilt <= 0.0) {
+    // Auto-tilt from the behavioural closed form: the analytic tail is
+    // rough (it ignores the full trajectory dynamics) but plenty good as a
+    // proposal parameter — the likelihood-ratio weights absorb the error.
+    wopt.p_hint = write_error_rate(dir, std::abs(i_write), t_pulse);
+  }
+
+  const physics::Vec3 m0{0.0, 0.0, start_up ? 1.0 : -1.0};
+  return solver.estimate_wer(n, m0, t_pulse, options.dt, current, rng, wopt);
 }
 
 } // namespace mss::core

@@ -40,6 +40,39 @@ struct WriteOutcome {
   double energy = 0.0;       ///< I^2 R integrated over the pulse [J]
 };
 
+/// Options of `MtjCompactModel::llgs_write_error_rate`.
+struct WerEstimateOptions {
+  std::size_t threads = 0; ///< see `physics::LlgWerOptions::threads`
+  std::size_t width = 0;   ///< see `physics::LlgWerOptions::width`
+  /// Importance-sampling tilt nu (>= 1); 0 = auto-derive from the
+  /// behavioural (closed-form) WER at the same operating point — the
+  /// analytic tail seeds the sampler, the sampler sharpens the tail.
+  double tilt = 0.0;
+  /// Relative switching-current spread sampled per trajectory (see
+  /// `physics::LlgWerOptions::ic_sigma_rel`). When > 0 the estimator
+  /// auto-centres the threshold proposal N(mu, tau^2) on the analytic
+  /// failure transition band (the z-range where the residual barrier
+  /// Delta (1 - i/Ic(z))^2 crosses the ln(t/tau0) attempt budget) and
+  /// widens it to cover the band — the 1-D tilt that keeps deep-tail
+  /// failures O(1)-probable — and pins the cone tilt to nu = 1 unless
+  /// `tilt` overrides it. 0 = pure-thermal estimator.
+  double ic_sigma_rel = 0.0;
+  /// Threshold-proposal mean shift override; < 0 (default) = auto from the
+  /// analytic band as above, >= 0 pins it (needs ic_sigma_rel > 0).
+  double ic_shift = -1.0;
+  /// Threshold-proposal width override; 0 with auto shift = auto from the
+  /// band, otherwise values >= 1 pin it (0 with pinned shift = 1).
+  double ic_proposal_sd = 0.0;
+  /// Defensive-mixture fraction (see `physics::LlgWerOptions::ic_defensive`);
+  /// < 0 (default) = auto: 0.2 whenever a threshold proposal is in play,
+  /// 0 pins the pure shifted proposal, values in (0, 1) pin the fraction.
+  double ic_defensive = -1.0;
+  double dt = 1e-12; ///< LLGS integration step [s]
+};
+
+/// Estimator statistics of one `llgs_write_error_rate` call.
+using WerEstimate = physics::LlgWerEstimate;
+
 /// Closed-form + LLGS compact model for the memory-mode MSS device.
 class MtjCompactModel {
  public:
@@ -89,6 +122,29 @@ class MtjCompactModel {
   [[nodiscard]] double pulse_width_for_wer(WriteDirection dir, double i_write,
                                            double target_wer) const;
 
+  /// log(WER) under a Gaussian switching-current spread of relative width
+  /// `sigma_rel` (sigma_Ic / Ic0) — the deep-tail analytic closed form,
+  /// accurate to WER ~ 1e-300 via the scaled-erfc path. This is the
+  /// curve the importance-sampled estimator is validated against in the
+  /// overlap regime and extrapolates beyond it.
+  [[nodiscard]] double log_write_error_rate_ic_spread(WriteDirection dir,
+                                                      double i_write,
+                                                      double t_pulse,
+                                                      double sigma_rel) const;
+
+  /// exp of `log_write_error_rate_ic_spread`, clamped to [1e-300, 1].
+  [[nodiscard]] double write_error_rate_ic_spread(WriteDirection dir,
+                                                  double i_write,
+                                                  double t_pulse,
+                                                  double sigma_rel) const;
+
+  /// Closed-form pulse width reaching `target_wer` under the ic-spread
+  /// tail model (no iteration — inverse-normal quantile) [s].
+  [[nodiscard]] double pulse_width_for_wer_ic_spread(WriteDirection dir,
+                                                     double i_write,
+                                                     double target_wer,
+                                                     double sigma_rel) const;
+
   /// Probability that a read pulse (current `i_read`, width `t_read`,
   /// destabilising direction) flips the cell — read disturb.
   [[nodiscard]] double read_disturb_probability(double i_read,
@@ -124,6 +180,19 @@ class MtjCompactModel {
                                                mss::util::Rng& rng,
                                                std::size_t threads = 0,
                                                std::size_t width = 0) const;
+
+  /// Importance-sampled LLGS write-error-rate estimate — the rare-event
+  /// path of the physical strategy. Seeds the tilt from the behavioural
+  /// closed-form WER at the same operating point (unless
+  /// `options.tilt` >= 1 pins it), runs `n` tilted LLGS transients through
+  /// `physics::LlgSolver::estimate_wer`, and returns the weighted estimate
+  /// with its relative-error bound and effective sample size. At tilt 1
+  /// this degenerates to 1 - llgs_switch_probability(...) over the same
+  /// substreams. Statistics and the post-call state of `rng` are
+  /// bit-identical for any {threads} x {width}.
+  [[nodiscard]] WerEstimate llgs_write_error_rate(
+      WriteDirection dir, double i_write, double t_pulse, std::size_t n,
+      mss::util::Rng& rng, const WerEstimateOptions& options = {}) const;
 
   /// Analytic switching parameters handed to the physics layer (exposed for
   /// the variability analysis, which perturbs them per sampled device).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/compact_model.hpp"
+#include "math/special.hpp"
 #include "sweep/experiment.hpp"
 #include "util/math.hpp"
 
@@ -24,13 +25,34 @@ RetentionDesigner::RetentionDesigner(MtjParams base, double write_overdrive)
 }
 
 double RetentionDesigner::delta_for_retention(double years, double fail_prob,
-                                              std::size_t array_bits) const {
+                                              std::size_t array_bits,
+                                              unsigned correctable) const {
   if (years <= 0.0 || fail_prob <= 0.0 || fail_prob >= 1.0 || array_bits == 0) {
     throw std::invalid_argument("delta_for_retention: bad spec");
   }
+  if (correctable >= array_bits) {
+    throw std::invalid_argument(
+        "delta_for_retention: correctable must be < array_bits");
+  }
   const double t = years * kSecondsPerYear;
-  // Per-bit budget p1 = 1 - (1-p)^(1/N) ~ p/N; require 1 - exp(-t/tau) <= p1.
-  const double p1 = fail_prob / double(array_bits);
+  double p1;
+  if (correctable == 0) {
+    // Per-bit budget p1 = 1 - (1-p)^(1/N) ~ p/N; require
+    // 1 - exp(-t/tau) <= p1.
+    p1 = fail_prob / double(array_bits);
+  } else {
+    // ECC-aware budget: bit flips are rare and independent, so the
+    // flipped-bit count over the array is Poisson(lambda = N p1), and the
+    // array fails only past the correction strength:
+    //   P(X > c) = math::gamma_p(c + 1, lambda)  (Poisson tail identity).
+    // Solve the monotone tail for the admissible lambda, then spread it
+    // back over the bits.
+    const double a = double(correctable) + 1.0;
+    const double lambda = mss::util::bisect_expand(
+        [&](double lam) { return mss::math::gamma_p(a, lam) - fail_prob; },
+        0.0, 1e-9, 1e-13);
+    p1 = lambda / double(array_bits);
+  }
   const double tau_needed = t / (-std::log1p(-p1));
   return std::log(tau_needed / base_.tau0);
 }
@@ -53,10 +75,13 @@ double RetentionDesigner::diameter_for_delta(double target_delta) const {
 }
 
 RetentionDesign RetentionDesigner::design(double years, double fail_prob,
-                                          std::size_t array_bits) const {
+                                          std::size_t array_bits,
+                                          unsigned correctable) const {
   RetentionDesign out;
   out.retention_years = years;
-  out.required_delta = delta_for_retention(years, fail_prob, array_bits);
+  out.correctable = correctable;
+  out.required_delta =
+      delta_for_retention(years, fail_prob, array_bits, correctable);
   out.diameter = diameter_for_delta(out.required_delta);
 
   MtjParams p = base_;
@@ -75,14 +100,15 @@ RetentionDesign RetentionDesigner::design(double years, double fail_prob,
 
 std::vector<RetentionDesign> RetentionDesigner::sweep(
     const std::vector<double>& years_list, double fail_prob,
-    std::size_t array_bits, std::size_t threads) const {
+    std::size_t array_bits, std::size_t threads,
+    unsigned correctable) const {
   namespace sw = mss::sweep;
   sw::ParamSpace space;
   space.cross(sw::Axis::list("years", years_list));
   const auto exp = sw::make_experiment(
       "retention-design",
       [&](const sw::Point& p, util::Rng&) {
-        return design(p.number("years"), fail_prob, array_bits);
+        return design(p.number("years"), fail_prob, array_bits, correctable);
       });
   const sw::Runner runner({.threads = threads, .chunk_size = 1, .seed = 0,
                            .memoize = false});

@@ -17,6 +17,7 @@ namespace mss::core {
 /// One designed retention point.
 struct RetentionDesign {
   double retention_years = 0.0;   ///< specified retention target
+  unsigned correctable = 0;       ///< ECC strength the spec was solved under
   double required_delta = 0.0;    ///< thermal stability implied by the target
   double diameter = 0.0;          ///< pillar diameter achieving that Delta [m]
   double ic0 = 0.0;               ///< critical current at that diameter [A]
@@ -38,18 +39,28 @@ class RetentionDesigner {
 
   /// Thermal stability required so that an `array_bits`-bit array retains
   /// data for `years` years with total failure probability at most
-  /// `fail_prob`: Delta = ln(N * t / (tau0 * -ln(1 - p))).
+  /// `fail_prob`. Without ECC (`correctable == 0`) this is the classic
+  /// per-bit budget Delta = ln(N * t / (tau0 * -ln(1 - p))). With a
+  /// `correctable`-error-correcting code the array only fails when *more
+  /// than* `correctable` bits flip; flips are rare and independent, so the
+  /// flipped-bit count is Poisson(lambda) and the failure tail is the
+  /// regularized incomplete gamma P(X > c) = math::gamma_p(c + 1, lambda)
+  /// — solving that tail for the admissible lambda relaxes the required
+  /// Delta by several ln-units (the ECC-retention trade-off).
   [[nodiscard]] double delta_for_retention(double years, double fail_prob,
-                                           std::size_t array_bits) const;
+                                           std::size_t array_bits,
+                                           unsigned correctable = 0) const;
 
   /// Diameter achieving a target Delta (bisection on the monotonic
   /// Delta(diameter) relation). Throws if the target is unreachable within
   /// [10 nm, 200 nm].
   [[nodiscard]] double diameter_for_delta(double target_delta) const;
 
-  /// Full design point for a retention target.
+  /// Full design point for a retention target (`correctable` as in
+  /// `delta_for_retention`).
   [[nodiscard]] RetentionDesign design(double years, double fail_prob = 1e-4,
-                                       std::size_t array_bits = 1u << 20) const;
+                                       std::size_t array_bits = 1u << 20,
+                                       unsigned correctable = 0) const;
 
   /// Sweep over a list of retention targets (the paper's trade-off
   /// curve), evaluated through sweep::Runner. `threads` is the shared
@@ -57,7 +68,8 @@ class RetentionDesigner {
   /// designs are bit-identical for every setting.
   [[nodiscard]] std::vector<RetentionDesign> sweep(
       const std::vector<double>& years_list, double fail_prob = 1e-4,
-      std::size_t array_bits = 1u << 20, std::size_t threads = 0) const;
+      std::size_t array_bits = 1u << 20, std::size_t threads = 0,
+      unsigned correctable = 0) const;
 
  private:
   MtjParams base_;

@@ -1,0 +1,68 @@
+// Special functions for the analytic rare-event (deep-tail) layer.
+//
+// The write-error-rate and retention analyses need tail probabilities far
+// below what brute-force Monte-Carlo can reach (1e-9 .. 1e-15 and beyond):
+// closed-form switching-probability expressions are erfc/inverse-normal
+// shaped, and array-level retention tails are Poisson/incomplete-gamma
+// shaped. This module owns those primitives — like util::Rng owns the
+// normal transform — so every tail number is bit-reproducible across
+// platforms and standard libraries, and so the deep tail has dedicated
+// *scaled* and *log-domain* entry points (`erfcx`, `log_erfc`) that stay
+// accurate long after the linear-domain functions underflow.
+//
+// Accuracy contract (details and derivations in src/math/README.md):
+//  * erf/erfc: <= ~2e-15 relative error over the full double range; erfc
+//    underflows to 0 for x > ~26.6 (use log_erfc/erfcx past that point);
+//  * erfcx(x) = exp(x^2) erfc(x): finite and >= ~1e-15-accurate for every
+//    x >= 0 (continued fraction for large x — the deep-tail WER path);
+//  * gamma_p/gamma_q: regularized incomplete gamma, series/continued
+//    fraction split at x = a + 1 (Numerical Recipes / cfit Math idiom);
+//  * lgamma: Lanczos (g = 607/128, 15 terms), ~1e-14 relative;
+//  * inv_normal: Acklam rational start + one Halley step against the
+//    erfc-based CDF, |error| < 1e-12 for p in [1e-300, 1 - 1e-16].
+#pragma once
+
+namespace mss::math {
+
+/// Error function erf(x) = (2/sqrt(pi)) Int_0^x exp(-t^2) dt.
+[[nodiscard]] double erf(double x);
+
+/// Complementary error function erfc(x) = 1 - erf(x). Computed directly
+/// (never as 1 - erf), so the upper tail keeps full relative accuracy down
+/// to the underflow edge (~x = 26.6).
+[[nodiscard]] double erfc(double x);
+
+/// Scaled complementary error function erfcx(x) = exp(x^2) erfc(x).
+/// Never underflows for x >= 0 (asymptotically 1/(x sqrt(pi))) — the
+/// factorization the deep-tail WER formula is evaluated through.
+/// For x < 0 it grows like 2 exp(x^2) and overflows past x ~ -26.6.
+[[nodiscard]] double erfcx(double x);
+
+/// log(erfc(x)), finite for every representable x (log_erfc(1e154) is a
+/// perfectly good ~-1e308): the log-domain tail entry point, evaluated as
+/// -x^2 + log(erfcx(x)) on the right tail.
+[[nodiscard]] double log_erfc(double x);
+
+/// Natural log of the gamma function for x > 0 (throws std::domain_error
+/// otherwise — the nonpositive axis is not needed by any caller and a
+/// silent reflection would hide bugs).
+[[nodiscard]] double lgamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a),
+/// a > 0, x >= 0. P(a, 0) = 0, P(a, inf) = 1, monotone in x.
+/// Poisson tail identity: P(X >= k) = gamma_p(k, lambda) for
+/// X ~ Poisson(lambda) — the array-retention failure tail.
+[[nodiscard]] double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x), computed
+/// directly by continued fraction for x > a + 1 so the upper tail keeps
+/// relative accuracy (Q(0.5, x) = erfc(sqrt(x))).
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// Inverse standard-normal CDF (the probit): x with Phi(x) = p, valid for
+/// p in (0, 1) down to ~1e-300 — the quantile the closed-form
+/// pulse-width-for-WER inversion and the estimator confidence bounds use.
+/// Throws std::domain_error outside (0, 1).
+[[nodiscard]] double inv_normal(double p);
+
+} // namespace mss::math

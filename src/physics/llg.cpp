@@ -156,7 +156,11 @@ struct BatchCoeffs {
   double alpha = 0.0;
   double c_prec = 0.0; ///< -gamma mu0 / (1 + alpha^2)
   bool stt = false;
-  double c_stt = 0.0; ///< c_prec * a_j
+  /// c_prec * a_j per lane. Lane-uniform runs broadcast one value, the
+  /// rare-event estimator folds its per-trajectory switching-threshold
+  /// scale in here (scaling the spin-torque prefactor is exactly a
+  /// per-device critical-current scale).
+  std::array<double, 8> c_stt{};
   Vec3 pol;           ///< polariser direction
   double hax = 0.0, hay = 0.0, haz = 0.0; ///< applied field (x, y folded)
   double hk = 0.0;    ///< perpendicular anisotropy field
@@ -166,17 +170,18 @@ struct BatchCoeffs {
 /// Mirrors LlgSolver::rhs for one lane with the lane-uniform coefficients
 /// prefolded. `STT` is the (lane-uniform) i_amps != 0 branch, lifted to a
 /// template parameter so the lane loop body stays branch-free and
-/// vectorizable.
+/// vectorizable; `c_stt` is the lane's spin-torque coefficient.
 template <bool STT>
 [[gnu::always_inline]] inline Vec3 rhs_lane(const BatchCoeffs& c,
-                                            const Vec3& m, const Vec3& h) {
+                                            const Vec3& m, const Vec3& h,
+                                            double c_stt) {
   const Vec3 m_x_h = m.cross(h);
   const Vec3 m_x_m_x_h = m.cross(m_x_h);
   Vec3 dmdt = (m_x_h + c.alpha * m_x_m_x_h) * c.c_prec;
   if constexpr (STT) {
     const Vec3 m_x_p = m.cross(c.pol);
     const Vec3 m_x_m_x_p = m.cross(m_x_p);
-    dmdt += (m_x_m_x_p - c.alpha * m_x_p) * c.c_stt;
+    dmdt += (m_x_m_x_p - c.alpha * m_x_p) * c_stt;
   }
   return dmdt;
 }
@@ -195,11 +200,12 @@ template <std::size_t W, bool STT>
   for (std::size_t l = 0; l < W; ++l) {
     const Vec3 ml{m.x[l], m.y[l], m.z[l]};
     const Vec3 ht{h_th.x[l], h_th.y[l], h_th.z[l]};
+    const double cs = c.c_stt[l];
     const Vec3 h1{c.hax + ht.x, c.hay + ht.y, (ml.z * c.hk + c.haz) + ht.z};
-    const Vec3 f1 = rhs_lane<STT>(c, ml, h1);
+    const Vec3 f1 = rhs_lane<STT>(c, ml, h1, cs);
     const Vec3 mp = (ml + f1 * c.dt).renormalized();
     const Vec3 h2{c.hax + ht.x, c.hay + ht.y, (mp.z * c.hk + c.haz) + ht.z};
-    const Vec3 f2 = rhs_lane<STT>(c, mp, h2);
+    const Vec3 f2 = rhs_lane<STT>(c, mp, h2, cs);
     const Vec3 mn = (ml + (f1 + f2) * (0.5 * c.dt)).renormalized();
     m.x[l] = mn.x;
     m.y[l] = mn.y;
@@ -311,8 +317,8 @@ LlgBatchRun<W> heun_batch_dispatch(const BatchCoeffs& c, const Vec3Batch<W>& m,
 template <std::size_t W>
 LlgBatchRun<W> LlgSolver::integrate_thermal_batch(
     const std::array<Vec3, W>& m0, double duration, double dt, double i_amps,
-    mss::util::Rng* lane_rngs, std::uint32_t active_mask,
-    bool stop_on_switch) const {
+    mss::util::Rng* lane_rngs, std::uint32_t active_mask, bool stop_on_switch,
+    const std::array<double, W>* stt_scale) const {
   if (dt <= 0.0 || duration <= 0.0) {
     throw std::invalid_argument(
         "LlgSolver::integrate_thermal_batch: bad time step");
@@ -345,7 +351,14 @@ LlgBatchRun<W> LlgSolver::integrate_thermal_batch(
   c.c_prec = -gp * inv;
   c.stt = i_amps != 0.0;
   const double aj = c.stt ? params_.stt_field(i_amps) : 0.0;
-  c.c_stt = -gp * inv * aj;
+  const double c_stt_base = -gp * inv * aj;
+  // Lane-uniform runs broadcast the base coefficient (multiplying by a
+  // per-lane scale of exactly 1.0 would also be bit-identical, but the
+  // broadcast keeps the no-scale path untouched).
+  for (std::size_t l = 0; l < 8; ++l) {
+    c.c_stt[l] =
+        (stt_scale && l < W) ? c_stt_base * (*stt_scale)[l] : c_stt_base;
+  }
   c.pol = params_.polarizer;
   c.hax = 0.0 + params_.h_applied.x;
   c.hay = 0.0 + params_.h_applied.y;
@@ -358,13 +371,13 @@ LlgBatchRun<W> LlgSolver::integrate_thermal_batch(
 
 template LlgBatchRun<1> LlgSolver::integrate_thermal_batch<1>(
     const std::array<Vec3, 1>&, double, double, double, mss::util::Rng*,
-    std::uint32_t, bool) const;
+    std::uint32_t, bool, const std::array<double, 1>*) const;
 template LlgBatchRun<4> LlgSolver::integrate_thermal_batch<4>(
     const std::array<Vec3, 4>&, double, double, double, mss::util::Rng*,
-    std::uint32_t, bool) const;
+    std::uint32_t, bool, const std::array<double, 4>*) const;
 template LlgBatchRun<8> LlgSolver::integrate_thermal_batch<8>(
     const std::array<Vec3, 8>&, double, double, double, mss::util::Rng*,
-    std::uint32_t, bool) const;
+    std::uint32_t, bool, const std::array<double, 8>*) const;
 
 namespace {
 
@@ -397,17 +410,18 @@ LlgEnsembleResult ensemble_run(const LlgSolver& solver, std::size_t n,
       const std::size_t lanes = std::min(W, end - b);
       std::array<mss::util::Rng, W> lane_rngs;
       std::array<Vec3, W> starts;
-      starts.fill(Vec3{0.0, 0.0, 1.0});
+      starts.fill(options.thermal_start ? Vec3{0.0, 0.0, 1.0} : m0);
       std::uint32_t mask = 0;
       for (std::size_t l = 0; l < lanes; ++l) {
         // Lane l steps trajectory b + l on that trajectory's own stream;
         // the start draw comes from the same stream, exactly like the
         // scalar reference.
         lane_rngs[l] = streams[b + l];
-        starts[l] = options.thermal_start
-                        ? solver.thermal_initial_state(start_up, lane_rngs[l])
-                        : m0;
         mask |= 1u << l;
+      }
+      if (options.thermal_start) {
+        solver.thermal_initial_state_batch<W>(start_up, lane_rngs.data(),
+                                              mask, starts);
       }
       const auto run = solver.integrate_thermal_batch<W>(
           starts, duration, dt, i_amps, lane_rngs.data(), mask,
@@ -495,6 +509,288 @@ Vec3 LlgSolver::thermal_initial_state(bool up, mss::util::Rng& rng) const {
   const double sign = up ? 1.0 : -1.0;
   Vec3 m{tx, ty, sign * std::sqrt(std::max(0.0, 1.0 - tx * tx - ty * ty))};
   return m.normalized();
+}
+
+template <std::size_t W>
+void LlgSolver::thermal_initial_state_batch(
+    bool up, mss::util::Rng* lane_rngs, std::uint32_t active_mask,
+    std::array<Vec3, W>& starts, double tilt_nu,
+    std::array<double, W>* log_weight) const {
+  static_assert(W <= 8, "active_mask packs at most 8 lanes");
+  const std::uint32_t active = active_mask & ((1u << W) - 1u);
+  const double delta = params_.delta();
+  const double s = std::sqrt(1.0 / (2.0 * std::max(delta, 1.0)));
+  // At nu == 1 this is s / 1.0 == s exactly, so the untilted batch draw is
+  // the scalar `thermal_initial_state` expression bit-for-bit.
+  const double s_tilt = s / std::sqrt(tilt_nu);
+  // Component-major masked fill: lane l consumes z_x then z_y from its own
+  // stream — the scalar per-trajectory draw order.
+  mss::util::Batch<double, W> zx{};
+  mss::util::Batch<double, W> zy{};
+  mss::util::Rng::normal_batch<W>(lane_rngs, zx.lane, active);
+  mss::util::Rng::normal_batch<W>(lane_rngs, zy.lane, active);
+  const double sign = up ? 1.0 : -1.0;
+  for (std::size_t l = 0; l < W; ++l) {
+    if (!(active >> l & 1u)) continue;
+    const double tx = s_tilt * zx[l];
+    const double ty = s_tilt * zy[l];
+    Vec3 m{tx, ty, sign * std::sqrt(std::max(0.0, 1.0 - tx * tx - ty * ty))};
+    starts[l] = m.normalized();
+    if (log_weight != nullptr) {
+      // Exact log likelihood ratio of target N(0, s^2) over proposal
+      // N(0, s^2/nu), two i.i.d. components, written in the standardized
+      // proposal draws: log w = -ln nu + (z_x^2 + z_y^2)(nu - 1)/(2 nu).
+      (*log_weight)[l] =
+          -std::log(tilt_nu) +
+          (zx[l] * zx[l] + zy[l] * zy[l]) * (tilt_nu - 1.0) / (2.0 * tilt_nu);
+    }
+  }
+}
+
+template void LlgSolver::thermal_initial_state_batch<1>(
+    bool, mss::util::Rng*, std::uint32_t, std::array<Vec3, 1>&, double,
+    std::array<double, 1>*) const;
+template void LlgSolver::thermal_initial_state_batch<4>(
+    bool, mss::util::Rng*, std::uint32_t, std::array<Vec3, 4>&, double,
+    std::array<double, 4>*) const;
+template void LlgSolver::thermal_initial_state_batch<8>(
+    bool, mss::util::Rng*, std::uint32_t, std::array<Vec3, 8>&, double,
+    std::array<double, 8>*) const;
+
+namespace {
+
+/// Per-chunk accumulators of the importance-sampled WER estimator. The
+/// per-trajectory scores v_k = w_k * 1[failure] stream into `score` in
+/// strictly ascending trajectory order; `w_sum`/`w_sq_sum` run over the
+/// failure subset only (the ESS numerator/denominator).
+struct WerChunkStats {
+  mss::util::RunningStats score;
+  double w_sum = 0.0;
+  double w_sq_sum = 0.0;
+  std::size_t failures = 0;
+};
+
+template <std::size_t W>
+WerChunkStats wer_run(const LlgSolver& solver, std::size_t n, const Vec3& m0,
+                      double duration, double dt, double i_amps, double nu,
+                      double ic_sigma, double ic_shift, double ic_sd,
+                      double ic_lambda,
+                      const std::vector<mss::util::Rng>& streams,
+                      std::size_t threads) {
+  const double log_ic_sd = std::log(ic_sd);
+  const double log_lambda = ic_lambda > 0.0 ? std::log(ic_lambda) : 0.0;
+  const double log_1m_lambda =
+      ic_lambda > 0.0 ? std::log1p(-ic_lambda) : 0.0;
+  const bool start_up = m0.z >= 0.0;
+  const auto map_chunk = [&](std::size_t, std::size_t begin,
+                             std::size_t end) {
+    WerChunkStats st;
+    for (std::size_t b = begin; b < end; b += W) {
+      const std::size_t lanes = std::min(W, end - b);
+      std::array<mss::util::Rng, W> lane_rngs;
+      std::array<Vec3, W> starts;
+      std::array<double, W> log_w{};
+      starts.fill(Vec3{0.0, 0.0, 1.0});
+      std::uint32_t mask = 0;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        lane_rngs[l] = streams[b + l];
+        mask |= 1u << l;
+      }
+      // Per-trajectory switching-threshold deviate (draw #1 of the lane
+      // stream, before the cone draws): lane l runs against a device with
+      // Ic scaled by (1 + sigma z_l), folded into the kernel as the
+      // reciprocal spin-torque scale. The proposal mean shift `ic_shift`
+      // contributes its exact 1-D likelihood ratio to the lane weight.
+      std::array<double, W> stt_scale;
+      stt_scale.fill(1.0);
+      if (ic_sigma > 0.0) {
+        // With a defensive mixture each lane draws (component selector,
+        // standard deviate) in that fixed order from its own substream —
+        // exactly one uniform and one normal per lane either way, so the
+        // consumption pattern (and hence the determinism contract) does
+        // not depend on which component a lane lands in.
+        std::array<double, W> sel{};
+        if (ic_lambda > 0.0) {
+          for (std::size_t l = 0; l < lanes; ++l) {
+            sel[l] = lane_rngs[l].uniform();
+          }
+        }
+        mss::util::Batch<double, W> u{};
+        mss::util::Rng::normal_batch<W>(lane_rngs.data(), u.lane, mask);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const bool defensive = ic_lambda > 0.0 && sel[l] < ic_lambda;
+          const double z = defensive ? u[l] : ic_shift + ic_sd * u[l];
+          // Guard the unphysical Ic <= 0 left tail (>= 10 sigma for any
+          // realistic spread); the clamp keeps the weight exact because it
+          // only touches the dynamics, not the density ratio.
+          const double ic_mult = std::max(0.05, 1.0 + ic_sigma * z);
+          stt_scale[l] = 1.0 / ic_mult;
+          if (ic_lambda <= 0.0) {
+            // log[ phi(z) / (phi(u) / tau) ] at z = shift + tau u. At
+            // shift = 0, tau = 1 this is exactly 0: z == u bit-for-bit,
+            // the two quadratics cancel and log(1) == 0 (the brute-force
+            // path).
+            log_w[l] = log_ic_sd + 0.5 * u[l] * u[l] - 0.5 * z * z;
+          } else {
+            // Mixture density: log w = log phi(z) - log[lambda phi(z) +
+            // (1 - lambda) q(z)] = -logsumexp(log lambda,
+            // log(1 - lambda) + log(q/phi)), with log(q(z) / phi(z)) =
+            // z^2/2 - ((z - shift)/sd)^2/2 - log sd. Far below the
+            // proposal the second term vanishes and w -> 1 / lambda: the
+            // defensive cap.
+            const double ut = (z - ic_shift) / ic_sd;
+            const double log_ratio =
+                0.5 * z * z - 0.5 * ut * ut - log_ic_sd + log_1m_lambda;
+            const double m = std::max(log_lambda, log_ratio);
+            log_w[l] = -(m + std::log(std::exp(log_lambda - m) +
+                                      std::exp(log_ratio - m)));
+          }
+        }
+      }
+      std::array<double, W> log_w_cone{};
+      solver.thermal_initial_state_batch<W>(start_up, lane_rngs.data(), mask,
+                                            starts, nu, &log_w_cone);
+      for (std::size_t l = 0; l < lanes; ++l) log_w[l] += log_w_cone[l];
+      // Only the switch outcome matters: freeze switched lanes early.
+      const auto run = solver.integrate_thermal_batch<W>(
+          starts, duration, dt, i_amps, lane_rngs.data(), mask,
+          /*stop_on_switch=*/true,
+          ic_sigma > 0.0 ? &stt_scale : nullptr);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (run.switched[l]) {
+          st.score.add(0.0);
+        } else {
+          const double w = std::exp(log_w[l]);
+          st.score.add(w);
+          st.w_sum += w;
+          st.w_sq_sum += w * w;
+          ++st.failures;
+        }
+      }
+    }
+    return st;
+  };
+  // Fixed chunk-order combine, exactly like ensemble_run: RunningStats
+  // merges are order-sensitive at the bit level, and the fixed order is
+  // what makes the estimate thread-count invariant.
+  const auto combine = [](WerChunkStats acc, WerChunkStats part) {
+    acc.score.merge(part.score);
+    acc.w_sum += part.w_sum;
+    acc.w_sq_sum += part.w_sq_sum;
+    acc.failures += part.failures;
+    return acc;
+  };
+  return mss::util::ThreadPool::reduce_with<WerChunkStats>(
+      threads, n, kChunkTrajectories, WerChunkStats{}, map_chunk, combine);
+}
+
+} // namespace
+
+LlgWerEstimate LlgSolver::estimate_wer(std::size_t n_trajectories,
+                                       const Vec3& m0, double duration,
+                                       double dt, double i_amps,
+                                       mss::util::Rng& rng,
+                                       const LlgWerOptions& options) const {
+  if (dt <= 0.0 || duration <= 0.0) {
+    throw std::invalid_argument("LlgSolver::estimate_wer: bad time step");
+  }
+  const std::size_t width = options.width == 0 ? kDefaultWidth : options.width;
+  if (width != 1 && width != 4 && width != 8) {
+    throw std::invalid_argument(
+        "LlgSolver::estimate_wer: width must be 0, 1, 4 or 8");
+  }
+  if (options.tilt < 0.0 || (options.tilt > 0.0 && options.tilt < 1.0)) {
+    throw std::invalid_argument(
+        "LlgSolver::estimate_wer: tilt must be 0 (auto) or >= 1");
+  }
+  if (options.ic_sigma_rel < 0.0) {
+    throw std::invalid_argument(
+        "LlgSolver::estimate_wer: ic_sigma_rel must be >= 0");
+  }
+  if (options.ic_shift != 0.0 &&
+      (options.ic_sigma_rel <= 0.0 || options.ic_shift < 0.0)) {
+    throw std::invalid_argument(
+        "LlgSolver::estimate_wer: ic_shift needs ic_sigma_rel > 0 and must "
+        "be >= 0");
+  }
+  if (options.ic_proposal_sd != 0.0 &&
+      (options.ic_sigma_rel <= 0.0 || options.ic_proposal_sd < 1.0)) {
+    throw std::invalid_argument(
+        "LlgSolver::estimate_wer: ic_proposal_sd needs ic_sigma_rel > 0 and "
+        "must be >= 1");
+  }
+  if (options.ic_defensive >= 1.0 ||
+      (options.ic_defensive >= 0.0 && options.ic_defensive > 0.0 &&
+       options.ic_sigma_rel <= 0.0)) {
+    throw std::invalid_argument(
+        "LlgSolver::estimate_wer: ic_defensive must be < 1 and needs "
+        "ic_sigma_rel > 0");
+  }
+  const double ic_sd =
+      options.ic_proposal_sd >= 1.0 ? options.ic_proposal_sd : 1.0;
+  // Defensive fraction: auto keeps a 20% untilted floor under any shifted
+  // proposal, and exactly 0 (pure brute force, exact-zero weights) when
+  // the proposal is untilted.
+  const double ic_lambda =
+      options.ic_defensive >= 0.0
+          ? options.ic_defensive
+          : (options.ic_sigma_rel > 0.0 && options.ic_shift > 0.0 ? 0.2
+                                                                  : 0.0);
+
+  // Resolve the tilt once, before any dispatch, so every (threads, width)
+  // cell of the matrix runs the identical nu.
+  double nu = 1.0;
+  if (options.tilt >= 1.0) {
+    nu = options.tilt;
+  } else if (options.p_hint > 0.0 && options.p_hint < 1.0) {
+    // Even-odds failure under the small-angle cone model: with theta^2
+    // exponential, P_tilted(fail) = 1 - (1 - p)^nu = 1/2 at
+    // nu = ln 2 / (-ln(1 - p)). Clamped: beyond a modest tilt the
+    // in-pulse noise dominates the effective cone angle and narrower
+    // proposals stop buying variance (see LlgWerOptions::p_hint).
+    nu = std::min(16.0,
+                  std::max(1.0, std::log(2.0) / -std::log1p(-options.p_hint)));
+  }
+
+  LlgWerEstimate out;
+  out.tilt = nu;
+  out.ic_shift = options.ic_sigma_rel > 0.0 ? options.ic_shift : 0.0;
+  out.ic_defensive = options.ic_sigma_rel > 0.0 ? ic_lambda : 0.0;
+  out.n_trajectories = n_trajectories;
+  if (n_trajectories == 0) return out;
+
+  // Per-trajectory substreams — the same keying as
+  // integrate_thermal_ensemble, for the same reason.
+  const std::vector<mss::util::Rng> streams =
+      rng.jump_substreams(n_trajectories);
+
+  WerChunkStats total;
+  switch (width) {
+    case 1:
+      total = wer_run<1>(*this, n_trajectories, m0, duration, dt, i_amps, nu,
+                         options.ic_sigma_rel, out.ic_shift, ic_sd, ic_lambda,
+                         streams, options.threads);
+      break;
+    case 4:
+      total = wer_run<4>(*this, n_trajectories, m0, duration, dt, i_amps, nu,
+                         options.ic_sigma_rel, out.ic_shift, ic_sd, ic_lambda,
+                         streams, options.threads);
+      break;
+    default:
+      total = wer_run<8>(*this, n_trajectories, m0, duration, dt, i_amps, nu,
+                         options.ic_sigma_rel, out.ic_shift, ic_sd, ic_lambda,
+                         streams, options.threads);
+      break;
+  }
+
+  out.n_failures = total.failures;
+  out.wer = total.score.mean();
+  // Variance of the mean of the i.i.d. scores v_k.
+  out.variance = total.score.variance() / double(n_trajectories);
+  out.rel_error = out.wer > 0.0 ? std::sqrt(out.variance) / out.wer : 0.0;
+  out.ess = total.w_sq_sum > 0.0 ? total.w_sum * total.w_sum / total.w_sq_sum
+                                 : 0.0;
+  return out;
 }
 
 } // namespace mss::physics

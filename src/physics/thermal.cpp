@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "math/special.hpp"
 #include "physics/constants.hpp"
 #include "util/math.hpp"
 
@@ -90,6 +91,59 @@ double pulse_width_for_wer(const SwitchingParams& p, double i_over_ic0,
   }
   // Activated regime: t = tau * ln(1/target).
   return neel_brown_tau(p, i_over_ic0) * (-log_target);
+}
+
+double log_write_error_rate_ic_spread(const SwitchingParams& p,
+                                      double i_over_ic0, double t_pulse,
+                                      double sigma_rel) {
+  if (sigma_rel <= 0.0) {
+    throw std::invalid_argument(
+        "log_write_error_rate_ic_spread: sigma_rel must be > 0");
+  }
+  if (t_pulse <= 0.0) return 0.0; // WER = 1
+  // A device fails when the pulse can neither switch it precessionally
+  // (drive below its spread critical current) nor thermally: the residual
+  // barrier Delta (1 - i/Ic)^2 must survive ln(t/tau0) attempt decades.
+  // The sharp-threshold boundary in the z = (Ic/Ic0 - 1)/sigma deviate is
+  // i/Ic(z) < 1 - sqrt(ln(t/tau0)/Delta), i.e. the quadratic-barrier
+  // softening (the linear 1 - ln(t/tau0)/Delta form is only the
+  // Delta -> infinity limit and underestimates the softening badly at
+  // memory-grade Delta ~ 40-80).
+  const double soft_sq = std::log(t_pulse / p.tau0) / p.delta;
+  if (soft_sq >= 1.0) return 0.0; // even the nominal device loses data
+  const double soften = soft_sq > 0.0 ? std::sqrt(soft_sq) : 0.0;
+  const double z = (i_over_ic0 / (1.0 - soften) - 1.0) / sigma_rel;
+  // WER = Q(z) = erfc(z / sqrt 2) / 2 in the log domain.
+  return mss::math::log_erfc(z / std::sqrt(2.0)) - M_LN2;
+}
+
+double write_error_rate_ic_spread(const SwitchingParams& p, double i_over_ic0,
+                                  double t_pulse, double sigma_rel) {
+  const double lw =
+      log_write_error_rate_ic_spread(p, i_over_ic0, t_pulse, sigma_rel);
+  return std::clamp(std::exp(lw), kMinP, 1.0);
+}
+
+double pulse_width_for_wer_ic_spread(const SwitchingParams& p,
+                                     double i_over_ic0, double target_wer,
+                                     double sigma_rel) {
+  if (target_wer <= 0.0 || target_wer >= 1.0) {
+    throw std::invalid_argument(
+        "pulse_width_for_wer_ic_spread: target in (0,1)");
+  }
+  if (sigma_rel <= 0.0) {
+    throw std::invalid_argument(
+        "pulse_width_for_wer_ic_spread: sigma_rel must be > 0");
+  }
+  // Q(z*) = target  <=>  z* = -inv_normal(target); invert the
+  // quadratic-barrier boundary z(t) = (i / (1 - sqrt(ln(t/tau0)/Delta))
+  // - 1) / sigma for t: soften = 1 - i / (1 + sigma z*), t = tau0
+  // exp(Delta soften^2). When the drive already exceeds the z*-device's
+  // critical current (soften <= 0) one attempt time suffices.
+  const double z_star = -mss::math::inv_normal(target_wer);
+  const double soften = 1.0 - i_over_ic0 / (1.0 + sigma_rel * z_star);
+  if (soften <= 0.0) return p.tau0;
+  return p.tau0 * std::exp(p.delta * soften * soften);
 }
 
 double nominal_switching_time(const SwitchingParams& p, double i_over_ic0) {

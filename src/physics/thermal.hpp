@@ -60,6 +60,43 @@ struct SwitchingParams {
 [[nodiscard]] double pulse_width_for_wer(const SwitchingParams& p,
                                          double i_over_ic0, double target_wer);
 
+/// log(WER) of a write pulse under a Gaussian switching-current spread —
+/// the deep-tail closed form of the rare-event engine. Device-to-device
+/// plus cycle-to-cycle variation spreads the critical current as
+/// Ic = Ic0 (1 + sigma_rel z), z ~ N(0, 1). A device fails when the pulse
+/// can neither switch it precessionally (I < Ic) nor thermally — the
+/// residual barrier Delta (1 - I/Ic)^2 must survive ln(t/tau0) attempt
+/// decades — giving the sharp-threshold boundary
+///   WER(t) = Q(z_b) = erfc(z_b / sqrt 2) / 2,
+///   z_b = (I/Ic0 / (1 - sqrt(ln(t/tau0) / Delta)) - 1) / sigma_rel.
+/// The boundary is sharp in z but the activated escape smears it by a few
+/// z-units at memory-grade Delta, so the closed form carries the tail
+/// *slope* while the IS-MC estimator measures the offset (the overlap
+/// validation protocol in src/physics/README.md). Evaluated through
+/// math::log_erfc, so it stays accurate to WER ~ 1e-300 and beyond — the
+/// regime brute-force MC can never reach.
+[[nodiscard]] double log_write_error_rate_ic_spread(const SwitchingParams& p,
+                                                    double i_over_ic0,
+                                                    double t_pulse,
+                                                    double sigma_rel);
+
+/// exp of `log_write_error_rate_ic_spread`, clamped to [1e-300, 1].
+[[nodiscard]] double write_error_rate_ic_spread(const SwitchingParams& p,
+                                                double i_over_ic0,
+                                                double t_pulse,
+                                                double sigma_rel);
+
+/// Closed-form inverse of the ic-spread tail: the pulse width that reaches
+/// `target_wer` at the given overdrive,
+///   t = tau0 * exp(Delta * (1 - i_over_ic0 / (1 + sigma_rel z*))^2),
+///   z* = -inv_normal(target_wer),
+/// exact (no iteration). Returns tau0 when the drive already exceeds the
+/// z*-device's critical current (no thermal assist needed).
+[[nodiscard]] double pulse_width_for_wer_ic_spread(const SwitchingParams& p,
+                                                   double i_over_ic0,
+                                                   double target_wer,
+                                                   double sigma_rel);
+
 /// Deterministic (median-angle) switching delay in the precessional regime:
 /// t_sw = tau_d * ln(pi / (2 theta0)) with theta0 = sqrt(1/(2 Delta)).
 /// This is the "nominal" switching time an NVSim-style estimator uses.

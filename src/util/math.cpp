@@ -3,78 +3,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "math/special.hpp"
+
 namespace mss::util {
 
 double normal_cdf(double x) {
-  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+  return 0.5 * math::erfc(-x / std::sqrt(2.0));
 }
 
-double normal_sf(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
-
-namespace {
-
-// Acklam's rational approximation to the inverse normal CDF.
-double acklam_quantile(double p) {
-  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
-                                 -2.759285104469687e+02, 1.383577518672690e+02,
-                                 -3.066479806614716e+01, 2.506628277459239e+00};
-  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
-                                 -1.556989798598866e+02, 6.680131188771972e+01,
-                                 -1.328068155288572e+01};
-  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
-                                 -2.400758277161838e+00, -2.549732539343734e+00,
-                                 4.374664141464968e+00,  2.938163982698783e+00};
-  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
-                                 2.445134137142996e+00, 3.754408661907416e+00};
-  constexpr double p_low = 0.02425;
-
-  if (p < p_low) {
-    const double q = std::sqrt(-2.0 * std::log(p));
-    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
-            c[5]) /
-           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
-  }
-  if (p <= 1.0 - p_low) {
-    const double q = p - 0.5;
-    const double r = q * q;
-    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
-            a[5]) *
-           q /
-           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
-  }
-  const double q = std::sqrt(-2.0 * std::log1p(-p));
-  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
-           c[5]) /
-         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
-}
-
-} // namespace
+double normal_sf(double x) { return 0.5 * math::erfc(x / std::sqrt(2.0)); }
 
 double normal_quantile(double p) {
   if (!(p > 0.0) || !(p < 1.0)) {
     throw std::invalid_argument("normal_quantile: p must be in (0,1)");
   }
-  double x = acklam_quantile(p);
-  // One Halley refinement step. The residual is evaluated with the
-  // tail-accurate CDF, so the refinement holds deep into the tails.
-  const double e = (p < 0.5 ? normal_cdf(x) - p : -(normal_sf(x) - (1.0 - p)));
-  const double pdf =
-      std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
-  if (pdf > 0.0) {
-    const double u = e / pdf;
-    x = x - u / (1.0 + 0.5 * x * u);
-  }
-  return x;
+  return math::inv_normal(p);
 }
 
 double normal_isf(double q) {
   if (!(q > 0.0) || !(q < 1.0)) {
     throw std::invalid_argument("normal_isf: q must be in (0,1)");
   }
-  if (q >= 0.5) return -normal_quantile(q) * 0.0 + normal_quantile(1.0 - q);
-  // Solve Q(x) = q. Start from Acklam on the lower tail and refine with
+  if (q >= 0.5) return normal_quantile(1.0 - q);
+  // Solve Q(x) = q. Start from the probit on the lower tail and refine with
   // Newton in the log domain (stable because log Q is nearly quadratic).
-  double x = -acklam_quantile(q); // Q(x)=q  <=>  Phi(-x)=q
+  double x = -math::inv_normal(q); // Q(x)=q  <=>  Phi(-x)=q
   for (int i = 0; i < 40; ++i) {
     const double sf = normal_sf(x);
     if (sf <= 0.0) break;
@@ -98,8 +51,8 @@ double log1mexp(double x) {
 
 double log_binomial(unsigned n, unsigned k) {
   if (k > n) throw std::invalid_argument("log_binomial: k > n");
-  return std::lgamma(double(n) + 1.0) - std::lgamma(double(k) + 1.0) -
-         std::lgamma(double(n - k) + 1.0);
+  return math::lgamma(double(n) + 1.0) - math::lgamma(double(k) + 1.0) -
+         math::lgamma(double(n - k) + 1.0);
 }
 
 double log_binomial_sf(unsigned n, unsigned t, double log_p) {

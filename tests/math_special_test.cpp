@@ -1,0 +1,162 @@
+// Golden-value tests for src/math/special — the analytic deep-tail layer.
+//
+// References are mpmath (40+ significant digits), rounded to 20 digits.
+// Tolerances follow the accuracy contract in src/math/special.hpp: ~2e-15
+// relative for erf/erfc, ~1e-15 for erfcx, ~1e-14 for lgamma and the
+// incomplete gammas, |error| < 1e-12 absolute for inv_normal.
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "math/special.hpp"
+
+namespace {
+
+using mss::math::erf;
+using mss::math::erfc;
+using mss::math::erfcx;
+using mss::math::gamma_p;
+using mss::math::gamma_q;
+using mss::math::inv_normal;
+using mss::math::lgamma;
+using mss::math::log_erfc;
+
+void expect_rel(double got, double want, double rel_tol) {
+  EXPECT_NEAR(got, want, std::abs(want) * rel_tol)
+      << "got " << got << " want " << want;
+}
+
+TEST(MathSpecialTest, ErfGoldenValues) {
+  EXPECT_EQ(erf(0.0), 0.0);
+  expect_rel(erf(0.1), 0.1124629160182848984, 4e-15);
+  expect_rel(erf(0.5), 0.52049987781304653768, 4e-15);
+  expect_rel(erf(1.0), 0.84270079294971486934, 4e-15);
+  expect_rel(erf(2.0), 0.99532226501895273416, 4e-15);
+  expect_rel(erf(3.5), 0.99999925690162765859, 4e-15);
+  // Odd symmetry, exactly: erf(-x) = -erf(x).
+  expect_rel(erf(-1.25), -0.92290012825645823014, 4e-15);
+  EXPECT_EQ(erf(-2.0), -erf(2.0));
+  EXPECT_EQ(erf(40.0), 1.0);
+}
+
+TEST(MathSpecialTest, ErfcKeepsRelativeAccuracyIntoTheTail) {
+  // The whole point of a dedicated erfc: 1 - erf(5) would be ~1e-12 with
+  // absolute error 1e-16 (4 good digits); direct erfc keeps ~15.
+  expect_rel(erfc(0.5), 0.47950012218695346232, 4e-15);
+  expect_rel(erfc(2.0), 0.0046777349810472658379, 4e-15);
+  expect_rel(erfc(5.0), 1.5374597944280348502e-12, 4e-15);
+  expect_rel(erfc(10.0), 2.088487583762544757e-45, 2e-14);
+  expect_rel(erfc(26.0), 5.6631924088561428465e-296, 4e-13);
+  expect_rel(erfc(-2.0), 1.9953222650189527342, 4e-15);
+  // Underflow edge: zero, not garbage.
+  EXPECT_EQ(erfc(27.5), 0.0);
+}
+
+TEST(MathSpecialTest, ErfcxStaysFiniteWhereErfcUnderflows) {
+  EXPECT_EQ(erfcx(0.0), 1.0);
+  expect_rel(erfcx(0.5), 0.61569034419292587487, 4e-15);
+  expect_rel(erfcx(1.0), 0.42758357615580700441, 4e-15);
+  expect_rel(erfcx(5.0), 0.11070463773306862637, 4e-15);
+  expect_rel(erfcx(50.0), 0.0112815362653237725, 4e-15);
+  // Far past the erfc underflow edge the scaled form is still accurate
+  // and asymptotically 1 / (x sqrt(pi)).
+  expect_rel(erfcx(1e4), 5.6418958072680841152e-5, 4e-15);
+  expect_rel(erfcx(1e8), 5.6418958354775625874e-9, 4e-15);
+  EXPECT_TRUE(std::isfinite(erfcx(1e154)));
+}
+
+TEST(MathSpecialTest, LogErfcGoldenValues) {
+  EXPECT_EQ(log_erfc(0.0), 0.0);
+  expect_rel(log_erfc(-5.0), 0.69314718055917657952, 4e-15);
+  expect_rel(log_erfc(-1.0), 0.61123231767807049464, 4e-15);
+  expect_rel(log_erfc(1.0), -1.8496055099332482486, 4e-15);
+  // Right tail: -x^2 + log(erfcx(x)), finite long after erfc is 0.
+  expect_rel(log_erfc(10.0), -102.87988902484488857, 4e-15);
+  expect_rel(log_erfc(40.0), -1604.2615566532735557, 4e-15);
+  expect_rel(log_erfc(200.0), -40005.870694809082136, 4e-15);
+  EXPECT_TRUE(std::isfinite(log_erfc(1e154)));
+  EXPECT_LT(log_erfc(1e154), -1e307);
+}
+
+TEST(MathSpecialTest, LgammaGoldenValuesAndDomain) {
+  expect_rel(lgamma(0.5), 0.57236494292470008707, 2e-14);
+  EXPECT_NEAR(lgamma(1.0), 0.0, 1e-14);
+  expect_rel(lgamma(1.5), -0.12078223763524522235, 2e-14);
+  EXPECT_NEAR(lgamma(2.0), 0.0, 1e-14);
+  expect_rel(lgamma(10.0), 12.801827480081469611, 2e-14);
+  expect_rel(lgamma(100.5), 361.43554046777762156, 2e-14);
+  expect_rel(lgamma(1e6), 12815504.56914761166, 2e-14);
+  EXPECT_THROW(lgamma(0.0), std::domain_error);
+  EXPECT_THROW(lgamma(-2.5), std::domain_error);
+}
+
+TEST(MathSpecialTest, IncompleteGammaGoldenValues) {
+  // Identity with the error function: P(1/2, x) = erf(sqrt(x)).
+  expect_rel(gamma_p(0.5, 0.25), 0.52049987781304653768, 2e-14);
+  expect_rel(gamma_q(0.5, 0.25), 0.47950012218695346232, 2e-14);
+  // Exponential special case: P(1, x) = 1 - exp(-x).
+  expect_rel(gamma_p(1.0, 1.0), 0.6321205588285576784, 2e-14);
+  expect_rel(gamma_q(1.0, 1.0), 0.3678794411714423216, 2e-14);
+  // Series branch (x < a + 1) and continued-fraction branch (x > a + 1).
+  expect_rel(gamma_p(2.5, 1.0), 0.15085496391539036377, 2e-14);
+  expect_rel(gamma_q(2.5, 8.0), 0.0068440739224204309991, 2e-14);
+  expect_rel(gamma_p(10.0, 3.0), 0.0011024881301154797421, 2e-14);
+  expect_rel(gamma_q(10.0, 20.0), 0.0049954123083075871662, 2e-14);
+  // Large-a centre, where naive series would lose digits.
+  expect_rel(gamma_p(100.0, 100.0), 0.51329879827914866486, 2e-13);
+  expect_rel(gamma_q(100.0, 100.0), 0.48670120172085133514, 2e-13);
+}
+
+TEST(MathSpecialTest, IncompleteGammaEdgesAndComplementarity) {
+  EXPECT_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_EQ(gamma_q(3.0, 0.0), 1.0);
+  for (double a : {0.5, 2.5, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0, 120.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 4e-14)
+          << "a=" << a << " x=" << x;
+      EXPECT_GE(gamma_p(a, x), 0.0);
+      EXPECT_LE(gamma_p(a, x), 1.0);
+    }
+  }
+  // Monotone in x.
+  EXPECT_LT(gamma_p(4.0, 2.0), gamma_p(4.0, 3.0));
+  EXPECT_THROW(gamma_p(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(gamma_p(2.0, -1.0), std::domain_error);
+}
+
+TEST(MathSpecialTest, InvNormalGoldenValues) {
+  EXPECT_EQ(inv_normal(0.5), 0.0);
+  EXPECT_NEAR(inv_normal(0.025), -1.9599639845400542355, 1e-12);
+  EXPECT_NEAR(inv_normal(0.8413447460685429), 1.0, 1e-12);
+  EXPECT_NEAR(inv_normal(1e-12), -7.0344838253011319298, 1e-12);
+  EXPECT_NEAR(inv_normal(1e-14), -7.6506280929352688164, 1e-12);
+  // Deep left tail, far below anything a double CDF can represent the
+  // complement of: relative accuracy is what matters out here.
+  expect_rel(inv_normal(1e-300), -37.047096299361199237, 1e-13);
+  // Near p = 1 the quantile is condition-limited: dp/dx = phi(6.36) ~
+  // 7.6e-10, so the ~1e-16 representation error of the double 1 - 1e-10
+  // alone moves x by ~1e-7. Test to that intrinsic bound, not the
+  // well-conditioned-tail contract.
+  EXPECT_NEAR(inv_normal(1.0 - 1e-10), 6.3613409024040562047, 2e-7);
+  // Symmetry: Phi^{-1}(1 - p) = -Phi^{-1}(p) to ~the contract accuracy.
+  EXPECT_NEAR(inv_normal(0.975), -inv_normal(0.025), 1e-12);
+  EXPECT_THROW(inv_normal(0.0), std::domain_error);
+  EXPECT_THROW(inv_normal(1.0), std::domain_error);
+  EXPECT_THROW(inv_normal(-0.1), std::domain_error);
+}
+
+TEST(MathSpecialTest, InvNormalRoundTripsThroughErfc) {
+  // Phi(x) = erfc(-x / sqrt(2)) / 2; the inverse must round-trip to the
+  // contract accuracy across 300 orders of magnitude of tail depth.
+  for (double log10p : {-1.0, -3.0, -6.0, -12.0, -30.0, -100.0, -250.0}) {
+    const double p = std::pow(10.0, log10p);
+    const double x = inv_normal(p);
+    const double back = 0.5 * erfc(-x / std::sqrt(2.0));
+    expect_rel(back, p, 1e-10);
+  }
+}
+
+}  // namespace

@@ -21,6 +21,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +35,8 @@
 #include "magpie/workload.hpp"
 #include "nvsim/optimizer.hpp"
 #include "physics/llg.hpp"
+#include "server/executor.hpp"
+#include "server/registry.hpp"
 #include "spice/elements.hpp"
 #include "spice/engine.hpp"
 #include "spice/sparse.hpp"
@@ -556,6 +560,56 @@ BENCHMARK(BM_WerImportanceSampledDeepTail)
     ->ArgName("wer")
     ->Arg(13)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Persistent result-cache rerun cost (the mss-server warm-restart path):
+// cache:0 evaluates every point cold and appends it (per-iteration seed
+// bump defeats the memo), cache:1 reruns a pre-seeded sweep where every
+// row is served from the cache. The warm/cold real_time ratio is the
+// speedup a restarted server sees on resubmitted jobs; warm must stay far
+// below cold (the /cache: family in scripts/bench_diff.py tracks both).
+void BM_SweepCachedRerun(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const auto exp = mss::server::demo_mc_tail_experiment();
+  mss::sweep::ParamSpace space;
+  space
+      .cross(mss::sweep::Axis::list("samples",
+                                    std::vector<std::int64_t>{20000}))
+      .cross(mss::sweep::Axis::linear("threshold", 0.5, 3.0, 16));
+  mss::server::ExecOptions opt;
+  opt.threads = 1; // serial: the cache path, not pool dispatch, is timed
+  opt.stripe_chunks = 4;
+  const std::string path = warm ? "bench_sweep_cache_warm.mssc"
+                                : "bench_sweep_cache_cold.mssc";
+  std::remove(path.c_str());
+  {
+    mss::server::ResultCache cache(path);
+    if (warm) {
+      (void)mss::server::run_cached(exp, space, opt, &cache, nullptr,
+                                    nullptr);
+    }
+    std::uint64_t cold_seed = opt.seed;
+    for (auto _ : state) {
+      if (!warm) opt.seed = ++cold_seed; // fresh identity: all misses
+      mss::sweep::RunStats stats;
+      std::size_t rows_seen = 0;
+      (void)mss::server::run_cached(
+          exp, space, opt, &cache, nullptr,
+          [&](const mss::sweep::RunStats&,
+              const std::vector<std::vector<mss::sweep::Value>>&,
+              std::size_t end) { rows_seen = end; },
+          &stats);
+      benchmark::DoNotOptimize(rows_seen);
+      benchmark::DoNotOptimize(stats.cache_hits);
+    }
+    state.SetItemsProcessed(state.iterations() * space.size());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SweepCachedRerun)
+    ->ArgName("cache")
+    ->Arg(0)
+    ->Arg(1)
     ->UseRealTime();
 
 void BM_NormalIsfDeepTail(benchmark::State& state) {

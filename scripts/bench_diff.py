@@ -2,14 +2,15 @@
 """Diff two google-benchmark JSON snapshots and fail on regressions.
 
     scripts/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
-                          [--families /dim: /threads: /width: /rows:]
+                          [--families /dim: /threads: /width: /rows: /cache:]
                           [--min-speedup SLOW FAST RATIO]
                           [--max-ratio A B RATIO]
 
 Compares `real_time` of every benchmark present in both snapshots whose
 name contains one of the family markers (default: the /dim:N, /threads:N,
-/width:N, /rows:N and /wer: families — matrix-dimension, thread-count,
-SIMD-batch-width, array-row and write-error-rate scaling respectively).
+/width:N, /rows:N, /wer:N and /cache:N families — matrix-dimension,
+thread-count, SIMD-batch-width, array-row, write-error-rate and
+persistent-result-cache scaling respectively).
 
 Benchmark names are canonicalised before any matching: google-benchmark
 appends *run options* to the name (`/min_time:2.000`, `/real_time`,
@@ -107,7 +108,7 @@ def main(argv=None):
                     help="max allowed relative real_time growth (default 0.25)")
     ap.add_argument("--families", nargs="*",
                     default=["/dim:", "/threads:", "/width:", "/rows:",
-                             "/wer:"],
+                             "/wer:", "/cache:"],
                     help="benchmark-name substrings to compare")
     ap.add_argument("--min-speedup", nargs=3, action="append", default=[],
                     metavar=("SLOW", "FAST", "RATIO"),

@@ -55,5 +55,13 @@ ARGS=(--benchmark_format=json
 if [[ -n "${FILTER}" ]]; then
   ARGS+=("--benchmark_filter=${FILTER}")
 fi
-./build/bench_perf_micro "${ARGS[@]}" > "${OUT}"
+# Write to a temp file and rename only on success: a benchmark run that
+# dies mid-way (OOM, ^C, bad filter) must not leave a truncated — or
+# worse, stale-looking — BENCH_<rev>.json behind for bench_diff.py to
+# compare against.
+TMP="${OUT}.tmp"
+trap 'rm -f "${TMP}"' EXIT
+./build/bench_perf_micro "${ARGS[@]}" > "${TMP}"
+mv "${TMP}" "${OUT}"
+trap - EXIT
 echo "${OUT}"

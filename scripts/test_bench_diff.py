@@ -90,6 +90,24 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(rc, 1)
         self.assertIn("family '/width:'", err.getvalue())
 
+    def test_cache_family_is_guarded_by_default(self):
+        # The persistent-result-cache family (warm vs cold sweep rerun) is
+        # part of the default gate: a /cache:N regression fails without any
+        # --families override, and a vanished family fails loudly.
+        base = self.write("base.json", snapshot({
+            "BM_SweepCachedRerun/cache:1/real_time": 100.0}))
+        cur = self.write("cur.json", snapshot({
+            "BM_SweepCachedRerun/cache:1/real_time": 300.0}))
+        self.assertEqual(self.run_diff(base, cur), 1)
+        cur2 = self.write("cur2.json", snapshot({"BM_Other": 1.0}))
+        import contextlib
+        import io
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            rc = self.run_diff(base, cur2)
+        self.assertEqual(rc, 1)
+        self.assertIn("family '/cache:'", err.getvalue())
+
     def test_min_speedup_gate(self):
         # The intra-snapshot ratio assertion: width:4 must be >= RATIO
         # faster than width:1 in the *current* snapshot (hardware-neutral,

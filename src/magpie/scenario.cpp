@@ -1,6 +1,8 @@
 #include "magpie/scenario.hpp"
 
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "nvsim/optimizer.hpp"
@@ -224,6 +226,57 @@ sweep::ResultTable normalized_table(const std::vector<ScenarioRun>& runs) {
                m.exec_time_ratio, m.energy_ratio, m.edp_ratio});
   }
   return t;
+}
+
+sweep::RowExperiment servable_scenario_sweep() {
+  sweep::RowExperiment exp;
+  exp.id = "magpie.scenario";
+  exp.version = 1;
+  exp.description =
+      "MAGPIE kernel x scenario sweep: exec time / energy / EDP per PARSEC "
+      "kernel on the four L2 scenarios";
+  exp.columns = {"kernel", "scenario", "exec_time", "energy", "edp"};
+  exp.default_space = [] { return scenario_space(parsec_kernels()); };
+
+  // The cross-layer platform derivation (NVSim organisation + VAET
+  // margins) is expensive and identical for every point, so it is shared
+  // across all jobs of the experiment and run once, on first demand —
+  // never at registration, which must stay cheap for `mss-client
+  // experiments`.
+  struct Shared {
+    std::once_flag once;
+    std::vector<KernelParams> kernels;
+    std::vector<SystemConfig> systems;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  exp.evaluate = [shared](const sweep::Point& p,
+                          util::Rng&) -> std::vector<sweep::Value> {
+    std::call_once(shared->once, [&] {
+      shared->kernels = parsec_kernels();
+      const core::Pdk pdk = core::Pdk::mss45();
+      const SweepOptions defaults;
+      for (const Scenario s : all_scenarios()) {
+        shared->systems.push_back(
+            make_scenario(s, pdk, defaults.iso_area_factor));
+      }
+    });
+    const auto ki = std::size_t(p.integer("kernel_index"));
+    const auto si = std::size_t(p.integer("scenario_index"));
+    if (ki >= shared->kernels.size() || si >= shared->systems.size() ||
+        shared->kernels[ki].name != p.str("kernel")) {
+      throw std::invalid_argument(
+          "magpie.scenario: point does not name a PARSEC kernel x scenario");
+    }
+    const SweepOptions defaults;
+    const ActivityReport activity =
+        simulate(shared->systems[si], shared->kernels[ki], defaults.seed);
+    const EnergyBreakdown energy =
+        energy_rollup(shared->systems[si], activity);
+    return {shared->kernels[ki].name, std::string(to_string(all_scenarios()[si])),
+            activity.exec_time, energy.total(), energy.edp()};
+  };
+  return exp;
 }
 
 NormalizedMetrics normalize(const ScenarioRun& reference,

@@ -28,6 +28,7 @@
 #include "magpie/workload.hpp"
 #include "sweep/param_space.hpp"
 #include "sweep/result_table.hpp"
+#include "sweep/servable.hpp"
 
 namespace mss::magpie {
 
@@ -108,6 +109,17 @@ struct NormalizedMetrics {
 /// Normalises a scenario run against the reference run.
 [[nodiscard]] NormalizedMetrics normalize(const ScenarioRun& reference,
                                           const ScenarioRun& scenario);
+
+/// The kernel x scenario sweep as a servable experiment
+/// ("magpie.scenario") for the job server: columns kernel, scenario,
+/// exec_time, energy, edp. Points carry the scenario_space() axes
+/// (kernel_index/kernel zipped with scenario_index/scenario); the default
+/// space is scenario_space(parsec_kernels()). The four scenario platforms
+/// are derived lazily on first evaluation (the NVSim/VAET cross-layer
+/// hand-off, shared across every job using the experiment) and the
+/// workload seed is fixed at SweepOptions{}.seed, so a row depends only on
+/// its point — matching run_scenario_sweep() with default options.
+[[nodiscard]] sweep::RowExperiment servable_scenario_sweep();
 
 /// Fig. 12 table from a sweep's results: one row per kernel x STT
 /// scenario with exec-time / energy / EDP ratios against that kernel's

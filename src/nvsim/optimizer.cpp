@@ -137,4 +137,64 @@ std::optional<Candidate> optimize(const core::Pdk& pdk,
   return all.front();
 }
 
+namespace {
+
+/// Optional integer coordinate with a default — the servable experiment
+/// lets clients add capacity/word axes without requiring them.
+std::int64_t integer_or(const sweep::Point& p, const std::string& name,
+                        std::int64_t fallback) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p.name(i) == name) return p.integer(name);
+  }
+  return fallback;
+}
+
+} // namespace
+
+sweep::RowExperiment servable_explore() {
+  sweep::RowExperiment exp;
+  exp.id = "nvsim.explore";
+  exp.version = 1;
+  exp.description =
+      "NVSim organisation exploration: analytic array estimates per "
+      "(mats, rows) split at 45 nm";
+  exp.columns = {"mats",         "rows",        "cols",
+                 "read_latency", "write_latency", "read_energy",
+                 "write_energy", "leakage",     "area",
+                 "read_edp"};
+  exp.default_space = [] {
+    return organisation_space(std::size_t(1) << 20, 512, {1, 2, 4});
+  };
+  exp.evaluate = [](const sweep::Point& p,
+                    util::Rng&) -> std::vector<sweep::Value> {
+    static const core::Pdk pdk = core::Pdk::mss45();
+    const auto capacity =
+        std::size_t(integer_or(p, "capacity_bits", std::int64_t(1) << 20));
+    const auto word = std::size_t(integer_or(p, "word_bits", 512));
+    const auto m = std::size_t(p.integer("mats"));
+    const auto rows = std::size_t(p.integer("rows"));
+    if (m == 0 || rows == 0 || capacity % m != 0 || word % m != 0 ||
+        (capacity / m) % rows != 0) {
+      throw std::invalid_argument("nvsim.explore: infeasible organisation");
+    }
+    ArrayOrg org;
+    org.rows = rows;
+    org.cols = capacity / m / rows;
+    org.word_bits = word / m;
+    const ArrayModel model(pdk, org);
+    const MemoryEstimate e = scale_to_mats(model.estimate(), m);
+    return {std::int64_t(m),
+            std::int64_t(rows),
+            std::int64_t(org.cols),
+            e.read_latency,
+            e.write_latency,
+            e.read_energy,
+            e.write_energy,
+            e.leakage_power,
+            e.area,
+            e.read_latency * e.read_energy};
+  };
+  return exp;
+}
+
 } // namespace mss::nvsim

@@ -16,6 +16,7 @@
 
 #include "nvsim/array_model.hpp"
 #include "sweep/param_space.hpp"
+#include "sweep/servable.hpp"
 
 namespace mss::nvsim {
 
@@ -92,5 +93,14 @@ struct Candidate {
 [[nodiscard]] std::optional<Candidate> optimize(
     const core::Pdk& pdk, std::size_t capacity_bits, std::size_t word_bits,
     Goal goal, const ExploreOptions& options = {});
+
+/// The exploration as a servable experiment ("nvsim.explore") for the job
+/// server: one row per organisation with columns mats, rows, cols,
+/// read_latency, write_latency, read_energy, write_energy, leakage, area,
+/// read_edp. Points carry ("mats", "rows") as in organisation_space();
+/// optional integer axes "capacity_bits" and "word_bits" override the
+/// defaults (1 Mib, 512) per point, so a client can sweep capacities too.
+/// Analytic estimates at Pdk::mss45(); deterministic (the RNG is unused).
+[[nodiscard]] sweep::RowExperiment servable_explore();
 
 } // namespace mss::nvsim

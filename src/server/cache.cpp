@@ -1,0 +1,190 @@
+#include "server/cache.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "server/wire.hpp"
+
+namespace mss::server {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'S', 'C'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;
+// A row record beyond this is certainly garbage from a torn/overwritten
+// file, not data (rows are a handful of cells).
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+std::uint32_t read_u32le(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+} // namespace
+
+std::string cache_key(const std::string& experiment_id,
+                      std::uint32_t experiment_version, std::uint64_t seed,
+                      const std::string& point_key) {
+  std::string key;
+  key.reserve(experiment_id.size() + point_key.size() + 32);
+  key += experiment_id;
+  key += '\x1f';
+  key += std::to_string(experiment_version);
+  key += '\x1f';
+  key += std::to_string(seed);
+  key += '\x1f';
+  key += point_key;
+  return key;
+}
+
+ResultCache::ResultCache(const std::string& path) : path_(path) {
+  if (path_.empty()) return; // in-memory only
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_errno("ResultCache: open '" + path_ + "'");
+  replay();
+}
+
+ResultCache::~ResultCache() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ResultCache::replay() {
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) throw_errno("ResultCache: fstat");
+  const auto file_size = std::size_t(st.st_size);
+
+  if (file_size == 0) {
+    // Fresh file: write the header now so every non-empty cache file is
+    // self-identifying.
+    char header[kHeaderBytes];
+    std::memcpy(header, kMagic, 4);
+    for (int i = 0; i < 4; ++i) header[4 + i] = char(kFormatVersion >> (8 * i));
+    if (::write(fd_, header, sizeof header) != ssize_t(sizeof header)) {
+      throw_errno("ResultCache: write header");
+    }
+    return;
+  }
+
+  std::string file(file_size, '\0');
+  std::size_t got = 0;
+  while (got < file_size) {
+    const ssize_t r = ::pread(fd_, file.data() + got, file_size - got,
+                              off_t(got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("ResultCache: pread");
+    }
+    if (r == 0) break; // truncated under us; replay what we have
+    got += std::size_t(r);
+  }
+  file.resize(got);
+
+  if (file.size() < kHeaderBytes || std::memcmp(file.data(), kMagic, 4) != 0) {
+    throw std::runtime_error("ResultCache: '" + path_ +
+                             "' is not a cache file (bad magic)");
+  }
+  const std::uint32_t version =
+      read_u32le(reinterpret_cast<const unsigned char*>(file.data()) + 4);
+  if (version != kFormatVersion) {
+    throw std::runtime_error("ResultCache: '" + path_ +
+                             "' has format version " + std::to_string(version) +
+                             ", expected " + std::to_string(kFormatVersion));
+  }
+
+  std::size_t pos = kHeaderBytes;
+  std::size_t good_end = pos;
+  while (pos + 8 <= file.size()) {
+    const auto* base = reinterpret_cast<const unsigned char*>(file.data());
+    const std::uint32_t len = read_u32le(base + pos);
+    const std::uint32_t want_crc = read_u32le(base + pos + 4);
+    if (len == 0 || len > kMaxRecordBytes || pos + 8 + len > file.size()) {
+      break; // torn tail (or garbage length): stop before it
+    }
+    const char* payload = file.data() + pos + 8;
+    if (crc32(payload, len) != want_crc) break; // corrupt record
+    try {
+      const std::string body(payload, len);
+      WireReader r(body);
+      std::string key = r.str();
+      const std::uint32_t n_cells = r.u32();
+      std::vector<sweep::Value> row;
+      row.reserve(n_cells);
+      for (std::uint32_t c = 0; c < n_cells; ++c) row.push_back(r.value());
+      if (r.remaining() != 0) break; // trailing junk inside the record
+      map_.emplace(std::move(key), std::move(row)); // first write wins
+    } catch (const WireError&) {
+      break; // structurally invalid despite CRC: treat as tail corruption
+    }
+    pos += 8 + std::size_t(len);
+    good_end = pos;
+  }
+  replayed_ = map_.size();
+  discarded_ = file.size() - good_end;
+
+  if (good_end < file.size()) {
+    // Truncate the torn tail so the next append starts a clean record.
+    if (::ftruncate(fd_, off_t(good_end)) != 0) {
+      throw_errno("ResultCache: ftruncate");
+    }
+  }
+}
+
+std::optional<std::vector<sweep::Value>> ResultCache::lookup(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::insert(const std::string& key,
+                         const std::vector<sweep::Value>& row) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (!map_.emplace(key, row).second) return; // first write wins
+
+  if (fd_ < 0) return;
+  WireWriter w;
+  w.str(key);
+  w.u32(std::uint32_t(row.size()));
+  for (const auto& cell : row) w.value(cell);
+  const std::string payload = w.take();
+
+  std::string record;
+  record.reserve(8 + payload.size());
+  const auto len = std::uint32_t(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) record += char(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) record += char(crc >> (8 * i));
+  record += payload;
+
+  // One write(2) per record (O_APPEND): a crash tears at most the tail
+  // record, which replay() detects by CRC and truncates away.
+  std::size_t off = 0;
+  while (off < record.size()) {
+    const ssize_t n = ::write(fd_, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("ResultCache: append");
+    }
+    off += std::size_t(n);
+  }
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return map_.size();
+}
+
+} // namespace mss::server

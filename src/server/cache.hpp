@@ -1,0 +1,85 @@
+// Persistent cross-run result cache: an append-only on-disk store of
+// (experiment id, experiment version, seed, Point::key()) -> ResultTable
+// row, with CRC-guarded records and crash-safe replay.
+//
+// This is what turns the job server's sweeps resumable: every evaluated
+// row is appended before it is streamed, so a SIGKILLed server replays the
+// file on restart and a resubmitted job serves the already-computed points
+// from the cache — bit-identical to an in-memory memo hit, because rows
+// are stored as raw typed cells (doubles as IEEE bits, never text).
+//
+// File layout (little-endian):
+//   header  := "MSSC" | u32 format_version (1)
+//   record  := u32 payload_len | u32 crc32(payload) | payload
+//   payload := string key | u32 n_cells | value*        (wire encoding)
+//
+// Crash safety: a record is appended with one write(2); a crash can leave
+// at most one torn record at the tail. Replay verifies length bounds and
+// CRC record by record and *truncates* the file at the first bad record —
+// so the next append lands on a clean boundary instead of burying garbage
+// mid-file. CRC (not just length) guards against a torn write whose
+// length field survived.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sweep/param_space.hpp"
+
+namespace mss::server {
+
+/// Composes the full cache key. `point_key` is Point::key() — injective
+/// over coordinates — and the 0x1F unit separators cannot appear unescaped
+/// inside any component, so distinct (experiment, version, seed, point)
+/// tuples never collide.
+[[nodiscard]] std::string cache_key(const std::string& experiment_id,
+                                    std::uint32_t experiment_version,
+                                    std::uint64_t seed,
+                                    const std::string& point_key);
+
+/// The persistent row cache. Thread-safe; one instance per server.
+class ResultCache {
+ public:
+  /// Opens (creating if absent) and replays `path`. Empty path = purely
+  /// in-memory (no persistence) — the executor unit tests use this.
+  explicit ResultCache(const std::string& path);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached row, or nullopt.
+  [[nodiscard]] std::optional<std::vector<sweep::Value>> lookup(
+      const std::string& key) const;
+
+  /// Appends (key, row) to the file and the in-memory index. A key that is
+  /// already present is ignored (first write wins — the memo-hit
+  /// semantics: the first computed result is the canonical one).
+  void insert(const std::string& key, const std::vector<sweep::Value>& row);
+
+  /// Entries currently indexed.
+  [[nodiscard]] std::size_t entries() const;
+  /// Entries recovered from disk by the constructor's replay.
+  [[nodiscard]] std::size_t replayed() const { return replayed_; }
+  /// Bytes discarded from the tail during replay (torn/corrupt records).
+  [[nodiscard]] std::size_t discarded_bytes() const { return discarded_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void replay();
+
+  std::string path_;
+  int fd_ = -1; ///< O_APPEND fd; -1 when in-memory
+  mutable std::mutex m_;
+  std::unordered_map<std::string, std::vector<sweep::Value>> map_;
+  std::size_t replayed_ = 0;
+  std::size_t discarded_ = 0;
+};
+
+} // namespace mss::server

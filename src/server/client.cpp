@@ -1,0 +1,161 @@
+#include "server/client.hpp"
+
+namespace mss::server {
+
+namespace {
+
+/// Decodes a reply payload's type byte; converts Error frames into throws.
+FrameType reply_type(WireReader& r) {
+  const auto type = FrameType(r.u8());
+  if (type == FrameType::Error) {
+    const auto code = ErrorCode(r.u16());
+    throw ServerError(code, r.str());
+  }
+  return type;
+}
+
+[[noreturn]] void unexpected(FrameType type) {
+  throw WireError("unexpected reply frame type " +
+                  std::to_string(int(type)));
+}
+
+} // namespace
+
+Client::Client(const std::string& socket_path)
+    : fd_(util::unix_connect(socket_path)) {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::Hello));
+  w.u32(kProtocolVersion);
+  const std::string reply = roundtrip(w.take());
+  WireReader r(reply);
+  if (reply_type(r) != FrameType::HelloOk) unexpected(FrameType::HelloOk);
+  (void)r.u32(); // server's protocol version (== ours, it accepted)
+  server_id_ = r.str();
+}
+
+std::string Client::roundtrip(const std::string& payload) {
+  send_frame(fd_, payload);
+  auto reply = recv_frame(fd_);
+  if (!reply) throw WireError("server closed the connection mid-request");
+  return std::move(*reply);
+}
+
+JobStatus Client::parse_status_body(WireReader& r) {
+  JobStatus s;
+  s.id = r.u64();
+  s.state = JobState(r.u8());
+  s.total = r.u64();
+  s.rows_done = r.u64();
+  s.evaluated = r.u64();
+  s.cache_hits = r.u64();
+  s.memo_hits = r.u64();
+  s.error = r.str();
+  return s;
+}
+
+std::vector<ExperimentInfo> Client::experiments() {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::ListExperiments));
+  const std::string reply = roundtrip(w.take());
+  WireReader r(reply);
+  if (reply_type(r) != FrameType::ExperimentsOk) {
+    unexpected(FrameType::ExperimentsOk);
+  }
+  std::vector<ExperimentInfo> out(r.u32());
+  for (auto& info : out) {
+    info.id = r.str();
+    info.version = r.u32();
+    info.description = r.str();
+    info.default_space_size = r.u64();
+    info.columns.resize(r.u32());
+    for (auto& col : info.columns) col = r.str();
+  }
+  return out;
+}
+
+std::uint64_t Client::submit(const std::string& experiment_id,
+                             const SubmitOptions& options) {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::Submit));
+  w.str(experiment_id);
+  w.u32(options.experiment_version);
+  w.u64(options.seed);
+  w.u32(options.chunk_size);
+  w.u32(options.threads);
+  w.i32(options.priority);
+  w.u8(options.space.has_value() ? 1 : 0);
+  if (options.space) w.space(*options.space);
+  const std::string reply = roundtrip(w.take());
+  WireReader r(reply);
+  if (reply_type(r) != FrameType::Submitted) unexpected(FrameType::Submitted);
+  return r.u64();
+}
+
+JobStatus Client::status(std::uint64_t job_id) {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::Status));
+  w.u64(job_id);
+  const std::string reply = roundtrip(w.take());
+  WireReader r(reply);
+  if (reply_type(r) != FrameType::StatusOk) unexpected(FrameType::StatusOk);
+  return parse_status_body(r);
+}
+
+JobStatus Client::cancel(std::uint64_t job_id) {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::Cancel));
+  w.u64(job_id);
+  const std::string reply = roundtrip(w.take());
+  WireReader r(reply);
+  if (reply_type(r) != FrameType::StatusOk) unexpected(FrameType::StatusOk);
+  return parse_status_body(r);
+}
+
+FetchResult Client::fetch(
+    std::uint64_t job_id,
+    const std::function<void(const std::vector<sweep::Value>&)>& on_row) {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::Fetch));
+  w.u64(job_id);
+  const std::string begin = roundtrip(w.take());
+
+  std::vector<std::string> columns;
+  {
+    WireReader r(begin);
+    if (reply_type(r) != FrameType::TableBegin) {
+      unexpected(FrameType::TableBegin);
+    }
+    (void)r.u64(); // job id (echoed)
+    columns.resize(r.u32());
+    for (auto& col : columns) col = r.str();
+  }
+
+  FetchResult result{sweep::ResultTable(columns), {}};
+  while (true) {
+    auto frame = recv_frame(fd_);
+    if (!frame) throw WireError("server closed the connection mid-fetch");
+    WireReader r(*frame);
+    const FrameType type = reply_type(r);
+    if (type == FrameType::Row) {
+      std::vector<sweep::Value> row(r.u32());
+      for (auto& cell : row) cell = r.value();
+      if (on_row) on_row(row);
+      result.table.add_row(std::move(row));
+    } else if (type == FrameType::TableEnd) {
+      result.status = parse_status_body(r);
+      return result;
+    } else {
+      unexpected(type);
+    }
+  }
+}
+
+void Client::shutdown_server() {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::Shutdown));
+  const std::string reply = roundtrip(w.take());
+  WireReader r(reply);
+  if (reply_type(r) != FrameType::ShutdownOk) unexpected(FrameType::ShutdownOk);
+}
+
+} // namespace mss::server

@@ -1,0 +1,102 @@
+// Client side of the mss-server protocol: a blocking, single-connection
+// handle that speaks the wire format of src/server/wire.hpp. One Client =
+// one socket; requests are serialized on it (the protocol is strictly
+// request/reply, with Fetch replies streamed). Server-reported failures
+// surface as ServerError carrying the wire ErrorCode; transport failures
+// surface as std::system_error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/server.hpp" // JobState, JobStatus
+#include "server/wire.hpp"
+#include "sweep/param_space.hpp"
+#include "sweep/result_table.hpp"
+#include "util/socket.hpp"
+
+namespace mss::server {
+
+/// An Error frame, rethrown client-side.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// One registry entry, as listed by the server.
+struct ExperimentInfo {
+  std::string id;
+  std::uint32_t version = 1;
+  std::string description;
+  std::uint64_t default_space_size = 0;
+  std::vector<std::string> columns;
+};
+
+/// Submit parameters (defaults mirror the wire's "server decides" zeros).
+struct SubmitOptions {
+  std::uint64_t seed = 0x5EEDC0DEull;
+  std::uint32_t experiment_version = 0; ///< 0 = whatever is registered
+  std::uint32_t chunk_size = 0;         ///< 0 = server default
+  std::uint32_t threads = 0;            ///< 0 = server default
+  std::int32_t priority = 0;            ///< higher runs first
+  /// Space to sweep; nullopt = the experiment's default space.
+  std::optional<sweep::ParamSpace> space;
+};
+
+/// A completed fetch: the streamed table plus the job's final status.
+struct FetchResult {
+  sweep::ResultTable table;
+  JobStatus status;
+};
+
+class Client {
+ public:
+  /// Connects and performs the Hello handshake; throws ServerError on a
+  /// version refusal, std::system_error when nobody listens.
+  explicit Client(const std::string& socket_path);
+
+  /// The server_id string from the handshake.
+  [[nodiscard]] const std::string& server_id() const { return server_id_; }
+
+  [[nodiscard]] std::vector<ExperimentInfo> experiments();
+
+  /// Submits a job; returns its id immediately (execution is async).
+  [[nodiscard]] std::uint64_t submit(const std::string& experiment_id,
+                                     const SubmitOptions& options = {});
+
+  [[nodiscard]] JobStatus status(std::uint64_t job_id);
+
+  /// Requests cancellation (cooperative — the job may still finish its
+  /// current stripe) and returns the status at that instant.
+  JobStatus cancel(std::uint64_t job_id);
+
+  /// Streams the job's rows (blocking until the job reaches a terminal
+  /// state). `on_row` (optional) observes each row as it arrives —
+  /// incremental consumption; the returned table always holds all rows.
+  [[nodiscard]] FetchResult fetch(
+      std::uint64_t job_id,
+      const std::function<void(const std::vector<sweep::Value>&)>& on_row =
+          nullptr);
+
+  /// Asks the server to stop; returns once ShutdownOk arrives.
+  void shutdown_server();
+
+ private:
+  /// Sends `payload`, receives one reply frame; throws ServerError on an
+  /// Error frame, WireError on EOF mid-conversation.
+  std::string roundtrip(const std::string& payload);
+  static JobStatus parse_status_body(WireReader& r);
+
+  util::Fd fd_;
+  std::string server_id_;
+};
+
+} // namespace mss::server

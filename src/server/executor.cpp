@@ -1,0 +1,113 @@
+#include "server/executor.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace mss::server {
+
+ExecOutcome run_cached(const sweep::RowExperiment& exp,
+                       const sweep::ParamSpace& space, const ExecOptions& opt,
+                       ResultCache* cache, const std::atomic<bool>* cancel,
+                       const StripeFn& on_stripe, sweep::RunStats* stats) {
+  const std::size_t n = space.size();
+  const std::size_t chunk = opt.chunk_size == 0 ? 1 : opt.chunk_size;
+  const std::size_t stripe =
+      chunk * (opt.stripe_chunks == 0 ? 1 : opt.stripe_chunks);
+
+  sweep::RunStats st;
+  st.points = n;
+  std::vector<std::vector<sweep::Value>> rows(n);
+  if (n == 0) {
+    if (on_stripe) on_stripe(st, rows, 0);
+    if (stats) *stats = st;
+    return ExecOutcome::Done;
+  }
+
+  // Identical RNG keying to sweep::Runner: substream per chunk, fork per
+  // in-chunk offset.
+  util::Rng base(opt.seed);
+  const auto streams =
+      base.jump_substreams(util::ThreadPool::chunk_count(n, chunk));
+
+  // First-occurrence scan (serial, no evaluation) — memo semantics.
+  std::unordered_map<std::string, std::size_t> first_of;
+  std::vector<std::size_t> owner(n);
+  std::vector<std::string> key_of(n); // point keys of first occurrences
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string k = space.at(i).key();
+    const auto [it, inserted] = first_of.try_emplace(k, i);
+    owner[i] = it->second;
+    if (inserted) key_of[i] = std::move(k);
+  }
+
+  std::vector<std::size_t> pending; // first occurrences missing from cache
+  for (std::size_t begin = 0; begin < n; begin += stripe) {
+    if (cancel && cancel->load(std::memory_order_relaxed)) {
+      if (stats) *stats = st;
+      return ExecOutcome::Cancelled;
+    }
+    const std::size_t end = std::min(n, begin + stripe);
+
+    pending.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      if (owner[i] != i) continue; // duplicate: copied below
+      if (cache) {
+        const std::string ck =
+            cache_key(exp.id, exp.version, opt.seed, key_of[i]);
+        if (auto hit = cache->lookup(ck)) {
+          rows[i] = std::move(*hit);
+          ++st.cache_hits;
+          continue;
+        }
+      }
+      pending.push_back(i);
+    }
+
+    // Evaluate the stripe's misses in parallel. The RNG of index i is a
+    // pure function of (seed, chunk, i) — never of which indices happen to
+    // be cached — so warm and cold runs draw identically.
+    util::ThreadPool::run_with(
+        opt.threads, pending.size(), 1,
+        [&](std::size_t, std::size_t b, std::size_t e) {
+          for (std::size_t k = b; k < e; ++k) {
+            const std::size_t i = pending[k];
+            util::Rng rng = streams[i / chunk].fork(std::uint64_t(i % chunk));
+            std::vector<sweep::Value> row = exp.evaluate(space.at(i), rng);
+            if (row.size() != exp.columns.size()) {
+              throw std::logic_error(
+                  "RowExperiment '" + exp.id + "' produced " +
+                  std::to_string(row.size()) + " cells for " +
+                  std::to_string(exp.columns.size()) + " columns");
+            }
+            rows[i] = std::move(row);
+          }
+        });
+    st.evaluated += pending.size();
+
+    // Append to the cache serially in index order: the file layout is then
+    // a deterministic function of the job, not of thread scheduling.
+    if (cache) {
+      for (const std::size_t i : pending) {
+        cache->insert(cache_key(exp.id, exp.version, opt.seed, key_of[i]),
+                      rows[i]);
+      }
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      if (owner[i] != i) {
+        rows[i] = rows[owner[i]];
+        ++st.memo_hits;
+      }
+    }
+    if (on_stripe) on_stripe(st, rows, end);
+  }
+
+  if (stats) *stats = st;
+  return ExecOutcome::Done;
+}
+
+} // namespace mss::server

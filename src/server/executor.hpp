@@ -1,0 +1,64 @@
+// Cache-backed, cancellable, streaming execution of a RowExperiment over a
+// ParamSpace — the server-side twin of sweep::Runner::run(memoize=true).
+//
+// Determinism contract (identical to the Runner's, and tested against it
+// row-for-row): the chunk layout is a pure function of (space size,
+// chunk_size); the point at flat index i draws from jump substream i/chunk
+// forked with label i%chunk of a base stream seeded with `seed`; repeated
+// Point::key()s are evaluated once at their first occurrence. A persistent
+// cache hit substitutes the stored row for the evaluation — bit-identical
+// to an in-memory memo hit when the stored row came from a run with the
+// same (experiment id+version, seed) identity, which is exactly what the
+// cache keys on.
+//
+// Execution proceeds in *stripes* of whole chunks: per stripe, the
+// first-occurrence points missing from the cache are evaluated in parallel
+// over the shared thread pool, appended to the cache (in index order, so
+// the file layout is deterministic too), and then every row of the stripe
+// is handed to the sink in index order. Cancellation is cooperative at
+// stripe granularity: rows already streamed stay valid and cached, so a
+// cancelled job resumes from the cache like a killed one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "server/cache.hpp"
+#include "sweep/experiment.hpp" // RunStats
+#include "sweep/servable.hpp"
+
+namespace mss::server {
+
+struct ExecOptions {
+  std::uint64_t seed = 0x5EEDC0DEull;
+  /// Points per chunk (RNG keying unit, as in sweep::RunOptions).
+  std::size_t chunk_size = 1;
+  /// Thread policy: 0 = shared global pool, 1 = serial, N = pool of N.
+  std::size_t threads = 0;
+  /// Chunks per stripe — the cancellation/streaming/cache-append quantum.
+  std::size_t stripe_chunks = 8;
+};
+
+enum class ExecOutcome { Done, Cancelled };
+
+/// Called after each stripe with the stats accumulated so far and the rows
+/// completed so far ([done_begin, done_end) are new this stripe, indexed
+/// into `rows`). Return value ignored.
+using StripeFn = std::function<void(const sweep::RunStats& so_far,
+                                    const std::vector<std::vector<sweep::Value>>& rows,
+                                    std::size_t done_end)>;
+
+/// Runs `exp` over `space`. `cache` may be null (pure memo semantics);
+/// `cancel` may be null (never cancelled); `on_stripe` may be empty.
+/// Returns Cancelled when the flag was observed at a stripe boundary —
+/// `stats` then reflects the work actually done.
+ExecOutcome run_cached(const sweep::RowExperiment& exp,
+                       const sweep::ParamSpace& space, const ExecOptions& opt,
+                       ResultCache* cache, const std::atomic<bool>* cancel,
+                       const StripeFn& on_stripe,
+                       sweep::RunStats* stats = nullptr);
+
+} // namespace mss::server

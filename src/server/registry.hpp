@@ -1,0 +1,47 @@
+// The experiment registry: stable ids -> servable RowExperiments.
+//
+// A job request names an experiment by (id, version); the server never
+// executes code a client sends — clients choose *what registered
+// computation* to run and over *which ParamSpace*, the server owns the
+// evaluation. builtin() registers the cross-layer workloads the ROADMAP
+// names: the NVSim organisation exploration, the MAGPIE kernel x scenario
+// sweep, and a Monte-Carlo tail demo whose per-point cost is an axis (the
+// load generator the resumability tests and the cache bench lean on).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/servable.hpp"
+
+namespace mss::server {
+
+class Registry {
+ public:
+  /// Registers an experiment; throws std::invalid_argument on a duplicate
+  /// id or an experiment with no evaluate/columns.
+  void add(sweep::RowExperiment exp);
+
+  /// nullptr when unknown.
+  [[nodiscard]] const sweep::RowExperiment* find(const std::string& id) const;
+
+  [[nodiscard]] const std::vector<sweep::RowExperiment>& all() const {
+    return exps_;
+  }
+
+  /// The served set: nvsim.explore, magpie.scenario, demo.mc_tail.
+  [[nodiscard]] static Registry builtin();
+
+ private:
+  std::vector<sweep::RowExperiment> exps_;
+};
+
+/// Monte-Carlo demo experiment: per point, draw `samples` standard normals
+/// and estimate P(X > threshold). Stochastic (exercises the RNG-identity
+/// path of the cache end to end) with per-point cost directly set by the
+/// "samples" axis — the controllable load the kill/restart test needs.
+/// Axes: samples (int), threshold (real); extra axes (e.g. "rep") are
+/// legal and simply distinguish cache keys.
+[[nodiscard]] sweep::RowExperiment demo_mc_tail_experiment();
+
+} // namespace mss::server

@@ -1,0 +1,422 @@
+#include "server/server.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "server/wire.hpp"
+
+namespace mss::server {
+
+namespace {
+
+std::string error_payload(ErrorCode code, const std::string& message) {
+  WireWriter w;
+  w.u8(std::uint8_t(FrameType::Error));
+  w.u16(std::uint16_t(code));
+  w.str(message);
+  return w.take();
+}
+
+void write_status_body(WireWriter& w, const JobStatus& s) {
+  w.u64(s.id);
+  w.u8(std::uint8_t(s.state));
+  w.u64(s.total);
+  w.u64(s.rows_done);
+  w.u64(s.evaluated);
+  w.u64(s.cache_hits);
+  w.u64(s.memo_hits);
+  w.str(s.error);
+}
+
+} // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+Server::Server(ServerOptions options, Registry registry)
+    : options_(std::move(options)),
+      registry_(std::move(registry)),
+      cache_(options_.cache_path),
+      listener_(options_.socket_path) {}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+void Server::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  executor_thread_ = std::thread([this] { executor_loop(); });
+}
+
+void Server::request_stop() {
+  if (stopping_.exchange(true)) return;
+  queue_.close();
+  listener_.shutdown();
+  {
+    std::lock_guard<std::mutex> lk(jobs_m_);
+    for (auto& [id, job] : jobs_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> jlk(job->m);
+      if (job->state == JobState::Queued) job->state = JobState::Cancelled;
+      job->cv.notify_all();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (auto& [fd, th] : conns_) fd.shutdown_rw();
+  }
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (executor_thread_.joinable()) executor_thread_.join();
+  // The accept thread (sole writer of conns_) is joined: safe to iterate
+  // unlocked — and we must not hold conns_m_ here, a handler serving a
+  // Shutdown frame takes it inside request_stop().
+  for (auto& [fd, th] : conns_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+void Server::accept_loop() {
+  while (true) {
+    util::Fd client = listener_.accept();
+    if (!client.valid()) return;
+    std::lock_guard<std::mutex> lk(conns_m_);
+    conns_.emplace_back();
+    auto& conn = conns_.back();
+    conn.first = std::move(client);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      // request_stop() may already have swept conns_ — shut this one down
+      // ourselves (under the same mutex, so exactly one of us does it
+      // last) and let the handler exit on the dead socket.
+      conn.first.shutdown_rw();
+    }
+    conn.second = std::thread([this, &conn] { handle_connection(conn.first); });
+  }
+}
+
+void Server::executor_loop() {
+  while (auto id = queue_.pop()) {
+    if (auto job = find_job(*id)) run_job(*job);
+  }
+}
+
+std::shared_ptr<Server::Job> Server::find_job(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(jobs_m_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+JobStatus Server::snapshot_locked(const Job& job) {
+  JobStatus s;
+  s.id = job.id;
+  s.state = job.state;
+  s.total = job.space.size();
+  s.rows_done = job.rows.size();
+  s.evaluated = job.stats.evaluated;
+  s.cache_hits = job.stats.cache_hits;
+  s.memo_hits = job.stats.memo_hits;
+  s.error = job.error;
+  return s;
+}
+
+void Server::run_job(Job& job) {
+  {
+    std::lock_guard<std::mutex> lk(job.m);
+    if (job.state != JobState::Queued) return; // cancelled while queued
+    job.state = JobState::Running;
+    job.cv.notify_all();
+  }
+  try {
+    sweep::RunStats stats;
+    const ExecOutcome outcome = run_cached(
+        *job.exp, job.space, job.opts, &cache_, &job.cancel,
+        [&](const sweep::RunStats& so_far,
+            const std::vector<std::vector<sweep::Value>>& rows,
+            std::size_t done_end) {
+          std::lock_guard<std::mutex> lk(job.m);
+          for (std::size_t i = job.rows.size(); i < done_end; ++i) {
+            job.rows.push_back(rows[i]);
+          }
+          job.stats = so_far;
+          job.cv.notify_all();
+        },
+        &stats);
+    std::lock_guard<std::mutex> lk(job.m);
+    job.stats = stats;
+    job.state =
+        outcome == ExecOutcome::Done ? JobState::Done : JobState::Cancelled;
+    job.cv.notify_all();
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lk(job.m);
+    job.error = e.what();
+    job.state = JobState::Failed;
+    job.cv.notify_all();
+  }
+}
+
+void Server::handle_connection(util::Fd& fd) {
+  try {
+    const auto hello = recv_frame(fd);
+    if (!hello) return;
+    {
+      WireReader r(*hello);
+      if (FrameType(r.u8()) != FrameType::Hello) {
+        send_frame(fd, error_payload(ErrorCode::BadFrame,
+                                     "expected Hello handshake"));
+        return;
+      }
+      const std::uint32_t version = r.u32();
+      if (version != kProtocolVersion) {
+        send_frame(fd, error_payload(
+                           ErrorCode::BadVersion,
+                           "protocol version " + std::to_string(version) +
+                               " unsupported, server speaks " +
+                               std::to_string(kProtocolVersion)));
+        return;
+      }
+      WireWriter w;
+      w.u8(std::uint8_t(FrameType::HelloOk));
+      w.u32(kProtocolVersion);
+      w.str(options_.server_id);
+      send_frame(fd, w.take());
+    }
+    while (auto payload = recv_frame(fd)) {
+      if (!handle_frame(fd, *payload)) break;
+    }
+  } catch (const WireError&) {
+    // Oversized/garbled framing: best-effort error, then drop the peer.
+    try {
+      send_frame(fd, error_payload(ErrorCode::BadFrame, "malformed frame"));
+    } catch (...) {
+    }
+  } catch (const std::exception&) {
+    // Socket torn down (peer died or server stopping) — nothing to reply to.
+  }
+  fd.shutdown_rw();
+}
+
+bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
+  WireReader r(payload);
+  FrameType type;
+  try {
+    type = FrameType(r.u8());
+  } catch (const WireError&) {
+    send_frame(fd, error_payload(ErrorCode::BadFrame, "empty frame"));
+    return true;
+  }
+
+  try {
+    switch (type) {
+      case FrameType::Submit: {
+        const std::string exp_id = r.str();
+        const std::uint32_t version = r.u32();
+        const std::uint64_t seed = r.u64();
+        const std::uint32_t chunk = r.u32();
+        const std::uint32_t threads = r.u32();
+        const std::int32_t priority = r.i32();
+        const bool has_space = r.u8() != 0;
+        sweep::ParamSpace space;
+        if (has_space) space = r.space();
+        if (r.remaining() != 0) throw WireError("trailing bytes in Submit");
+
+        const sweep::RowExperiment* exp = registry_.find(exp_id);
+        if (exp == nullptr || (version != 0 && version != exp->version)) {
+          send_frame(fd, error_payload(ErrorCode::UnknownExperiment,
+                                       "no experiment '" + exp_id +
+                                           "' at version " +
+                                           std::to_string(version)));
+          return true;
+        }
+        if (!has_space) {
+          if (!exp->default_space) {
+            send_frame(fd, error_payload(ErrorCode::Internal,
+                                         "experiment '" + exp_id +
+                                             "' has no default space"));
+            return true;
+          }
+          try {
+            space = exp->default_space();
+          } catch (const std::exception& e) {
+            send_frame(fd, error_payload(ErrorCode::Internal, e.what()));
+            return true;
+          }
+        }
+        if (stopping_.load(std::memory_order_relaxed)) {
+          send_frame(fd, error_payload(ErrorCode::ShuttingDown,
+                                       "server is shutting down"));
+          return true;
+        }
+
+        auto job = std::make_shared<Job>();
+        job->priority = priority;
+        job->exp = exp;
+        job->space = std::move(space);
+        job->opts.seed = seed;
+        job->opts.chunk_size = chunk != 0 ? chunk : options_.chunk_size;
+        job->opts.threads = threads != 0 ? threads : options_.threads;
+        job->opts.stripe_chunks = options_.stripe_chunks;
+        {
+          std::lock_guard<std::mutex> lk(jobs_m_);
+          job->id = next_job_id_++;
+          jobs_.emplace(job->id, job);
+        }
+        queue_.push(job->id, priority);
+        if (stopping_.load(std::memory_order_relaxed)) {
+          // The push may have raced queue_.close(): make sure the job
+          // cannot sit Queued forever.
+          job->cancel.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lk(job->m);
+          if (job->state == JobState::Queued) job->state = JobState::Cancelled;
+          job->cv.notify_all();
+        }
+        WireWriter w;
+        w.u8(std::uint8_t(FrameType::Submitted));
+        w.u64(job->id);
+        send_frame(fd, w.take());
+        return true;
+      }
+
+      case FrameType::Status:
+      case FrameType::Cancel: {
+        const std::uint64_t id = r.u64();
+        if (r.remaining() != 0) throw WireError("trailing bytes");
+        const auto job = find_job(id);
+        if (!job) {
+          send_frame(fd, error_payload(ErrorCode::UnknownJob,
+                                       "no job " + std::to_string(id)));
+          return true;
+        }
+        JobStatus status;
+        {
+          if (type == FrameType::Cancel) {
+            job->cancel.store(true, std::memory_order_relaxed);
+          }
+          std::lock_guard<std::mutex> lk(job->m);
+          if (type == FrameType::Cancel && job->state == JobState::Queued) {
+            job->state = JobState::Cancelled;
+            job->cv.notify_all();
+          }
+          status = snapshot_locked(*job);
+        }
+        WireWriter w;
+        w.u8(std::uint8_t(FrameType::StatusOk));
+        write_status_body(w, status);
+        send_frame(fd, w.take());
+        return true;
+      }
+
+      case FrameType::Fetch: {
+        const std::uint64_t id = r.u64();
+        if (r.remaining() != 0) throw WireError("trailing bytes in Fetch");
+        const auto job = find_job(id);
+        if (!job) {
+          send_frame(fd, error_payload(ErrorCode::UnknownJob,
+                                       "no job " + std::to_string(id)));
+          return true;
+        }
+        stream_fetch(fd, *job);
+        return true;
+      }
+
+      case FrameType::ListExperiments: {
+        if (r.remaining() != 0) throw WireError("trailing bytes");
+        WireWriter w;
+        w.u8(std::uint8_t(FrameType::ExperimentsOk));
+        const auto& exps = registry_.all();
+        w.u32(std::uint32_t(exps.size()));
+        for (const auto& exp : exps) {
+          w.str(exp.id);
+          w.u32(exp.version);
+          w.str(exp.description);
+          std::uint64_t space_size = 0;
+          if (exp.default_space) {
+            try {
+              space_size = exp.default_space().size();
+            } catch (const std::exception&) {
+              space_size = 0; // listing stays best-effort
+            }
+          }
+          w.u64(space_size);
+          w.u32(std::uint32_t(exp.columns.size()));
+          for (const auto& col : exp.columns) w.str(col);
+        }
+        send_frame(fd, w.take());
+        return true;
+      }
+
+      case FrameType::Shutdown: {
+        WireWriter w;
+        w.u8(std::uint8_t(FrameType::ShutdownOk));
+        send_frame(fd, w.take());
+        request_stop();
+        return false;
+      }
+
+      default:
+        send_frame(fd, error_payload(ErrorCode::BadFrame,
+                                     "unexpected frame type " +
+                                         std::to_string(int(type))));
+        return true;
+    }
+  } catch (const WireError& e) {
+    send_frame(fd, error_payload(ErrorCode::BadFrame, e.what()));
+    return true;
+  }
+}
+
+void Server::stream_fetch(util::Fd& fd, Job& job) {
+  {
+    WireWriter w;
+    w.u8(std::uint8_t(FrameType::TableBegin));
+    w.u64(job.id);
+    w.u32(std::uint32_t(job.exp->columns.size()));
+    for (const auto& col : job.exp->columns) w.str(col);
+    send_frame(fd, w.take());
+  }
+
+  std::size_t sent = 0;
+  std::vector<std::vector<sweep::Value>> batch;
+  while (true) {
+    bool terminal = false;
+    JobStatus final_status;
+    {
+      std::unique_lock<std::mutex> lk(job.m);
+      job.cv.wait(lk, [&] {
+        return job.rows.size() > sent || is_terminal(job.state);
+      });
+      batch.assign(job.rows.begin() + std::ptrdiff_t(sent), job.rows.end());
+      terminal = is_terminal(job.state);
+      if (terminal) final_status = snapshot_locked(job);
+    }
+    // Stream outside the job lock: a slow client must not stall the
+    // executor's stripe hand-off.
+    for (const auto& row : batch) {
+      WireWriter w;
+      w.u8(std::uint8_t(FrameType::Row));
+      w.u32(std::uint32_t(row.size()));
+      for (const auto& cell : row) w.value(cell);
+      send_frame(fd, w.take());
+    }
+    sent += batch.size();
+    if (terminal) {
+      WireWriter w;
+      w.u8(std::uint8_t(FrameType::TableEnd));
+      write_status_body(w, final_status);
+      send_frame(fd, w.take());
+      return;
+    }
+  }
+}
+
+} // namespace mss::server

@@ -1,0 +1,157 @@
+// The mss-server daemon: simulation-as-a-service over a local socket.
+//
+// One process owns the thread pool, the experiment registry and the
+// persistent result cache; clients submit serialized sweep jobs and stream
+// rows back as they complete. Threading model:
+//
+//   accept thread        — blocks in accept(); one handler thread per
+//                          connection (local service socket, small counts)
+//   executor thread      — pops job ids off a PriorityBlockingQueue and
+//                          runs them through server::run_cached (which
+//                          fans each stripe out over the shared pool)
+//   connection handlers  — parse frames, mutate jobs only under the job
+//                          mutex, block on the job cv to stream rows
+//
+// A job's lifecycle is Queued -> Running -> {Done, Cancelled, Failed}.
+// Cancellation is cooperative at stripe boundaries; every completed row is
+// already in the cache, so a cancelled (or SIGKILLed) job's work is never
+// lost — resubmitting it resumes from the cache bit-identically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/cache.hpp"
+#include "server/executor.hpp"
+#include "server/registry.hpp"
+#include "util/blocking_queue.hpp"
+#include "util/socket.hpp"
+
+namespace mss::server {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Persistent cache file; empty = in-memory only (no cross-run resume).
+  std::string cache_path;
+  /// Default thread policy for job execution (0 = shared global pool).
+  std::size_t threads = 0;
+  /// Default chunk_size when a Submit carries 0.
+  std::size_t chunk_size = 1;
+  /// Streaming/cancellation quantum, in chunks.
+  std::size_t stripe_chunks = 8;
+  /// Reported in the HelloOk handshake.
+  std::string server_id = "mss-server/1";
+};
+
+/// Wire representation of a job's state (StatusOk `state` byte).
+enum class JobState : std::uint8_t {
+  Queued = 0,
+  Running = 1,
+  Done = 2,
+  Cancelled = 3,
+  Failed = 4,
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+[[nodiscard]] inline bool is_terminal(JobState s) {
+  return s == JobState::Done || s == JobState::Cancelled ||
+         s == JobState::Failed;
+}
+
+/// Status snapshot (the StatusOk body).
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  std::uint64_t total = 0;      ///< points in the job's space
+  std::uint64_t rows_done = 0;  ///< rows completed (streamable)
+  std::uint64_t evaluated = 0;  ///< rows actually computed
+  std::uint64_t cache_hits = 0; ///< rows served by the persistent cache
+  std::uint64_t memo_hits = 0;  ///< rows copied from an in-job duplicate
+  std::string error;            ///< what() when state == Failed
+};
+
+class Server {
+ public:
+  /// Binds the socket and opens/replays the cache. Throws on either
+  /// failing. No threads run until start().
+  explicit Server(ServerOptions options, Registry registry = Registry::builtin());
+  ~Server(); ///< request_stop() + wait()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept and executor threads.
+  void start();
+  /// Stops accepting, cancels every non-terminal job, unblocks all
+  /// connection handlers. Idempotent, thread-safe, non-blocking.
+  void request_stop();
+  /// Joins every thread. Returns once the server is fully quiesced.
+  void wait();
+
+  /// True once a stop was requested (signal handler, Shutdown frame or
+  /// request_stop()) — the daemon main loop's poll.
+  [[nodiscard]] bool stopping() const {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    int priority = 0;
+    const sweep::RowExperiment* exp = nullptr; ///< into registry_ (stable)
+    sweep::ParamSpace space;
+    ExecOptions opts;
+    std::atomic<bool> cancel{false};
+
+    std::mutex m; ///< guards everything below
+    std::condition_variable cv;
+    JobState state = JobState::Queued;
+    std::vector<std::vector<sweep::Value>> rows;
+    sweep::RunStats stats;
+    std::string error;
+  };
+
+  void accept_loop();
+  void executor_loop();
+  void handle_connection(util::Fd& fd);
+  /// One request frame -> zero or more reply frames. Returns false when
+  /// the connection should end (shutdown request).
+  bool handle_frame(util::Fd& fd, const std::string& payload);
+  void run_job(Job& job);
+  void stream_fetch(util::Fd& fd, Job& job);
+
+  [[nodiscard]] std::shared_ptr<Job> find_job(std::uint64_t id);
+  [[nodiscard]] static JobStatus snapshot_locked(const Job& job);
+
+  ServerOptions options_;
+  Registry registry_;
+  ResultCache cache_;
+  util::UnixListener listener_;
+
+  util::PriorityBlockingQueue<std::uint64_t> queue_;
+  std::mutex jobs_m_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread executor_thread_;
+  std::mutex conns_m_;
+  std::list<std::pair<util::Fd, std::thread>> conns_;
+};
+
+} // namespace mss::server

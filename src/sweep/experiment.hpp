@@ -69,9 +69,11 @@ struct RunOptions {
 
 /// What a run did (memoisation accounting for tests/telemetry).
 struct RunStats {
-  std::size_t points = 0;    ///< space size
-  std::size_t evaluated = 0; ///< evaluate() calls actually made
-  std::size_t memo_hits = 0; ///< points served from a repeated key
+  std::size_t points = 0;     ///< space size
+  std::size_t evaluated = 0;  ///< evaluate() calls actually made
+  std::size_t memo_hits = 0;  ///< points served from a repeated key
+  std::size_t cache_hits = 0; ///< points served from a persistent cache
+                              ///< (server::run_cached; always 0 here)
 };
 
 /// Executes experiments over spaces. Stateless apart from its options, so

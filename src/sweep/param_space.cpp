@@ -50,12 +50,44 @@ const std::string& Point::str(const std::string& name) const {
                               "' is not a string");
 }
 
+namespace {
+
+/// Backslash-escapes the key separators so arbitrary names/strings cannot
+/// forge a coordinate boundary ("a" = "1;b=s2" must not collide with
+/// "a" = "1" x "b" = 2).
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '\\' || c == '=' || c == ';') out += '\\';
+    out += c;
+  }
+}
+
+} // namespace
+
 std::string Point::key() const {
+  // Stable injective key format (the persistent result cache depends on it
+  // — see src/sweep/README.md "Point::key() stability contract"):
+  //   key   := coord*
+  //   coord := esc(name) '=' tag text ';'
+  //   tag   := 'i' (int64, decimal) | 'd' (double, %.17g) | 's' (string)
+  // with '\', '=' and ';' backslash-escaped in names and string values.
+  // The type tag keeps int64(1) ("i1") distinct from double(1.0) ("d1");
+  // %.17g round-trips every finite double, so distinct doubles never
+  // collide. Changing any of this invalidates every on-disk cache.
   std::string out;
   for (const auto& [n, v] : coords_) {
-    out += n;
+    append_escaped(out, n);
     out += '=';
-    out += sweep::to_string(v);
+    if (std::holds_alternative<std::int64_t>(v)) {
+      out += 'i';
+      out += sweep::to_string(v);
+    } else if (std::holds_alternative<double>(v)) {
+      out += 'd';
+      out += sweep::to_string(v);
+    } else {
+      out += 's';
+      append_escaped(out, std::get<std::string>(v));
+    }
     out += ';';
   }
   return out;

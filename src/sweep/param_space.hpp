@@ -59,8 +59,13 @@ class Point {
   /// Categorical coordinate; throws std::invalid_argument when not a string.
   [[nodiscard]] const std::string& str(const std::string& name) const;
 
-  /// Canonical "name=value;..." key — pure function of the coordinates
-  /// (not the index), used to memoise repeated points.
+  /// Canonical "name=<tag>value;..." key — a pure, *injective* function of
+  /// the coordinate list (never of the index). Values carry a one-char type
+  /// tag ('i' int64, 'd' double at %.17g, 's' string) and '\', '=', ';' are
+  /// backslash-escaped in names and string values, so distinct coordinate
+  /// lists always produce distinct keys. Used to memoise repeated points
+  /// and as the identity of the persistent cross-run result cache — the
+  /// format is a stability contract (src/sweep/README.md).
   [[nodiscard]] std::string key() const;
 
  private:
@@ -126,6 +131,13 @@ class ParamSpace {
   [[nodiscard]] std::size_t size() const;
   /// Number of dimensions.
   [[nodiscard]] std::size_t dims() const { return dims_.size(); }
+  /// The composed structure itself — each entry one dimension, holding the
+  /// axis (cross) or zipped axis group advancing together. Read-only
+  /// introspection for the wire/cache serialization layer; the decode
+  /// contract stays at()/names().
+  [[nodiscard]] const std::vector<std::vector<Axis>>& dimensions() const {
+    return dims_;
+  }
   /// Coordinate names, in decode order.
   [[nodiscard]] std::vector<std::string> names() const;
   /// Decodes flat index `i` (row-major); throws std::out_of_range when

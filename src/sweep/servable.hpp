@@ -1,0 +1,45 @@
+// Servable experiments: the uniform row-typed experiment shape the job
+// server executes and caches.
+//
+// An Experiment<Result> is free to return any C++ type, which is perfect
+// in-process and useless on a wire. A RowExperiment instead evaluates a
+// Point straight to a ResultTable row (std::vector<Value>) under a fixed
+// column list — the one shape that is simultaneously streamable (the
+// server sends rows as they complete), cacheable (rows serialize to the
+// persistent store byte-for-byte) and renderable (console/CSV/JSON via
+// ResultTable). Subsystems that want to be servable (nvsim, magpie)
+// expose a make-function returning one of these; src/server/registry
+// collects them under stable ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sweep/param_space.hpp"
+#include "util/rng.hpp"
+
+namespace mss::sweep {
+
+/// A named, versioned, row-typed experiment the job server can execute.
+///
+/// `evaluate` must be pure given (point, rng) — the same determinism
+/// contract as Experiment<Result> — because the persistent cache replays
+/// rows across processes: an impure evaluation would make a warm rerun
+/// observably different from a cold one. Bump `version` whenever the
+/// evaluation (or the meaning of a column) changes; the cache keys on it,
+/// so stale rows from older code can never serve a new request.
+struct RowExperiment {
+  std::string id;               ///< stable registry id, e.g. "nvsim.explore"
+  std::uint32_t version = 1;    ///< bump on any semantic change
+  std::string description;      ///< one line for client listings
+  std::vector<std::string> columns;
+  /// The space served when a request does not carry its own (derived
+  /// lazily — deriving may itself run the cross-layer flow).
+  std::function<ParamSpace()> default_space;
+  /// One table row per point; must have columns.size() cells.
+  std::function<std::vector<Value>(const Point&, util::Rng&)> evaluate;
+};
+
+} // namespace mss::sweep

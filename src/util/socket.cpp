@@ -1,0 +1,126 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mss::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("unix socket path empty or too long: '" +
+                                path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+} // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void write_all(const Fd& fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd.get(), p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += w;
+    n -= std::size_t(w);
+  }
+}
+
+bool read_exact(const Fd& fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd.get(), p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false; // clean EOF on a frame boundary
+      throw std::system_error(std::make_error_code(std::errc::connection_reset),
+                              "recv: EOF mid-message");
+    }
+    got += std::size_t(r);
+  }
+  return true;
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  ::unlink(path.c_str()); // stale socket file from a killed server
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd.get(), 16) != 0) throw_errno("listen");
+  fd_ = std::move(fd);
+}
+
+UnixListener::~UnixListener() {
+  fd_.close();
+  ::unlink(path_.c_str());
+}
+
+Fd UnixListener::accept() {
+  for (;;) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) return Fd(client);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after shutdown(): the stop signal, not an error.
+    return Fd();
+  }
+}
+
+void UnixListener::shutdown() { fd_.shutdown_rw(); }
+
+Fd unix_connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno(("connect to '" + path + "'").c_str());
+  }
+  return fd;
+}
+
+} // namespace mss::util

@@ -1,0 +1,74 @@
+// Minimal RAII wrappers over AF_UNIX stream sockets — the local transport
+// of the mss-server job daemon. Blocking I/O only: the server dedicates a
+// thread per connection (connection counts are small — this is a local
+// service socket, not an internet listener), which keeps every send/recv
+// a straight-line call the framing layer can reason about.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mss::util {
+
+/// Owning file descriptor (close-on-destroy, move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int get() const { return fd_; }
+
+  /// shutdown(SHUT_RDWR): unblocks any thread sitting in recv/send on this
+  /// fd (the server's stop path) without racing the close.
+  void shutdown_rw();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sends exactly `n` bytes (MSG_NOSIGNAL — a disconnected peer surfaces as
+/// an error, never SIGPIPE). Throws std::system_error on failure.
+void write_all(const Fd& fd, const void* data, std::size_t n);
+
+/// Reads exactly `n` bytes. Returns false on clean EOF *before the first
+/// byte*; throws std::system_error on errors or mid-buffer EOF.
+[[nodiscard]] bool read_exact(const Fd& fd, void* data, std::size_t n);
+
+/// Listening AF_UNIX socket bound to `path` (any stale socket file is
+/// unlinked first). Throws std::system_error / std::invalid_argument
+/// (path too long for sockaddr_un).
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Blocks for the next connection. Returns an invalid Fd once the
+  /// listener was shut down (the accept loop's exit signal).
+  [[nodiscard]] Fd accept();
+
+  /// Unblocks accept() permanently (idempotent).
+  void shutdown();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Fd fd_;
+};
+
+/// Connects to a listening unix socket. Throws std::system_error when
+/// nobody listens.
+[[nodiscard]] Fd unix_connect(const std::string& path);
+
+} // namespace mss::util

@@ -1,0 +1,162 @@
+// ResultCache: bit-exact persistence, crash-safe replay (torn tails, CRC
+// corruption), first-write-wins and cache-key injectivity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "server/cache.hpp"
+
+namespace {
+
+using mss::server::cache_key;
+using mss::server::ResultCache;
+using mss::sweep::Value;
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+/// A unique temp path (file not created).
+std::string temp_path() {
+  static int counter = 0;
+  return testing::TempDir() + "mss_cache_test_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter++) + ".mssc";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+TEST(CacheKey, DistinctComponentsNeverCollide) {
+  // Every component participates.
+  EXPECT_NE(cache_key("a", 1, 0, "k"), cache_key("b", 1, 0, "k"));
+  EXPECT_NE(cache_key("a", 1, 0, "k"), cache_key("a", 2, 0, "k"));
+  EXPECT_NE(cache_key("a", 1, 0, "k"), cache_key("a", 1, 7, "k"));
+  EXPECT_NE(cache_key("a", 1, 0, "k"), cache_key("a", 1, 0, "q"));
+  // Shifting text between id and key must not collide: the separator is
+  // 0x1F, which Point::key() can never emit unescaped... and experiment
+  // ids are code constants without it.
+  EXPECT_NE(cache_key("ab", 1, 0, "c"), cache_key("a", 1, 0, "bc"));
+}
+
+TEST(ResultCache, InMemoryLookupAndFirstWriteWins) {
+  ResultCache cache(""); // no persistence
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  cache.insert("k", {Value(std::int64_t(1)), Value(2.5)});
+  cache.insert("k", {Value(std::int64_t(999))}); // ignored
+  const auto got = cache.lookup("k");
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ(std::get<std::int64_t>((*got)[0]), 1);
+  EXPECT_EQ(std::get<double>((*got)[1]), 2.5);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCache, ReopenReplaysBitExactRows) {
+  const std::string path = temp_path();
+  const std::vector<Value> tricky = {
+      Value(-0.0), Value(std::numeric_limits<double>::denorm_min()),
+      Value(std::numeric_limits<double>::infinity()),
+      Value(std::int64_t(-1)), Value(std::string("s;=\x1f\\\0end", 8))};
+  {
+    ResultCache cache(path);
+    EXPECT_EQ(cache.replayed(), 0u);
+    cache.insert("row1", tricky);
+    cache.insert("row2", {Value(std::int64_t(7))});
+  }
+  ResultCache cache(path);
+  EXPECT_EQ(cache.replayed(), 2u);
+  EXPECT_EQ(cache.discarded_bytes(), 0u);
+  const auto got = cache.lookup("row1");
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), tricky.size());
+  EXPECT_EQ(bits_of(std::get<double>((*got)[0])), bits_of(-0.0));
+  EXPECT_EQ(bits_of(std::get<double>((*got)[1])),
+            bits_of(std::numeric_limits<double>::denorm_min()));
+  EXPECT_EQ(bits_of(std::get<double>((*got)[2])),
+            bits_of(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(std::get<std::int64_t>((*got)[3]), -1);
+  EXPECT_EQ(std::get<std::string>((*got)[4]), std::string("s;=\x1f\\\0end", 8));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, TornTailIsTruncatedAndAppendableAgain) {
+  const std::string path = temp_path();
+  {
+    ResultCache cache(path);
+    cache.insert("a", {Value(1.0)});
+    cache.insert("b", {Value(2.0)});
+  }
+  const std::string intact = read_file(path);
+  // Simulate a crash mid-append: half a record's worth of garbage.
+  write_file(path, intact + std::string("\x40\x00\x00\x00\x12\x34", 6));
+  {
+    ResultCache cache(path);
+    EXPECT_EQ(cache.replayed(), 2u);
+    EXPECT_GT(cache.discarded_bytes(), 0u);
+    ASSERT_TRUE(cache.lookup("a").has_value());
+    ASSERT_TRUE(cache.lookup("b").has_value());
+    cache.insert("c", {Value(3.0)}); // appends onto the clean boundary
+  }
+  ResultCache cache(path);
+  EXPECT_EQ(cache.replayed(), 3u);
+  EXPECT_EQ(cache.discarded_bytes(), 0u);
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, CrcCorruptionDropsTheRecord) {
+  const std::string path = temp_path();
+  {
+    ResultCache cache(path);
+    cache.insert("a", {Value(1.0)});
+    cache.insert("b", {Value(2.0)});
+  }
+  std::string bytes = read_file(path);
+  bytes.back() = char(bytes.back() ^ 0x01); // flip one payload bit of "b"
+  write_file(path, bytes);
+
+  ResultCache cache(path);
+  EXPECT_EQ(cache.replayed(), 1u);
+  EXPECT_GT(cache.discarded_bytes(), 0u);
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, NonCacheFileIsRefused) {
+  const std::string path = temp_path();
+  write_file(path, "definitely not a cache file");
+  EXPECT_THROW(ResultCache cache(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, EmptyRowRoundTrips) {
+  const std::string path = temp_path();
+  {
+    ResultCache cache(path);
+    cache.insert("empty", {});
+  }
+  ResultCache cache(path);
+  const auto got = cache.lookup("empty");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+  std::remove(path.c_str());
+}
+
+} // namespace

@@ -149,6 +149,32 @@ TEST(ResultTableJson, ControlCharactersEscapedAsUnicode) {
   EXPECT_NE(json.find("\\t"), std::string::npos);
 }
 
+TEST(ResultTableJson, EveryControlCharacterIsEscaped) {
+  // U+0000 .. U+001F must never reach the output raw (RFC 8259 §7) — an
+  // embedded NUL must neither truncate the cell nor leak through.
+  sw::ResultTable t({"s"});
+  t.add_row({std::string("a\0b", 3)});      // embedded NUL
+  t.add_row({std::string("edge\x1f""end")}); // boundary control char
+  t.add_row({std::string(" space ok ")});   // 0x20 must NOT be escaped
+  const auto json = t.json();
+  EXPECT_NE(json.find("\"a\\u0000b\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge\\u001fend\""), std::string::npos);
+  EXPECT_NE(json.find("\" space ok \""), std::string::npos);
+  for (const char c : json) {
+    if (c == '\n') continue; // structural row separators, not cell data
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control char leaked into JSON";
+  }
+}
+
+TEST(ResultTableJson, ShortFormEscapesForBackspaceAndFormFeed) {
+  sw::ResultTable t({"s"});
+  t.add_row({std::string("a\bb\fc")});
+  const auto json = t.json();
+  EXPECT_NE(json.find("\\b"), std::string::npos);
+  EXPECT_NE(json.find("\\f"), std::string::npos);
+}
+
 TEST(ResultTableJson, RowObjectsKeyedByColumn) {
   sw::ResultTable t({"a", "b"});
   t.add_row({std::int64_t{1}, std::string("x")});

@@ -114,7 +114,84 @@ TEST(Point, TypedAccessorsAndKey) {
   EXPECT_THROW((void)p.number("s"), std::invalid_argument);
   EXPECT_THROW((void)p.integer("x"), std::invalid_argument);
   EXPECT_THROW((void)p.at("missing"), std::out_of_range);
-  EXPECT_EQ(p.key(), "n=7;x=2.5;s=tag;");
+  EXPECT_EQ(p.key(), "n=i7;x=d2.5;s=stag;");
+}
+
+TEST(Point, KeyIsInjectiveAcrossValueTypes) {
+  // int64 1 and double 1.0 print identically but must key differently —
+  // the persistent result cache's identity rides on this.
+  const auto ints = sw::ParamSpace().cross(
+      sw::Axis::list("v", std::vector<std::int64_t>{1}));
+  const auto reals =
+      sw::ParamSpace().cross(sw::Axis::list("v", std::vector<double>{1.0}));
+  const auto texts =
+      sw::ParamSpace().cross(sw::Axis::list("v", {std::string("1")}));
+  EXPECT_NE(ints.at(0).key(), reals.at(0).key());
+  EXPECT_NE(ints.at(0).key(), texts.at(0).key());
+  EXPECT_NE(reals.at(0).key(), texts.at(0).key());
+}
+
+TEST(Point, KeyEscapesSeparatorInjection) {
+  // A string value containing the separator characters must not collide
+  // with the coordinate structure it could otherwise forge.
+  const auto forged = sw::ParamSpace().cross(
+      sw::Axis::list("a", {std::string("1;b=s2")}));
+  const auto honest =
+      sw::ParamSpace()
+          .cross(sw::Axis::list("a", {std::string("1")}))
+          .cross(sw::Axis::list("b", {std::string("2")}));
+  EXPECT_NE(forged.at(0).key(), honest.at(0).key());
+  EXPECT_EQ(forged.at(0).key(), "a=s1\\;b\\=s2;");
+
+  // Names escape too, and backslashes stay unambiguous.
+  const auto tricky = sw::ParamSpace().cross(
+      sw::Axis::list("a=b;c", {std::string("x\\y")}));
+  EXPECT_EQ(tricky.at(0).key(), "a\\=b\\;c=sx\\\\y;");
+}
+
+TEST(Point, KeySeparatesAdjacentDoubles) {
+  const double lo = 1.0;
+  const double hi = std::nextafter(1.0, 2.0);
+  const auto a =
+      sw::ParamSpace().cross(sw::Axis::list("x", std::vector<double>{lo}));
+  const auto b =
+      sw::ParamSpace().cross(sw::Axis::list("x", std::vector<double>{hi}));
+  EXPECT_NE(a.at(0).key(), b.at(0).key()); // %.17g keeps them apart
+}
+
+TEST(Point, KeyRoundTripsThroughItsDocumentedGrammar) {
+  // Parse a key back per the contract in src/sweep/README.md:
+  //   key := coord* ; coord := esc(name) '=' tag text ';'
+  // and recover the original (name, tag, text) triples.
+  const auto space =
+      sw::ParamSpace()
+          .cross(sw::Axis::list("n;1", std::vector<std::int64_t>{-3}))
+          .cross(sw::Axis::list("x", std::vector<double>{0.5}))
+          .cross(sw::Axis::list("s", {std::string(";=\\")}));
+  const std::string key = space.at(0).key();
+
+  std::string cur;
+  std::vector<std::string> parts; // alternating name, tagged-value
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const char c = key[i];
+    if (c == '\\') {
+      ASSERT_LT(i + 1, key.size());
+      cur += key[++i];
+    } else if (c == '=' || c == ';') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  ASSERT_TRUE(cur.empty()); // key ends on ';'
+  ASSERT_EQ(parts.size(), 6u);
+  EXPECT_EQ(parts[0], "n;1");
+  EXPECT_EQ(parts[1], "i-3");
+  EXPECT_EQ(parts[2], "x");
+  EXPECT_EQ(parts[3], "d0.5");
+  EXPECT_EQ(parts[4], "s");
+  EXPECT_EQ(parts[5], "s;=\\");
 }
 
 namespace {

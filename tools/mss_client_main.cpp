@@ -1,0 +1,173 @@
+// mss-client: submit, monitor and fetch jobs on a running mss-server.
+//
+//   mss-client [--socket PATH] experiments
+//   mss-client [--socket PATH] submit EXPERIMENT [submit flags]
+//   mss-client [--socket PATH] status JOB
+//   mss-client [--socket PATH] cancel JOB
+//   mss-client [--socket PATH] fetch JOB [--format console|csv|json]
+//   mss-client [--socket PATH] run EXPERIMENT [submit flags] [--format ...]
+//   mss-client [--socket PATH] shutdown
+//
+// submit flags: --seed N --priority N --chunk N --threads N
+// `run` = submit + blocking fetch in one call.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH] COMMAND ...\n"
+      "  experiments                         list servable experiments\n"
+      "  submit EXP [--seed N] [--priority N] [--chunk N] [--threads N]\n"
+      "  status JOB                          one status snapshot\n"
+      "  cancel JOB                          cooperative cancellation\n"
+      "  fetch JOB [--format console|csv|json]  stream the result table\n"
+      "  run EXP [submit flags] [--format F] submit + fetch\n"
+      "  shutdown                            stop the server\n",
+      argv0);
+}
+
+void print_status(const mss::server::JobStatus& s, FILE* out = stdout) {
+  std::fprintf(out,
+               "job %llu: %s  rows %llu/%llu  evaluated %llu  cache-hits "
+               "%llu  memo-hits %llu\n",
+               static_cast<unsigned long long>(s.id),
+               mss::server::to_string(s.state),
+               static_cast<unsigned long long>(s.rows_done),
+               static_cast<unsigned long long>(s.total),
+               static_cast<unsigned long long>(s.evaluated),
+               static_cast<unsigned long long>(s.cache_hits),
+               static_cast<unsigned long long>(s.memo_hits));
+  if (!s.error.empty()) std::fprintf(out, "  error: %s\n", s.error.c_str());
+}
+
+void print_table(const mss::sweep::ResultTable& table,
+                 const std::string& format) {
+  if (format == "csv") {
+    std::fputs(table.csv().c_str(), stdout);
+  } else if (format == "json") {
+    std::fputs(table.json().c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(table.str().c_str(), stdout);
+  }
+}
+
+std::uint64_t parse_u64(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "not a number: %s\n", s);
+    std::exit(2);
+  }
+  return v;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "./mss-server.sock";
+  std::string format = "console";
+  mss::server::SubmitOptions submit;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--format") {
+      format = next();
+    } else if (arg == "--seed") {
+      submit.seed = parse_u64(next());
+    } else if (arg == "--priority") {
+      submit.priority = std::int32_t(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--chunk") {
+      submit.chunk_size = std::uint32_t(parse_u64(next()));
+    } else if (arg == "--threads") {
+      submit.threads = std::uint32_t(parse_u64(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string& command = positional[0];
+
+  try {
+    mss::server::Client client(socket_path);
+
+    if (command == "experiments") {
+      for (const auto& exp : client.experiments()) {
+        std::printf("%-18s v%u  %llu default points  %s\n", exp.id.c_str(),
+                    exp.version,
+                    static_cast<unsigned long long>(exp.default_space_size),
+                    exp.description.c_str());
+      }
+      return 0;
+    }
+    if (command == "shutdown") {
+      client.shutdown_server();
+      std::printf("server stopping\n");
+      return 0;
+    }
+    if (positional.size() < 2) {
+      usage(argv[0]);
+      return 2;
+    }
+
+    if (command == "submit") {
+      const std::uint64_t id = client.submit(positional[1], submit);
+      std::printf("%llu\n", static_cast<unsigned long long>(id));
+      return 0;
+    }
+    if (command == "status") {
+      print_status(client.status(parse_u64(positional[1].c_str())));
+      return 0;
+    }
+    if (command == "cancel") {
+      print_status(client.cancel(parse_u64(positional[1].c_str())));
+      return 0;
+    }
+    if (command == "fetch" || command == "run") {
+      const std::uint64_t id = command == "run"
+                                   ? client.submit(positional[1], submit)
+                                   : parse_u64(positional[1].c_str());
+      const auto result = client.fetch(id);
+      print_table(result.table, format);
+      print_status(result.status, stderr); // keep csv/json on stdout clean
+      return result.status.state == mss::server::JobState::Done ? 0 : 1;
+    }
+
+    usage(argv[0]);
+    return 2;
+  } catch (const mss::server::ServerError& e) {
+    std::fprintf(stderr, "server error %u: %s\n", unsigned(e.code()),
+                 e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,101 @@
+// mss-server: the simulation-as-a-service daemon. Binds a local unix
+// socket, serves the builtin experiment registry (nvsim.explore,
+// magpie.scenario, demo.mc_tail) and persists every evaluated row to the
+// result cache, so a killed/restarted server resumes half-finished sweeps
+// from disk. Stop with SIGINT/SIGTERM or `mss-client shutdown`.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--cache PATH] [--threads N]\n"
+               "          [--chunk N] [--stripe N]\n"
+               "  --socket PATH   unix socket to listen on "
+               "(default ./mss-server.sock)\n"
+               "  --cache PATH    persistent result cache file; omit for a\n"
+               "                  purely in-memory cache (no cross-run "
+               "resume)\n"
+               "  --threads N     job thread policy: 0 = shared pool "
+               "(default), 1 = serial\n"
+               "  --chunk N       default sweep chunk size (default 1)\n"
+               "  --stripe N      chunks per streaming/cancellation stripe "
+               "(default 8)\n",
+               argv0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  mss::server::ServerOptions options;
+  options.socket_path = "./mss-server.sock";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      options.socket_path = next();
+    } else if (arg == "--cache") {
+      options.cache_path = next();
+    } else if (arg == "--threads") {
+      options.threads = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--chunk") {
+      options.chunk_size = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--stripe") {
+      options.stripe_chunks = std::strtoul(next(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  try {
+    mss::server::Server server(options);
+    const auto& cache = server.cache();
+    std::fprintf(stderr, "mss-server: listening on %s\n",
+                 server.socket_path().c_str());
+    if (!cache.path().empty()) {
+      std::fprintf(stderr,
+                   "mss-server: cache %s (%zu rows replayed, %zu bytes of "
+                   "torn tail discarded)\n",
+                   cache.path().c_str(), cache.replayed(),
+                   cache.discarded_bytes());
+    }
+    server.start();
+    while (!g_stop.load() && !server.stopping()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.request_stop();
+    server.wait();
+    std::fprintf(stderr, "mss-server: stopped (%zu cached rows)\n",
+                 cache.entries());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mss-server: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -169,8 +169,11 @@ void ResultCache::insert(const std::string& key,
   for (int i = 0; i < 4; ++i) record += char(crc >> (8 * i));
   record += payload;
 
-  // One write(2) per record (O_APPEND): a crash tears at most the tail
-  // record, which replay() detects by CRC and truncates away.
+  // Usually one write(2) per record (O_APPEND), but short writes and EINTR
+  // are retried, so a crash mid-append can tear the tail record at *any*
+  // byte boundary — inside the 8-byte header or mid-payload. Crash safety
+  // comes from replay(), not from append atomicity: it CRC-checks record
+  // by record and truncates the file at the first torn/corrupt one.
   std::size_t off = 0;
   while (off < record.size()) {
     const ssize_t n = ::write(fd_, record.data() + off, record.size() - off);

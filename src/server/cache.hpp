@@ -13,12 +13,14 @@
 //   record  := u32 payload_len | u32 crc32(payload) | payload
 //   payload := string key | u32 n_cells | value*        (wire encoding)
 //
-// Crash safety: a record is appended with one write(2); a crash can leave
-// at most one torn record at the tail. Replay verifies length bounds and
-// CRC record by record and *truncates* the file at the first bad record —
-// so the next append lands on a clean boundary instead of burying garbage
-// mid-file. CRC (not just length) guards against a torn write whose
-// length field survived.
+// Crash safety: appends go to an O_APPEND fd and are *usually* one
+// write(2), but short writes and EINTR are retried, so a crash can tear
+// the tail record at any byte boundary (mid-header or mid-payload) — no
+// atomicity is assumed. The real guarantee is replay's: it verifies
+// length bounds and CRC record by record and *truncates* the file at the
+// first bad record, so the next append lands on a clean boundary instead
+// of burying garbage mid-file. CRC (not just length) guards against a
+// torn write whose length field survived.
 #pragma once
 
 #include <cstddef>

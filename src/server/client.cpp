@@ -21,8 +21,7 @@ FrameType reply_type(WireReader& r) {
 
 } // namespace
 
-Client::Client(const std::string& socket_path)
-    : fd_(util::unix_connect(socket_path)) {
+Client::Client(util::Fd fd) : fd_(std::move(fd)) {
   WireWriter w;
   w.u8(std::uint8_t(FrameType::Hello));
   w.u32(kProtocolVersion);
@@ -31,6 +30,13 @@ Client::Client(const std::string& socket_path)
   if (reply_type(r) != FrameType::HelloOk) unexpected(FrameType::HelloOk);
   (void)r.u32(); // server's protocol version (== ours, it accepted)
   server_id_ = r.str();
+}
+
+Client::Client(const std::string& socket_path)
+    : Client(util::unix_connect(socket_path)) {}
+
+Client Client::connect_tcp(const std::string& host_port) {
+  return Client(util::tcp_connect(util::parse_host_port(host_port)));
 }
 
 std::string Client::roundtrip(const std::string& payload) {
@@ -49,6 +55,7 @@ JobStatus Client::parse_status_body(WireReader& r) {
   s.evaluated = r.u64();
   s.cache_hits = r.u64();
   s.memo_hits = r.u64();
+  s.slices = r.u64();
   s.error = r.str();
   return s;
 }

@@ -1,9 +1,11 @@
 // Client side of the mss-server protocol: a blocking, single-connection
-// handle that speaks the wire format of src/server/wire.hpp. One Client =
-// one socket; requests are serialized on it (the protocol is strictly
-// request/reply, with Fetch replies streamed). Server-reported failures
-// surface as ServerError carrying the wire ErrorCode; transport failures
-// surface as std::system_error.
+// handle that speaks the wire format of src/server/wire.hpp over either
+// transport — a unix socket path or a TCP "host:port" endpoint
+// (connect_tcp); the protocol, handshake included, is byte-identical on
+// both. One Client = one socket; requests are serialized on it (the
+// protocol is strictly request/reply, with Fetch replies streamed).
+// Server-reported failures surface as ServerError carrying the wire
+// ErrorCode; transport failures surface as std::system_error.
 #pragma once
 
 #include <cstdint>
@@ -59,9 +61,20 @@ struct FetchResult {
 
 class Client {
  public:
-  /// Connects and performs the Hello handshake; throws ServerError on a
-  /// version refusal, std::system_error when nobody listens.
+  /// Connects over the unix socket and performs the Hello handshake;
+  /// throws ServerError on a version refusal, std::system_error when
+  /// nobody listens.
   explicit Client(const std::string& socket_path);
+
+  /// Adopts an already-connected transport fd and performs the handshake.
+  explicit Client(util::Fd fd);
+
+  /// Connects over TCP ("host:port", "[v6]:port"); same handshake and
+  /// error contract as the unix constructor.
+  [[nodiscard]] static Client connect_tcp(const std::string& host_port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
 
   /// The server_id string from the handshake.
   [[nodiscard]] const std::string& server_id() const { return server_id_; }

@@ -5,108 +5,117 @@
 #include <unordered_map>
 
 #include "util/parallel.hpp"
-#include "util/rng.hpp"
 
 namespace mss::server {
+
+StripedRun::StripedRun(const sweep::RowExperiment& exp,
+                       const sweep::ParamSpace& space, const ExecOptions& opt,
+                       ResultCache* cache)
+    : exp_(exp), space_(space), opt_(opt), cache_(cache) {
+  n_ = space_.size();
+  chunk_ = opt_.chunk_size == 0 ? 1 : opt_.chunk_size;
+  stripe_ = chunk_ * (opt_.stripe_chunks == 0 ? 1 : opt_.stripe_chunks);
+  stats_.points = n_;
+  rows_.resize(n_);
+  if (n_ == 0) return;
+
+  // Identical RNG keying to sweep::Runner: substream per chunk, fork per
+  // in-chunk offset.
+  util::Rng base(opt_.seed);
+  streams_ = base.jump_substreams(util::ThreadPool::chunk_count(n_, chunk_));
+
+  // First-occurrence scan (serial, no evaluation) — memo semantics.
+  std::unordered_map<std::string, std::size_t> first_of;
+  owner_.resize(n_);
+  key_of_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::string k = space_.at(i).key();
+    const auto [it, inserted] = first_of.try_emplace(k, i);
+    owner_[i] = it->second;
+    if (inserted) key_of_[i] = std::move(k);
+  }
+}
+
+void StripedRun::step() {
+  if (finished()) return;
+  const std::size_t begin = next_;
+  const std::size_t end = std::min(n_, begin + stripe_);
+
+  pending_.clear();
+  for (std::size_t i = begin; i < end; ++i) {
+    if (owner_[i] != i) continue; // duplicate: copied below
+    if (cache_) {
+      const std::string ck =
+          cache_key(exp_.id, exp_.version, opt_.seed, key_of_[i]);
+      if (auto hit = cache_->lookup(ck)) {
+        rows_[i] = std::move(*hit);
+        ++stats_.cache_hits;
+        continue;
+      }
+    }
+    pending_.push_back(i);
+  }
+
+  // Evaluate the stripe's misses in parallel. The RNG of index i is a
+  // pure function of (seed, chunk, i) — never of which indices happen to
+  // be cached or of which other jobs' stripes ran in between — so warm,
+  // cold and time-sliced runs all draw identically.
+  util::ThreadPool::run_with(
+      opt_.threads, pending_.size(), 1,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t k = b; k < e; ++k) {
+          const std::size_t i = pending_[k];
+          util::Rng rng =
+              streams_[i / chunk_].fork(std::uint64_t(i % chunk_));
+          std::vector<sweep::Value> row = exp_.evaluate(space_.at(i), rng);
+          if (row.size() != exp_.columns.size()) {
+            throw std::logic_error(
+                "RowExperiment '" + exp_.id + "' produced " +
+                std::to_string(row.size()) + " cells for " +
+                std::to_string(exp_.columns.size()) + " columns");
+          }
+          rows_[i] = std::move(row);
+        }
+      });
+  stats_.evaluated += pending_.size();
+
+  // Append to the cache serially in index order: the file layout is then
+  // a deterministic function of the job, not of thread scheduling.
+  if (cache_) {
+    for (const std::size_t i : pending_) {
+      cache_->insert(cache_key(exp_.id, exp_.version, opt_.seed, key_of_[i]),
+                     rows_[i]);
+    }
+  }
+
+  for (std::size_t i = begin; i < end; ++i) {
+    if (owner_[i] != i) {
+      rows_[i] = rows_[owner_[i]];
+      ++stats_.memo_hits;
+    }
+  }
+  next_ = end;
+}
 
 ExecOutcome run_cached(const sweep::RowExperiment& exp,
                        const sweep::ParamSpace& space, const ExecOptions& opt,
                        ResultCache* cache, const std::atomic<bool>* cancel,
                        const StripeFn& on_stripe, sweep::RunStats* stats) {
-  const std::size_t n = space.size();
-  const std::size_t chunk = opt.chunk_size == 0 ? 1 : opt.chunk_size;
-  const std::size_t stripe =
-      chunk * (opt.stripe_chunks == 0 ? 1 : opt.stripe_chunks);
-
-  sweep::RunStats st;
-  st.points = n;
-  std::vector<std::vector<sweep::Value>> rows(n);
-  if (n == 0) {
-    if (on_stripe) on_stripe(st, rows, 0);
-    if (stats) *stats = st;
+  StripedRun run(exp, space, opt, cache);
+  if (run.finished()) { // empty space: report once, done
+    if (on_stripe) on_stripe(run.stats(), run.rows(), 0);
+    if (stats) *stats = run.stats();
     return ExecOutcome::Done;
   }
-
-  // Identical RNG keying to sweep::Runner: substream per chunk, fork per
-  // in-chunk offset.
-  util::Rng base(opt.seed);
-  const auto streams =
-      base.jump_substreams(util::ThreadPool::chunk_count(n, chunk));
-
-  // First-occurrence scan (serial, no evaluation) — memo semantics.
-  std::unordered_map<std::string, std::size_t> first_of;
-  std::vector<std::size_t> owner(n);
-  std::vector<std::string> key_of(n); // point keys of first occurrences
-  for (std::size_t i = 0; i < n; ++i) {
-    std::string k = space.at(i).key();
-    const auto [it, inserted] = first_of.try_emplace(k, i);
-    owner[i] = it->second;
-    if (inserted) key_of[i] = std::move(k);
-  }
-
-  std::vector<std::size_t> pending; // first occurrences missing from cache
-  for (std::size_t begin = 0; begin < n; begin += stripe) {
+  while (!run.finished()) {
     if (cancel && cancel->load(std::memory_order_relaxed)) {
-      if (stats) *stats = st;
+      if (stats) *stats = run.stats();
       return ExecOutcome::Cancelled;
     }
-    const std::size_t end = std::min(n, begin + stripe);
-
-    pending.clear();
-    for (std::size_t i = begin; i < end; ++i) {
-      if (owner[i] != i) continue; // duplicate: copied below
-      if (cache) {
-        const std::string ck =
-            cache_key(exp.id, exp.version, opt.seed, key_of[i]);
-        if (auto hit = cache->lookup(ck)) {
-          rows[i] = std::move(*hit);
-          ++st.cache_hits;
-          continue;
-        }
-      }
-      pending.push_back(i);
-    }
-
-    // Evaluate the stripe's misses in parallel. The RNG of index i is a
-    // pure function of (seed, chunk, i) — never of which indices happen to
-    // be cached — so warm and cold runs draw identically.
-    util::ThreadPool::run_with(
-        opt.threads, pending.size(), 1,
-        [&](std::size_t, std::size_t b, std::size_t e) {
-          for (std::size_t k = b; k < e; ++k) {
-            const std::size_t i = pending[k];
-            util::Rng rng = streams[i / chunk].fork(std::uint64_t(i % chunk));
-            std::vector<sweep::Value> row = exp.evaluate(space.at(i), rng);
-            if (row.size() != exp.columns.size()) {
-              throw std::logic_error(
-                  "RowExperiment '" + exp.id + "' produced " +
-                  std::to_string(row.size()) + " cells for " +
-                  std::to_string(exp.columns.size()) + " columns");
-            }
-            rows[i] = std::move(row);
-          }
-        });
-    st.evaluated += pending.size();
-
-    // Append to the cache serially in index order: the file layout is then
-    // a deterministic function of the job, not of thread scheduling.
-    if (cache) {
-      for (const std::size_t i : pending) {
-        cache->insert(cache_key(exp.id, exp.version, opt.seed, key_of[i]),
-                      rows[i]);
-      }
-    }
-
-    for (std::size_t i = begin; i < end; ++i) {
-      if (owner[i] != i) {
-        rows[i] = rows[owner[i]];
-        ++st.memo_hits;
-      }
-    }
-    if (on_stripe) on_stripe(st, rows, end);
+    run.step();
+    if (on_stripe) on_stripe(run.stats(), run.rows(), run.done_end());
   }
-
-  if (stats) *stats = st;
+  if (stats) *stats = run.stats();
   return ExecOutcome::Done;
 }
 

@@ -18,17 +18,27 @@
 // is handed to the sink in index order. Cancellation is cooperative at
 // stripe granularity: rows already streamed stay valid and cached, so a
 // cancelled job resumes from the cache like a killed one.
+//
+// The stripe is also the *scheduling* quantum: StripedRun exposes the
+// stripe loop one step() at a time, so the server's executor can
+// round-robin several jobs without changing a single row — every stripe is
+// self-contained (its RNG is a pure function of (seed, chunk, index)), so
+// interleaving stripes of different jobs cannot reorder or perturb either
+// job's rows relative to a solo run.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "server/cache.hpp"
 #include "sweep/experiment.hpp" // RunStats
 #include "sweep/servable.hpp"
+#include "util/rng.hpp"
 
 namespace mss::server {
 
@@ -51,10 +61,55 @@ using StripeFn = std::function<void(const sweep::RunStats& so_far,
                                     const std::vector<std::vector<sweep::Value>>& rows,
                                     std::size_t done_end)>;
 
-/// Runs `exp` over `space`. `cache` may be null (pure memo semantics);
-/// `cancel` may be null (never cancelled); `on_stripe` may be empty.
-/// Returns Cancelled when the flag was observed at a stripe boundary —
-/// `stats` then reflects the work actually done.
+/// One job's striped execution state, advanced a stripe at a time — the
+/// scheduler-facing core of run_cached(). The referenced experiment,
+/// space and cache must outlive the run. Not thread-safe: one owner
+/// advances it (the server's executor thread); readers synchronise
+/// externally (the server copies rows out under the job mutex after each
+/// step).
+class StripedRun {
+ public:
+  StripedRun(const sweep::RowExperiment& exp, const sweep::ParamSpace& space,
+             const ExecOptions& opt, ResultCache* cache);
+
+  /// Executes the next stripe: cache lookups, parallel evaluation of the
+  /// misses, in-order cache appends, duplicate copy-down. No-op once
+  /// finished(). Throws what evaluate() throws (the run is then poisoned;
+  /// callers treat the job as failed).
+  void step();
+
+  [[nodiscard]] bool finished() const { return next_ >= n_; }
+  /// Rows completed so far: rows()[0, done_end()) are final.
+  [[nodiscard]] std::size_t done_end() const { return next_; }
+  [[nodiscard]] const std::vector<std::vector<sweep::Value>>& rows() const {
+    return rows_;
+  }
+  [[nodiscard]] const sweep::RunStats& stats() const { return stats_; }
+
+ private:
+  const sweep::RowExperiment& exp_;
+  const sweep::ParamSpace& space_;
+  ExecOptions opt_;
+  ResultCache* cache_;
+
+  std::size_t n_;
+  std::size_t chunk_;
+  std::size_t stripe_;
+  std::size_t next_ = 0; ///< first index of the next stripe
+
+  std::vector<util::Rng> streams_;    ///< jump substream per chunk
+  std::vector<std::size_t> owner_;    ///< first occurrence of each key
+  std::vector<std::string> key_of_;   ///< point keys of first occurrences
+  std::vector<std::size_t> pending_;  ///< scratch: this stripe's misses
+  std::vector<std::vector<sweep::Value>> rows_;
+  sweep::RunStats stats_;
+};
+
+/// Runs `exp` over `space` to completion (a loop over StripedRun::step).
+/// `cache` may be null (pure memo semantics); `cancel` may be null (never
+/// cancelled); `on_stripe` may be empty. Returns Cancelled when the flag
+/// was observed at a stripe boundary — `stats` then reflects the work
+/// actually done.
 ExecOutcome run_cached(const sweep::RowExperiment& exp,
                        const sweep::ParamSpace& space, const ExecOptions& opt,
                        ResultCache* cache, const std::atomic<bool>* cancel,

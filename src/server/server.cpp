@@ -25,6 +25,7 @@ void write_status_body(WireWriter& w, const JobStatus& s) {
   w.u64(s.evaluated);
   w.u64(s.cache_hits);
   w.u64(s.memo_hits);
+  w.u64(s.slices);
   w.str(s.error);
 }
 
@@ -45,7 +46,11 @@ Server::Server(ServerOptions options, Registry registry)
     : options_(std::move(options)),
       registry_(std::move(registry)),
       cache_(options_.cache_path),
-      listener_(options_.socket_path) {}
+      listener_(options_.socket_path) {
+  if (!options_.listen_address.empty()) {
+    tcp_listener_.emplace(util::parse_host_port(options_.listen_address));
+  }
+}
 
 Server::~Server() {
   request_stop();
@@ -53,7 +58,10 @@ Server::~Server() {
 }
 
 void Server::start() {
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(listener_); });
+  if (tcp_listener_) {
+    tcp_accept_thread_ = std::thread([this] { accept_loop_tcp(*tcp_listener_); });
+  }
   executor_thread_ = std::thread([this] { executor_loop(); });
 }
 
@@ -61,6 +69,7 @@ void Server::request_stop() {
   if (stopping_.exchange(true)) return;
   queue_.close();
   listener_.shutdown();
+  if (tcp_listener_) tcp_listener_->shutdown();
   {
     std::lock_guard<std::mutex> lk(jobs_m_);
     for (auto& [id, job] : jobs_) {
@@ -72,42 +81,104 @@ void Server::request_stop() {
   }
   {
     std::lock_guard<std::mutex> lk(conns_m_);
-    for (auto& [fd, th] : conns_) fd.shutdown_rw();
+    for (auto& conn : conns_) conn.fd.shutdown_rw();
   }
 }
 
 void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (tcp_accept_thread_.joinable()) tcp_accept_thread_.join();
   if (executor_thread_.joinable()) executor_thread_.join();
-  // The accept thread (sole writer of conns_) is joined: safe to iterate
-  // unlocked — and we must not hold conns_m_ here, a handler serving a
-  // Shutdown frame takes it inside request_stop().
-  for (auto& [fd, th] : conns_) {
-    if (th.joinable()) th.join();
+  // The accept threads (sole erasers of conns_) are joined: the list
+  // structure is stable, safe to iterate unlocked — and we must not hold
+  // conns_m_ here, a handler serving a Shutdown frame takes it inside
+  // request_stop() and again when closing its fd on exit.
+  for (auto& conn : conns_) {
+    if (conn.th.joinable()) conn.th.join();
   }
 }
 
-void Server::accept_loop() {
-  while (true) {
-    util::Fd client = listener_.accept();
-    if (!client.valid()) return;
-    std::lock_guard<std::mutex> lk(conns_m_);
-    conns_.emplace_back();
-    auto& conn = conns_.back();
-    conn.first = std::move(client);
-    if (stopping_.load(std::memory_order_relaxed)) {
-      // request_stop() may already have swept conns_ — shut this one down
-      // ourselves (under the same mutex, so exactly one of us does it
-      // last) and let the handler exit on the dead socket.
-      conn.first.shutdown_rw();
+std::size_t Server::connection_entries() const {
+  std::lock_guard<std::mutex> lk(conns_m_);
+  return conns_.size();
+}
+
+void Server::accept_loop(util::UnixListener& listener) {
+  try {
+    while (true) {
+      util::Fd client = listener.accept();
+      if (!client.valid()) return; // shutdown
+      handle_accepted(std::move(client));
     }
-    conn.second = std::thread([this, &conn] { handle_connection(conn.first); });
+  } catch (const std::exception&) {
+    // accept() already retried every transient errno; a throw means this
+    // listener is irrecoverably broken. Stop accepting on it — running
+    // jobs and the other transport keep serving.
+  }
+}
+
+void Server::accept_loop_tcp(util::TcpListener& listener) {
+  try {
+    while (true) {
+      util::Fd client = listener.accept();
+      if (!client.valid()) return; // shutdown
+      handle_accepted(std::move(client));
+    }
+  } catch (const std::exception&) {
+    // Same contract as the unix accept loop.
+  }
+}
+
+void Server::handle_accepted(util::Fd client) {
+  // Garbage-collect finished handlers before adding a new one: the table
+  // stays bounded by live connections (+ reap latency), not by the
+  // connection count since startup.
+  reap_finished_conns();
+  std::lock_guard<std::mutex> lk(conns_m_);
+  conns_.emplace_back();
+  Conn& conn = conns_.back();
+  conn.fd = std::move(client);
+  if (stopping_.load(std::memory_order_relaxed)) {
+    // request_stop() may already have swept conns_ — shut this one down
+    // ourselves (under the same mutex, so exactly one of us does it
+    // last) and let the handler exit on the dead socket.
+    conn.fd.shutdown_rw();
+  }
+  conn.th = std::thread([this, &conn] { handle_connection(conn); });
+}
+
+void Server::reap_finished_conns() {
+  std::list<Conn> finished;
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->done.load(std::memory_order_acquire)) {
+        finished.splice(finished.end(), conns_, it++);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside conns_m_: a handler flags done (under the lock) as its
+  // final statement, so these joins only wait out the thread's return.
+  for (auto& conn : finished) {
+    if (conn.th.joinable()) conn.th.join();
   }
 }
 
 void Server::executor_loop() {
   while (auto id = queue_.pop()) {
-    if (auto job = find_job(*id)) run_job(*job);
+    const auto job = find_job(*id);
+    if (!job) continue;
+    if (run_slice(*job)) {
+      // More stripes remain: rotate to the back of the job's priority
+      // level. Equal-priority jobs therefore interleave stripe by stripe;
+      // a higher-priority submission preempts at the next boundary.
+      if (!queue_.push(job->id, job->priority)) {
+        // Re-enqueue raced shutdown — nothing will pop this job again.
+        finish_cancelled(*job);
+      }
+    }
   }
 }
 
@@ -126,73 +197,104 @@ JobStatus Server::snapshot_locked(const Job& job) {
   s.evaluated = job.stats.evaluated;
   s.cache_hits = job.stats.cache_hits;
   s.memo_hits = job.stats.memo_hits;
+  s.slices = job.slices;
   s.error = job.error;
   return s;
 }
 
-void Server::run_job(Job& job) {
+bool Server::run_slice(Job& job) {
+  if (job.cancel.load(std::memory_order_relaxed)) {
+    finish_cancelled(job);
+    return false;
+  }
   {
     std::lock_guard<std::mutex> lk(job.m);
-    if (job.state != JobState::Queued) return; // cancelled while queued
-    job.state = JobState::Running;
-    job.cv.notify_all();
+    if (is_terminal(job.state)) return false; // cancelled while queued
+    if (job.state == JobState::Queued) {
+      job.state = JobState::Running;
+      job.cv.notify_all();
+    }
+  }
+  if (!job.run) {
+    job.run =
+        std::make_unique<StripedRun>(*job.exp, job.space, job.opts, &cache_);
   }
   try {
-    sweep::RunStats stats;
-    const ExecOutcome outcome = run_cached(
-        *job.exp, job.space, job.opts, &cache_, &job.cancel,
-        [&](const sweep::RunStats& so_far,
-            const std::vector<std::vector<sweep::Value>>& rows,
-            std::size_t done_end) {
-          std::lock_guard<std::mutex> lk(job.m);
-          for (std::size_t i = job.rows.size(); i < done_end; ++i) {
-            job.rows.push_back(rows[i]);
-          }
-          job.stats = so_far;
-          job.cv.notify_all();
-        },
-        &stats);
-    std::lock_guard<std::mutex> lk(job.m);
-    job.stats = stats;
-    job.state =
-        outcome == ExecOutcome::Done ? JobState::Done : JobState::Cancelled;
-    job.cv.notify_all();
+    job.run->step();
   } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lk(job.m);
+      job.error = e.what();
+      job.state = JobState::Failed;
+      ++job.slices;
+      job.cv.notify_all();
+    }
+    job.run.reset();
+    return false;
+  }
+  const bool finished = job.run->finished();
+  {
     std::lock_guard<std::mutex> lk(job.m);
-    job.error = e.what();
-    job.state = JobState::Failed;
+    const auto& all = job.run->rows();
+    for (std::size_t i = job.rows.size(); i < job.run->done_end(); ++i) {
+      job.rows.push_back(all[i]);
+    }
+    job.stats = job.run->stats();
+    ++job.slices;
+    if (finished) job.state = JobState::Done;
     job.cv.notify_all();
   }
+  if (finished) job.run.reset();
+  return !finished;
 }
 
-void Server::handle_connection(util::Fd& fd) {
+void Server::finish_cancelled(Job& job) {
+  {
+    std::lock_guard<std::mutex> lk(job.m);
+    if (!is_terminal(job.state)) {
+      job.state = JobState::Cancelled;
+      job.cv.notify_all();
+    }
+  }
+  // Rows already streamed stay valid (and cached); the partial run state
+  // is all that dies.
+  job.run.reset();
+}
+
+void Server::handle_connection(Conn& conn) {
+  util::Fd& fd = conn.fd;
   try {
     const auto hello = recv_frame(fd);
-    if (!hello) return;
-    {
-      WireReader r(*hello);
-      if (FrameType(r.u8()) != FrameType::Hello) {
-        send_frame(fd, error_payload(ErrorCode::BadFrame,
-                                     "expected Hello handshake"));
-        return;
+    if (hello) {
+      bool ok = false;
+      {
+        WireReader r(*hello);
+        if (FrameType(r.u8()) != FrameType::Hello) {
+          send_frame(fd, error_payload(ErrorCode::BadFrame,
+                                       "expected Hello handshake"));
+        } else {
+          const std::uint32_t version = r.u32();
+          if (version != kProtocolVersion) {
+            send_frame(fd, error_payload(
+                               ErrorCode::BadVersion,
+                               "protocol version " + std::to_string(version) +
+                                   " unsupported, server speaks " +
+                                   std::to_string(kProtocolVersion)));
+          } else {
+            WireWriter w;
+            w.u8(std::uint8_t(FrameType::HelloOk));
+            w.u32(kProtocolVersion);
+            w.str(options_.server_id);
+            send_frame(fd, w.take());
+            ok = true;
+          }
+        }
       }
-      const std::uint32_t version = r.u32();
-      if (version != kProtocolVersion) {
-        send_frame(fd, error_payload(
-                           ErrorCode::BadVersion,
-                           "protocol version " + std::to_string(version) +
-                               " unsupported, server speaks " +
-                               std::to_string(kProtocolVersion)));
-        return;
+      if (ok) {
+        while (auto payload = recv_frame(fd)) {
+          if (!handle_frame(fd, *payload)) break;
+        }
       }
-      WireWriter w;
-      w.u8(std::uint8_t(FrameType::HelloOk));
-      w.u32(kProtocolVersion);
-      w.str(options_.server_id);
-      send_frame(fd, w.take());
-    }
-    while (auto payload = recv_frame(fd)) {
-      if (!handle_frame(fd, *payload)) break;
     }
   } catch (const WireError&) {
     // Oversized/garbled framing: best-effort error, then drop the peer.
@@ -203,7 +305,13 @@ void Server::handle_connection(util::Fd& fd) {
   } catch (const std::exception&) {
     // Socket torn down (peer died or server stopping) — nothing to reply to.
   }
-  fd.shutdown_rw();
+  // Handler exit = connection over: release the fd now (not at server
+  // shutdown — a daemon must not leak an fd per client for its lifetime)
+  // and flag the entry for the accept loop's reaper. Under conns_m_ so the
+  // close cannot race request_stop()'s shutdown sweep.
+  std::lock_guard<std::mutex> lk(conns_m_);
+  conn.fd.close();
+  conn.done.store(true, std::memory_order_release);
 }
 
 bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
@@ -271,10 +379,9 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
           job->id = next_job_id_++;
           jobs_.emplace(job->id, job);
         }
-        queue_.push(job->id, priority);
-        if (stopping_.load(std::memory_order_relaxed)) {
-          // The push may have raced queue_.close(): make sure the job
-          // cannot sit Queued forever.
+        if (!queue_.push(job->id, priority)) {
+          // The push raced queue_.close(): make sure the job cannot sit
+          // Queued forever.
           job->cancel.store(true, std::memory_order_relaxed);
           std::lock_guard<std::mutex> lk(job->m);
           if (job->state == JobState::Queued) job->state = JobState::Cancelled;

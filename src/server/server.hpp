@@ -1,14 +1,21 @@
-// The mss-server daemon: simulation-as-a-service over a local socket.
+// The mss-server daemon: simulation-as-a-service over a local unix socket
+// and (optionally) TCP.
 //
 // One process owns the thread pool, the experiment registry and the
 // persistent result cache; clients submit serialized sweep jobs and stream
 // rows back as they complete. Threading model:
 //
-//   accept thread        — blocks in accept(); one handler thread per
-//                          connection (local service socket, small counts)
-//   executor thread      — pops job ids off a PriorityBlockingQueue and
-//                          runs them through server::run_cached (which
-//                          fans each stripe out over the shared pool)
+//   accept threads       — one per transport (unix socket, optional TCP),
+//                          blocking in accept(); one handler thread per
+//                          connection, reaped as connections close
+//   executor thread      — the scheduler: pops the highest-priority
+//                          runnable job off a PriorityBlockingQueue, runs
+//                          *one stripe* through StripedRun, re-enqueues it
+//                          — round-robin time-slicing at stripe
+//                          granularity, FIFO within a priority level, so
+//                          concurrent jobs interleave and each streams
+//                          rows incrementally while staying bit-identical
+//                          to a solo run
 //   connection handlers  — parse frames, mutate jobs only under the job
 //                          mutex, block on the job cv to stream rows
 //
@@ -24,6 +31,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -39,13 +47,17 @@ namespace mss::server {
 
 struct ServerOptions {
   std::string socket_path;
+  /// TCP endpoint ("host:port", "[v6]:port", ":port" = loopback; port 0 =
+  /// ephemeral). Empty = unix socket only. The protocol has no
+  /// authentication: bind loopback unless the network is trusted.
+  std::string listen_address;
   /// Persistent cache file; empty = in-memory only (no cross-run resume).
   std::string cache_path;
   /// Default thread policy for job execution (0 = shared global pool).
   std::size_t threads = 0;
   /// Default chunk_size when a Submit carries 0.
   std::size_t chunk_size = 1;
-  /// Streaming/cancellation quantum, in chunks.
+  /// Streaming/cancellation/scheduling quantum, in chunks.
   std::size_t stripe_chunks = 8;
   /// Reported in the HelloOk handshake.
   std::string server_id = "mss-server/1";
@@ -75,12 +87,13 @@ struct JobStatus {
   std::uint64_t evaluated = 0;  ///< rows actually computed
   std::uint64_t cache_hits = 0; ///< rows served by the persistent cache
   std::uint64_t memo_hits = 0;  ///< rows copied from an in-job duplicate
+  std::uint64_t slices = 0;     ///< scheduler time-slices (stripes) granted
   std::string error;            ///< what() when state == Failed
 };
 
 class Server {
  public:
-  /// Binds the socket and opens/replays the cache. Throws on either
+  /// Binds the socket(s) and opens/replays the cache. Throws on any
   /// failing. No threads run until start().
   explicit Server(ServerOptions options, Registry registry = Registry::builtin());
   ~Server(); ///< request_stop() + wait()
@@ -105,8 +118,22 @@ class Server {
   [[nodiscard]] const std::string& socket_path() const {
     return options_.socket_path;
   }
+  /// Bound TCP endpoint ("host:port", ephemeral port resolved) — empty
+  /// when no TCP transport was configured.
+  [[nodiscard]] std::string tcp_address() const {
+    return tcp_listener_ ? tcp_listener_->address() : std::string();
+  }
+  /// Bound TCP port (0 when no TCP transport was configured).
+  [[nodiscard]] std::uint16_t tcp_port() const {
+    return tcp_listener_ ? tcp_listener_->port() : 0;
+  }
   [[nodiscard]] const ResultCache& cache() const { return cache_; }
   [[nodiscard]] const Registry& registry() const { return registry_; }
+
+  /// Connection-table entries (live handlers plus not-yet-reaped finished
+  /// ones — bounded by live connections + the reap latency of one accept).
+  /// Observability for the fd-leak regression tests.
+  [[nodiscard]] std::size_t connection_entries() const;
 
  private:
   struct Job {
@@ -117,21 +144,43 @@ class Server {
     ExecOptions opts;
     std::atomic<bool> cancel{false};
 
+    /// Striped execution state; created at the job's first slice, owned
+    /// and advanced by the executor thread only, freed on terminal.
+    std::unique_ptr<StripedRun> run;
+
     std::mutex m; ///< guards everything below
     std::condition_variable cv;
     JobState state = JobState::Queued;
+    std::uint64_t slices = 0;
     std::vector<std::vector<sweep::Value>> rows;
     sweep::RunStats stats;
     std::string error;
   };
 
-  void accept_loop();
+  /// One connection-table entry. The handler thread owns fd while it
+  /// runs, closes it (under conns_m_) and flags done on exit; an accept
+  /// thread later joins+erases done entries.
+  struct Conn {
+    util::Fd fd;
+    std::thread th;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop(util::UnixListener& listener);
+  void accept_loop_tcp(util::TcpListener& listener);
+  void handle_accepted(util::Fd client);
+  /// Joins and erases connection entries whose handlers have exited.
+  void reap_finished_conns();
   void executor_loop();
-  void handle_connection(util::Fd& fd);
+  void handle_connection(Conn& conn);
   /// One request frame -> zero or more reply frames. Returns false when
   /// the connection should end (shutdown request).
   bool handle_frame(util::Fd& fd, const std::string& payload);
-  void run_job(Job& job);
+  /// Runs one scheduling quantum (stripe) of the job. Returns true when
+  /// the job should be re-enqueued (more stripes remain).
+  bool run_slice(Job& job);
+  /// Marks a non-terminal job Cancelled and releases its run state.
+  void finish_cancelled(Job& job);
   void stream_fetch(util::Fd& fd, Job& job);
 
   [[nodiscard]] std::shared_ptr<Job> find_job(std::uint64_t id);
@@ -141,6 +190,7 @@ class Server {
   Registry registry_;
   ResultCache cache_;
   util::UnixListener listener_;
+  std::optional<util::TcpListener> tcp_listener_;
 
   util::PriorityBlockingQueue<std::uint64_t> queue_;
   std::mutex jobs_m_;
@@ -149,9 +199,10 @@ class Server {
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+  std::thread tcp_accept_thread_;
   std::thread executor_thread_;
-  std::mutex conns_m_;
-  std::list<std::pair<util::Fd, std::thread>> conns_;
+  mutable std::mutex conns_m_;
+  std::list<Conn> conns_;
 };
 
 } // namespace mss::server

@@ -32,7 +32,10 @@ namespace mss::server {
 
 /// Protocol version carried by the Hello handshake; a server refuses
 /// mismatching clients with Error{BadVersion} instead of misparsing.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// History: v1 = PR-8 original; v2 added the scheduler's `slices` counter
+/// to the StatusOk/TableEnd body. The handshake is transport-independent —
+/// identical over the unix socket and TCP.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Upper bound a receiver accepts for one frame (defends against garbage
 /// length prefixes from a non-protocol peer).
@@ -52,7 +55,7 @@ enum class FrameType : std::uint8_t {
   Status = 5,      ///< c->s: u64 job_id
   StatusOk = 6,    ///< s->c: u64 job_id | u8 state | u64 total | u64
                    ///< rows_done | u64 evaluated | u64 cache_hits |
-                   ///< u64 memo_hits | string error
+                   ///< u64 memo_hits | u64 slices | string error
   Cancel = 7,      ///< c->s: u64 job_id; replied with StatusOk
   Fetch = 8,       ///< c->s: u64 job_id; replied with TableBegin,
                    ///< Row*, TableEnd (streamed as rows complete)

@@ -20,15 +20,19 @@ namespace mss::util {
 template <typename T>
 class PriorityBlockingQueue {
  public:
-  /// Enqueues an item. Silently ignored after close() (shutdown races are
-  /// benign: the producer's item would never be consumed anyway).
-  void push(T item, int priority) {
+  /// Enqueues an item. Returns false (item dropped) after close() — a
+  /// producer that must not lose work, like the executor re-enqueueing a
+  /// sliced job at shutdown, uses the result to finalise the item itself;
+  /// fire-and-forget producers may ignore it (their item would never be
+  /// consumed anyway).
+  bool push(T item, int priority) {
     {
       std::lock_guard<std::mutex> lk(m_);
-      if (closed_) return;
+      if (closed_) return false;
       heap_.push(Entry{priority, seq_++, std::move(item)});
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Blocks for the next item: highest priority first, FIFO within a

@@ -1,10 +1,16 @@
 #include "util/socket.hpp"
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -26,6 +32,83 @@ sockaddr_un make_addr(const std::string& path) {
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
+}
+
+/// The shared accept loop of both listeners. Retries transient errnos so a
+/// burst of dying peers or a momentary fd/buffer shortage cannot kill the
+/// accept thread; returns an invalid Fd only when `stop` was set (the
+/// explicit shutdown() path — shutdown(2) on the listener surfaces as
+/// EINVAL/EBADF here, which is only trusted as the exit signal when the
+/// flag confirms it). Anything else throws: a listener that persistently
+/// fails accept is broken, not shut down.
+Fd accept_with_retry(const Fd& listener, const std::atomic<bool>& stop,
+                     const char* what) {
+  for (;;) {
+    const int client = ::accept(listener.get(), nullptr, nullptr);
+    if (client >= 0) return Fd(client);
+    if (stop.load(std::memory_order_acquire)) return Fd();
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED: // peer reset before we accepted: just a dead conn
+      case EPROTO:
+        continue;
+      case EMFILE: // out of fds/buffers: transient under load — back off
+      case ENFILE: // briefly so an existing connection can close, retry
+      case ENOBUFS:
+      case ENOMEM:
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      default:
+        // Re-check the flag: shutdown() may have raced the accept call.
+        if (stop.load(std::memory_order_acquire)) return Fd();
+        throw_errno(what);
+    }
+  }
+}
+
+/// getaddrinfo over the endpoint; empty host = loopback (AI_PASSIVE is
+/// deliberately not used — wildcard binds must be an explicit host, the
+/// protocol has no authentication). Caller frees with freeaddrinfo.
+addrinfo* resolve(const HostPort& endpoint, const char* what) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string host =
+      endpoint.host.empty() ? std::string("127.0.0.1") : endpoint.host;
+  const std::string port = std::to_string(endpoint.port);
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw std::invalid_argument(std::string(what) + ": cannot resolve '" +
+                                host + "': " + ::gai_strerror(rc));
+  }
+  return result;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: a transport that ignores the option still works, just
+  // with Nagle latency on the small frames.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// Numeric "host:port" ("[v6]:port") of a bound socket address.
+std::string format_bound(const sockaddr_storage& ss, socklen_t len,
+                         std::uint16_t* port_out) {
+  char host[NI_MAXHOST];
+  char serv[NI_MAXSERV];
+  if (::getnameinfo(reinterpret_cast<const sockaddr*>(&ss), len, host,
+                    sizeof host, serv, sizeof serv,
+                    NI_NUMERICHOST | NI_NUMERICSERV) != 0) {
+    *port_out = 0;
+    return "?";
+  }
+  *port_out = std::uint16_t(std::strtoul(serv, nullptr, 10));
+  if (ss.ss_family == AF_INET6) {
+    return "[" + std::string(host) + "]:" + serv;
+  }
+  return std::string(host) + ":" + serv;
 }
 
 } // namespace
@@ -101,16 +184,13 @@ UnixListener::~UnixListener() {
 }
 
 Fd UnixListener::accept() {
-  for (;;) {
-    const int client = ::accept(fd_.get(), nullptr, nullptr);
-    if (client >= 0) return Fd(client);
-    if (errno == EINTR) continue;
-    // EBADF/EINVAL after shutdown(): the stop signal, not an error.
-    return Fd();
-  }
+  return accept_with_retry(fd_, stop_, "accept (unix)");
 }
 
-void UnixListener::shutdown() { fd_.shutdown_rw(); }
+void UnixListener::shutdown() {
+  stop_.store(true, std::memory_order_release);
+  fd_.shutdown_rw();
+}
 
 Fd unix_connect(const std::string& path) {
   const sockaddr_un addr = make_addr(path);
@@ -119,6 +199,123 @@ Fd unix_connect(const std::string& path) {
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     throw_errno(("connect to '" + path + "'").c_str());
+  }
+  return fd;
+}
+
+HostPort parse_host_port(const std::string& spec) {
+  HostPort out;
+  std::string port_str;
+  if (!spec.empty() && spec.front() == '[') {
+    // Bracketed IPv6 literal: [::1]:4444
+    const auto close = spec.find(']');
+    if (close == std::string::npos || close + 1 >= spec.size() ||
+        spec[close + 1] != ':') {
+      throw std::invalid_argument("endpoint '" + spec +
+                                  "' is not of the form [host]:port");
+    }
+    out.host = spec.substr(1, close - 1);
+    port_str = spec.substr(close + 2);
+  } else {
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("endpoint '" + spec +
+                                  "' is not of the form host:port");
+    }
+    out.host = spec.substr(0, colon);
+    if (out.host.find(':') != std::string::npos) {
+      throw std::invalid_argument("IPv6 endpoint needs the bracket form "
+                                  "[host]:port, got '" +
+                                  spec + "'");
+    }
+    port_str = spec.substr(colon + 1);
+  }
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("endpoint '" + spec + "' has no numeric port");
+  }
+  const unsigned long port = std::strtoul(port_str.c_str(), nullptr, 10);
+  if (port > 65535) {
+    throw std::invalid_argument("endpoint '" + spec + "' port out of range");
+  }
+  out.port = std::uint16_t(port);
+  return out;
+}
+
+TcpListener::TcpListener(const HostPort& endpoint) {
+  addrinfo* addrs = resolve(endpoint, "TcpListener");
+  int last_errno = 0;
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    // A restarting daemon must rebind through TIME_WAIT remnants.
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd.get(), 64) != 0) {
+      last_errno = errno;
+      continue;
+    }
+    sockaddr_storage bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      last_errno = errno;
+      continue;
+    }
+    address_ = format_bound(bound, bound_len, &port_);
+    fd_ = std::move(fd);
+    break;
+  }
+  ::freeaddrinfo(addrs);
+  if (!fd_.valid()) {
+    errno = last_errno;
+    throw_errno("TcpListener: bind/listen");
+  }
+}
+
+TcpListener::~TcpListener() { fd_.close(); }
+
+Fd TcpListener::accept() {
+  Fd client = accept_with_retry(fd_, stop_, "accept (tcp)");
+  if (client.valid()) set_nodelay(client.get());
+  return client;
+}
+
+void TcpListener::shutdown() {
+  stop_.store(true, std::memory_order_release);
+  fd_.shutdown_rw();
+}
+
+Fd tcp_connect(const HostPort& endpoint) {
+  addrinfo* addrs = resolve(endpoint, "tcp_connect");
+  int last_errno = 0;
+  Fd fd;
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    Fd candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last_errno = errno;
+      continue;
+    }
+    set_nodelay(candidate.get());
+    fd = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(addrs);
+  if (!fd.valid()) {
+    errno = last_errno;
+    const std::string host =
+        endpoint.host.empty() ? std::string("127.0.0.1") : endpoint.host;
+    throw_errno(("connect to '" + host + ":" +
+                 std::to_string(endpoint.port) + "'")
+                    .c_str());
   }
   return fd;
 }

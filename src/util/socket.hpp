@@ -1,11 +1,21 @@
-// Minimal RAII wrappers over AF_UNIX stream sockets — the local transport
-// of the mss-server job daemon. Blocking I/O only: the server dedicates a
-// thread per connection (connection counts are small — this is a local
-// service socket, not an internet listener), which keeps every send/recv
-// a straight-line call the framing layer can reason about.
+// Minimal RAII wrappers over the stream sockets the mss-server job daemon
+// speaks: AF_UNIX for same-machine clients and TCP (IPv4/IPv6) for clients
+// across machine boundaries. Blocking I/O only: the server dedicates a
+// thread per connection (connection counts are small — this is a service
+// socket, not an internet-scale listener), which keeps every send/recv a
+// straight-line call the framing layer can reason about.
+//
+// Accept-loop contract (both listeners): accept() retries transient
+// errnos — ECONNABORTED/EPROTO from a peer dying mid-handshake, and
+// EMFILE/ENFILE/ENOBUFS/ENOMEM fd/buffer exhaustion after a brief sleep —
+// and returns an invalid Fd only on the genuine shutdown path (an explicit
+// shutdown() call). A persistent unexpected errno throws instead of being
+// mistaken for shutdown, so a loaded server cannot silently stop accepting.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace mss::util {
@@ -53,8 +63,8 @@ class UnixListener {
   UnixListener(const UnixListener&) = delete;
   UnixListener& operator=(const UnixListener&) = delete;
 
-  /// Blocks for the next connection. Returns an invalid Fd once the
-  /// listener was shut down (the accept loop's exit signal).
+  /// Blocks for the next connection; retries transient errnos (see file
+  /// header). Returns an invalid Fd once shutdown() was called.
   [[nodiscard]] Fd accept();
 
   /// Unblocks accept() permanently (idempotent).
@@ -65,10 +75,63 @@ class UnixListener {
  private:
   std::string path_;
   Fd fd_;
+  std::atomic<bool> stop_{false};
 };
 
 /// Connects to a listening unix socket. Throws std::system_error when
 /// nobody listens.
 [[nodiscard]] Fd unix_connect(const std::string& path);
+
+/// A "host:port" endpoint. IPv6 literals use the bracket form
+/// "[::1]:4444"; an empty host means loopback (the bind/connect default —
+/// the protocol has no authentication, so nothing binds wildcard unless a
+/// host is given explicitly). Port 0 asks the kernel for an ephemeral
+/// port (TcpListener::port() reports the one actually bound).
+struct HostPort {
+  std::string host; ///< empty = loopback
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" / "[v6]:port" / ":port". Throws
+/// std::invalid_argument on a missing/garbled port.
+[[nodiscard]] HostPort parse_host_port(const std::string& spec);
+
+/// Listening TCP socket (IPv4 or IPv6 picked by the host literal,
+/// SO_REUSEADDR so a restarting daemon rebinds through TIME_WAIT).
+/// Accepted connections get TCP_NODELAY: the protocol is small
+/// request/reply frames, and Nagle would serialize them on RTTs.
+class TcpListener {
+ public:
+  /// Binds and listens. Empty host = IPv4 loopback; port 0 = ephemeral.
+  /// Throws std::system_error (bind/listen) or std::invalid_argument
+  /// (unparseable host).
+  explicit TcpListener(const HostPort& endpoint);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks for the next connection; same retry/shutdown contract as
+  /// UnixListener::accept().
+  [[nodiscard]] Fd accept();
+
+  /// Unblocks accept() permanently (idempotent).
+  void shutdown();
+
+  /// The port actually bound (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Numeric "host:port" of the bound endpoint ("[v6]:port" form).
+  [[nodiscard]] const std::string& address() const { return address_; }
+
+ private:
+  Fd fd_;
+  std::string address_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+/// Connects to a TCP endpoint (empty host = loopback) and enables
+/// TCP_NODELAY. Throws std::system_error when nobody listens.
+[[nodiscard]] Fd tcp_connect(const HostPort& endpoint);
 
 } // namespace mss::util

@@ -120,6 +120,58 @@ TEST(ResultCache, TornTailIsTruncatedAndAppendableAgain) {
   std::remove(path.c_str());
 }
 
+// The append loop retries short writes, so a crash can cut a record at
+// ANY byte — not just leave whole-header garbage like the test above.
+// Tear the last record mid-payload (past its 8-byte header, before its
+// end) and check replay recovers exactly the fully-written prefix.
+TEST(ResultCache, RecordTornMidPayloadIsTruncated) {
+  const std::string path = temp_path();
+  std::size_t before_last = 0;
+  {
+    ResultCache cache(path);
+    cache.insert("a", {Value(1.0), Value(std::int64_t(10))});
+    before_last = read_file(path).size();
+    cache.insert("b", {Value(2.0), Value(std::int64_t(20))});
+  }
+  const std::string intact = read_file(path);
+  const std::size_t last_record = intact.size() - before_last;
+  ASSERT_GT(last_record, 10u); // header (8) + at least 2 payload bytes
+  // Cut inside the last record's payload: header intact, payload short.
+  write_file(path, intact.substr(0, before_last + 10));
+  {
+    ResultCache cache(path);
+    EXPECT_EQ(cache.replayed(), 1u);
+    EXPECT_EQ(cache.discarded_bytes(), 10u);
+    EXPECT_TRUE(cache.lookup("a").has_value());
+    EXPECT_FALSE(cache.lookup("b").has_value());
+    cache.insert("b", {Value(2.0), Value(std::int64_t(20))}); // recompute
+  }
+  ResultCache cache(path);
+  EXPECT_EQ(cache.replayed(), 2u);
+  EXPECT_EQ(cache.discarded_bytes(), 0u);
+  EXPECT_TRUE(cache.lookup("b").has_value());
+  std::remove(path.c_str());
+}
+
+// Same idea, torn inside the 8-byte length/CRC header itself.
+TEST(ResultCache, RecordTornMidHeaderIsTruncated) {
+  const std::string path = temp_path();
+  std::size_t before_last = 0;
+  {
+    ResultCache cache(path);
+    cache.insert("a", {Value(1.0)});
+    before_last = read_file(path).size();
+    cache.insert("b", {Value(2.0)});
+  }
+  const std::string intact = read_file(path);
+  write_file(path, intact.substr(0, before_last + 5)); // len + 1 CRC byte
+  ResultCache cache(path);
+  EXPECT_EQ(cache.replayed(), 1u);
+  EXPECT_EQ(cache.discarded_bytes(), 5u);
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  std::remove(path.c_str());
+}
+
 TEST(ResultCache, CrcCorruptionDropsTheRecord) {
   const std::string path = temp_path();
   {

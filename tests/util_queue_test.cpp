@@ -65,11 +65,15 @@ TEST(PriorityBlockingQueue, CloseDrainsThenReturnsNullopt) {
   EXPECT_FALSE(q.pop().has_value()); // stays closed
 }
 
-TEST(PriorityBlockingQueue, PushAfterCloseIsIgnored) {
+TEST(PriorityBlockingQueue, PushAfterCloseIsIgnoredAndReportsFalse) {
   PriorityBlockingQueue<int> q;
+  EXPECT_TRUE(q.push(1, 0)); // open queue accepts
   q.close();
-  q.push(1, 0);
-  EXPECT_EQ(q.size(), 0u);
+  // The executor's re-enqueue path relies on this false: a popped job
+  // whose re-push is refused must be finished off, not silently lost.
+  EXPECT_FALSE(q.push(2, 0));
+  EXPECT_EQ(q.size(), 1u); // only the pre-close item
+  EXPECT_EQ(q.pop(), 1);
   EXPECT_FALSE(q.pop().has_value());
 }
 

@@ -1,12 +1,14 @@
-// mss-client: submit, monitor and fetch jobs on a running mss-server.
+// mss-client: submit, monitor and fetch jobs on a running mss-server,
+// over its unix socket (--socket PATH, the default transport) or TCP
+// (--connect HOST:PORT — same protocol, works across machines).
 //
-//   mss-client [--socket PATH] experiments
-//   mss-client [--socket PATH] submit EXPERIMENT [submit flags]
-//   mss-client [--socket PATH] status JOB
-//   mss-client [--socket PATH] cancel JOB
-//   mss-client [--socket PATH] fetch JOB [--format console|csv|json]
-//   mss-client [--socket PATH] run EXPERIMENT [submit flags] [--format ...]
-//   mss-client [--socket PATH] shutdown
+//   mss-client [transport] experiments
+//   mss-client [transport] submit EXPERIMENT [submit flags]
+//   mss-client [transport] status JOB
+//   mss-client [transport] cancel JOB
+//   mss-client [transport] fetch JOB [--format console|csv|json]
+//   mss-client [transport] run EXPERIMENT [submit flags] [--format ...]
+//   mss-client [transport] shutdown
 //
 // submit flags: --seed N --priority N --chunk N --threads N
 // `run` = submit + blocking fetch in one call.
@@ -23,7 +25,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--socket PATH] COMMAND ...\n"
+      "usage: %s [--socket PATH | --connect HOST:PORT] COMMAND ...\n"
       "  experiments                         list servable experiments\n"
       "  submit EXP [--seed N] [--priority N] [--chunk N] [--threads N]\n"
       "  status JOB                          one status snapshot\n"
@@ -37,14 +39,15 @@ void usage(const char* argv0) {
 void print_status(const mss::server::JobStatus& s, FILE* out = stdout) {
   std::fprintf(out,
                "job %llu: %s  rows %llu/%llu  evaluated %llu  cache-hits "
-               "%llu  memo-hits %llu\n",
+               "%llu  memo-hits %llu  slices %llu\n",
                static_cast<unsigned long long>(s.id),
                mss::server::to_string(s.state),
                static_cast<unsigned long long>(s.rows_done),
                static_cast<unsigned long long>(s.total),
                static_cast<unsigned long long>(s.evaluated),
                static_cast<unsigned long long>(s.cache_hits),
-               static_cast<unsigned long long>(s.memo_hits));
+               static_cast<unsigned long long>(s.memo_hits),
+               static_cast<unsigned long long>(s.slices));
   if (!s.error.empty()) std::fprintf(out, "  error: %s\n", s.error.c_str());
 }
 
@@ -74,6 +77,7 @@ std::uint64_t parse_u64(const char* s) {
 
 int main(int argc, char** argv) {
   std::string socket_path = "./mss-server.sock";
+  std::string connect_address; // non-empty = TCP transport
   std::string format = "console";
   mss::server::SubmitOptions submit;
   std::vector<std::string> positional;
@@ -89,6 +93,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--socket") {
       socket_path = next();
+    } else if (arg == "--connect") {
+      connect_address = next();
     } else if (arg == "--format") {
       format = next();
     } else if (arg == "--seed") {
@@ -116,7 +122,10 @@ int main(int argc, char** argv) {
   const std::string& command = positional[0];
 
   try {
-    mss::server::Client client(socket_path);
+    mss::server::Client client =
+        connect_address.empty()
+            ? mss::server::Client(socket_path)
+            : mss::server::Client::connect_tcp(connect_address);
 
     if (command == "experiments") {
       for (const auto& exp : client.experiments()) {

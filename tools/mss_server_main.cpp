@@ -22,18 +22,27 @@ void on_signal(int) { g_stop.store(true); }
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--socket PATH] [--cache PATH] [--threads N]\n"
-               "          [--chunk N] [--stripe N]\n"
+               "usage: %s [--socket PATH] [--listen HOST:PORT] [--cache "
+               "PATH]\n"
+               "          [--threads N] [--chunk N] [--stripe N]\n"
                "  --socket PATH   unix socket to listen on "
                "(default ./mss-server.sock)\n"
+               "  --listen H:P    additionally listen on TCP (\":0\" = "
+               "loopback,\n"
+               "                  ephemeral port; the actual endpoint is "
+               "printed).\n"
+               "                  No authentication: bind loopback unless "
+               "the\n"
+               "                  network is trusted\n"
                "  --cache PATH    persistent result cache file; omit for a\n"
                "                  purely in-memory cache (no cross-run "
                "resume)\n"
                "  --threads N     job thread policy: 0 = shared pool "
                "(default), 1 = serial\n"
                "  --chunk N       default sweep chunk size (default 1)\n"
-               "  --stripe N      chunks per streaming/cancellation stripe "
-               "(default 8)\n",
+               "  --stripe N      chunks per streaming/cancellation/"
+               "scheduling stripe\n"
+               "                  (default 8)\n",
                argv0);
 }
 
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--socket") {
       options.socket_path = next();
+    } else if (arg == "--listen") {
+      options.listen_address = next();
     } else if (arg == "--cache") {
       options.cache_path = next();
     } else if (arg == "--threads") {
@@ -78,6 +89,12 @@ int main(int argc, char** argv) {
     const auto& cache = server.cache();
     std::fprintf(stderr, "mss-server: listening on %s\n",
                  server.socket_path().c_str());
+    if (!server.tcp_address().empty()) {
+      // The tcp:// line is machine-parseable: tests (and scripts) read the
+      // ephemeral port back from it when --listen used port 0.
+      std::fprintf(stderr, "mss-server: listening on tcp://%s\n",
+                   server.tcp_address().c_str());
+    }
     if (!cache.path().empty()) {
       std::fprintf(stderr,
                    "mss-server: cache %s (%zu rows replayed, %zu bytes of "

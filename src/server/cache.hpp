@@ -21,6 +21,25 @@
 // first bad record, so the next append lands on a clean boundary instead
 // of burying garbage mid-file. CRC (not just length) guards against a
 // torn write whose length field survived.
+//
+// Disk-failure degradation: an append that fails mid-record (ENOSPC, EIO)
+// is rolled back with ftruncate to the last clean record boundary and the
+// cache drops to memory-only mode (`persistent()` turns false) — the row
+// is still served from the in-memory index and jobs keep streaming; only
+// cross-run persistence of *new* rows is lost. A later successful
+// compact() re-enables persistence (compaction proves the disk writes
+// again). The file is never left with a torn tail by a *surviving*
+// process; replay-truncation covers the killed ones.
+//
+// Growth management: `CacheOptions::max_bytes` caps the file. An append
+// that would cross the cap first triggers a compaction (dropping
+// first-write-wins duplicate records left by concurrent writers); if the
+// file still cannot take the record under the cap, the append is skipped
+// (counted in `capped_appends()`) and the row lives in memory only.
+// `compact()` rewrites the file via temp-file + rename: the rewritten
+// image is re-parsed and every row proven bit-identical to the in-memory
+// index *before* the rename swaps it in, so a crash at any point leaves
+// either the old or the new file, both valid.
 #pragma once
 
 #include <cstddef>
@@ -44,12 +63,26 @@ namespace mss::server {
                                     std::uint64_t seed,
                                     const std::string& point_key);
 
+struct CacheOptions {
+  /// Maximum cache file size in bytes; 0 = unlimited. Appends that would
+  /// cross the cap trigger a compaction, then drop to memory-only.
+  std::size_t max_bytes = 0;
+};
+
+/// What a compact() pass did.
+struct CompactStats {
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+  std::size_t records_before = 0; ///< file records, duplicates included
+  std::size_t records_after = 0;  ///< == live entries
+};
+
 /// The persistent row cache. Thread-safe; one instance per server.
 class ResultCache {
  public:
   /// Opens (creating if absent) and replays `path`. Empty path = purely
   /// in-memory (no persistence) — the executor unit tests use this.
-  explicit ResultCache(const std::string& path);
+  explicit ResultCache(const std::string& path, CacheOptions options = {});
   ~ResultCache();
 
   ResultCache(const ResultCache&) = delete;
@@ -61,8 +94,17 @@ class ResultCache {
 
   /// Appends (key, row) to the file and the in-memory index. A key that is
   /// already present is ignored (first write wins — the memo-hit
-  /// semantics: the first computed result is the canonical one).
+  /// semantics: the first computed result is the canonical one). Disk
+  /// failures degrade to memory-only (see header) — insert never throws
+  /// for them, so a full disk cannot fail jobs.
   void insert(const std::string& key, const std::vector<sweep::Value>& row);
+
+  /// Rewrites the file with exactly one record per live entry, in
+  /// first-insertion order, via temp-file + rename. The new image is
+  /// re-parsed and verified bit-identical to the index before the swap.
+  /// Throws std::system_error / std::runtime_error on failure — the
+  /// original file is left untouched. No-op (zeros) when in-memory.
+  CompactStats compact();
 
   /// Entries currently indexed.
   [[nodiscard]] std::size_t entries() const;
@@ -70,18 +112,52 @@ class ResultCache {
   [[nodiscard]] std::size_t replayed() const { return replayed_; }
   /// Bytes discarded from the tail during replay (torn/corrupt records).
   [[nodiscard]] std::size_t discarded_bytes() const { return discarded_; }
+  /// Current file size in bytes (header + clean records); 0 if in-memory.
+  [[nodiscard]] std::size_t file_bytes() const;
+  /// False when a disk failure dropped the cache to memory-only mode (or
+  /// the cache was opened without a path).
+  [[nodiscard]] bool persistent() const;
+  /// Appends skipped because the size cap left no room even after
+  /// compaction.
+  [[nodiscard]] std::size_t capped_appends() const;
+  /// Disk-failure count (each one rolled back; the first drops
+  /// persistence).
+  [[nodiscard]] std::size_t append_failures() const;
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   void replay();
+  /// Serializes one record (length | crc | payload) for (key, row).
+  [[nodiscard]] static std::string encode_record(
+      const std::string& key, const std::vector<sweep::Value>& row);
+  /// Parses `bytes` (a whole file image) record by record; stops at the
+  /// first torn/corrupt record. Appends (key, row) pairs of *first*
+  /// occurrences to `out`, returns the clean-prefix length and counts all
+  /// valid records (duplicates included) in `records`.
+  static std::size_t parse_image(
+      const std::string& bytes,
+      std::vector<std::pair<std::string, std::vector<sweep::Value>>>& out,
+      std::size_t& records);
+  CompactStats compact_locked();
+  /// Appends `record` with rollback-to-boundary + degrade on failure.
+  void append_locked(const std::string& record);
 
   std::string path_;
-  int fd_ = -1; ///< O_APPEND fd; -1 when in-memory
+  CacheOptions options_;
+  int fd_ = -1; ///< O_APPEND fd; -1 when in-memory or degraded
   mutable std::mutex m_;
   std::unordered_map<std::string, std::vector<sweep::Value>> map_;
+  /// First-insertion order of map_ keys (stable node pointers) — the
+  /// deterministic record order compact() writes.
+  std::vector<const std::string*> order_;
   std::size_t replayed_ = 0;
   std::size_t discarded_ = 0;
+  std::size_t file_bytes_ = 0;   ///< clean bytes on disk
+  std::size_t file_records_ = 0; ///< records on disk, duplicates included
+  std::size_t disk_entries_ = 0; ///< distinct keys on disk
+  std::size_t capped_ = 0;
+  std::size_t append_failures_ = 0;
 };
 
 } // namespace mss::server

@@ -59,19 +59,34 @@ struct FetchResult {
   JobStatus status;
 };
 
+/// Client-side deadlines. Zero = block forever (the pre-hardening
+/// behaviour); the mss-client tool always sets both, so a dead daemon
+/// fails fast instead of hanging the terminal.
+struct ClientOptions {
+  /// connect(2) deadline in ms (0 = blocking connect).
+  int connect_timeout_ms = 0;
+  /// Per-RPC idle deadline in ms (0 = none): an in-flight reply making no
+  /// byte of progress for this long throws ETIMEDOUT. Idle, not total —
+  /// a long fetch that keeps streaming rows never trips it.
+  int io_timeout_ms = 0;
+};
+
 class Client {
  public:
   /// Connects over the unix socket and performs the Hello handshake;
-  /// throws ServerError on a version refusal, std::system_error when
-  /// nobody listens.
-  explicit Client(const std::string& socket_path);
+  /// throws ServerError on a version refusal (or Error{Busy} when the
+  /// server's connection cap is reached), std::system_error when nobody
+  /// listens or a deadline expires.
+  explicit Client(const std::string& socket_path,
+                  const ClientOptions& options = {});
 
   /// Adopts an already-connected transport fd and performs the handshake.
-  explicit Client(util::Fd fd);
+  explicit Client(util::Fd fd, const ClientOptions& options = {});
 
   /// Connects over TCP ("host:port", "[v6]:port"); same handshake and
   /// error contract as the unix constructor.
-  [[nodiscard]] static Client connect_tcp(const std::string& host_port);
+  [[nodiscard]] static Client connect_tcp(const std::string& host_port,
+                                          const ClientOptions& options = {});
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -109,7 +124,68 @@ class Client {
   static JobStatus parse_status_body(WireReader& r);
 
   util::Fd fd_;
+  ClientOptions options_;
   std::string server_id_;
 };
+
+// --- resilience layer --------------------------------------------------------
+//
+// Retrying a *whole* run (connect + submit + fetch) is safe because the
+// server's persistent cache is first-write-wins: a resubmitted job serves
+// every already-computed point from the cache bit-identically, so a retry
+// resumes instead of recomputing, and the final table is the same bytes
+// whichever attempt completes it.
+
+/// Where a resilient client connects: a unix socket path or a TCP
+/// "host:port" endpoint.
+struct Endpoint {
+  std::string socket_path; ///< used when non-empty
+  std::string host_port;   ///< TCP endpoint otherwise
+  [[nodiscard]] static Endpoint unix_socket(std::string path) {
+    return Endpoint{std::move(path), {}};
+  }
+  [[nodiscard]] static Endpoint tcp(std::string host_port) {
+    return Endpoint{{}, std::move(host_port)};
+  }
+};
+
+/// Exponential-backoff-with-jitter policy. Deterministic: the jitter
+/// stream is seeded, so tests replay the exact sleep sequence.
+struct RetryOptions {
+  int attempts = 5;            ///< total tries (1 = no retry)
+  int initial_backoff_ms = 50; ///< first sleep
+  double backoff_factor = 2.0; ///< growth per retry
+  int max_backoff_ms = 2'000;  ///< backoff ceiling (before jitter)
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+  /// Observer for each retry: (attempt just failed [1-based], reason,
+  /// upcoming sleep in ms). Tests and the CLI's verbose mode hook this.
+  std::function<void(int attempt, const std::string& why, int sleep_ms)>
+      on_retry;
+};
+
+/// True for failures worth retrying: transport errors (std::system_error
+/// — refused/reset/timeout), protocol tear-downs (WireError — EOF
+/// mid-reply), and the two explicitly-retryable server refusals
+/// (Error{Busy}, Error{ShuttingDown}). Everything else — BadVersion,
+/// UnknownExperiment, Internal… — would fail identically on every retry.
+[[nodiscard]] bool retryable_error(const std::exception& e);
+
+/// Connects (unix or TCP per `where`) with deadlines and backoff-retries.
+/// Throws the last attempt's error when every try fails.
+[[nodiscard]] Client connect_with_retry(const Endpoint& where,
+                                        const ClientOptions& options = {},
+                                        const RetryOptions& retry = {});
+
+/// The resilient one-shot: connect, submit, fetch — retried as a unit
+/// with exponential backoff on any retryable failure, resuming from the
+/// server's cache (see above). `on_row` may observe rows more than once
+/// across attempts (each fetch restreams from row 0); the returned table
+/// is the single successful attempt's, complete and in order.
+[[nodiscard]] FetchResult run_with_retry(
+    const Endpoint& where, const std::string& experiment_id,
+    const SubmitOptions& submit = {}, const ClientOptions& options = {},
+    const RetryOptions& retry = {},
+    const std::function<void(const std::vector<sweep::Value>&)>& on_row =
+        nullptr);
 
 } // namespace mss::server

@@ -45,8 +45,9 @@ const char* to_string(JobState s) {
 Server::Server(ServerOptions options, Registry registry)
     : options_(std::move(options)),
       registry_(std::move(registry)),
-      cache_(options_.cache_path),
+      cache_(options_.cache_path, CacheOptions{options_.cache_max_bytes}),
       listener_(options_.socket_path) {
+  if (options_.compact_cache_on_start) cache_.compact();
   if (!options_.listen_address.empty()) {
     tcp_listener_.emplace(util::parse_host_port(options_.listen_address));
   }
@@ -63,6 +64,7 @@ void Server::start() {
     tcp_accept_thread_ = std::thread([this] { accept_loop_tcp(*tcp_listener_); });
   }
   executor_thread_ = std::thread([this] { executor_loop(); });
+  reaper_thread_ = std::thread([this] { reaper_loop(); });
 }
 
 void Server::request_stop() {
@@ -83,16 +85,18 @@ void Server::request_stop() {
     std::lock_guard<std::mutex> lk(conns_m_);
     for (auto& conn : conns_) conn.fd.shutdown_rw();
   }
+  conns_cv_.notify_all();
 }
 
 void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   if (tcp_accept_thread_.joinable()) tcp_accept_thread_.join();
   if (executor_thread_.joinable()) executor_thread_.join();
-  // The accept threads (sole erasers of conns_) are joined: the list
-  // structure is stable, safe to iterate unlocked — and we must not hold
-  // conns_m_ here, a handler serving a Shutdown frame takes it inside
-  // request_stop() and again when closing its fd on exit.
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  // The accept threads and the reaper (sole erasers of conns_) are
+  // joined: the list structure is stable, safe to iterate unlocked — and
+  // we must not hold conns_m_ here, a handler serving a Shutdown frame
+  // takes it inside request_stop() and again when closing its fd on exit.
   for (auto& conn : conns_) {
     if (conn.th.joinable()) conn.th.join();
   }
@@ -101,6 +105,15 @@ void Server::wait() {
 std::size_t Server::connection_entries() const {
   std::lock_guard<std::mutex> lk(conns_m_);
   return conns_.size();
+}
+
+std::size_t Server::live_connections() const {
+  std::lock_guard<std::mutex> lk(conns_m_);
+  std::size_t n = 0;
+  for (const auto& conn : conns_) {
+    if (!conn.done.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
 }
 
 void Server::accept_loop(util::UnixListener& listener) {
@@ -132,19 +145,40 @@ void Server::accept_loop_tcp(util::TcpListener& listener) {
 void Server::handle_accepted(util::Fd client) {
   // Garbage-collect finished handlers before adding a new one: the table
   // stays bounded by live connections (+ reap latency), not by the
-  // connection count since startup.
+  // connection count since startup. The dedicated reaper also collects on
+  // every handler exit, so an idle accept loop does not delay reclamation.
   reap_finished_conns();
-  std::lock_guard<std::mutex> lk(conns_m_);
-  conns_.emplace_back();
-  Conn& conn = conns_.back();
-  conn.fd = std::move(client);
-  if (stopping_.load(std::memory_order_relaxed)) {
-    // request_stop() may already have swept conns_ — shut this one down
-    // ourselves (under the same mutex, so exactly one of us does it
-    // last) and let the handler exit on the dead socket.
-    conn.fd.shutdown_rw();
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    std::size_t live = 0;
+    for (const auto& conn : conns_) {
+      if (!conn.done.load(std::memory_order_acquire)) ++live;
+    }
+    if (options_.max_conns == 0 || live < options_.max_conns) {
+      conns_.emplace_back();
+      Conn& conn = conns_.back();
+      conn.fd = std::move(client);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        // request_stop() may already have swept conns_ — shut this one
+        // down ourselves (under the same mutex, so exactly one of us does
+        // it last) and let the handler exit on the dead socket.
+        conn.fd.shutdown_rw();
+      }
+      conn.th = std::thread([this, &conn] { handle_connection(conn); });
+      return;
+    }
   }
-  conn.th = std::thread([this, &conn] { handle_connection(conn); });
+  // Over the cap: a typed, retryable refusal instead of a silent close or
+  // an unbounded handler pile-up. Sent outside conns_m_ (a fresh socket's
+  // send buffer is empty, but a hostile peer must not stall the accept
+  // loop while holding the connection-table lock); failures are the
+  // peer's problem.
+  try {
+    send_frame(client, error_payload(ErrorCode::Busy,
+                                     "connection limit reached, retry later"),
+               options_.io_timeout_ms);
+  } catch (...) {
+  }
 }
 
 void Server::reap_finished_conns() {
@@ -164,6 +198,25 @@ void Server::reap_finished_conns() {
   for (auto& conn : finished) {
     if (conn.th.joinable()) conn.th.join();
   }
+}
+
+void Server::reaper_loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(conns_m_);
+      conns_cv_.wait(lk, [this] {
+        if (stopping_.load(std::memory_order_relaxed)) return true;
+        for (const auto& conn : conns_) {
+          if (conn.done.load(std::memory_order_acquire)) return true;
+        }
+        return false;
+      });
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    reap_finished_conns();
+  }
+  // Leftover entries (handlers still draining at shutdown) are joined by
+  // wait() after every eraser thread is gone.
 }
 
 void Server::executor_loop() {
@@ -263,15 +316,21 @@ void Server::finish_cancelled(Job& job) {
 
 void Server::handle_connection(Conn& conn) {
   util::Fd& fd = conn.fd;
+  // Every receive and send carries the per-connection idle timeout: a peer
+  // making no byte of progress for io_timeout_ms — half a header then
+  // silence (slow loris), or a fetch reader that stopped draining — throws
+  // ETIMEDOUT out of the frame loop and is evicted like any dead socket.
+  const int t = options_.io_timeout_ms;
   try {
-    const auto hello = recv_frame(fd);
+    const auto hello = recv_frame(fd, t);
     if (hello) {
       bool ok = false;
       {
         WireReader r(*hello);
         if (FrameType(r.u8()) != FrameType::Hello) {
           send_frame(fd, error_payload(ErrorCode::BadFrame,
-                                       "expected Hello handshake"));
+                                       "expected Hello handshake"),
+                     t);
         } else {
           const std::uint32_t version = r.u32();
           if (version != kProtocolVersion) {
@@ -279,19 +338,20 @@ void Server::handle_connection(Conn& conn) {
                                ErrorCode::BadVersion,
                                "protocol version " + std::to_string(version) +
                                    " unsupported, server speaks " +
-                                   std::to_string(kProtocolVersion)));
+                                   std::to_string(kProtocolVersion)),
+                       t);
           } else {
             WireWriter w;
             w.u8(std::uint8_t(FrameType::HelloOk));
             w.u32(kProtocolVersion);
             w.str(options_.server_id);
-            send_frame(fd, w.take());
+            send_frame(fd, w.take(), t);
             ok = true;
           }
         }
       }
       if (ok) {
-        while (auto payload = recv_frame(fd)) {
+        while (auto payload = recv_frame(fd, t)) {
           if (!handle_frame(fd, *payload)) break;
         }
       }
@@ -299,19 +359,24 @@ void Server::handle_connection(Conn& conn) {
   } catch (const WireError&) {
     // Oversized/garbled framing: best-effort error, then drop the peer.
     try {
-      send_frame(fd, error_payload(ErrorCode::BadFrame, "malformed frame"));
+      send_frame(fd, error_payload(ErrorCode::BadFrame, "malformed frame"), t);
     } catch (...) {
     }
   } catch (const std::exception&) {
-    // Socket torn down (peer died or server stopping) — nothing to reply to.
+    // Socket torn down (peer died, idle timeout, or server stopping) —
+    // nothing to reply to.
   }
   // Handler exit = connection over: release the fd now (not at server
   // shutdown — a daemon must not leak an fd per client for its lifetime)
-  // and flag the entry for the accept loop's reaper. Under conns_m_ so the
-  // close cannot race request_stop()'s shutdown sweep.
-  std::lock_guard<std::mutex> lk(conns_m_);
-  conn.fd.close();
-  conn.done.store(true, std::memory_order_release);
+  // and flag the entry, then wake the reaper so the slot is reclaimed
+  // immediately, not at the next accept. Under conns_m_ so the close
+  // cannot race request_stop()'s shutdown sweep.
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    conn.fd.close();
+    conn.done.store(true, std::memory_order_release);
+  }
+  conns_cv_.notify_all();
 }
 
 bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
@@ -320,7 +385,8 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
   try {
     type = FrameType(r.u8());
   } catch (const WireError&) {
-    send_frame(fd, error_payload(ErrorCode::BadFrame, "empty frame"));
+    send_frame(fd, error_payload(ErrorCode::BadFrame, "empty frame"),
+               options_.io_timeout_ms);
     return true;
   }
 
@@ -343,26 +409,30 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
           send_frame(fd, error_payload(ErrorCode::UnknownExperiment,
                                        "no experiment '" + exp_id +
                                            "' at version " +
-                                           std::to_string(version)));
+                                           std::to_string(version)),
+                     options_.io_timeout_ms);
           return true;
         }
         if (!has_space) {
           if (!exp->default_space) {
             send_frame(fd, error_payload(ErrorCode::Internal,
                                          "experiment '" + exp_id +
-                                             "' has no default space"));
+                                             "' has no default space"),
+                       options_.io_timeout_ms);
             return true;
           }
           try {
             space = exp->default_space();
           } catch (const std::exception& e) {
-            send_frame(fd, error_payload(ErrorCode::Internal, e.what()));
+            send_frame(fd, error_payload(ErrorCode::Internal, e.what()),
+                       options_.io_timeout_ms);
             return true;
           }
         }
         if (stopping_.load(std::memory_order_relaxed)) {
           send_frame(fd, error_payload(ErrorCode::ShuttingDown,
-                                       "server is shutting down"));
+                                       "server is shutting down"),
+                     options_.io_timeout_ms);
           return true;
         }
 
@@ -390,7 +460,7 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
         WireWriter w;
         w.u8(std::uint8_t(FrameType::Submitted));
         w.u64(job->id);
-        send_frame(fd, w.take());
+        send_frame(fd, w.take(), options_.io_timeout_ms);
         return true;
       }
 
@@ -401,7 +471,8 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
         const auto job = find_job(id);
         if (!job) {
           send_frame(fd, error_payload(ErrorCode::UnknownJob,
-                                       "no job " + std::to_string(id)));
+                                       "no job " + std::to_string(id)),
+                     options_.io_timeout_ms);
           return true;
         }
         JobStatus status;
@@ -419,7 +490,7 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
         WireWriter w;
         w.u8(std::uint8_t(FrameType::StatusOk));
         write_status_body(w, status);
-        send_frame(fd, w.take());
+        send_frame(fd, w.take(), options_.io_timeout_ms);
         return true;
       }
 
@@ -429,7 +500,8 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
         const auto job = find_job(id);
         if (!job) {
           send_frame(fd, error_payload(ErrorCode::UnknownJob,
-                                       "no job " + std::to_string(id)));
+                                       "no job " + std::to_string(id)),
+                     options_.io_timeout_ms);
           return true;
         }
         stream_fetch(fd, *job);
@@ -458,14 +530,14 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
           w.u32(std::uint32_t(exp.columns.size()));
           for (const auto& col : exp.columns) w.str(col);
         }
-        send_frame(fd, w.take());
+        send_frame(fd, w.take(), options_.io_timeout_ms);
         return true;
       }
 
       case FrameType::Shutdown: {
         WireWriter w;
         w.u8(std::uint8_t(FrameType::ShutdownOk));
-        send_frame(fd, w.take());
+        send_frame(fd, w.take(), options_.io_timeout_ms);
         request_stop();
         return false;
       }
@@ -473,11 +545,13 @@ bool Server::handle_frame(util::Fd& fd, const std::string& payload) {
       default:
         send_frame(fd, error_payload(ErrorCode::BadFrame,
                                      "unexpected frame type " +
-                                         std::to_string(int(type))));
+                                         std::to_string(int(type))),
+                   options_.io_timeout_ms);
         return true;
     }
   } catch (const WireError& e) {
-    send_frame(fd, error_payload(ErrorCode::BadFrame, e.what()));
+    send_frame(fd, error_payload(ErrorCode::BadFrame, e.what()),
+               options_.io_timeout_ms);
     return true;
   }
 }
@@ -489,7 +563,7 @@ void Server::stream_fetch(util::Fd& fd, Job& job) {
     w.u64(job.id);
     w.u32(std::uint32_t(job.exp->columns.size()));
     for (const auto& col : job.exp->columns) w.str(col);
-    send_frame(fd, w.take());
+    send_frame(fd, w.take(), options_.io_timeout_ms);
   }
 
   std::size_t sent = 0;
@@ -513,14 +587,14 @@ void Server::stream_fetch(util::Fd& fd, Job& job) {
       w.u8(std::uint8_t(FrameType::Row));
       w.u32(std::uint32_t(row.size()));
       for (const auto& cell : row) w.value(cell);
-      send_frame(fd, w.take());
+      send_frame(fd, w.take(), options_.io_timeout_ms);
     }
     sent += batch.size();
     if (terminal) {
       WireWriter w;
       w.u8(std::uint8_t(FrameType::TableEnd));
       write_status_body(w, final_status);
-      send_frame(fd, w.take());
+      send_frame(fd, w.take(), options_.io_timeout_ms);
       return;
     }
   }

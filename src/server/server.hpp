@@ -53,6 +53,20 @@ struct ServerOptions {
   std::string listen_address;
   /// Persistent cache file; empty = in-memory only (no cross-run resume).
   std::string cache_path;
+  /// Cache file size cap in bytes (0 = unlimited); see CacheOptions.
+  std::size_t cache_max_bytes = 0;
+  /// Compact the cache (drop duplicate records) before serving.
+  bool compact_cache_on_start = false;
+  /// Per-connection idle I/O timeout in ms (0 = none). A peer that makes
+  /// no byte of progress for this long — a slow-loris half-frame, or a
+  /// reader that stopped draining its fetch — is evicted; its handler
+  /// thread and fd are reclaimed. Generous by default: only a genuinely
+  /// wedged peer trips it.
+  int io_timeout_ms = 120'000;
+  /// Connection cap, enforced against *live* connections (finished
+  /// handlers are reaped on exit, not just at the next accept). Excess
+  /// clients get a typed Error{Busy} frame and a clean close. 0 = none.
+  std::size_t max_conns = 256;
   /// Default thread policy for job execution (0 = shared global pool).
   std::size_t threads = 0;
   /// Default chunk_size when a Submit carries 0.
@@ -130,10 +144,13 @@ class Server {
   [[nodiscard]] const ResultCache& cache() const { return cache_; }
   [[nodiscard]] const Registry& registry() const { return registry_; }
 
-  /// Connection-table entries (live handlers plus not-yet-reaped finished
-  /// ones — bounded by live connections + the reap latency of one accept).
+  /// Connection-table entries (live handlers plus finished ones the
+  /// reaper has not collected yet — the reaper runs on every handler
+  /// exit, so this converges to the live count without any new accept).
   /// Observability for the fd-leak regression tests.
   [[nodiscard]] std::size_t connection_entries() const;
+  /// Connections whose handler is still running — what max_conns gates.
+  [[nodiscard]] std::size_t live_connections() const;
 
  private:
   struct Job {
@@ -171,6 +188,11 @@ class Server {
   void handle_accepted(util::Fd client);
   /// Joins and erases connection entries whose handlers have exited.
   void reap_finished_conns();
+  /// Dedicated reap thread: woken by every handler exit (and a periodic
+  /// tick), so finished handlers are collected promptly even on an idle
+  /// daemon — max_conns is enforced against live connections, never
+  /// against stale table entries.
+  void reaper_loop();
   void executor_loop();
   void handle_connection(Conn& conn);
   /// One request frame -> zero or more reply frames. Returns false when
@@ -201,7 +223,10 @@ class Server {
   std::thread accept_thread_;
   std::thread tcp_accept_thread_;
   std::thread executor_thread_;
+  std::thread reaper_thread_;
   mutable std::mutex conns_m_;
+  /// Wakes the reaper: signalled by every handler exit and request_stop().
+  std::condition_variable conns_cv_;
   std::list<Conn> conns_;
 };
 

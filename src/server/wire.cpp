@@ -1,5 +1,6 @@
 #include "server/wire.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <system_error>
@@ -165,7 +166,11 @@ sweep::ParamSpace WireReader::space() {
       const std::uint64_t n_values = u64();
       if (n_values > (1u << 24)) throw WireError("wire: axis too long");
       std::vector<sweep::Value> vals;
-      vals.reserve(std::size_t(n_values));
+      // Reserve only what the remaining payload could actually encode
+      // (every value is >= 5 bytes): a hostile length field must not be
+      // able to commit hundreds of MB before truncation is detected.
+      vals.reserve(std::size_t(
+          std::min<std::uint64_t>(n_values, remaining() / 5 + 1)));
       for (std::uint64_t v = 0; v < n_values; ++v) vals.push_back(value());
       axes.push_back(sweep::Axis::values(std::move(name), std::move(vals)));
     }
@@ -185,7 +190,8 @@ sweep::ParamSpace WireReader::space() {
 
 // --- framing -----------------------------------------------------------------
 
-void send_frame(const util::Fd& fd, const std::string& payload) {
+void send_frame(const util::Fd& fd, const std::string& payload,
+                int idle_timeout_ms) {
   if (payload.size() > kMaxFrameBytes) {
     throw WireError("wire: frame payload too large");
   }
@@ -194,18 +200,21 @@ void send_frame(const util::Fd& fd, const std::string& payload) {
   for (int i = 0; i < 4; ++i) head[i] = char(len >> (8 * i));
   // One send for the header keeps syscall count at 2/frame; the transport
   // is a stream socket, so splitting is semantically irrelevant.
-  util::write_all(fd, head, sizeof head);
-  util::write_all(fd, payload.data(), payload.size());
+  util::write_all(fd, head, sizeof head, idle_timeout_ms);
+  util::write_all(fd, payload.data(), payload.size(), idle_timeout_ms);
 }
 
-std::optional<std::string> recv_frame(const util::Fd& fd) {
+std::optional<std::string> recv_frame(const util::Fd& fd,
+                                      int idle_timeout_ms) {
   unsigned char head[4];
-  if (!util::read_exact(fd, head, sizeof head)) return std::nullopt;
+  if (!util::read_exact(fd, head, sizeof head, idle_timeout_ms)) {
+    return std::nullopt;
+  }
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= std::uint32_t(head[i]) << (8 * i);
   if (len > kMaxFrameBytes) throw WireError("wire: oversized frame");
   std::string payload(len, '\0');
-  if (len > 0 && !util::read_exact(fd, payload.data(), len)) {
+  if (len > 0 && !util::read_exact(fd, payload.data(), len, idle_timeout_ms)) {
     throw std::system_error(std::make_error_code(std::errc::connection_reset),
                             "recv_frame: EOF mid-frame");
   }

@@ -81,6 +81,8 @@ enum class ErrorCode : std::uint16_t {
                          ///< no record of (e.g. submitted before a restart)
   ShuttingDown = 5,      ///< request raced the server's stop
   Internal = 6,          ///< evaluation threw; message carries what()
+  Busy = 7,              ///< connection cap reached; sent instead of the
+                         ///< HelloOk, then the server closes — retryable
 };
 
 /// Thrown by WireReader on truncated/malformed input; the server converts
@@ -143,10 +145,18 @@ class WireReader {
 };
 
 /// Sends one frame (length prefix + payload) over a socket.
-void send_frame(const util::Fd& fd, const std::string& payload);
+/// `idle_timeout_ms > 0`: a peer accepting no byte for that long fails the
+/// send with ETIMEDOUT (util::write_all's idle-timeout semantics) — how
+/// the server evicts a stalled reader instead of pinning a handler thread.
+void send_frame(const util::Fd& fd, const std::string& payload,
+                int idle_timeout_ms = 0);
 
 /// Receives one frame payload; nullopt on clean EOF at a frame boundary.
 /// Throws WireError on oversized frames, std::system_error on I/O errors.
-[[nodiscard]] std::optional<std::string> recv_frame(const util::Fd& fd);
+/// `idle_timeout_ms > 0`: no byte for that long throws ETIMEDOUT — a
+/// slow-loris peer (half a header, then silence) is evicted, it cannot
+/// hold read_exact forever.
+[[nodiscard]] std::optional<std::string> recv_frame(const util::Fd& fd,
+                                                    int idle_timeout_ms = 0);
 
 } // namespace mss::server

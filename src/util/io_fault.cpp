@@ -1,0 +1,348 @@
+#include "util/io_fault.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#if MSS_FAULT_INJECTION
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace mss::util::fault {
+
+namespace {
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+
+// The errnos the I/O paths can plausibly meet; anything else in a spec is
+// a typo worth rejecting loudly.
+constexpr ErrnoName kErrnos[] = {
+    {"EINTR", EINTR},           {"EIO", EIO},
+    {"ENOSPC", ENOSPC},         {"ECONNRESET", ECONNRESET},
+    {"EMFILE", EMFILE},         {"ENFILE", ENFILE},
+    {"EAGAIN", EAGAIN},         {"EPIPE", EPIPE},
+    {"ENOBUFS", ENOBUFS},       {"ENOMEM", ENOMEM},
+    {"ETIMEDOUT", ETIMEDOUT},   {"ECONNABORTED", ECONNABORTED},
+    {"EPROTO", EPROTO},
+};
+
+[[noreturn]] void bad_spec(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("MSS_FAULT: bad entry '" + entry + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& entry, const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    bad_spec(entry, "'" + s + "' is not a non-negative integer");
+  }
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+} // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Read: return "read";
+    case Op::Recv: return "recv";
+    case Op::Send: return "send";
+    case Op::Write: return "write";
+    case Op::Accept: return "accept";
+    case Op::Open: return "open";
+  }
+  return "?";
+}
+
+FaultSpec FaultSpec::parse(const std::string& spec) {
+  FaultSpec out;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue; // tolerate trailing ';'
+    if (entry.rfind("seed=", 0) == 0) {
+      out.seed = parse_u64(entry, entry.substr(5));
+      continue;
+    }
+    const auto parts = split(entry, ':');
+    if (parts.size() < 2) bad_spec(entry, "expected op:what[:param]*");
+
+    Rule rule;
+    const std::string& op = parts[0];
+    if (op == "read") rule.op = Op::Read;
+    else if (op == "recv") rule.op = Op::Recv;
+    else if (op == "send") rule.op = Op::Send;
+    else if (op == "write") rule.op = Op::Write;
+    else if (op == "accept") rule.op = Op::Accept;
+    else if (op == "open") rule.op = Op::Open;
+    else bad_spec(entry, "unknown op '" + op + "'");
+
+    const std::string& what = parts[1];
+    if (what == "short") {
+      if (rule.op == Op::Accept || rule.op == Op::Open) {
+        bad_spec(entry, "'short' needs a byte-transferring op");
+      }
+      rule.action = Action::Short;
+    } else if (what == "eof") {
+      if (rule.op != Op::Read && rule.op != Op::Recv) {
+        bad_spec(entry, "'eof' needs read or recv");
+      }
+      rule.action = Action::Eof;
+    } else {
+      rule.action = Action::Errno;
+      rule.err = 0;
+      for (const auto& e : kErrnos) {
+        if (what == e.name) {
+          rule.err = e.value;
+          break;
+        }
+      }
+      if (rule.err == 0) bad_spec(entry, "unknown action '" + what + "'");
+    }
+
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+      const std::string& param = parts[i];
+      const auto eq = param.find('=');
+      if (eq == std::string::npos) bad_spec(entry, "param needs key=value");
+      const std::string key = param.substr(0, eq);
+      const std::string val = param.substr(eq + 1);
+      if (key == "p") {
+        char* end = nullptr;
+        rule.p = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0' || rule.p < 0.0 ||
+            rule.p > 1.0) {
+          bad_spec(entry, "p must be a probability in [0,1]");
+        }
+      } else if (key == "after") {
+        rule.after = parse_u64(entry, val);
+      } else if (key == "every") {
+        rule.every = parse_u64(entry, val);
+        if (rule.every == 0) bad_spec(entry, "every must be >= 1");
+      } else if (key == "count") {
+        rule.count = parse_u64(entry, val);
+      } else {
+        bad_spec(entry, "unknown param '" + key + "'");
+      }
+    }
+    out.rules.push_back(rule);
+  }
+  return out;
+}
+
+#if MSS_FAULT_INJECTION
+
+namespace {
+
+/// splitmix64 — tiny, seedable, and independent of util::Rng so installing
+/// a schedule cannot perturb any simulation stream.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct RuleState {
+  Rule rule;
+  std::uint64_t rng; ///< per-rule stream: decisions replay deterministically
+  std::atomic<std::uint64_t> seen{0};  ///< eligible calls observed
+  std::atomic<std::uint64_t> fired{0}; ///< faults injected
+  std::mutex m; ///< serializes the (counter, rng) decision
+
+  /// One atomic decision: does this rule fire for the next call of its op?
+  bool decide() {
+    std::lock_guard<std::mutex> lk(m);
+    const std::uint64_t k = seen.fetch_add(1, std::memory_order_relaxed);
+    if (k < rule.after) return false;
+    const std::uint64_t eligible = k - rule.after;
+    if (eligible % rule.every != 0) return false;
+    if (rule.count != 0 &&
+        fired.load(std::memory_order_relaxed) >= rule.count) {
+      return false;
+    }
+    if (rule.p < 1.0) {
+      const double u =
+          double(splitmix64(rng) >> 11) * 0x1.0p-53; // uniform [0,1)
+      if (u >= rule.p) return false;
+    }
+    fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+};
+
+struct Schedule {
+  std::vector<std::unique_ptr<RuleState>> rules;
+
+  explicit Schedule(const FaultSpec& spec) {
+    std::uint64_t i = 0;
+    for (const Rule& r : spec.rules) {
+      auto state = std::make_unique<RuleState>();
+      state->rule = r;
+      // Key each rule's stream off (seed, index) so reordering-independent
+      // rules draw independent, reproducible decision sequences.
+      std::uint64_t mix = spec.seed ^ (0xA5A5A5A5DEADBEEFull + i++);
+      (void)splitmix64(mix);
+      state->rng = mix;
+      rules.push_back(std::move(state));
+    }
+  }
+};
+
+std::mutex g_m;
+std::shared_ptr<Schedule> g_schedule;            // written under g_m
+std::atomic<bool> g_active{false};               // fast-path gate
+std::atomic<bool> g_env_checked{false};          // MSS_FAULT read once
+std::array<std::atomic<std::uint64_t>, kOpCount> g_calls{};
+std::array<std::atomic<std::uint64_t>, kOpCount> g_injected{};
+
+void set_schedule(std::shared_ptr<Schedule> sched) {
+  std::lock_guard<std::mutex> lk(g_m);
+  g_schedule = std::move(sched);
+  for (auto& c : g_calls) c.store(0, std::memory_order_relaxed);
+  for (auto& c : g_injected) c.store(0, std::memory_order_relaxed);
+  g_active.store(g_schedule != nullptr, std::memory_order_release);
+}
+
+/// Lazily adopts the MSS_FAULT env schedule the first time a shim runs
+/// with nothing installed — how the real binaries pick up CI schedules.
+void check_env_once() {
+  if (g_env_checked.exchange(true, std::memory_order_acq_rel)) return;
+  const char* env = std::getenv("MSS_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  // A malformed env schedule must fail loudly, not silently run clean.
+  set_schedule(std::make_shared<Schedule>(FaultSpec::parse(env)));
+}
+
+/// nullptr = pass through. Otherwise the first firing rule for `op`.
+const Rule* consult(Op op) {
+  check_env_once();
+  g_calls[std::size_t(op)].fetch_add(1, std::memory_order_relaxed);
+  if (!g_active.load(std::memory_order_acquire)) return nullptr;
+  std::shared_ptr<Schedule> sched;
+  {
+    std::lock_guard<std::mutex> lk(g_m);
+    sched = g_schedule;
+  }
+  if (!sched) return nullptr;
+  for (auto& state : sched->rules) {
+    if (state->rule.op != op) continue;
+    if (state->decide()) {
+      g_injected[std::size_t(op)].fetch_add(1, std::memory_order_relaxed);
+      return &state->rule;
+    }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+void install(const FaultSpec& spec) {
+  g_env_checked.store(true, std::memory_order_release);
+  set_schedule(std::make_shared<Schedule>(spec));
+}
+
+void install(const std::string& spec) { install(FaultSpec::parse(spec)); }
+
+void uninstall() {
+  g_env_checked.store(true, std::memory_order_release);
+  set_schedule(nullptr);
+}
+
+bool active() { return g_active.load(std::memory_order_acquire); }
+
+SiteStats stats(Op op) {
+  SiteStats s;
+  s.calls = g_calls[std::size_t(op)].load(std::memory_order_relaxed);
+  s.injected = g_injected[std::size_t(op)].load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_stats() {
+  for (auto& c : g_calls) c.store(0, std::memory_order_relaxed);
+  for (auto& c : g_injected) c.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// True when the rule short-circuits the call (*result is the injected
+/// return); otherwise may shrink n (Action::Short) and the real call runs.
+bool apply_transfer(const Rule* rule, std::size_t& n, ssize_t* result) {
+  if (rule == nullptr) return false;
+  switch (rule->action) {
+    case Action::Eof:
+      *result = 0;
+      return true;
+    case Action::Errno:
+      errno = rule->err;
+      *result = -1;
+      return true;
+    case Action::Short:
+      if (n > 1) n = 1;
+      return false;
+  }
+  return false;
+}
+
+} // namespace
+
+ssize_t read(int fd, void* buf, std::size_t n) {
+  ssize_t r = 0;
+  if (apply_transfer(consult(Op::Read), n, &r)) return r;
+  return ::read(fd, buf, n);
+}
+
+ssize_t pread(int fd, void* buf, std::size_t n, off_t off) {
+  ssize_t r = 0;
+  if (apply_transfer(consult(Op::Read), n, &r)) return r;
+  return ::pread(fd, buf, n, off);
+}
+
+ssize_t recv(int fd, void* buf, std::size_t n, int flags) {
+  ssize_t r = 0;
+  if (apply_transfer(consult(Op::Recv), n, &r)) return r;
+  return ::recv(fd, buf, n, flags);
+}
+
+ssize_t send(int fd, const void* buf, std::size_t n, int flags) {
+  ssize_t r = 0;
+  if (apply_transfer(consult(Op::Send), n, &r)) return r;
+  return ::send(fd, buf, n, flags);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t n) {
+  ssize_t r = 0;
+  if (apply_transfer(consult(Op::Write), n, &r)) return r;
+  return ::write(fd, buf, n);
+}
+
+int accept(int fd, sockaddr* addr, socklen_t* len) {
+  if (const Rule* rule = consult(Op::Accept)) {
+    errno = rule->err;
+    return -1;
+  }
+  return ::accept(fd, addr, len);
+}
+
+int open(const char* path, int flags, mode_t mode) {
+  if (const Rule* rule = consult(Op::Open)) {
+    errno = rule->err;
+    return -1;
+  }
+  return ::open(path, flags, mode);
+}
+
+#endif // MSS_FAULT_INJECTION
+
+} // namespace mss::util::fault

@@ -1,0 +1,165 @@
+// Deterministic syscall fault injection for the mss-server I/O stack.
+//
+// Every syscall the server's availability depends on (recv/send on the
+// wire, accept on the listeners, open/read/write on the cache file) is
+// called through the `mss::util::fault` shims below instead of directly.
+// In the default build the shims are inline passthroughs — a compile-time
+// no-op, zero overhead, no global state. Configuring with
+// `-DMSS_FAULT_INJECTION=ON` compiles in the injection hooks: each shim
+// then consults an installed *schedule* of seeded failure rules and either
+// perturbs the call (short read/write, spurious EINTR, ECONNRESET,
+// EMFILE, ENOSPC, ...) or passes it through, recording per-site counters
+// either way. Schedules come from `install()` (tests) or, lazily on first
+// shimmed call, from the `MSS_FAULT` environment variable (real binaries
+// under CI fault jobs).
+//
+// Spec grammar (one schedule = ';'-separated rules):
+//
+//   spec   := entry (';' entry)*
+//   entry  := 'seed=' N                 global RNG seed (default 1)
+//           | op ':' what (':' param)*
+//   op     := read | recv | send | write | accept | open
+//   what   := short                     truncate the transfer to 1 byte
+//           | eof                       read/recv return 0 without calling
+//           | E<NAME>                   fail with that errno, call skipped
+//                                       (EINTR ENOSPC ECONNRESET EMFILE
+//                                        ENFILE EAGAIN EPIPE EIO ENOBUFS
+//                                        ENOMEM ETIMEDOUT ECONNABORTED
+//                                        EPROTO)
+//   param  := 'p=' F                    fire with probability F (seeded,
+//                                       deterministic per rule)
+//           | 'after=' N                skip the op's first N calls
+//           | 'every=' N                fire on every Nth eligible call
+//           | 'count=' N                fire at most N times total
+//
+// Examples:
+//   MSS_FAULT='recv:short:p=0.3;recv:EINTR:p=0.2'   short-read storm
+//   MSS_FAULT='write:short:after=2;write:ENOSPC:after=3'
+//                                                   tear a cache append
+//   MSS_FAULT='accept:EMFILE:every=3'               fd-pressure on accept
+//
+// Rules are evaluated in spec order per call; the first rule that fires
+// wins. Decisions are a pure function of (seed, rule index, per-rule call
+// counter), so a schedule replays identically run to run — the property
+// the CI fault jobs and the unit tests key on.
+//
+// Spec *parsing* (`FaultSpec::parse`) is compiled unconditionally so any
+// build can validate specs; only the shims and the installed-schedule
+// state are gated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace mss::util::fault {
+
+/// Shimmed call sites. (read covers pread on the cache file.)
+enum class Op : std::uint8_t { Read, Recv, Send, Write, Accept, Open };
+inline constexpr std::size_t kOpCount = 6;
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// What an injected fault does to the call.
+enum class Action : std::uint8_t {
+  Short, ///< transfer 1 byte instead of n (read/recv/send/write only)
+  Eof,   ///< return 0 without calling (read/recv only)
+  Errno, ///< return -1 with `err` set, call skipped
+};
+
+struct Rule {
+  Op op = Op::Read;
+  Action action = Action::Errno;
+  int err = 0;            ///< errno to inject (Action::Errno)
+  double p = 1.0;         ///< fire probability per eligible call
+  std::uint64_t after = 0; ///< skip the op's first `after` calls
+  std::uint64_t every = 1; ///< fire on every Nth eligible call
+  std::uint64_t count = 0; ///< max fires (0 = unlimited)
+};
+
+/// A parsed `MSS_FAULT` schedule. Parsing never touches global state.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  std::vector<Rule> rules;
+
+  /// Parses the grammar above; throws std::invalid_argument with a
+  /// pointed message on any malformed entry.
+  [[nodiscard]] static FaultSpec parse(const std::string& spec);
+};
+
+/// Per-site counters (observable even while a schedule runs).
+struct SiteStats {
+  std::uint64_t calls = 0;    ///< shim invocations
+  std::uint64_t injected = 0; ///< calls perturbed by a rule
+};
+
+#if MSS_FAULT_INJECTION
+
+inline constexpr bool kCompiledIn = true;
+
+/// Installs `spec` as the active schedule (replacing any) and resets the
+/// counters. Thread-safe against concurrent shim calls; concurrent
+/// installs are the caller's race to lose.
+void install(const FaultSpec& spec);
+/// Parses and installs. Throws std::invalid_argument on a bad spec.
+void install(const std::string& spec);
+/// Removes the active schedule; shims pass through again.
+void uninstall();
+/// True when a schedule is active (installed, or auto-loaded from the
+/// MSS_FAULT environment variable on first shimmed call).
+[[nodiscard]] bool active();
+[[nodiscard]] SiteStats stats(Op op);
+void reset_stats();
+
+[[nodiscard]] ssize_t read(int fd, void* buf, std::size_t n);
+[[nodiscard]] ssize_t pread(int fd, void* buf, std::size_t n, off_t off);
+[[nodiscard]] ssize_t recv(int fd, void* buf, std::size_t n, int flags);
+[[nodiscard]] ssize_t send(int fd, const void* buf, std::size_t n, int flags);
+[[nodiscard]] ssize_t write(int fd, const void* buf, std::size_t n);
+[[nodiscard]] int accept(int fd, sockaddr* addr, socklen_t* len);
+[[nodiscard]] int open(const char* path, int flags, mode_t mode);
+
+#else // !MSS_FAULT_INJECTION — compile-time no-ops, zero overhead
+
+inline constexpr bool kCompiledIn = false;
+
+inline void install(const FaultSpec&) {}
+inline void install(const std::string&) {}
+inline void uninstall() {}
+[[nodiscard]] inline bool active() { return false; }
+[[nodiscard]] inline SiteStats stats(Op) { return {}; }
+inline void reset_stats() {}
+
+[[nodiscard]] inline ssize_t read(int fd, void* buf, std::size_t n) {
+  return ::read(fd, buf, n);
+}
+[[nodiscard]] inline ssize_t pread(int fd, void* buf, std::size_t n,
+                                   off_t off) {
+  return ::pread(fd, buf, n, off);
+}
+[[nodiscard]] inline ssize_t recv(int fd, void* buf, std::size_t n,
+                                  int flags) {
+  return ::recv(fd, buf, n, flags);
+}
+[[nodiscard]] inline ssize_t send(int fd, const void* buf, std::size_t n,
+                                  int flags) {
+  return ::send(fd, buf, n, flags);
+}
+[[nodiscard]] inline ssize_t write(int fd, const void* buf, std::size_t n) {
+  return ::write(fd, buf, n);
+}
+[[nodiscard]] inline int accept(int fd, sockaddr* addr, socklen_t* len) {
+  return ::accept(fd, addr, len);
+}
+[[nodiscard]] inline int open(const char* path, int flags, mode_t mode) {
+  return ::open(path, flags, mode);
+}
+
+#endif // MSS_FAULT_INJECTION
+
+} // namespace mss::util::fault

@@ -8,12 +8,16 @@
 #include <system_error>
 #include <thread>
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "util/io_fault.hpp"
 
 namespace mss::util {
 
@@ -21,6 +25,26 @@ namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// Blocks until `fd` is ready for `events` or `timeout_ms` elapses with no
+/// readiness — then throws ETIMEDOUT. EINTR restarts the full window (the
+/// timeouts here are idle timeouts, not absolute deadlines, so a signal
+/// storm extends rather than corrupts the wait). timeout_ms <= 0 is
+/// treated as "no timeout" by the callers, which skip this entirely.
+void wait_ready(int fd, short events, int timeout_ms, const char* what) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return; // ready (POLLERR/POLLHUP: the I/O call reports it)
+    if (rc == 0) {
+      throw std::system_error(ETIMEDOUT, std::generic_category(), what);
+    }
+    if (errno == EINTR) continue;
+    throw_errno(what);
+  }
 }
 
 sockaddr_un make_addr(const std::string& path) {
@@ -44,7 +68,7 @@ sockaddr_un make_addr(const std::string& path) {
 Fd accept_with_retry(const Fd& listener, const std::atomic<bool>& stop,
                      const char* what) {
   for (;;) {
-    const int client = ::accept(listener.get(), nullptr, nullptr);
+    const int client = fault::accept(listener.get(), nullptr, nullptr);
     if (client >= 0) return Fd(client);
     if (stop.load(std::memory_order_acquire)) return Fd();
     switch (errno) {
@@ -84,6 +108,42 @@ addrinfo* resolve(const HostPort& endpoint, const char* what) {
                                 host + "': " + ::gai_strerror(rc));
   }
   return result;
+}
+
+/// connect(2) bounded by `timeout_ms`: non-blocking connect, poll(POLLOUT),
+/// SO_ERROR readback, blocking mode restored. Returns 0 on success, -1
+/// with errno set (ETIMEDOUT on expiry). timeout_ms <= 0 = plain connect.
+int connect_deadline(int fd, const sockaddr* addr, socklen_t len,
+                     int timeout_ms) {
+  if (timeout_ms <= 0) return ::connect(fd, addr, len);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return -1;
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    for (;;) {
+      const int pr = ::poll(&p, 1, timeout_ms);
+      if (pr > 0) break;
+      if (pr == 0) {
+        errno = ETIMEDOUT;
+        return -1;
+      }
+      if (errno != EINTR) return -1;
+    }
+    int err = 0;
+    socklen_t elen = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) != 0) return -1;
+    if (err != 0) {
+      errno = err;
+      return -1;
+    }
+    rc = 0;
+  }
+  if (rc != 0) return -1; // immediate failure (ECONNREFUSED, EAGAIN, ...)
+  if (::fcntl(fd, F_SETFL, flags) < 0) return -1;
+  return 0;
 }
 
 void set_nodelay(int fd) {
@@ -133,12 +193,22 @@ void Fd::close() {
   }
 }
 
-void write_all(const Fd& fd, const void* data, std::size_t n) {
+void write_all(const Fd& fd, const void* data, std::size_t n,
+               int idle_timeout_ms) {
   const char* p = static_cast<const char*>(data);
+  // With a timeout armed, send non-blocking and poll only on EAGAIN: a
+  // poll-then-blocking-send would still wedge forever when the buffer has
+  // *some* room but the transfer is larger than what the peer ever drains
+  // (blocking send returns only once everything is buffered).
+  const int extra = idle_timeout_ms > 0 ? MSG_DONTWAIT : 0;
   while (n > 0) {
-    const ssize_t w = ::send(fd.get(), p, n, MSG_NOSIGNAL);
+    const ssize_t w = fault::send(fd.get(), p, n, MSG_NOSIGNAL | extra);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (extra != 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_ready(fd.get(), POLLOUT, idle_timeout_ms, "send: idle timeout");
+        continue;
+      }
       throw_errno("send");
     }
     p += w;
@@ -146,11 +216,15 @@ void write_all(const Fd& fd, const void* data, std::size_t n) {
   }
 }
 
-bool read_exact(const Fd& fd, void* data, std::size_t n) {
+bool read_exact(const Fd& fd, void* data, std::size_t n,
+                int idle_timeout_ms) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < n) {
-    const ssize_t r = ::recv(fd.get(), p + got, n - got, 0);
+    if (idle_timeout_ms > 0) {
+      wait_ready(fd.get(), POLLIN, idle_timeout_ms, "recv: idle timeout");
+    }
+    const ssize_t r = fault::recv(fd.get(), p + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
       throw_errno("recv");
@@ -192,12 +266,12 @@ void UnixListener::shutdown() {
   fd_.shutdown_rw();
 }
 
-Fd unix_connect(const std::string& path) {
+Fd unix_connect(const std::string& path, int timeout_ms) {
   const sockaddr_un addr = make_addr(path);
   Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  if (connect_deadline(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr), timeout_ms) != 0) {
     throw_errno(("connect to '" + path + "'").c_str());
   }
   return fd;
@@ -290,7 +364,7 @@ void TcpListener::shutdown() {
   fd_.shutdown_rw();
 }
 
-Fd tcp_connect(const HostPort& endpoint) {
+Fd tcp_connect(const HostPort& endpoint, int timeout_ms) {
   addrinfo* addrs = resolve(endpoint, "tcp_connect");
   int last_errno = 0;
   Fd fd;
@@ -300,7 +374,8 @@ Fd tcp_connect(const HostPort& endpoint) {
       last_errno = errno;
       continue;
     }
-    if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+    if (connect_deadline(candidate.get(), ai->ai_addr, ai->ai_addrlen,
+                         timeout_ms) != 0) {
       last_errno = errno;
       continue;
     }

@@ -46,11 +46,22 @@ class Fd {
 
 /// Sends exactly `n` bytes (MSG_NOSIGNAL — a disconnected peer surfaces as
 /// an error, never SIGPIPE). Throws std::system_error on failure.
-void write_all(const Fd& fd, const void* data, std::size_t n);
+///
+/// `idle_timeout_ms > 0` makes the call deadline-aware: each send is
+/// preceded by a poll(POLLOUT) and a peer that accepts no byte for that
+/// long fails the call with ETIMEDOUT. It is an *idle* timeout — any
+/// progress rearms it — so a slow-but-moving peer is never evicted, while
+/// a stalled one cannot pin the calling thread forever. <= 0 blocks
+/// indefinitely (the historical behaviour).
+void write_all(const Fd& fd, const void* data, std::size_t n,
+               int idle_timeout_ms = 0);
 
 /// Reads exactly `n` bytes. Returns false on clean EOF *before the first
 /// byte*; throws std::system_error on errors or mid-buffer EOF.
-[[nodiscard]] bool read_exact(const Fd& fd, void* data, std::size_t n);
+/// `idle_timeout_ms > 0`: poll(POLLIN) before each recv; no byte for that
+/// long throws ETIMEDOUT (idle semantics as in write_all). <= 0 blocks.
+[[nodiscard]] bool read_exact(const Fd& fd, void* data, std::size_t n,
+                              int idle_timeout_ms = 0);
 
 /// Listening AF_UNIX socket bound to `path` (any stale socket file is
 /// unlinked first). Throws std::system_error / std::invalid_argument
@@ -79,8 +90,9 @@ class UnixListener {
 };
 
 /// Connects to a listening unix socket. Throws std::system_error when
-/// nobody listens.
-[[nodiscard]] Fd unix_connect(const std::string& path);
+/// nobody listens. `timeout_ms > 0` bounds the connect itself (ETIMEDOUT
+/// on expiry); <= 0 blocks.
+[[nodiscard]] Fd unix_connect(const std::string& path, int timeout_ms = 0);
 
 /// A "host:port" endpoint. IPv6 literals use the bracket form
 /// "[::1]:4444"; an empty host means loopback (the bind/connect default —
@@ -132,6 +144,8 @@ class TcpListener {
 
 /// Connects to a TCP endpoint (empty host = loopback) and enables
 /// TCP_NODELAY. Throws std::system_error when nobody listens.
-[[nodiscard]] Fd tcp_connect(const HostPort& endpoint);
+/// `timeout_ms > 0` bounds each address attempt via a non-blocking
+/// connect + poll (ETIMEDOUT on expiry); <= 0 blocks.
+[[nodiscard]] Fd tcp_connect(const HostPort& endpoint, int timeout_ms = 0);
 
 } // namespace mss::util

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "server/cache.hpp"
+#include "util/io_fault.hpp"
 
 namespace {
 
@@ -208,6 +209,206 @@ TEST(ResultCache, EmptyRowRoundTrips) {
   const auto got = cache.lookup("empty");
   ASSERT_TRUE(got.has_value());
   EXPECT_TRUE(got->empty());
+  std::remove(path.c_str());
+}
+
+// --- growth management: compaction + size cap --------------------------------
+
+/// Duplicates every record in `path` once (header kept) — the on-disk
+/// shape concurrent writers racing the same points leave behind.
+void duplicate_records(const std::string& path) {
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 8u);
+  write_file(path, bytes + bytes.substr(8));
+}
+
+TEST(ResultCache, CompactionShrinksDuplicateHeavyFileBitIdentically) {
+  const std::string path = temp_path();
+  const std::vector<Value> tricky = {
+      Value(-0.0), Value(std::numeric_limits<double>::denorm_min()),
+      Value(std::int64_t(-1)), Value(std::string("x\x1f;\0y", 5))};
+  {
+    ResultCache cache(path);
+    cache.insert("a", tricky);
+    cache.insert("b", {Value(2.0)});
+    cache.insert("c", {Value(3.0)});
+  }
+  duplicate_records(path);
+  const std::size_t fat = read_file(path).size();
+
+  ResultCache cache(path);
+  EXPECT_EQ(cache.replayed(), 3u);
+  const auto stats = cache.compact();
+  EXPECT_EQ(stats.bytes_before, fat);
+  EXPECT_EQ(stats.records_before, 6u);
+  EXPECT_EQ(stats.records_after, 3u);
+  EXPECT_LT(stats.bytes_after, stats.bytes_before);
+  EXPECT_EQ(read_file(path).size(), stats.bytes_after);
+  EXPECT_TRUE(cache.persistent());
+
+  // The compacted file replays bit-identically.
+  ResultCache reread(path);
+  EXPECT_EQ(reread.replayed(), 3u);
+  EXPECT_EQ(reread.discarded_bytes(), 0u);
+  const auto got = reread.lookup("a");
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), tricky.size());
+  EXPECT_EQ(bits_of(std::get<double>((*got)[0])), bits_of(-0.0));
+  EXPECT_EQ(bits_of(std::get<double>((*got)[1])),
+            bits_of(std::numeric_limits<double>::denorm_min()));
+  EXPECT_EQ(std::get<std::string>((*got)[3]), std::string("x\x1f;\0y", 5));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, CompactionIsIdempotent) {
+  const std::string path = temp_path();
+  {
+    ResultCache cache(path);
+    cache.insert("a", {Value(1.0)});
+  }
+  duplicate_records(path);
+  ResultCache cache(path);
+  const auto first = cache.compact();
+  const auto second = cache.compact();
+  EXPECT_EQ(second.bytes_before, first.bytes_after);
+  EXPECT_EQ(second.bytes_after, first.bytes_after);
+  EXPECT_EQ(second.records_before, 1u);
+  EXPECT_EQ(second.records_after, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, SizeCapSkipsAppendsButKeepsRowsInMemory) {
+  const std::string path = temp_path();
+  std::size_t two_rows = 0;
+  {
+    ResultCache cache(path);
+    cache.insert("a", {Value(1.0)});
+    cache.insert("b", {Value(2.0)});
+    two_rows = cache.file_bytes();
+  }
+  std::remove(path.c_str());
+
+  // Cap exactly at two rows: the third insert cannot fit, has no
+  // duplicates to reclaim, and must degrade to a memory-only row without
+  // erroring or growing the file.
+  mss::server::CacheOptions options;
+  options.max_bytes = two_rows;
+  ResultCache cache(path, options);
+  cache.insert("a", {Value(1.0)});
+  cache.insert("b", {Value(2.0)});
+  EXPECT_EQ(cache.capped_appends(), 0u);
+  cache.insert("c", {Value(3.0)});
+  EXPECT_EQ(cache.capped_appends(), 1u);
+  EXPECT_TRUE(cache.persistent()); // capped, not broken
+  EXPECT_EQ(cache.file_bytes(), two_rows);
+  ASSERT_TRUE(cache.lookup("c").has_value()); // served from memory
+
+  ResultCache reread(path);
+  EXPECT_EQ(reread.replayed(), 2u);
+  EXPECT_FALSE(reread.lookup("c").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, SizeCapCompactsDuplicatesToMakeRoom) {
+  const std::string path = temp_path();
+  std::size_t three_rows = 0;
+  {
+    ResultCache cache(path);
+    cache.insert("a", {Value(1.0)});
+    cache.insert("b", {Value(2.0)});
+    cache.insert("c", {Value(3.0)});
+    three_rows = cache.file_bytes();
+  }
+  duplicate_records(path); // ~2x the cap on disk now
+
+  mss::server::CacheOptions options;
+  options.max_bytes = three_rows + 8; // room for the live set, not the fat file
+  ResultCache cache(path, options);
+  EXPECT_EQ(cache.replayed(), 3u);
+  // The insert crosses the cap, finds reclaimable duplicates, compacts —
+  // and the compaction pass itself persists the new row.
+  cache.insert("d", {Value(4.0)});
+  EXPECT_EQ(cache.capped_appends(), 0u);
+  EXPECT_LE(cache.file_bytes(), three_rows + three_rows / 2);
+
+  ResultCache reread(path);
+  EXPECT_EQ(reread.replayed(), 4u);
+  EXPECT_TRUE(reread.lookup("d").has_value());
+  std::remove(path.c_str());
+}
+
+// --- disk-failure degradation (needs the fault-injection build) --------------
+
+class FaultGuard {
+ public:
+  explicit FaultGuard(const std::string& spec) {
+    mss::util::fault::install(spec);
+  }
+  ~FaultGuard() { mss::util::fault::uninstall(); }
+};
+
+TEST(ResultCache, EnospcMidAppendRollsBackDegradesAndCompactRecovers) {
+  if (!mss::util::fault::kCompiledIn) {
+    GTEST_SKIP() << "fault injection not compiled in (MSS_FAULT_INJECTION)";
+  }
+  const std::string path = temp_path();
+  ResultCache cache(path);
+  cache.insert("a", {Value(1.0)});
+  const std::size_t clean = cache.file_bytes();
+
+  {
+    // Every write fails with ENOSPC from here: the append must roll the
+    // file back to the clean boundary and drop to memory-only — and the
+    // insert must NOT throw (a full disk cannot fail jobs).
+    FaultGuard g("write:ENOSPC");
+    cache.insert("b", {Value(2.0)});
+  }
+  EXPECT_EQ(cache.append_failures(), 1u);
+  EXPECT_FALSE(cache.persistent());
+  ASSERT_TRUE(cache.lookup("b").has_value()); // memory-only, still served
+  EXPECT_EQ(read_file(path).size(), clean);   // rolled back, no torn tail
+
+  cache.insert("c", {Value(3.0)}); // degraded: memory-only, no disk touch
+  EXPECT_EQ(read_file(path).size(), clean);
+
+  // The "disk" works again; a successful compaction writes the full live
+  // set and re-enables persistence.
+  const auto stats = cache.compact();
+  EXPECT_EQ(stats.records_after, 3u);
+  EXPECT_TRUE(cache.persistent());
+  cache.insert("d", {Value(4.0)}); // appends again
+
+  ResultCache reread(path);
+  EXPECT_EQ(reread.replayed(), 4u);
+  EXPECT_TRUE(reread.lookup("b").has_value());
+  EXPECT_TRUE(reread.lookup("d").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, ShortWriteStormStillPersistsEveryRecord) {
+  if (!mss::util::fault::kCompiledIn) {
+    GTEST_SKIP() << "fault injection not compiled in (MSS_FAULT_INJECTION)";
+  }
+  const std::string path = temp_path();
+  {
+    ResultCache cache(path);
+    // Short writes + EINTR are retried inside the append loop, so a storm
+    // of them must not tear records or lose data.
+    FaultGuard g("seed=7;write:short:p=0.6;write:EINTR:p=0.2");
+    for (int i = 0; i < 20; ++i) {
+      cache.insert("k" + std::to_string(i), {Value(double(i)), Value(-0.0)});
+    }
+    EXPECT_TRUE(cache.persistent());
+  }
+  ResultCache reread(path);
+  EXPECT_EQ(reread.replayed(), 20u);
+  EXPECT_EQ(reread.discarded_bytes(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    const auto got = reread.lookup("k" + std::to_string(i));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(bits_of(std::get<double>((*got)[0])), bits_of(double(i)));
+    EXPECT_EQ(bits_of(std::get<double>((*got)[1])), bits_of(-0.0));
+  }
   std::remove(path.c_str());
 }
 

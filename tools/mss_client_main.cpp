@@ -12,6 +12,12 @@
 //
 // submit flags: --seed N --priority N --chunk N --threads N
 // `run` = submit + blocking fetch in one call.
+//
+// Resilience: connects fail fast (5 s deadline) instead of hanging on a
+// dead endpoint; --timeout SEC sets both the connect and the per-RPC idle
+// deadline; --retries N retries retryable failures (connection refused,
+// reset, Busy, ShuttingDown) with exponential backoff — for `run`, the
+// whole submit+fetch is retried and resumes from the server's cache.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,14 +31,19 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--socket PATH | --connect HOST:PORT] COMMAND ...\n"
+      "usage: %s [--socket PATH | --connect HOST:PORT]\n"
+      "          [--timeout SEC] [--retries N] COMMAND ...\n"
       "  experiments                         list servable experiments\n"
       "  submit EXP [--seed N] [--priority N] [--chunk N] [--threads N]\n"
       "  status JOB                          one status snapshot\n"
       "  cancel JOB                          cooperative cancellation\n"
       "  fetch JOB [--format console|csv|json]  stream the result table\n"
       "  run EXP [submit flags] [--format F] submit + fetch\n"
-      "  shutdown                            stop the server\n",
+      "  shutdown                            stop the server\n"
+      "  --timeout SEC   connect + per-RPC idle deadline (default: 5 s\n"
+      "                  connect, no RPC deadline; 0 = block forever)\n"
+      "  --retries N     retry retryable failures N times with backoff\n"
+      "                  (default 0; `run` retries resume from the cache)\n",
       argv0);
 }
 
@@ -79,6 +90,12 @@ int main(int argc, char** argv) {
   std::string socket_path = "./mss-server.sock";
   std::string connect_address; // non-empty = TCP transport
   std::string format = "console";
+  // Fail-fast by default: a dead endpoint errors after 5 s instead of
+  // hanging the terminal. --timeout overrides both deadlines.
+  mss::server::ClientOptions client_options;
+  client_options.connect_timeout_ms = 5'000;
+  mss::server::RetryOptions retry;
+  retry.attempts = 1; // --retries N => N extra attempts
   mss::server::SubmitOptions submit;
   std::vector<std::string> positional;
 
@@ -97,6 +114,12 @@ int main(int argc, char** argv) {
       connect_address = next();
     } else if (arg == "--format") {
       format = next();
+    } else if (arg == "--timeout") {
+      const int ms = int(std::strtol(next(), nullptr, 10)) * 1000;
+      client_options.connect_timeout_ms = ms;
+      client_options.io_timeout_ms = ms;
+    } else if (arg == "--retries") {
+      retry.attempts = 1 + int(parse_u64(next()));
     } else if (arg == "--seed") {
       submit.seed = parse_u64(next());
     } else if (arg == "--priority") {
@@ -121,11 +144,32 @@ int main(int argc, char** argv) {
   }
   const std::string& command = positional[0];
 
+  const auto endpoint = connect_address.empty()
+                            ? mss::server::Endpoint::unix_socket(socket_path)
+                            : mss::server::Endpoint::tcp(connect_address);
+  retry.on_retry = [](int attempt, const std::string& why, int sleep_ms) {
+    std::fprintf(stderr, "mss-client: attempt %d failed (%s), retrying in %d ms\n",
+                 attempt, why.c_str(), sleep_ms);
+  };
+
   try {
+    if (command == "run") {
+      if (positional.size() < 2) {
+        usage(argv[0]);
+        return 2;
+      }
+      // The whole submit+fetch retries as a unit; completed rows resume
+      // from the server's first-write-wins cache, so a mid-fetch
+      // reconnect never recomputes or reorders anything.
+      const auto result = mss::server::run_with_retry(
+          endpoint, positional[1], submit, client_options, retry);
+      print_table(result.table, format);
+      print_status(result.status, stderr); // keep csv/json on stdout clean
+      return result.status.state == mss::server::JobState::Done ? 0 : 1;
+    }
+
     mss::server::Client client =
-        connect_address.empty()
-            ? mss::server::Client(socket_path)
-            : mss::server::Client::connect_tcp(connect_address);
+        mss::server::connect_with_retry(endpoint, client_options, retry);
 
     if (command == "experiments") {
       for (const auto& exp : client.experiments()) {
@@ -159,10 +203,8 @@ int main(int argc, char** argv) {
       print_status(client.cancel(parse_u64(positional[1].c_str())));
       return 0;
     }
-    if (command == "fetch" || command == "run") {
-      const std::uint64_t id = command == "run"
-                                   ? client.submit(positional[1], submit)
-                                   : parse_u64(positional[1].c_str());
+    if (command == "fetch") {
+      const std::uint64_t id = parse_u64(positional[1].c_str());
       const auto result = client.fetch(id);
       print_table(result.table, format);
       print_status(result.status, stderr); // keep csv/json on stdout clean

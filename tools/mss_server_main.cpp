@@ -24,6 +24,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--socket PATH] [--listen HOST:PORT] [--cache "
                "PATH]\n"
+               "          [--cache-max-bytes N] [--compact-cache] "
+               "[--compact-on-start]\n"
+               "          [--io-timeout SEC] [--max-conns N]\n"
                "          [--threads N] [--chunk N] [--stripe N]\n"
                "  --socket PATH   unix socket to listen on "
                "(default ./mss-server.sock)\n"
@@ -37,6 +40,23 @@ void usage(const char* argv0) {
                "  --cache PATH    persistent result cache file; omit for a\n"
                "                  purely in-memory cache (no cross-run "
                "resume)\n"
+               "  --cache-max-bytes N  cache file size cap; appends past "
+               "it\n"
+               "                  compact first, then go memory-only "
+               "(default: unlimited)\n"
+               "  --compact-cache rewrite the cache dropping duplicate "
+               "records,\n"
+               "                  print the stats and exit (needs --cache)\n"
+               "  --compact-on-start  run the same compaction before "
+               "serving\n"
+               "  --io-timeout S  per-connection idle I/O timeout in "
+               "seconds; a peer\n"
+               "                  making no progress that long is evicted "
+               "(default 120,\n"
+               "                  0 = never)\n"
+               "  --max-conns N   live-connection cap; excess clients get "
+               "a retryable\n"
+               "                  Busy error (default 256, 0 = unlimited)\n"
                "  --threads N     job thread policy: 0 = shared pool "
                "(default), 1 = serial\n"
                "  --chunk N       default sweep chunk size (default 1)\n"
@@ -51,6 +71,7 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   mss::server::ServerOptions options;
   options.socket_path = "./mss-server.sock";
+  bool compact_only = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,6 +88,16 @@ int main(int argc, char** argv) {
       options.listen_address = next();
     } else if (arg == "--cache") {
       options.cache_path = next();
+    } else if (arg == "--cache-max-bytes") {
+      options.cache_max_bytes = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--compact-cache") {
+      compact_only = true;
+    } else if (arg == "--compact-on-start") {
+      options.compact_cache_on_start = true;
+    } else if (arg == "--io-timeout") {
+      options.io_timeout_ms = int(std::strtol(next(), nullptr, 10)) * 1000;
+    } else if (arg == "--max-conns") {
+      options.max_conns = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--threads") {
       options.threads = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--chunk") {
@@ -77,6 +108,29 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+
+  if (compact_only) {
+    // Standalone maintenance mode: compact the cache file and exit without
+    // binding any socket — safe to run while no server owns the file.
+    if (options.cache_path.empty()) {
+      std::fprintf(stderr, "mss-server: --compact-cache needs --cache PATH\n");
+      return 2;
+    }
+    try {
+      mss::server::ResultCache cache(options.cache_path);
+      const auto stats = cache.compact();
+      std::fprintf(stderr,
+                   "mss-server: compacted %s: %zu -> %zu bytes, %zu -> %zu "
+                   "records\n",
+                   options.cache_path.c_str(), stats.bytes_before,
+                   stats.bytes_after, stats.records_before,
+                   stats.records_after);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mss-server: compact failed: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   struct sigaction sa {};
